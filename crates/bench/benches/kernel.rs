@@ -1,0 +1,87 @@
+//! Criterion micro-benches of the two surface-density kernels: per-ray
+//! marching vs per-column walking (the per-unit costs behind Fig. 6), plus
+//! the hull-index entry query and an entry-strategy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtfe_core::density::{DtfeField, Mass};
+use dtfe_core::grid::{GridSpec2, GridSpec3};
+use dtfe_core::marching::{march_cell, HullIndex, MarchStats};
+use dtfe_core::walking::walk_column;
+use dtfe_geometry::{Vec2, Vec3};
+use dtfe_nbody::datasets::planck_like;
+
+fn setup(n_side: usize) -> DtfeField {
+    let pts = planck_like(n_side, 16.0, 5);
+    DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let field = setup(16); // 4096 particles
+    let index = HullIndex::build(&field);
+    let grid = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(16.0, 16.0), 64, 64);
+    let g3 = GridSpec3::lift(&grid, 0.0, 16.0, 64);
+
+    let mut group = c.benchmark_group("kernel");
+    group.bench_function("march_one_ray", |b| {
+        let mut seed = 1u64;
+        let mut stats = MarchStats::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % (64 * 64);
+            let xi = grid.center(i % 64, i / 64);
+            march_cell(&field, &index, xi, None, 1e-9, 16, &mut seed, &mut stats)
+        });
+    });
+    group.bench_function("walk_one_column_nz64", |b| {
+        let mut seed = 2u64;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % (64 * 64);
+            walk_column(&field, &g3, i % 64, i / 64, 1, &mut seed)
+        });
+    });
+    group.bench_function("hull_index_query", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B9);
+            let x = (i % 1000) as f64 / 1000.0 * 16.0;
+            let y = ((i / 1000) % 1000) as f64 / 1000.0 * 16.0;
+            index.query(Vec2::new(x, y))
+        });
+    });
+    group.finish();
+
+    // Ablation: entry location via the hull-projection index vs a fresh
+    // visibility walk to the ray's start point.
+    let mut group = c.benchmark_group("entry_ablation");
+    let field = setup(16);
+    let index = HullIndex::build(&field);
+    group.bench_with_input(BenchmarkId::new("hull_index", 4096), &(), |b, _| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B9);
+            index.query(Vec2::new((i % 997) as f64 / 997.0 * 16.0, (i % 991) as f64 / 991.0 * 16.0))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("locate_walk", 4096), &(), |b, _| {
+        let mut seed = 3u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B9);
+            let p = Vec3::new(
+                (i % 997) as f64 / 997.0 * 16.0,
+                (i % 991) as f64 / 991.0 * 16.0,
+                0.01,
+            );
+            field.delaunay().locate_seeded(p, dtfe_delaunay::NONE, &mut seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_kernels
+}
+criterion_main!(benches);

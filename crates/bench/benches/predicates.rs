@@ -1,0 +1,56 @@
+//! Criterion benches of the robust predicates: the static-filter ablation
+//! from DESIGN.md — fast path (filter accepts) vs exact fallback
+//! (degenerate inputs) vs the unfiltered float determinant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtfe_geometry::predicates::{insphere, orient3d, orient3d_det};
+use dtfe_geometry::Vec3;
+
+fn bench_predicates(c: &mut Criterion) {
+    // Well-separated points: the filter accepts, no exact arithmetic.
+    let a = Vec3::new(0.11, 0.23, 0.37);
+    let b = Vec3::new(1.03, 0.17, 0.29);
+    let cc = Vec3::new(0.19, 1.07, 0.31);
+    let d = Vec3::new(0.29, 0.41, 1.13);
+    let e_in = Vec3::new(0.4, 0.45, 0.5);
+
+    // Exactly degenerate (lattice) points: every call takes the exact path.
+    let la = Vec3::new(0.0, 0.0, 0.0);
+    let lb = Vec3::new(2.0, 4.0, 6.0);
+    let lc = Vec3::new(1.0, 1.0, 1.0);
+    let ld = Vec3::new(3.0, 5.0, 7.0); // la + lb + ... coplanar with (la, lb, lc)
+
+    let mut group = c.benchmark_group("orient3d");
+    group.bench_function("float_det_unfiltered", |bch| {
+        bch.iter(|| orient3d_det(a, b, cc, d));
+    });
+    group.bench_function("filtered_fast_path", |bch| {
+        bch.iter(|| orient3d(a, b, cc, d));
+    });
+    group.bench_function("exact_fallback_degenerate", |bch| {
+        bch.iter(|| orient3d(la, lb, lc, ld));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("insphere");
+    group.bench_function("filtered_fast_path", |bch| {
+        bch.iter(|| insphere(a, b, cc, d, e_in));
+    });
+    // Cospherical cube corners: exact fallback.
+    let ca = Vec3::new(1.0, 0.0, 0.0);
+    let cb = Vec3::new(0.0, 0.0, 0.0);
+    let ccc = Vec3::new(0.0, 1.0, 0.0);
+    let cd = Vec3::new(0.0, 0.0, 1.0);
+    let ce = Vec3::new(1.0, 1.0, 1.0);
+    group.bench_function("exact_fallback_cospherical", |bch| {
+        bch.iter(|| insphere(ca, cb, ccc, cd, ce));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_predicates
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches of the load-balancing machinery at the paper's 16k
+//! rank scale: schedule construction, bin packing, and a full event-sim
+//! round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtfe_framework::eventsim::{partition_items, simulate_balanced, synth_global_workload, SimParams};
+use dtfe_framework::sharing::{create_schedule, pack_bins, pack_bins_naive};
+
+fn bench_scheduling(c: &mut Criterion) {
+    // Heavy-tailed per-rank totals at 16,384 ranks.
+    let mut s = 9u64;
+    let mut rnd = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let times: Vec<f64> = (0..16_384).map(|_| (1.0 - rnd()).powf(-0.5)).collect();
+
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(20);
+    group.bench_function("create_schedule_16k", |b| {
+        b.iter(|| create_schedule(&times));
+    });
+
+    let items: Vec<f64> = (0..512).map(|i| 1.0 + (i % 13) as f64).collect();
+    let bins: Vec<f64> = (0..64).map(|i| 10.0 + i as f64).collect();
+    group.bench_function("pack_bins_ffd_512x64", |b| {
+        b.iter(|| pack_bins(&items, &bins));
+    });
+    group.bench_function("pack_bins_naive_512x64", |b| {
+        b.iter(|| pack_bins_naive(&items, &bins));
+    });
+    group.finish();
+
+    let global = synth_global_workload(131_072, 0.6, 0.15, 8, 12.0, 3);
+    let mut group = c.benchmark_group("eventsim");
+    group.sample_size(10);
+    group.bench_function("balanced_16k_ranks", |b| {
+        b.iter(|| {
+            let work = partition_items(&global, 16_384);
+            simulate_balanced(&work, &SimParams::default())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 10: workload imbalance (normalized std of per-rank compute time)
+//! vs rank count, balanced and unbalanced.
+//!
+//! This is the imbalance series of the galaxy-galaxy experiment; `fig9`
+//! writes the same data as `fig9_imbalance.csv` alongside its timing sweep.
+//! This standalone harness runs a denser rank sweep of just the imbalance
+//! measurement.
+//!
+//! ```text
+//! cargo run --release -p dtfe-bench --bin fig10 [--scale small|medium|paper]
+//! ```
+
+use dtfe_bench::experiments::measure;
+use dtfe_bench::{Scale, SeriesWriter};
+use dtfe_framework::{FieldRequest, FrameworkConfig};
+use dtfe_geometry::{Aabb3, Vec3};
+use dtfe_lensing::configs::galaxy_galaxy_centers;
+use dtfe_nbody::halos::{clustered_box, ClusteredBoxSpec};
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_particles = scale.pick(120_000usize, 300_000, 1_000_000);
+    let n_halos = scale.pick(150usize, 300, 600);
+    let n_fields = scale.pick(120usize, 256, 512);
+    let ranks: &[usize] = match scale {
+        Scale::Small => &[2, 4, 6, 8, 12, 16],
+        _ => &[2, 4, 6, 8, 12, 16, 24, 32],
+    };
+
+    let box_len = 48.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (particles, halos) = clustered_box(&ClusteredBoxSpec {
+        occupation_range: (50.0, 3_000.0),
+        occupation_slope: -1.6,
+        ..ClusteredBoxSpec::new(bounds, n_particles, n_halos, 1337)
+    });
+    let field_len = 3.0;
+    let centers = galaxy_galaxy_centers(&halos, n_fields, bounds, field_len * 0.5);
+    let requests: Vec<FieldRequest> =
+        centers.iter().map(|&c| FieldRequest { center: c }).collect();
+    println!("# fig10: {} fields over {} particles", requests.len(), particles.len());
+
+    let mut w = SeriesWriter::create(
+        "fig10_imbalance",
+        "nranks,balanced_norm_std,unbalanced_norm_std",
+    );
+    for &p in ranks {
+        let cfg_b = FrameworkConfig { balance: true, ..FrameworkConfig::new(field_len, 24) };
+        let cfg_u = FrameworkConfig { balance: false, ..FrameworkConfig::new(field_len, 24) };
+        let (bal, _) = measure(&particles, bounds, &requests, &cfg_b, p);
+        let (unbal, _) = measure(&particles, bounds, &requests, &cfg_u, p);
+        w.row(&format!("{p},{:.3},{:.3}", bal.imbalance, unbal.imbalance));
+    }
+    println!("# paper: imbalance grows as sub-volumes shrink; work sharing holds it down");
+}

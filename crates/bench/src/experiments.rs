@@ -1,0 +1,108 @@
+//! Shared experiment runner for the load-balancing figures (9, 10, 12):
+//! run the full framework at several rank counts, balanced and unbalanced,
+//! and report per-phase emulated wall times plus imbalance metrics.
+
+use crate::{wall_of, SeriesWriter};
+use dtfe_framework::eventsim::normalized_std;
+use dtfe_framework::{run_distributed, FieldRequest, FrameworkConfig, RankReport};
+use dtfe_geometry::{Aabb3, Vec3};
+
+/// One (nranks, mode) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    pub nranks: usize,
+    pub balanced: bool,
+    /// Emulated per-phase wall times (max over ranks).
+    pub partition: f64,
+    pub model: f64,
+    pub triangulate: f64,
+    pub render: f64,
+    pub sharing_wait: f64,
+    /// Emulated end-to-end wall: sum of the phase maxima (phases are
+    /// barrier-separated in the real framework).
+    pub total: f64,
+    /// Normalized std of per-rank compute time (Fig. 10's metric).
+    pub imbalance: f64,
+    pub fields: usize,
+}
+
+/// Run the framework at `nranks` and summarize.
+pub fn measure(
+    particles: &[Vec3],
+    bounds: Aabb3,
+    requests: &[FieldRequest],
+    cfg: &FrameworkConfig,
+    nranks: usize,
+) -> (ScalingPoint, Vec<RankReport>) {
+    let reports = run_distributed(nranks, particles, bounds, requests, cfg);
+    let collect = |f: &dyn Fn(&RankReport) -> f64| reports.iter().map(f).collect::<Vec<f64>>();
+    let partition = collect(&|r| r.timings.partition);
+    let model = collect(&|r| r.timings.model);
+    let tri = collect(&|r| r.timings.triangulate);
+    let render = collect(&|r| r.timings.render);
+    let wait = collect(&|r| r.timings.sharing_wait);
+    let compute: Vec<f64> = tri.iter().zip(&render).map(|(a, b)| a + b).collect();
+    let point = ScalingPoint {
+        nranks,
+        balanced: cfg.balance,
+        partition: wall_of(&partition),
+        model: wall_of(&model),
+        triangulate: wall_of(&tri),
+        render: wall_of(&render),
+        sharing_wait: wall_of(&wait),
+        total: wall_of(&partition)
+            + wall_of(&model)
+            + wall_of(&compute.iter().zip(&wait).map(|(c, w)| c + w).collect::<Vec<f64>>()),
+        imbalance: normalized_std(&compute),
+        fields: reports.iter().map(|r| r.fields_computed).sum(),
+    };
+    (point, reports)
+}
+
+/// Run the rank sweep for one field configuration, writing the figure's
+/// time/speedup/imbalance series. Returns all the reports of the *largest
+/// balanced* run (the Fig. 11 input).
+pub fn scaling_sweep(
+    name: &str,
+    particles: &[Vec3],
+    bounds: Aabb3,
+    requests: &[FieldRequest],
+    base_cfg: &FrameworkConfig,
+    rank_counts: &[usize],
+) -> Vec<RankReport> {
+    let mut times = SeriesWriter::create(
+        &format!("{name}_times"),
+        "nranks,mode,partition_s,model_s,triangulate_s,grid_render_s,work_sharing_s,total_s",
+    );
+    let mut speed = SeriesWriter::create(&format!("{name}_speedup"), "nranks,mode,total_speedup");
+    let mut imb = SeriesWriter::create(
+        &format!("{name}_imbalance"),
+        "nranks,balanced_norm_std,unbalanced_norm_std",
+    );
+
+    let mut last_reports = Vec::new();
+    let mut base_total: Option<f64> = None;
+    for &p in rank_counts {
+        let mut row_imb = (0.0, 0.0);
+        for balanced in [true, false] {
+            let cfg = FrameworkConfig { balance: balanced, ..base_cfg.clone() };
+            let (pt, reports) = measure(particles, bounds, requests, &cfg, p);
+            assert_eq!(pt.fields, requests.len(), "lost work items");
+            let mode = if balanced { "balanced" } else { "unbalanced" };
+            times.row(&format!(
+                "{p},{mode},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                pt.partition, pt.model, pt.triangulate, pt.render, pt.sharing_wait, pt.total
+            ));
+            let b = *base_total.get_or_insert(pt.total);
+            speed.row(&format!("{p},{mode},{:.2}", b / pt.total));
+            if balanced {
+                row_imb.0 = pt.imbalance;
+                last_reports = reports;
+            } else {
+                row_imb.1 = pt.imbalance;
+            }
+        }
+        imb.row(&format!("{p},{:.3},{:.3}", row_imb.0, row_imb.1));
+    }
+    last_reports
+}

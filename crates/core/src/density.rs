@@ -1,0 +1,331 @@
+//! The DTFE estimator: per-vertex densities and the piecewise-linear
+//! interpolant (paper §III-A).
+
+use dtfe_delaunay::{Delaunay, DelaunayError, Located, TetId};
+use dtfe_geometry::tetra::{linear_gradient, volume};
+use dtfe_geometry::{Vec2, Vec3};
+use rayon::prelude::*;
+
+/// Particle masses for the density estimate.
+#[derive(Clone, Debug)]
+pub enum Mass {
+    /// All particles share one mass (the N-body case).
+    Uniform(f64),
+    /// Per-*input-point* masses (merged duplicates accumulate their masses).
+    PerParticle(Vec<f64>),
+}
+
+/// Per-tetrahedron interpolation cache: the linear field inside tetrahedron
+/// `t` is `ρ(x) = rho0 + grad · (x - v0)` (Eq. 1, with `x0 = v0`).
+#[derive(Clone, Copy, Debug)]
+pub struct TetInterp {
+    pub v0: Vec3,
+    pub rho0: f64,
+    pub grad: Vec3,
+}
+
+/// A DTFE density field: the triangulation, the vertex densities of Eq. 2,
+/// and precomputed per-tetrahedron gradients.
+///
+/// Densities are `ρ̂(x_i) = (d+1) m_i / Σ_j V(T_{j,i})` with `d = 3`: four
+/// times the vertex mass over the volume of its star (the contiguous Voronoi
+/// cell). This makes the piecewise-linear field conserve total mass exactly:
+/// `∫ ρ̂ dV = Σ_i m_i` over the convex hull.
+pub struct DtfeField {
+    del: Delaunay,
+    vertex_density: Vec<f64>,
+    /// Indexed by tetrahedron slot id; ghost/freed slots hold zeros.
+    interp: Vec<TetInterp>,
+}
+
+impl DtfeField {
+    /// Triangulate `points` and estimate densities.
+    pub fn build(points: &[Vec3], mass: Mass) -> Result<DtfeField, DelaunayError> {
+        let del = Delaunay::build(points)?;
+        Ok(Self::from_delaunay_for_inputs(del, points.len(), mass))
+    }
+
+    /// Use an existing triangulation whose vertices are the particles
+    /// (no merged duplicates, or uniform mass where merging is irrelevant
+    /// to the caller).
+    pub fn from_delaunay(del: Delaunay, mass: Mass) -> DtfeField {
+        let n = del.vertices().len();
+        Self::from_delaunay_for_inputs(del, n, mass)
+    }
+
+    /// Use an existing triangulation built from `n_input` input points
+    /// (duplicates may have merged; masses accumulate via
+    /// [`Delaunay::vertex_of_input`]).
+    pub fn from_delaunay_for_inputs(del: Delaunay, n_input: usize, mass: Mass) -> DtfeField {
+        // Vertex masses: merged duplicates accumulate.
+        let mut vmass = vec![0.0f64; del.num_vertices()];
+        match &mass {
+            Mass::Uniform(m) => {
+                if n_input == del.num_vertices() {
+                    vmass.fill(*m);
+                } else {
+                    for i in 0..n_input {
+                        vmass[del.vertex_of_input(i) as usize] += m;
+                    }
+                }
+            }
+            Mass::PerParticle(ms) => {
+                assert_eq!(ms.len(), n_input, "mass count != input point count");
+                for (i, &m) in ms.iter().enumerate() {
+                    vmass[del.vertex_of_input(i) as usize] += m;
+                }
+            }
+        }
+
+        // Eq. 2: ρ̂_i = (d+1) m_i / W_i.
+        let star = del.vertex_star_volumes();
+        let vertex_density: Vec<f64> = vmass
+            .iter()
+            .zip(&star)
+            .map(|(&m, &w)| if w > 0.0 { 4.0 * m / w } else { 0.0 })
+            .collect();
+
+        // Per-tet constant gradients (Eq. 1), computed in parallel.
+        let slots = del.num_slots();
+        let interp: Vec<TetInterp> = (0..slots as u32)
+            .into_par_iter()
+            .map(|t| {
+                let tet = del.tet_slot(t);
+                if !tet.is_live() || tet.is_ghost() {
+                    return TetInterp { v0: Vec3::ZERO, rho0: 0.0, grad: Vec3::ZERO };
+                }
+                let v = [
+                    del.vertex(tet.verts[0]),
+                    del.vertex(tet.verts[1]),
+                    del.vertex(tet.verts[2]),
+                    del.vertex(tet.verts[3]),
+                ];
+                let f = [
+                    vertex_density[tet.verts[0] as usize],
+                    vertex_density[tet.verts[1] as usize],
+                    vertex_density[tet.verts[2] as usize],
+                    vertex_density[tet.verts[3] as usize],
+                ];
+                let grad = linear_gradient(&v, &f).unwrap_or(Vec3::ZERO);
+                TetInterp { v0: v[0], rho0: f[0], grad }
+            })
+            .collect();
+
+        DtfeField { del, vertex_density, interp }
+    }
+
+    /// The underlying triangulation.
+    #[inline]
+    pub fn delaunay(&self) -> &Delaunay {
+        &self.del
+    }
+
+    /// Vertex densities `ρ̂(x_i)` (Eq. 2), indexed by `VertexId`.
+    #[inline]
+    pub fn vertex_densities(&self) -> &[f64] {
+        &self.vertex_density
+    }
+
+    /// The linear interpolant parameters of finite tetrahedron `t`.
+    #[inline]
+    pub fn tet_interp(&self, t: TetId) -> &TetInterp {
+        &self.interp[t as usize]
+    }
+
+    /// Evaluate `ρ̂` inside tetrahedron `t` at `p` (Eq. 1). `p` is assumed
+    /// to lie in `t`; no containment check.
+    #[inline]
+    pub fn density_in_tet(&self, t: TetId, p: Vec3) -> f64 {
+        let ti = &self.interp[t as usize];
+        ti.rho0 + ti.grad.dot(p - ti.v0)
+    }
+
+    /// Point-located density: walk from `hint`, interpolate, and return the
+    /// containing tetrahedron for the next call's hint. `None` outside the
+    /// hull. This is the walking baseline's inner loop.
+    pub fn density_at_hinted(&self, p: Vec3, hint: TetId, seed: &mut u64) -> Option<(f64, TetId)> {
+        match self.del.locate_seeded(p, hint, seed) {
+            Located::Finite(t) => Some((self.density_in_tet(t, p), t)),
+            Located::Ghost(_) => None,
+            Located::Vertex(v) => {
+                // Any incident tetrahedron gives the same vertex value.
+                Some((self.vertex_density[v as usize], hint))
+            }
+        }
+    }
+
+    /// Convenience single query (fresh walk each call).
+    pub fn density_at(&self, p: Vec3) -> Option<f64> {
+        let mut seed = 0x9E3779B97F4A7C15 ^ (p.x.to_bits() ^ p.y.to_bits().rotate_left(17));
+        self.density_at_hinted(p, dtfe_delaunay::NONE, &mut seed).map(|(d, _)| d)
+    }
+
+    /// Total estimated mass `∫ ρ̂ dV` over the hull — equals the input mass
+    /// up to floating-point roundoff (DTFE's conservation property).
+    pub fn integrated_mass(&self) -> f64 {
+        self.del
+            .finite_tets()
+            .map(|t| {
+                let p = self.del.tet_points(t);
+                let vol = volume(p[0], p[1], p[2], p[3]);
+                let tet = self.del.tet(t);
+                let mean: f64 = tet
+                    .verts
+                    .iter()
+                    .map(|&v| self.vertex_density[v as usize])
+                    .sum::<f64>()
+                    / 4.0;
+                vol * mean
+            })
+            .sum()
+    }
+
+    /// Ghost tetrahedra whose hull facet faces the *negative* integration
+    /// direction (`n_hull · ẑ < 0`, Eq. 14): the candidate entry facets for
+    /// upward lines of sight, projected to 2D.
+    pub fn entry_facets(&self) -> Vec<EntryFacet> {
+        let mut out = Vec::new();
+        for g in self.del.ghost_tets() {
+            let [a, b, c] = self.del.hull_facet(g);
+            let (pa, pb, pc) = (self.del.vertex(a), self.del.vertex(b), self.del.vertex(c));
+            let n = (pb - pa).cross(pc - pa);
+            if n.z < 0.0 {
+                out.push(EntryFacet {
+                    ghost: g,
+                    a: pa.xy(),
+                    b: pb.xy(),
+                    c: pc.xy(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A downward-facing hull facet projected into the x-y plane; the 2D
+/// "triangulation" of Eq. 14 used to find the first tetrahedron a vertical
+/// line of sight enters.
+#[derive(Clone, Copy, Debug)]
+pub struct EntryFacet {
+    /// The ghost tetrahedron owning the facet; its `neighbors[3]` is the
+    /// finite tetrahedron the ray enters first.
+    pub ghost: TetId,
+    pub a: Vec2,
+    pub b: Vec2,
+    pub c: Vec2,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jittered_cloud(n_side: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut r = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    pts.push(Vec3::new(
+                        i as f64 + 0.6 * r(),
+                        j as f64 + 0.6 * r(),
+                        k as f64 + 0.6 * r(),
+                    ));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn mass_conservation() {
+        let pts = jittered_cloud(6, 3);
+        let field = DtfeField::build(&pts, Mass::Uniform(2.5)).unwrap();
+        let m_total = 2.5 * pts.len() as f64;
+        let m_est = field.integrated_mass();
+        assert!(
+            (m_est - m_total).abs() < 1e-9 * m_total,
+            "integrated {m_est} vs input {m_total}"
+        );
+    }
+
+    #[test]
+    fn per_particle_masses_accumulate_on_duplicates() {
+        let mut pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.3, 0.3, 0.3),
+        ];
+        pts.push(pts[4]); // duplicate carrying extra mass
+        let masses = vec![1.0, 1.0, 1.0, 1.0, 2.0, 3.0];
+        let field = DtfeField::build(&pts, Mass::PerParticle(masses)).unwrap();
+        assert!((field.integrated_mass() - 9.0).abs() < 1e-9);
+        // The duplicate vertex carries mass 5.
+        let v = field.delaunay().vertex_of_input(4);
+        let w = field.delaunay().vertex_star_volumes()[v as usize];
+        let expect = 4.0 * 5.0 / w;
+        assert!((field.vertex_densities()[v as usize] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_lattice_density_in_interior() {
+        // On a unit lattice with unit masses, the mean density is 1; interior
+        // vertex stars tile space so interior densities are exactly 4m/W with
+        // W varying by vertex parity, but interpolated mass over interior
+        // cells must average to ~1.
+        let pts: Vec<Vec3> = (0..6)
+            .flat_map(|i| {
+                (0..6).flat_map(move |j| (0..6).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
+            })
+            .collect();
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let rho = field.density_at(Vec3::new(2.5, 2.5, 2.5)).unwrap();
+        assert!(rho > 0.3 && rho < 3.0, "rho = {rho}");
+        // Outside the hull:
+        assert!(field.density_at(Vec3::new(50.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn density_linear_inside_tet() {
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let t = field.delaunay().finite_tets().next().unwrap();
+        // All vertices have the same star volume (the single tet), so the
+        // field is constant = 4 * 1 / (1/6) = 24.
+        let rho = field.density_in_tet(t, Vec3::new(0.2, 0.2, 0.2));
+        assert!((rho - 24.0).abs() < 1e-9, "rho = {rho}");
+        assert!((field.integrated_mass() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entry_facets_cover_footprint() {
+        let pts = jittered_cloud(4, 9);
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let facets = field.entry_facets();
+        assert!(!facets.is_empty());
+        // Each entry facet's ghost leads to a finite tetrahedron.
+        for f in &facets {
+            let inner = field.delaunay().tet(f.ghost).neighbors[3];
+            assert!(!field.delaunay().tet(inner).is_ghost());
+        }
+        // Projected area of downward facets ≈ hull footprint area; for a
+        // convex body both up- and down-facing sets project to the same area.
+        let area_down: f64 = facets
+            .iter()
+            .map(|f| 0.5 * (f.b - f.a).perp_dot(f.c - f.a).abs())
+            .sum();
+        assert!(area_down > 1.0, "area = {area_down}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Grid specifications and gridded field containers.
+
+use dtfe_geometry::{Aabb2, Aabb3, Vec2, Vec3};
+
+/// A regular 2D grid: `nx × ny` cells of size `cell`, lower-left corner at
+/// `origin`. Cell `(i, j)` covers
+/// `[origin.x + i·cell.x, origin.x + (i+1)·cell.x) × [...)` and its
+/// representative point `ξ` is the cell centre (paper §III-C).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridSpec2 {
+    pub origin: Vec2,
+    pub cell: Vec2,
+    pub nx: usize,
+    pub ny: usize,
+}
+
+impl GridSpec2 {
+    /// Grid covering `[lo, hi]` with `nx × ny` cells.
+    pub fn covering(lo: Vec2, hi: Vec2, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "empty grid");
+        assert!(hi.x > lo.x && hi.y > lo.y, "inverted bounds");
+        GridSpec2 {
+            origin: lo,
+            cell: Vec2::new((hi.x - lo.x) / nx as f64, (hi.y - lo.y) / ny as f64),
+            nx,
+            ny,
+        }
+    }
+
+    /// Square grid of side `len` centred on `c` with `n × n` cells — the
+    /// shape of the paper's per-object fields (length `l_F`, resolution
+    /// `N_g`).
+    pub fn square(c: Vec2, len: f64, n: usize) -> Self {
+        let h = len * 0.5;
+        Self::covering(c - Vec2::new(h, h), c + Vec2::new(h, h), n, n)
+    }
+
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Centre of cell `(i, j)`.
+    #[inline]
+    pub fn center(&self, i: usize, j: usize) -> Vec2 {
+        Vec2::new(
+            self.origin.x + (i as f64 + 0.5) * self.cell.x,
+            self.origin.y + (j as f64 + 0.5) * self.cell.y,
+        )
+    }
+
+    /// Cell area `Δx·Δy`.
+    #[inline]
+    pub fn cell_area(&self) -> f64 {
+        self.cell.x * self.cell.y
+    }
+
+    #[inline]
+    pub fn bounds(&self) -> Aabb2 {
+        Aabb2::new(
+            self.origin,
+            Vec2::new(
+                self.origin.x + self.cell.x * self.nx as f64,
+                self.origin.y + self.cell.y * self.ny as f64,
+            ),
+        )
+    }
+}
+
+/// A regular 3D grid (used only by the walking baseline and the TESS
+/// analog, which need the intermediate 3D representation our kernel avoids).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridSpec3 {
+    pub origin: Vec3,
+    pub cell: Vec3,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl GridSpec3 {
+    /// Grid covering `[lo, hi]` with `nx × ny × nz` cells.
+    pub fn covering(lo: Vec3, hi: Vec3, nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "empty grid");
+        GridSpec3 {
+            origin: lo,
+            cell: Vec3::new(
+                (hi.x - lo.x) / nx as f64,
+                (hi.y - lo.y) / ny as f64,
+                (hi.z - lo.z) / nz as f64,
+            ),
+            nx,
+            ny,
+            nz,
+        }
+    }
+
+    /// The 3D grid over `bounds` whose x-y footprint matches `spec` and with
+    /// `nz` cells along the line of sight.
+    pub fn lift(spec: &GridSpec2, zlo: f64, zhi: f64, nz: usize) -> Self {
+        let b = spec.bounds();
+        Self::covering(b.lo.with_z(zlo), b.hi.with_z(zhi), spec.nx, spec.ny, nz)
+    }
+
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Centre of cell `(i, j, k)`.
+    #[inline]
+    pub fn center(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        Vec3::new(
+            self.origin.x + (i as f64 + 0.5) * self.cell.x,
+            self.origin.y + (j as f64 + 0.5) * self.cell.y,
+            self.origin.z + (k as f64 + 0.5) * self.cell.z,
+        )
+    }
+
+    #[inline]
+    pub fn bounds(&self) -> Aabb3 {
+        Aabb3::new(
+            self.origin,
+            self.origin
+                + Vec3::new(
+                    self.cell.x * self.nx as f64,
+                    self.cell.y * self.ny as f64,
+                    self.cell.z * self.nz as f64,
+                ),
+        )
+    }
+
+    /// The 2D footprint.
+    pub fn footprint(&self) -> GridSpec2 {
+        GridSpec2 { origin: self.origin.xy(), cell: self.cell.xy(), nx: self.nx, ny: self.ny }
+    }
+}
+
+/// A scalar field on a [`GridSpec2`] (row-major: `data[j * nx + i]`).
+#[derive(Clone, Debug)]
+pub struct Field2 {
+    pub spec: GridSpec2,
+    pub data: Vec<f64>,
+}
+
+impl Field2 {
+    pub fn zeros(spec: GridSpec2) -> Self {
+        Field2 { data: vec![0.0; spec.num_cells()], spec }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[j * self.spec.nx + i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[j * self.spec.nx + i] = v;
+    }
+
+    /// `Σ_ij value · Δx·Δy` — for a surface density field this is the total
+    /// mass in the grid footprint, the quantity DTFE conserves.
+    pub fn total_mass(&self) -> f64 {
+        self.data.iter().sum::<f64>() * self.spec.cell_area()
+    }
+
+    pub fn min_max(&self) -> (f64, f64) {
+        self.data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+    }
+
+    /// Bilinear interpolation at an arbitrary point (cell-centre nodes,
+    /// clamped at the grid edges). Used by the lensing ray tracer to sample
+    /// deflection maps between cell centres.
+    pub fn sample_bilinear(&self, p: Vec2) -> f64 {
+        let u = ((p.x - self.spec.origin.x) / self.spec.cell.x - 0.5)
+            .clamp(0.0, self.spec.nx as f64 - 1.0);
+        let v = ((p.y - self.spec.origin.y) / self.spec.cell.y - 0.5)
+            .clamp(0.0, self.spec.ny as f64 - 1.0);
+        let (i0, j0) = (u.floor() as usize, v.floor() as usize);
+        let (i1, j1) = ((i0 + 1).min(self.spec.nx - 1), (j0 + 1).min(self.spec.ny - 1));
+        let (fx, fy) = (u - i0 as f64, v - j0 as f64);
+        self.at(i0, j0) * (1.0 - fx) * (1.0 - fy)
+            + self.at(i1, j0) * fx * (1.0 - fy)
+            + self.at(i0, j1) * (1.0 - fx) * fy
+            + self.at(i1, j1) * fx * fy
+    }
+
+    /// Element-wise `log10(self / other)` — the paper's Fig. 8c ratio map.
+    /// Cells where either field is non-positive yield `NaN`.
+    pub fn log10_ratio(&self, other: &Field2) -> Field2 {
+        assert_eq!(self.spec, other.spec, "grids differ");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| if a > 0.0 && b > 0.0 { (a / b).log10() } else { f64::NAN })
+            .collect();
+        Field2 { spec: self.spec, data }
+    }
+
+    /// Histogram of finite values in `[lo, hi]` over `bins` equal bins —
+    /// used for the Fig. 8d ratio histogram and Fig. 11 error histograms.
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+        histogram(self.data.iter().copied(), lo, hi, bins)
+    }
+}
+
+/// Histogram of the finite values of an iterator (shared by several
+/// experiment harnesses).
+pub fn histogram(values: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo);
+    let mut h = vec![0usize; bins];
+    let w = (hi - lo) / bins as f64;
+    for v in values {
+        if v.is_finite() && v >= lo && v < hi {
+            h[((v - lo) / w) as usize] += 1;
+        }
+    }
+    h
+}
+
+/// A scalar field on a [`GridSpec3`] (`data[(k * ny + j) * nx + i]`).
+#[derive(Clone, Debug)]
+pub struct Field3 {
+    pub spec: GridSpec3,
+    pub data: Vec<f64>,
+}
+
+impl Field3 {
+    pub fn zeros(spec: GridSpec3) -> Self {
+        Field3 { data: vec![0.0; spec.num_cells()], spec }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[(k * self.spec.ny + j) * self.spec.nx + i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        self.data[(k * self.spec.ny + j) * self.spec.nx + i] = v;
+    }
+
+    /// Collapse along z: `Σ_k ρ_ijk Δz` (paper Eq. 4) — how the 3D-grid
+    /// methods obtain surface density.
+    pub fn project_z(&self) -> Field2 {
+        let mut out = Field2::zeros(self.spec.footprint());
+        let dz = self.spec.cell.z;
+        for k in 0..self.spec.nz {
+            for j in 0..self.spec.ny {
+                for i in 0..self.spec.nx {
+                    out.data[j * self.spec.nx + i] += self.at(i, j, k) * dz;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_centers_and_area() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(4.0, 2.0), 4, 2);
+        assert_eq!(g.cell, Vec2::new(1.0, 1.0));
+        assert_eq!(g.center(0, 0), Vec2::new(0.5, 0.5));
+        assert_eq!(g.center(3, 1), Vec2::new(3.5, 1.5));
+        assert_eq!(g.cell_area(), 1.0);
+        assert_eq!(g.num_cells(), 8);
+    }
+
+    #[test]
+    fn grid2_square() {
+        let g = GridSpec2::square(Vec2::new(1.0, 1.0), 2.0, 4);
+        assert_eq!(g.origin, Vec2::new(0.0, 0.0));
+        assert_eq!(g.bounds().hi, Vec2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn field2_mass_and_ratio() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0), 2, 2);
+        let mut a = Field2::zeros(g);
+        a.data.fill(3.0);
+        assert!((a.total_mass() - 12.0).abs() < 1e-12);
+        let mut b = Field2::zeros(g);
+        b.data.fill(0.3);
+        let r = a.log10_ratio(&b);
+        for v in &r.data {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        let (lo, hi) = a.min_max();
+        assert_eq!((lo, hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn log_ratio_nan_on_nonpositive() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0), 1, 1);
+        let mut a = Field2::zeros(g);
+        let b = Field2::zeros(g);
+        a.data[0] = 1.0;
+        assert!(a.log10_ratio(&b).data[0].is_nan());
+    }
+
+    #[test]
+    fn bilinear_sampling() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0), 2, 2);
+        let mut f = Field2::zeros(g);
+        f.data = vec![0.0, 1.0, 2.0, 3.0]; // (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3
+        // Exactly at cell centres.
+        assert_eq!(f.sample_bilinear(Vec2::new(0.5, 0.5)), 0.0);
+        assert_eq!(f.sample_bilinear(Vec2::new(1.5, 1.5)), 3.0);
+        // Midpoint between all four centres: the average.
+        assert!((f.sample_bilinear(Vec2::new(1.0, 1.0)) - 1.5).abs() < 1e-12);
+        // Clamped outside.
+        assert_eq!(f.sample_bilinear(Vec2::new(-5.0, -5.0)), 0.0);
+        assert_eq!(f.sample_bilinear(Vec2::new(9.0, 9.0)), 3.0);
+        // A linear field is reproduced exactly in the interior.
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0), 8, 8);
+        let mut f = Field2::zeros(g);
+        for j in 0..8 {
+            for i in 0..8 {
+                let c = g.center(i, j);
+                f.set(i, j, 2.0 * c.x - c.y + 1.0);
+            }
+        }
+        let p = Vec2::new(1.77, 2.31);
+        assert!((f.sample_bilinear(p) - (2.0 * p.x - p.y + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let h = histogram([0.1, 0.2, 0.9, 1.5, f64::NAN, -0.5], 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 1]);
+    }
+
+    #[test]
+    fn field3_projection() {
+        let g3 = GridSpec3::covering(Vec3::ZERO, Vec3::new(2.0, 2.0, 4.0), 2, 2, 4);
+        let mut f = Field3::zeros(g3);
+        // Uniform density 5: projection = 5 * Lz = 20 everywhere.
+        f.data.fill(5.0);
+        let p = f.project_z();
+        for v in &p.data {
+            assert!((v - 20.0).abs() < 1e-12);
+        }
+        // Total mass: 20 * area(4) = 80 = 5 * volume(16).
+        assert!((p.total_mass() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid3_lift_matches_footprint() {
+        let g2 = GridSpec2::square(Vec2::new(0.0, 0.0), 2.0, 8);
+        let g3 = GridSpec3::lift(&g2, -1.0, 1.0, 16);
+        assert_eq!(g3.footprint(), g2);
+        assert_eq!(g3.nz, 16);
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text and PGM output for gridded fields (what the examples and
+//! experiment harnesses write under `target/experiments/`).
+
+use crate::grid::Field2;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Write a field as an 8-bit PGM image, mapping `[lo, hi]` linearly to
+/// `[0, 255]` (values outside clamp). Pass `log10 = true` to map the log of
+/// the data instead — the usual rendering for surface density (cf. the
+/// paper's Fig. 1/8 log-scale maps).
+pub fn write_pgm(field: &Field2, path: &Path, log10: bool) -> io::Result<()> {
+    let vals: Vec<f64> = if log10 {
+        field.data.iter().map(|&v| if v > 0.0 { v.log10() } else { f64::NAN }).collect()
+    } else {
+        field.data.clone()
+    };
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &vals {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "P5")?;
+    writeln!(w, "{} {}", field.spec.nx, field.spec.ny)?;
+    writeln!(w, "255")?;
+    // PGM rows go top-to-bottom; our grid is bottom-to-top.
+    for j in (0..field.spec.ny).rev() {
+        let row: Vec<u8> = (0..field.spec.nx)
+            .map(|i| {
+                let v = vals[j * field.spec.nx + i];
+                if v.is_finite() {
+                    (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * 255.0) as u8
+                } else {
+                    0
+                }
+            })
+            .collect();
+        w.write_all(&row)?;
+    }
+    w.flush()
+}
+
+/// Write a field as CSV (`x,y,value` per cell centre).
+pub fn write_csv(field: &Field2, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "x,y,value")?;
+    for j in 0..field.spec.ny {
+        for i in 0..field.spec.nx {
+            let c = field.spec.center(i, j);
+            writeln!(w, "{},{},{}", c.x, c.y, field.at(i, j))?;
+        }
+    }
+    w.flush()
+}
+
+/// Ensure (and return) the experiment-artifact directory
+/// `target/experiments/`.
+pub fn experiments_dir() -> std::path::PathBuf {
+    let dir = Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec2;
+    use dtfe_geometry::Vec2;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dtfe_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0), 4, 3);
+        let mut f = Field2::zeros(g);
+        for (i, v) in f.data.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let p = tmp("a.pgm");
+        write_pgm(&f, &p, false).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let header = String::from_utf8_lossy(&bytes[..11]);
+        assert!(header.starts_with("P5\n4 3\n255\n"), "header: {header:?}");
+        assert_eq!(bytes.len(), 11 + 12);
+        // Brightest pixel is the max cell, which is in the top row of the
+        // image (last grid row).
+        assert_eq!(bytes[11 + 3], 255);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn pgm_log_scale_handles_zeros() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0), 2, 2);
+        let mut f = Field2::zeros(g);
+        f.data = vec![0.0, 1.0, 10.0, 100.0];
+        let p = tmp("b.pgm");
+        write_pgm(&f, &p, true).unwrap();
+        assert!(p.exists());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip_values() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0), 2, 2);
+        let mut f = Field2::zeros(g);
+        f.data = vec![1.0, 2.0, 3.0, 4.0];
+        let p = tmp("c.csv");
+        write_csv(&f, &p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "x,y,value");
+        assert_eq!(lines[1], "0.5,0.5,1");
+        assert_eq!(lines[4], "1.5,1.5,4");
+        std::fs::remove_file(&p).ok();
+    }
+}

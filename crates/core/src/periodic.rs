@@ -1,0 +1,207 @@
+//! Periodic-boundary DTFE estimation.
+//!
+//! Cosmological snapshots are periodic boxes; a triangulation of the bare
+//! particle set is wrong near the faces (hull vertices get truncated stars,
+//! Eq. 2 densities blow up, and LOS chords end at the hull). The standard
+//! fix — used by the DTFE public software — is to pad the box with
+//! replicated image particles within a margin of each face, triangulate the
+//! padded set, and read results only inside the original box. Within the
+//! box the triangulation is then exactly the periodic Delaunay
+//! triangulation, provided the margin exceeds the largest circumradius
+//! (a few mean interparticle spacings in practice).
+
+use crate::density::{DtfeField, Mass};
+use dtfe_delaunay::DelaunayError;
+use dtfe_geometry::{Aabb3, Vec3};
+
+/// Replicate particles within `margin` of each face of the periodic
+/// `[0, box_len)³` box. Returns the padded particle set; the first
+/// `points.len()` entries are the originals.
+pub fn pad_periodic(points: &[Vec3], box_len: f64, margin: f64) -> Vec<Vec3> {
+    assert!(margin > 0.0 && margin < box_len / 2.0, "margin must be in (0, L/2)");
+    let mut out = points.to_vec();
+    for &p in points {
+        debug_assert!(
+            p.x >= 0.0 && p.x < box_len && p.y >= 0.0 && p.y < box_len && p.z >= 0.0 && p.z < box_len,
+            "point outside the periodic box: {p:?}"
+        );
+        // Offsets per axis: 0 plus ±box_len when within margin of a face.
+        let offsets = |v: f64| {
+            let mut o = [0.0f64; 3];
+            let mut n = 1;
+            if v < margin {
+                o[n] = box_len;
+                n += 1;
+            }
+            if v >= box_len - margin {
+                o[n] = -box_len;
+                n += 1;
+            }
+            (o, n)
+        };
+        let (ox, nx) = offsets(p.x);
+        let (oy, ny) = offsets(p.y);
+        let (oz, nz) = offsets(p.z);
+        for (ix, &dx) in ox[..nx].iter().enumerate() {
+            for (iy, &dy) in oy[..ny].iter().enumerate() {
+                for (iz, &dz) in oz[..nz].iter().enumerate() {
+                    if ix == 0 && iy == 0 && iz == 0 {
+                        continue; // the original
+                    }
+                    out.push(p + Vec3::new(dx, dy, dz));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build a DTFE field over the periodic box `[0, box_len)³` by image
+/// padding. All image particles carry the same mass as their originals, so
+/// within the box the densities equal the true periodic DTFE densities.
+///
+/// The default margin is `4` mean interparticle spacings, comfortably above
+/// typical largest circumradii for Poisson-like point sets.
+pub fn build_periodic(
+    points: &[Vec3],
+    box_len: f64,
+    mass_per_particle: f64,
+    margin: Option<f64>,
+) -> Result<PeriodicDtfe, DelaunayError> {
+    let spacing = (box_len.powi(3) / points.len().max(1) as f64).cbrt();
+    let margin = margin.unwrap_or(4.0 * spacing).min(box_len * 0.49);
+    let padded = pad_periodic(points, box_len, margin);
+    let field = DtfeField::build(&padded, Mass::Uniform(mass_per_particle))?;
+    Ok(PeriodicDtfe { field, box_len, margin, n_real: points.len() })
+}
+
+/// A periodic DTFE field (padded internally).
+pub struct PeriodicDtfe {
+    pub field: DtfeField,
+    pub box_len: f64,
+    pub margin: f64,
+    pub n_real: usize,
+}
+
+impl PeriodicDtfe {
+    /// The interior bounds on which results are valid.
+    pub fn valid_bounds(&self) -> Aabb3 {
+        Aabb3::new(Vec3::ZERO, Vec3::splat(self.box_len))
+    }
+
+    /// Density at a point, wrapped into the box.
+    pub fn density_at(&self, p: Vec3) -> Option<f64> {
+        let l = self.box_len;
+        let q = Vec3::new(p.x.rem_euclid(l), p.y.rem_euclid(l), p.z.rem_euclid(l));
+        self.field.density_at(q)
+    }
+
+    /// Mass inside the box according to the padded field: `∫_box ρ̂ dV`,
+    /// estimated by the exact LOS integrals of the marching kernel over a
+    /// grid covering the box footprint with the box z-range.
+    pub fn box_mass(&self, ng: usize) -> f64 {
+        use crate::grid::GridSpec2;
+        use crate::marching::{surface_density, MarchOptions};
+        let grid = GridSpec2::covering(
+            dtfe_geometry::Vec2::new(0.0, 0.0),
+            dtfe_geometry::Vec2::new(self.box_len, self.box_len),
+            ng,
+            ng,
+        );
+        let opts = MarchOptions {
+            z_range: Some((0.0, self.box_len)),
+            samples: 2,
+            ..Default::default()
+        };
+        surface_density(&self.field, &grid, &opts).total_mass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrapped_cloud(n: usize, box_len: f64, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut r = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Vec3::new(r() * box_len, r() * box_len, r() * box_len)).collect()
+    }
+
+    #[test]
+    fn padding_counts() {
+        // One particle in a corner gets 7 images; one in the middle gets 0.
+        let pts = vec![Vec3::new(0.1, 0.1, 0.1), Vec3::new(2.0, 2.0, 2.0)];
+        let padded = pad_periodic(&pts, 4.0, 0.5);
+        assert_eq!(padded.len(), 2 + 7);
+        // Images are translations by ±box_len per axis (up to roundoff).
+        for img in &padded[2..] {
+            let d = *img - pts[0];
+            for c in [d.x, d.y, d.z] {
+                assert!(c.abs() < 1e-12 || (c.abs() - 4.0).abs() < 1e-12, "offset {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_lattice_is_uniform_everywhere() {
+        // A perfect lattice in a periodic box. DTFE on a cube lattice is not
+        // *pointwise* 1 (cospherical cells split into tetrahedra whose star
+        // volumes vary per vertex), but it is uniform to a few percent and —
+        // crucially — equally good at the faces and corners, where the bare
+        // (non-periodic) triangulation would be badly wrong.
+        let n = 6;
+        let l = 6.0;
+        let pts: Vec<Vec3> = (0..n)
+            .flat_map(|i| {
+                (0..n).flat_map(move |j| {
+                    (0..n).map(move |k| Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5))
+                })
+            })
+            .collect();
+        let pd = build_periodic(&pts, l, 1.0, None).unwrap();
+        for q in [
+            Vec3::new(3.0, 3.0, 3.0),    // centre
+            Vec3::new(0.05, 3.0, 3.0),   // at a face
+            Vec3::new(0.05, 0.05, 0.05), // at a corner
+            Vec3::new(5.95, 0.2, 3.0),
+        ] {
+            let rho = pd.density_at(q).expect("inside padded hull");
+            assert!((rho - 1.0).abs() < 0.05, "rho = {rho} at {q:?}");
+        }
+        // The bare (non-periodic) field overestimates at the corner: its
+        // corner vertex has a truncated star.
+        let bare = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let corner = bare.density_at(Vec3::new(0.51, 0.51, 0.51)).unwrap();
+        assert!(corner > 2.0, "bare corner density unexpectedly fine: {corner}");
+    }
+
+    #[test]
+    fn box_mass_matches_particle_count() {
+        let pts = wrapped_cloud(600, 8.0, 3);
+        let pd = build_periodic(&pts, 8.0, 1.0, None).unwrap();
+        let m = pd.box_mass(48);
+        // Periodic padding makes even the boundary columns integrate the
+        // right chords; remaining error is x-y discretization.
+        assert!((m - 600.0).abs() < 0.05 * 600.0, "box mass {m}");
+    }
+
+    #[test]
+    fn density_wraps_queries() {
+        let pts = wrapped_cloud(300, 5.0, 9);
+        let pd = build_periodic(&pts, 5.0, 1.0, None).unwrap();
+        let a = pd.density_at(Vec3::new(1.0, 2.0, 3.0)).unwrap();
+        let b = pd.density_at(Vec3::new(6.0, -3.0, 8.0)).unwrap(); // same point mod 5
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in")]
+    fn absurd_margin_rejected() {
+        pad_periodic(&[Vec3::splat(0.5)], 1.0, 0.9);
+    }
+}

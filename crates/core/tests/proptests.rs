@@ -1,0 +1,100 @@
+//! Property-based tests of the DTFE estimator and the marching kernel.
+
+use dtfe_core::density::{DtfeField, Mass};
+use dtfe_core::grid::GridSpec2;
+use dtfe_core::marching::{march_cell, surface_density_with_stats, HullIndex, MarchOptions, MarchStats};
+use dtfe_geometry::{Vec2, Vec3};
+use proptest::prelude::*;
+
+fn cloud_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(
+        (0.0f64..8.0, 0.0f64..8.0, 0.0f64..8.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        min..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dtfe_conserves_mass_on_random_clouds(pts in cloud_strategy(12, 120)) {
+        let Ok(field) = DtfeField::build(&pts, Mass::Uniform(1.5)) else {
+            return Ok(()); // degenerate draw
+        };
+        let m = field.integrated_mass();
+        let expect = 1.5 * pts.len() as f64;
+        prop_assert!((m - expect).abs() < 1e-8 * expect, "mass {m} vs {expect}");
+    }
+
+    #[test]
+    fn vertex_densities_positive_and_finite(pts in cloud_strategy(12, 80)) {
+        let Ok(field) = DtfeField::build(&pts, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        for (v, &rho) in field.vertex_densities().iter().enumerate() {
+            prop_assert!(rho.is_finite() && rho > 0.0, "vertex {v}: {rho}");
+        }
+    }
+
+    #[test]
+    fn marching_never_negative_and_finite(pts in cloud_strategy(16, 100)) {
+        let Ok(field) = DtfeField::build(&pts, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        let grid = GridSpec2::covering(Vec2::new(-1.0, -1.0), Vec2::new(9.0, 9.0), 16, 16);
+        let (sigma, stats) = surface_density_with_stats(
+            &field,
+            &grid,
+            &MarchOptions { parallel: false, ..Default::default() },
+        );
+        prop_assert_eq!(stats.failures, 0);
+        for &v in &sigma.data {
+            prop_assert!(v.is_finite() && v >= 0.0, "Σ = {}", v);
+        }
+        // The grid covers the whole hull: total within a few percent of the
+        // particle count (x-y discretization only).
+        let m = sigma.total_mass();
+        prop_assert!(
+            (m - pts.len() as f64).abs() < 0.25 * pts.len() as f64,
+            "grid mass {} vs {}",
+            m,
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn z_split_additivity_random_rays(
+        pts in cloud_strategy(16, 80),
+        ox in 1.0f64..7.0,
+        oy in 1.0f64..7.0,
+        zcut in 0.5f64..7.5,
+    ) {
+        let Ok(field) = DtfeField::build(&pts, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        let index = HullIndex::build(&field);
+        let xi = Vec2::new(ox, oy);
+        let run = |zr: Option<(f64, f64)>| {
+            let mut seed = 3u64;
+            let mut stats = MarchStats::default();
+            march_cell(&field, &index, xi, zr, 1e-9, 32, &mut seed, &mut stats)
+        };
+        let full = run(Some((-1.0, 9.0)));
+        let lo = run(Some((-1.0, zcut)));
+        let hi = run(Some((zcut, 9.0)));
+        prop_assert!((lo + hi - full).abs() < 1e-6 * (1.0 + full), "{} + {} != {}", lo, hi, full);
+    }
+
+    #[test]
+    fn per_particle_masses_scale_linearly(pts in cloud_strategy(12, 50), scale in 0.1f64..10.0) {
+        let Ok(a) = DtfeField::build(&pts, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        let Ok(b) = DtfeField::build(&pts, Mass::Uniform(scale)) else {
+            return Ok(());
+        };
+        for (x, y) in a.vertex_densities().iter().zip(b.vertex_densities()) {
+            prop_assert!((y - x * scale).abs() < 1e-9 * y.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Bowyer–Watson insertion: bootstrap, conflict region, cavity
+//! retriangulation.
+
+use crate::locate::Located;
+use crate::mesh::{TetId, VertexId, INFINITE, NONE};
+use crate::{Delaunay, DelaunayError};
+use dtfe_geometry::predicates::{insphere, orient2d, orient3d, Orientation};
+use dtfe_geometry::{Vec2, Vec3};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Minimal multiply-xor hasher for the (u64-keyed) facet map — the standard
+/// SipHash is measurably slow in this hot path and HashDoS is irrelevant for
+/// internal geometry ids.
+#[derive(Default)]
+pub(crate) struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517cc1b727220a95);
+    }
+}
+
+type FacetMap = HashMap<u64, (TetId, u8), BuildHasherDefault<FxHasher>>;
+
+/// Reusable buffers for the insertion loop.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    stack: Vec<TetId>,
+    conflict: Vec<TetId>,
+    /// Boundary facets as `(outside_tet, face_index_in_outside_tet)`.
+    boundary: Vec<(TetId, u8)>,
+    /// Edge-of-boundary-facet → (new tet, face index) for wiring the new
+    /// tetrahedra to each other.
+    facet_map: FacetMap,
+    created: Vec<TetId>,
+}
+
+/// Key for the facet map: the two vertices of a new tet's face other than
+/// the inserted point, order-normalized.
+#[inline]
+fn edge_key(a: VertexId, b: VertexId) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Find four affinely independent points in `order` and build the initial
+/// tetrahedron plus its four ghosts.
+pub(crate) fn bootstrap(input: &[Vec3], order: &[u32]) -> Result<Delaunay, DelaunayError> {
+    // First point.
+    let Some(&i0) = order.first() else {
+        return Err(DelaunayError::Degenerate);
+    };
+    let p0 = input[i0 as usize];
+    // Second: first distinct point.
+    let i1 = order
+        .iter()
+        .copied()
+        .find(|&i| input[i as usize] != p0)
+        .ok_or(DelaunayError::Degenerate)?;
+    let p1 = input[i1 as usize];
+    // Third: first point not collinear with (p0, p1). Collinearity in 3D is
+    // tested exactly via the three coordinate-plane projections.
+    let collinear = |p: Vec3, q: Vec3, r: Vec3| {
+        let proj = |f: fn(Vec3) -> Vec2| orient2d(f(p), f(q), f(r)) == Orientation::Zero;
+        proj(|v| Vec2::new(v.x, v.y)) && proj(|v| Vec2::new(v.y, v.z)) && proj(|v| Vec2::new(v.z, v.x))
+    };
+    let i2 = order
+        .iter()
+        .copied()
+        .find(|&i| !collinear(p0, p1, input[i as usize]))
+        .ok_or(DelaunayError::Degenerate)?;
+    let p2 = input[i2 as usize];
+    // Fourth: first point off the (p0, p1, p2) plane.
+    let i3 = order
+        .iter()
+        .copied()
+        .find(|&i| !orient3d(p0, p1, p2, input[i as usize]).is_zero())
+        .ok_or(DelaunayError::Degenerate)?;
+    let p3 = input[i3 as usize];
+
+    // Orient the first tetrahedron positively.
+    let (p1, p2, idx12) = if orient3d(p0, p1, p2, p3).is_positive() {
+        (p1, p2, (i1, i2))
+    } else {
+        (p2, p1, (i2, i1))
+    };
+
+    let mut d = Delaunay {
+        points: vec![p0, p1, p2, p3],
+        tets: Vec::new(),
+        free: Vec::new(),
+        mark: Vec::new(),
+        epoch: 0,
+        hint: 0,
+        input_vertex: vec![NONE; input.len()],
+        rng_state: 0x9E3779B97F4A7C15,
+        n_finite: 0,
+        n_ghost: 0,
+        scratch: Scratch::default(),
+    };
+    d.input_vertex[i0 as usize] = 0;
+    d.input_vertex[idx12.0 as usize] = 1;
+    d.input_vertex[idx12.1 as usize] = 2;
+    d.input_vertex[i3 as usize] = 3;
+
+    let t0 = d.alloc_tet([0, 1, 2, 3], [NONE; 4]);
+    // One ghost per face. The face triple from TET_FACES is outward-oriented
+    // w.r.t. t0; the ghost stores it reversed (inward) per the canonical
+    // convention.
+    let mut ghosts = [NONE; 4];
+    for (i, slot) in ghosts.iter_mut().enumerate() {
+        let [a, b, c] = d.tets[t0 as usize].face(i);
+        let g = d.alloc_tet([a, c, b, INFINITE], [NONE, NONE, NONE, t0]);
+        d.tets[t0 as usize].neighbors[i] = g;
+        *slot = g;
+    }
+    // Wire ghost-ghost adjacency over the hull edges via the generic map.
+    let mut map: FacetMap = FacetMap::default();
+    for &g in &ghosts {
+        let verts = d.tets[g as usize].verts;
+        for l in 0..3usize {
+            // Face l of the ghost contains INFINITE and the two base vertices
+            // other than verts[l].
+            let (u, v) = match l {
+                0 => (verts[1], verts[2]),
+                1 => (verts[0], verts[2]),
+                _ => (verts[0], verts[1]),
+            };
+            let key = edge_key(u, v);
+            match map.remove(&key) {
+                Some((other, ol)) => {
+                    d.tets[g as usize].neighbors[l] = other;
+                    d.tets[other as usize].neighbors[ol as usize] = g;
+                }
+                None => {
+                    map.insert(key, (g, l as u8));
+                }
+            }
+        }
+    }
+    debug_assert!(map.is_empty());
+    d.hint = t0;
+    Ok(d)
+}
+
+impl Delaunay {
+    /// Is tetrahedron `t` in conflict with `p` (its open circumball contains
+    /// `p`; for ghosts, `p` is strictly beyond the hull facet, or coplanar
+    /// with it and inside the circumball of the adjacent finite
+    /// tetrahedron)?
+    fn in_conflict(&self, t: TetId, p: Vec3) -> bool {
+        let tet = &self.tets[t as usize];
+        if tet.is_ghost() {
+            let (a, b, c) = (
+                self.points[tet.verts[0] as usize],
+                self.points[tet.verts[1] as usize],
+                self.points[tet.verts[2] as usize],
+            );
+            // Base is inward-oriented: Positive = strictly outside the hull
+            // facet's plane.
+            match orient3d(a, b, c, p) {
+                Orientation::Positive => true,
+                Orientation::Negative => false,
+                Orientation::Zero => {
+                    // Coplanar: in conflict iff inside the facet's circumdisk,
+                    // which equals membership in the adjacent finite
+                    // tetrahedron's circumball (their intersection with the
+                    // facet plane is the same disk). This also covers
+                    // degenerate (collinear) hull facets, where the plane
+                    // test is vacuous.
+                    let inner = &self.tets[tet.neighbors[3] as usize];
+                    debug_assert!(!inner.is_ghost());
+                    let q = |i: usize| self.points[inner.verts[i] as usize];
+                    insphere(q(0), q(1), q(2), q(3), p).is_positive()
+                }
+            }
+        } else {
+            let q = |i: usize| self.points[tet.verts[i] as usize];
+            insphere(q(0), q(1), q(2), q(3), p).is_positive()
+        }
+    }
+
+    /// Insert one point, returning its vertex id (an existing id for an
+    /// exact duplicate).
+    pub(crate) fn insert_point(&mut self, p: Vec3) -> VertexId {
+        let start = match self.locate(p) {
+            Located::Vertex(v) => return v,
+            Located::Finite(t) => t,
+            Located::Ghost(g) => g,
+        };
+        let vid = self.points.len() as VertexId;
+        self.points.push(p);
+
+        // --- Conflict region (BFS with epoch marks) ---
+        // mark = 2*epoch   : in conflict
+        // mark = 2*epoch+1 : tested, not in conflict
+        self.epoch += 1;
+        let c_mark = 2 * self.epoch;
+        let n_mark = c_mark + 1;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.stack.clear();
+        scratch.conflict.clear();
+        scratch.boundary.clear();
+        scratch.facet_map.clear();
+        scratch.created.clear();
+
+        debug_assert!(self.in_conflict(start, p), "located tet must conflict");
+        self.mark[start as usize] = c_mark;
+        scratch.stack.push(start);
+        while let Some(t) = scratch.stack.pop() {
+            scratch.conflict.push(t);
+            for i in 0..4 {
+                let n = self.tets[t as usize].neighbors[i];
+                let m = self.mark[n as usize];
+                if m == c_mark {
+                    continue;
+                }
+                if m == n_mark || !self.in_conflict(n, p) {
+                    if m != n_mark {
+                        self.mark[n as usize] = n_mark;
+                    }
+                    // Boundary facet, identified from the outside tet.
+                    let j = self.tets[n as usize]
+                        .index_of_neighbor(t)
+                        .expect("adjacency not reciprocal");
+                    scratch.boundary.push((n, j as u8));
+                } else {
+                    self.mark[n as usize] = c_mark;
+                    scratch.stack.push(n);
+                }
+            }
+        }
+
+        // --- Delete the conflict region ---
+        for &t in &scratch.conflict {
+            self.free_tet(t);
+        }
+
+        // --- Star the cavity boundary from the new point ---
+        for &(o, j) in &scratch.boundary {
+            // Facet as seen from the outside tet: outward w.r.t. `o`, i.e.
+            // its normal points into the cavity (toward p). Reversing two
+            // vertices makes (f0, f2, f1, p) positively oriented.
+            let f = self.tets[o as usize].face(j as usize);
+            let mut verts = [f[0], f[2], f[1], vid];
+            let mut nbrs = [NONE, NONE, NONE, o];
+            // Canonicalize ghosts: move INFINITE to slot 3 with an even
+            // permutation (a 3-cycle), preserving orientation.
+            if let Some(k) = verts[..3].iter().position(|&v| v == INFINITE) {
+                let m = (k + 1) % 3; // any other slot below 3
+                // 3-cycle k -> 3 -> m -> k.
+                let (vk, v3, vm) = (verts[k], verts[3], verts[m]);
+                verts[3] = vk;
+                verts[m] = v3;
+                verts[k] = vm;
+                let (nk, n3, nm) = (nbrs[k], nbrs[3], nbrs[m]);
+                nbrs[3] = nk;
+                nbrs[m] = n3;
+                nbrs[k] = nm;
+            }
+            let t_new = self.alloc_tet(verts, nbrs);
+            scratch.created.push(t_new);
+            // Reciprocal link to the outside tet through the boundary facet.
+            let back = self.tets[t_new as usize]
+                .index_of_neighbor(o)
+                .expect("outside link lost in canonicalization");
+            debug_assert_eq!(self.tets[t_new as usize].neighbors[back], o);
+            self.tets[o as usize].neighbors[j as usize] = t_new;
+
+            // Wire the three faces incident to the new point.
+            for l in 0..4usize {
+                if verts[l] == vid {
+                    continue;
+                }
+                // Face l contains vid and the two other non-l vertices.
+                let mut uv = [NONE, NONE];
+                let mut n = 0;
+                for (m, &v) in verts.iter().enumerate() {
+                    if m != l && v != vid {
+                        uv[n] = v;
+                        n += 1;
+                    }
+                }
+                debug_assert_eq!(n, 2);
+                let key = edge_key(uv[0], uv[1]);
+                match scratch.facet_map.remove(&key) {
+                    Some((other, ol)) => {
+                        self.tets[t_new as usize].neighbors[l] = other;
+                        self.tets[other as usize].neighbors[ol as usize] = t_new;
+                    }
+                    None => {
+                        scratch.facet_map.insert(key, (t_new, l as u8));
+                    }
+                }
+            }
+        }
+        debug_assert!(scratch.facet_map.is_empty(), "unpaired cavity facets");
+
+        #[cfg(debug_assertions)]
+        for &t in &scratch.created {
+            let tet = &self.tets[t as usize];
+            if !tet.is_ghost() {
+                let q = |i: usize| self.points[tet.verts[i] as usize];
+                debug_assert!(
+                    orient3d(q(0), q(1), q(2), q(3)).is_positive(),
+                    "new tet {t} not positively oriented"
+                );
+            }
+        }
+
+        self.hint = *scratch.created.last().expect("cavity produced no tets");
+        self.scratch = scratch;
+        vid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_key_symmetric() {
+        assert_eq!(edge_key(3, 9), edge_key(9, 3));
+        assert_ne!(edge_key(3, 9), edge_key(3, 10));
+        assert_eq!(edge_key(INFINITE, 2), edge_key(2, INFINITE));
+    }
+
+    #[test]
+    fn bootstrap_skips_leading_degeneracies() {
+        // Duplicates, collinear, and coplanar prefixes must be skipped when
+        // hunting for the initial simplex.
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let order: Vec<u32> = (0..pts.len() as u32).collect();
+        let d = bootstrap(&pts, &order).unwrap();
+        assert_eq!(d.num_tets(), 1);
+        assert_eq!(d.num_ghosts(), 4);
+        d.validate().unwrap();
+    }
+}

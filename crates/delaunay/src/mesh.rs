@@ -1,0 +1,137 @@
+//! Tetrahedron storage: vertex/neighbor records, ghost convention, slot
+//! allocation.
+
+/// Vertex index into [`crate::Delaunay::vertices`].
+pub type VertexId = u32;
+
+/// Tetrahedron index into the triangulation's slot array.
+pub type TetId = u32;
+
+/// The symbolic vertex "at infinity". Every hull facet is the base of exactly
+/// one *ghost* tetrahedron whose fourth vertex is `INFINITE`.
+pub const INFINITE: VertexId = u32::MAX;
+
+/// Sentinel for "no tetrahedron" / "no vertex".
+pub const NONE: u32 = u32::MAX;
+
+/// One tetrahedron record.
+///
+/// Invariants maintained by the insertion code:
+///
+/// * Finite tetrahedra are positively oriented
+///   (`orient3d(v0, v1, v2, v3) > 0`).
+/// * Ghost tetrahedra store the infinite vertex at index 3 and their base
+///   facet `(v0, v1, v2)` is the hull facet oriented *inward* — the normal
+///   points into the hull, so `orient3d(v0, v1, v2, x) < 0` for interior `x`
+///   and `> 0` for points strictly outside. This is "symbolic positivity":
+///   treating the infinite vertex as lying beyond the facet makes the ghost
+///   positively oriented, so [`dtfe_geometry::plucker::TET_FACES`] stays
+///   valid for ghosts too.
+/// * `neighbors[i]` is the tetrahedron sharing the facet opposite
+///   `verts[i]`, and the relation is reciprocal.
+#[derive(Clone, Copy, Debug)]
+pub struct Tet {
+    pub verts: [VertexId; 4],
+    pub neighbors: [TetId; 4],
+}
+
+impl Tet {
+    pub(crate) const DEAD: Tet = Tet { verts: [NONE; 4], neighbors: [NONE; 4] };
+
+    /// Is this slot live (not on the free list)?
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.verts[0] != NONE
+    }
+
+    /// Is this a ghost (hull) tetrahedron?
+    #[inline]
+    pub fn is_ghost(&self) -> bool {
+        self.verts[3] == INFINITE
+    }
+
+    /// Does this tetrahedron have `v` as a vertex?
+    #[inline]
+    pub fn has_vertex(&self, v: VertexId) -> bool {
+        self.verts.contains(&v)
+    }
+
+    /// Local index (0..4) of vertex `v`.
+    #[inline]
+    pub fn index_of_vertex(&self, v: VertexId) -> Option<usize> {
+        self.verts.iter().position(|&x| x == v)
+    }
+
+    /// Local index (0..4) of neighbor `t`.
+    #[inline]
+    pub fn index_of_neighbor(&self, t: TetId) -> Option<usize> {
+        self.neighbors.iter().position(|&x| x == t)
+    }
+
+    /// The three vertices of the face opposite local vertex `i`, in the
+    /// outward orientation of [`dtfe_geometry::plucker::TET_FACES`].
+    #[inline]
+    pub fn face(&self, i: usize) -> [VertexId; 3] {
+        let [a, b, c] = dtfe_geometry::plucker::TET_FACES[i];
+        [self.verts[a], self.verts[b], self.verts[c]]
+    }
+}
+
+impl crate::Delaunay {
+    /// Allocate a tetrahedron slot (reusing freed slots).
+    pub(crate) fn alloc_tet(&mut self, verts: [VertexId; 4], neighbors: [TetId; 4]) -> TetId {
+        let tet = Tet { verts, neighbors };
+        debug_assert!(tet.is_live());
+        if tet.is_ghost() {
+            self.n_ghost += 1;
+        } else {
+            self.n_finite += 1;
+        }
+        if let Some(id) = self.free.pop() {
+            self.tets[id as usize] = tet;
+            id
+        } else {
+            let id = self.tets.len() as TetId;
+            self.tets.push(tet);
+            self.mark.push(0);
+            id
+        }
+    }
+
+    /// Free a tetrahedron slot.
+    pub(crate) fn free_tet(&mut self, t: TetId) {
+        let tet = &mut self.tets[t as usize];
+        debug_assert!(tet.is_live());
+        if tet.is_ghost() {
+            self.n_ghost -= 1;
+        } else {
+            self.n_finite -= 1;
+        }
+        *tet = Tet::DEAD;
+        self.free.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghost_detection() {
+        let g = Tet { verts: [0, 1, 2, INFINITE], neighbors: [NONE; 4] };
+        assert!(g.is_ghost());
+        assert!(g.is_live());
+        let f = Tet { verts: [0, 1, 2, 3], neighbors: [NONE; 4] };
+        assert!(!f.is_ghost());
+        assert!(!Tet::DEAD.is_live());
+    }
+
+    #[test]
+    fn face_uses_outward_table() {
+        let t = Tet { verts: [10, 11, 12, 13], neighbors: [NONE; 4] };
+        assert_eq!(t.face(3), [10, 11, 12]);
+        assert_eq!(t.face(0), [11, 13, 12]);
+        assert_eq!(t.index_of_vertex(12), Some(2));
+        assert_eq!(t.index_of_vertex(99), None);
+    }
+}

@@ -1,0 +1,332 @@
+//! Workload modeling (paper §IV-C).
+//!
+//! Each work item (one surface-density field) costs one triangulation and
+//! one grid render. The framework predicts both from the item's particle
+//! count `n`:
+//!
+//! * triangulation: `t = c · n · log₂ n` — the quickhull average case; the
+//!   single coefficient is fit by ordinary least squares (Eq. 15–16);
+//! * interpolation: `t = α · n^β` — a power law fit by Gauss–Newton with a
+//!   log-log linear initial guess (Eq. 17).
+//!
+//! Sample points come from each rank timing *one random local work item*
+//! and `allgather`-ing `(n, t_del, t_interp)` — so with `P` ranks every
+//! rank fits the same `P`-sample model.
+
+/// One timing sample: particle count and the two measured phase times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingSample {
+    pub n: f64,
+    pub t_tri: f64,
+    pub t_interp: f64,
+}
+
+/// `t = c · n log₂ n` (Eq. 15).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriModel {
+    pub c: f64,
+}
+
+impl TriModel {
+    /// OLS for the single coefficient: `c = Σ x t / Σ x²` with
+    /// `x = n log₂ n` (Eq. 16 specialized to one regressor).
+    pub fn fit(samples: &[TimingSample]) -> TriModel {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s in samples {
+            let x = basis_nlogn(s.n);
+            num += x * s.t_tri;
+            den += x * x;
+        }
+        TriModel { c: if den > 0.0 { num / den } else { 0.0 } }
+    }
+
+    #[inline]
+    pub fn predict(&self, n: f64) -> f64 {
+        self.c * basis_nlogn(n)
+    }
+}
+
+#[inline]
+fn basis_nlogn(n: f64) -> f64 {
+    if n >= 2.0 {
+        n * n.log2()
+    } else {
+        n.max(0.0)
+    }
+}
+
+/// `t = α · n^β` (Eq. 17).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterpModel {
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+impl InterpModel {
+    /// Gauss–Newton on the residuals `t_i − α n_i^β`, initialized from the
+    /// log-log linear fit (the paper's initialization).
+    pub fn fit(samples: &[TimingSample]) -> InterpModel {
+        let pts: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|s| s.n > 0.0 && s.t_interp > 0.0)
+            .map(|s| (s.n, s.t_interp))
+            .collect();
+        if pts.is_empty() {
+            return InterpModel { alpha: 0.0, beta: 1.0 };
+        }
+        if pts.len() == 1 {
+            // Underdetermined: assume linear scaling through the sample.
+            return InterpModel { alpha: pts[0].1 / pts[0].0, beta: 1.0 };
+        }
+        // Log-log linear initial guess.
+        let m = pts.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(n, t) in &pts {
+            let (x, y) = (n.ln(), t.ln());
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let den = m * sxx - sx * sx;
+        let mut beta = if den.abs() > 1e-12 { (m * sxy - sx * sy) / den } else { 1.0 };
+        let mut alpha = ((sy - beta * sx) / m).exp();
+
+        // Gauss–Newton with simple step damping.
+        let sse = |a: f64, b: f64| -> f64 {
+            pts.iter().map(|&(n, t)| (t - a * n.powf(b)).powi(2)).sum()
+        };
+        let mut err = sse(alpha, beta);
+        for _ in 0..60 {
+            // J columns: ∂/∂α = n^β, ∂/∂β = α n^β ln n.
+            let (mut jtj00, mut jtj01, mut jtj11) = (0.0, 0.0, 0.0);
+            let (mut jtr0, mut jtr1) = (0.0, 0.0);
+            for &(n, t) in &pts {
+                let f = alpha * n.powf(beta);
+                let r = t - f;
+                let j0 = n.powf(beta);
+                let j1 = f * n.ln();
+                jtj00 += j0 * j0;
+                jtj01 += j0 * j1;
+                jtj11 += j1 * j1;
+                jtr0 += j0 * r;
+                jtr1 += j1 * r;
+            }
+            let det = jtj00 * jtj11 - jtj01 * jtj01;
+            if det.abs() < 1e-30 {
+                break;
+            }
+            let da = (jtj11 * jtr0 - jtj01 * jtr1) / det;
+            let db = (jtj00 * jtr1 - jtj01 * jtr0) / det;
+            // Damped line search.
+            let mut step = 1.0;
+            let mut improved = false;
+            for _ in 0..20 {
+                let (na, nb) = (alpha + step * da, beta + step * db);
+                if na > 0.0 {
+                    let e = sse(na, nb);
+                    if e < err {
+                        alpha = na;
+                        beta = nb;
+                        err = e;
+                        improved = true;
+                        break;
+                    }
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+        InterpModel { alpha, beta }
+    }
+
+    #[inline]
+    pub fn predict(&self, n: f64) -> f64 {
+        self.alpha * n.powf(self.beta)
+    }
+}
+
+/// The combined per-item cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadModel {
+    pub tri: TriModel,
+    pub interp: InterpModel,
+}
+
+impl WorkloadModel {
+    pub fn fit(samples: &[TimingSample]) -> WorkloadModel {
+        WorkloadModel { tri: TriModel::fit(samples), interp: InterpModel::fit(samples) }
+    }
+
+    /// Predicted total time for a work item with `n` particles.
+    #[inline]
+    pub fn predict(&self, n: f64) -> f64 {
+        self.tri.predict(n) + self.interp.predict(n)
+    }
+}
+
+/// Uniform-bin particle counter for the modeling phase's step 1: "count the
+/// number of particles needed to complete each local work item" by centring
+/// a cube on the item (paper §IV-C-1).
+pub struct ParticleCounter {
+    lo: dtfe_geometry::Vec3,
+    inv_cell: f64,
+    dims: [usize; 3],
+    counts: Vec<u32>,
+}
+
+impl ParticleCounter {
+    /// Bin `particles` over `bounds` with bins of roughly `cell` size.
+    pub fn new(particles: &[dtfe_geometry::Vec3], bounds: dtfe_geometry::Aabb3, cell: f64) -> Self {
+        assert!(cell > 0.0);
+        let ext = bounds.extent();
+        let dims = [
+            ((ext.x / cell).ceil() as usize).max(1),
+            ((ext.y / cell).ceil() as usize).max(1),
+            ((ext.z / cell).ceil() as usize).max(1),
+        ];
+        let inv_cell = 1.0 / cell;
+        let mut counts = vec![0u32; dims[0] * dims[1] * dims[2]];
+        for p in particles {
+            let c = |v: f64, lo: f64, n: usize| {
+                (((v - lo) * inv_cell) as isize).clamp(0, n as isize - 1) as usize
+            };
+            let (i, j, k) =
+                (c(p.x, bounds.lo.x, dims[0]), c(p.y, bounds.lo.y, dims[1]), c(p.z, bounds.lo.z, dims[2]));
+            counts[(k * dims[1] + j) * dims[0] + i] += 1;
+        }
+        ParticleCounter { lo: bounds.lo, inv_cell, dims, counts }
+    }
+
+    /// Approximate count inside the cube of side `side` centred on `c`
+    /// (bin-resolution accuracy — the model only needs the scale of `n`).
+    /// The cube is half-open, `[c−h, c+h)` per axis.
+    pub fn count_cube(&self, c: dtfe_geometry::Vec3, side: f64) -> usize {
+        let h = side * 0.5;
+        let clamp_lo = |v: f64, lo: f64, n: usize| {
+            (((v - lo) * self.inv_cell).floor() as isize).clamp(0, n as isize - 1) as usize
+        };
+        // Upper edge exclusive: an exactly bin-aligned cube face does not
+        // pull in the next bin.
+        let clamp_hi = |v: f64, lo: f64, n: usize| {
+            ((((v - lo) * self.inv_cell).ceil() as isize) - 1).clamp(0, n as isize - 1) as usize
+        };
+        let i0 = clamp_lo(c.x - h, self.lo.x, self.dims[0]);
+        let i1 = clamp_hi(c.x + h, self.lo.x, self.dims[0]);
+        let j0 = clamp_lo(c.y - h, self.lo.y, self.dims[1]);
+        let j1 = clamp_hi(c.y + h, self.lo.y, self.dims[1]);
+        let k0 = clamp_lo(c.z - h, self.lo.z, self.dims[2]);
+        let k1 = clamp_hi(c.z + h, self.lo.z, self.dims[2]);
+        let mut total = 0usize;
+        for k in k0..=k1 {
+            for j in j0..=j1 {
+                for i in i0..=i1 {
+                    total += self.counts[(k * self.dims[1] + j) * self.dims[0] + i] as usize;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtfe_geometry::{Aabb3, Vec3};
+
+    fn synth_samples(c: f64, alpha: f64, beta: f64, noise: f64, seed: u64) -> Vec<TimingSample> {
+        let mut s = seed;
+        let mut r = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..40)
+            .map(|i| {
+                let n = 500.0 * (i as f64 + 1.0) + r() * 100.0;
+                let mut jitter = |v: f64| v * (1.0 + noise * (r() - 0.5));
+                TimingSample {
+                    n,
+                    t_tri: jitter(c * n * n.log2()),
+                    t_interp: jitter(alpha * n.powf(beta)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tri_fit_recovers_coefficient() {
+        let samples = synth_samples(3e-6, 1e-5, 0.8, 0.0, 1);
+        let m = TriModel::fit(&samples);
+        assert!((m.c - 3e-6).abs() < 1e-9, "c = {}", m.c);
+        // Prediction matches generation exactly with no noise.
+        assert!((m.predict(5000.0) - 3e-6 * 5000.0 * 5000f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tri_fit_with_noise() {
+        let samples = synth_samples(2e-6, 1e-5, 0.8, 0.3, 7);
+        let m = TriModel::fit(&samples);
+        assert!((m.c - 2e-6).abs() / 2e-6 < 0.1, "c = {}", m.c);
+    }
+
+    #[test]
+    fn interp_fit_recovers_power_law() {
+        let samples = synth_samples(1e-6, 4e-5, 0.75, 0.0, 3);
+        let m = InterpModel::fit(&samples);
+        assert!((m.beta - 0.75).abs() < 1e-6, "beta = {}", m.beta);
+        assert!((m.alpha - 4e-5).abs() / 4e-5 < 1e-4, "alpha = {}", m.alpha);
+    }
+
+    #[test]
+    fn interp_fit_with_noise() {
+        let samples = synth_samples(1e-6, 4e-5, 1.2, 0.25, 11);
+        let m = InterpModel::fit(&samples);
+        assert!((m.beta - 1.2).abs() < 0.1, "beta = {}", m.beta);
+        let mid = m.predict(10_000.0);
+        let expect = 4e-5 * 10_000f64.powf(1.2);
+        assert!((mid - expect).abs() / expect < 0.15);
+    }
+
+    #[test]
+    fn interp_fit_degenerate_inputs() {
+        assert_eq!(InterpModel::fit(&[]).alpha, 0.0);
+        let one = [TimingSample { n: 100.0, t_tri: 0.0, t_interp: 5.0 }];
+        let m = InterpModel::fit(&one);
+        assert!((m.predict(100.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_model_predicts_sum() {
+        let samples = synth_samples(1e-6, 2e-5, 1.0, 0.0, 5);
+        let m = WorkloadModel::fit(&samples);
+        let n: f64 = 3000.0;
+        let expect = 1e-6 * n * n.log2() + 2e-5 * n;
+        assert!((m.predict(n) - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn particle_counter_counts_cubes() {
+        // A lattice of one particle per unit cell.
+        let pts: Vec<Vec3> = (0..10)
+            .flat_map(|i| {
+                (0..10).flat_map(move |j| {
+                    (0..10).map(move |k| Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5))
+                })
+            })
+            .collect();
+        let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(10.0));
+        let counter = ParticleCounter::new(&pts, bounds, 1.0);
+        // A 4-cube in the middle: ~64 particles (bin-aligned, so exact).
+        let c = counter.count_cube(Vec3::splat(5.0), 4.0);
+        assert_eq!(c, 64, "bin-aligned cube should count exactly 4³ bins");
+        // Whole domain.
+        assert_eq!(counter.count_cube(Vec3::splat(5.0), 20.0), 1000);
+        // Empty corner outside.
+        assert!(counter.count_cube(Vec3::splat(100.0), 1.0) <= 1);
+    }
+}

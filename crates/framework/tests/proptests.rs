@@ -1,0 +1,130 @@
+//! Property-based tests of the scheduling machinery and decomposition.
+
+use dtfe_framework::decomp::{factor3, Decomposition};
+use dtfe_framework::eventsim::{
+    partition_items, simulate_balanced, simulate_unbalanced, SimParams,
+};
+use dtfe_framework::{create_schedule, pack_bins};
+use dtfe_geometry::{Aabb3, Vec3};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn schedule_conserves_work_and_caps_at_mean(
+        times in prop::collection::vec(0.0f64..100.0, 2..64)
+    ) {
+        let s = create_schedule(&times);
+        let after = s.balanced_times(&times);
+        let total: f64 = times.iter().sum();
+        let mean = total / times.len() as f64;
+        prop_assert!((after.iter().sum::<f64>() - total).abs() < 1e-6 * total.max(1.0));
+        for (r, &t) in after.iter().enumerate() {
+            prop_assert!(t <= mean + 1e-6 * mean.max(1.0), "rank {} at {} > mean {}", r, t, mean);
+            prop_assert!(t >= -1e-9, "negative time on rank {}", r);
+        }
+        // Transfers always flow from above-mean to below-mean ranks.
+        for tr in &s.transfers {
+            prop_assert!(times[tr.from] > mean - 1e-9);
+            prop_assert!(times[tr.to] < mean + 1e-9);
+            prop_assert!(tr.amount > 0.0);
+        }
+    }
+
+    #[test]
+    fn schedule_no_rank_both_sends_and_receives(
+        times in prop::collection::vec(0.0f64..50.0, 2..40)
+    ) {
+        let s = create_schedule(&times);
+        for r in 0..times.len() {
+            prop_assert!(
+                s.sends_of(r).is_empty() || s.recvs_of(r).is_empty(),
+                "rank {} both sends and receives",
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn pack_bins_respects_capacities(
+        items in prop::collection::vec(0.1f64..20.0, 0..40),
+        bins in prop::collection::vec(1.0f64..30.0, 0..10),
+    ) {
+        let (assign, left) = pack_bins(&items, &bins);
+        prop_assert_eq!(assign.len(), bins.len());
+        // Every item exactly once.
+        let mut seen = vec![false; items.len()];
+        for bin in &assign {
+            for &i in bin {
+                prop_assert!(!seen[i], "item {} assigned twice", i);
+                seen[i] = true;
+            }
+        }
+        for &i in &left {
+            prop_assert!(!seen[i], "leftover {} also assigned", i);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "item lost");
+        // Capacity.
+        for (b, bin) in assign.iter().enumerate() {
+            let sum: f64 = bin.iter().map(|&i| items[i]).sum();
+            prop_assert!(sum <= bins[b] * (1.0 + 1e-6) + 1e-6, "bin {} over: {} > {}", b, sum, bins[b]);
+        }
+    }
+
+    #[test]
+    fn factor3_products(n in 1usize..512) {
+        let f = factor3(n);
+        prop_assert_eq!(f.iter().product::<usize>(), n);
+        prop_assert!(f[0] >= f[1] && f[1] >= f[2]);
+    }
+
+    #[test]
+    fn decomposition_owns_every_point(
+        n in 1usize..64,
+        pts in prop::collection::vec(
+            (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+            1..50,
+        ),
+    ) {
+        let d = Decomposition::new(Aabb3::new(Vec3::ZERO, Vec3::splat(10.0)), n);
+        for p in pts {
+            let r = d.rank_of(p);
+            prop_assert!(r < d.num_ranks());
+            prop_assert!(d.rank_box(r).contains_closed(p));
+            // The owner is always among the ghost destinations.
+            prop_assert!(d.ranks_within(p, 0.5).contains(&r));
+        }
+    }
+
+    #[test]
+    fn eventsim_balancing_with_perfect_model_never_hurts(
+        seed in 1u64..1000,
+        nranks in 2usize..64,
+    ) {
+        // With exact predictions (no model error, no degenerate items) the
+        // schedule can only help, up to communication cost. (With prediction
+        // error balancing CAN hurt — that is the paper's Fig. 13 mechanism —
+        // so that case carries no such invariant.)
+        let items = dtfe_framework::eventsim::synth_global_workload(256, 0.5, 0.0, 0, 1.0, seed);
+        let work = partition_items(&items, nranks);
+        let total_items: usize = work.iter().map(|w| w.actual.len()).sum();
+        prop_assert_eq!(total_items, 256);
+        let bal = simulate_balanced(&work, &SimParams::default());
+        let unbal = simulate_unbalanced(&work);
+        prop_assert!(bal.wall.is_finite() && bal.wall > 0.0);
+        // Receivers can idle on a sender's *interleaved* dispatch points (the
+        // "delays in communication" the paper's bin-packing order minimizes),
+        // so the sound bound is the unbalanced wall plus one mean rank load
+        // plus communication.
+        let total: f64 = work.iter().map(|w| w.total_actual()).sum();
+        let mean = total / nranks as f64;
+        let comm_slack = 1.0 + 0.01 * 256.0;
+        prop_assert!(
+            bal.wall <= unbal.wall + mean + comm_slack,
+            "balancing made it worse: {} vs {} (mean {})",
+            bal.wall,
+            unbal.wall,
+            mean
+        );
+    }
+}

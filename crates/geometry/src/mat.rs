@@ -1,0 +1,148 @@
+//! Minimal 3×3 matrices: rotations for arbitrary line-of-sight directions.
+//!
+//! The paper integrates along `z` "to make calculations simpler, however,
+//! in principle any arbitrary direction can be chosen by a simple rotation
+//! of the triangulation" (§IV-A-2). [`Mat3::rotation_to_z`] builds exactly
+//! that rotation.
+
+use crate::vec::Vec3;
+
+/// A 3×3 matrix, row-major.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat3 {
+    pub rows: [Vec3; 3],
+}
+
+impl Mat3 {
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [
+            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
+            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
+            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+        ],
+    };
+
+    #[inline]
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 { rows: [r0, r1, r2] }
+    }
+
+    /// Matrix–vector product.
+    #[inline]
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+
+    /// Matrix–matrix product `self * o`.
+    pub fn mul(&self, o: &Mat3) -> Mat3 {
+        let col = |j: usize| Vec3::new(o.rows[0][j], o.rows[1][j], o.rows[2][j]);
+        let (c0, c1, c2) = (col(0), col(1), col(2));
+        Mat3::from_rows(
+            Vec3::new(self.rows[0].dot(c0), self.rows[0].dot(c1), self.rows[0].dot(c2)),
+            Vec3::new(self.rows[1].dot(c0), self.rows[1].dot(c1), self.rows[1].dot(c2)),
+            Vec3::new(self.rows[2].dot(c0), self.rows[2].dot(c1), self.rows[2].dot(c2)),
+        )
+    }
+
+    /// Transpose (= inverse, for rotations).
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_rows(
+            Vec3::new(self.rows[0].x, self.rows[1].x, self.rows[2].x),
+            Vec3::new(self.rows[0].y, self.rows[1].y, self.rows[2].y),
+            Vec3::new(self.rows[0].z, self.rows[1].z, self.rows[2].z),
+        )
+    }
+
+    pub fn determinant(&self) -> f64 {
+        self.rows[0].dot(self.rows[1].cross(self.rows[2]))
+    }
+
+    /// Rotation about a unit axis by `angle` (Rodrigues).
+    pub fn rotation_axis_angle(axis: Vec3, angle: f64) -> Mat3 {
+        let a = axis.normalized().expect("zero rotation axis");
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        Mat3::from_rows(
+            Vec3::new(t * a.x * a.x + c, t * a.x * a.y - s * a.z, t * a.x * a.z + s * a.y),
+            Vec3::new(t * a.x * a.y + s * a.z, t * a.y * a.y + c, t * a.y * a.z - s * a.x),
+            Vec3::new(t * a.x * a.z - s * a.y, t * a.y * a.z + s * a.x, t * a.z * a.z + c),
+        )
+    }
+
+    /// The rotation taking direction `dir` to `+ẑ` — the "simple rotation of
+    /// the triangulation" that reduces an arbitrary line of sight to the
+    /// kernel's vertical convention.
+    pub fn rotation_to_z(dir: Vec3) -> Mat3 {
+        let d = dir.normalized().expect("zero direction");
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        let c = d.dot(z);
+        if c > 1.0 - 1e-14 {
+            return Mat3::IDENTITY;
+        }
+        if c < -1.0 + 1e-14 {
+            // Antiparallel: rotate π about x.
+            return Mat3::rotation_axis_angle(Vec3::new(1.0, 0.0, 0.0), std::f64::consts::PI);
+        }
+        let axis = d.cross(z);
+        Mat3::rotation_axis_angle(axis, c.acos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let v = Vec3::new(1.0, -2.0, 3.5);
+        assert_eq!(Mat3::IDENTITY.apply(v), v);
+        assert_eq!(Mat3::IDENTITY.determinant(), 1.0);
+    }
+
+    #[test]
+    fn rotation_preserves_lengths_and_orientation() {
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.7);
+        let v = Vec3::new(0.3, -1.1, 2.2);
+        assert!((r.apply(v).norm() - v.norm()).abs() < 1e-12);
+        assert!((r.determinant() - 1.0).abs() < 1e-12);
+        // R Rᵀ = I.
+        let rt = r.mul(&r.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((rt.rows[i][j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_to_z_maps_direction() {
+        for dir in [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(-0.3, 0.9, -0.5),
+        ] {
+            let r = Mat3::rotation_to_z(dir);
+            let mapped = r.apply(dir.normalized().unwrap());
+            assert!(mapped.distance(Vec3::new(0.0, 0.0, 1.0)) < 1e-12, "dir {dir:?} -> {mapped:?}");
+            assert!((r.determinant() - 1.0).abs() < 1e-12, "improper rotation for {dir:?}");
+        }
+    }
+
+    #[test]
+    fn axis_angle_quarter_turn() {
+        let r = Mat3::rotation_axis_angle(Vec3::new(0.0, 0.0, 1.0), std::f64::consts::FRAC_PI_2);
+        let v = r.apply(Vec3::new(1.0, 0.0, 0.0));
+        assert!(v.distance(Vec3::new(0.0, 1.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::rotation_to_z(Vec3::new(0.4, -0.7, 0.2));
+        let v = Vec3::new(5.0, 6.0, 7.0);
+        assert!(r.transpose().apply(r.apply(v)).distance(v) < 1e-12);
+    }
+}

@@ -1,0 +1,361 @@
+//! Plücker-coordinate rays and the Platis–Theoharis ray–tetrahedron
+//! intersection test (paper §III-C-2, Eq. 7–10).
+//!
+//! A 3D ray `r` through point `x` with direction `l` has Plücker coordinates
+//! `π_r = {l : l × x}` (Eq. 7). The *permuted inner product* of two rays
+//! (Eq. 8) decides their relative orientation:
+//!
+//! ```text
+//! π_r ⊙ π_s = u_r · v_s + u_s · v_r
+//! ```
+//!
+//! Testing a ray against the three (consistently oriented) edges of a
+//! triangular face yields both the crossing decision and, for free, the
+//! barycentric coordinates of the intersection point (Eq. 9–10). Shared-edge
+//! products can be reused between the faces of a tetrahedron; the
+//! [`ray_tetra`] routine below does exactly that, mirroring the paper's
+//! `RayTetra` subroutine (Fig. 3, line 7) including its degeneracy status.
+
+use crate::predicates::orient3d_det;
+use crate::vec::Vec3;
+
+/// A line in 3D given by a point and a direction (not necessarily unit).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ray {
+    pub origin: Vec3,
+    pub dir: Vec3,
+}
+
+impl Ray {
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray { origin, dir }
+    }
+
+    /// The vertical line of sight through the 2D point `(x, y)`, integrating
+    /// along `+z` — the paper's convention (§IV-A-2).
+    #[inline]
+    pub fn vertical(x: f64, y: f64) -> Self {
+        Ray { origin: Vec3::new(x, y, 0.0), dir: Vec3::new(0.0, 0.0, 1.0) }
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+
+    /// Ray parameter of the (assumed on-ray) point `p`.
+    #[inline]
+    pub fn param_of(&self, p: Vec3) -> f64 {
+        (p - self.origin).dot(self.dir) / self.dir.norm_sq()
+    }
+}
+
+/// Plücker coordinates `{u : v} = {l : l × x}` of a line (Eq. 7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Plucker {
+    /// Direction part `u = l`.
+    pub u: Vec3,
+    /// Moment part `v = l × x`.
+    pub v: Vec3,
+}
+
+impl Plucker {
+    #[inline]
+    pub fn from_ray(r: &Ray) -> Self {
+        Plucker { u: r.dir, v: r.dir.cross(r.origin) }
+    }
+
+    /// Plücker coordinates of the directed edge `p0 → p1`.
+    #[inline]
+    pub fn from_edge(p0: Vec3, p1: Vec3) -> Self {
+        let l = p1 - p0;
+        Plucker { u: l, v: l.cross(p0) }
+    }
+
+    /// Permuted inner product `π_self ⊙ π_other` (Eq. 8). The sign gives the
+    /// relative orientation of the two lines; zero means they meet (or are
+    /// parallel/coplanar).
+    #[inline]
+    pub fn side(&self, other: &Plucker) -> f64 {
+        self.u.dot(other.v) + other.u.dot(self.v)
+    }
+}
+
+/// Result of testing a line against one oriented triangular face.
+///
+/// The face `(a, b, c)` is oriented so its normal `(b-a) × (c-a)` points to
+/// the *outside*; crossings are classified relative to that normal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaceCrossing {
+    /// The line does not pass through the face interior.
+    Miss,
+    /// The line crosses against the normal (into the tetrahedron): all three
+    /// permuted inner products are strictly positive. Carries the (normalized)
+    /// barycentric weights of the intersection point w.r.t. `(a, b, c)`.
+    Enter([f64; 3]),
+    /// The line crosses along the normal (out of the tetrahedron): all three
+    /// products strictly negative. Carries barycentric weights.
+    Exit([f64; 3]),
+    /// A degeneracy (Eq. 8 footnote): the line meets a vertex or an edge of
+    /// the face, or is coplanar with it. The marching kernel responds by
+    /// perturbing the line (paper Fig. 2).
+    Degenerate,
+}
+
+/// Classify the crossing of line `r` (as Plücker coordinates) with the
+/// oriented face `(a, b, c)` given the three precomputed edge products
+/// `s_ab = π_r ⊙ π_{a→b}` etc.
+///
+/// Barycentric weights follow Eq. 9: the weight of a vertex is the product of
+/// its *opposite* edge, so `w = [s_bc, s_ca, s_ab] / Σ`.
+#[inline]
+pub fn classify_face(s_ab: f64, s_bc: f64, s_ca: f64) -> FaceCrossing {
+    let pos = (s_ab > 0.0) as u8 + (s_bc > 0.0) as u8 + (s_ca > 0.0) as u8;
+    let neg = (s_ab < 0.0) as u8 + (s_bc < 0.0) as u8 + (s_ca < 0.0) as u8;
+    if pos > 0 && neg > 0 {
+        return FaceCrossing::Miss;
+    }
+    if pos == 3 || neg == 3 {
+        let sum = s_ab + s_bc + s_ca;
+        let w = [s_bc / sum, s_ca / sum, s_ab / sum];
+        return if pos == 3 { FaceCrossing::Enter(w) } else { FaceCrossing::Exit(w) };
+    }
+    // At least one product is exactly zero and the rest do not disagree:
+    // the line grazes a vertex/edge or lies in the face plane.
+    FaceCrossing::Degenerate
+}
+
+/// Test the crossing of a line with a single oriented face.
+pub fn ray_face(r: &Plucker, a: Vec3, b: Vec3, c: Vec3) -> FaceCrossing {
+    let s_ab = r.side(&Plucker::from_edge(a, b));
+    let s_bc = r.side(&Plucker::from_edge(b, c));
+    let s_ca = r.side(&Plucker::from_edge(c, a));
+    classify_face(s_ab, s_bc, s_ca)
+}
+
+/// Cartesian intersection point from barycentric weights (Eq. 10).
+#[inline]
+pub fn face_point(a: Vec3, b: Vec3, c: Vec3, w: [f64; 3]) -> Vec3 {
+    Vec3::new(
+        w[0] * a.x + w[1] * b.x + w[2] * c.x,
+        w[0] * a.y + w[1] * b.y + w[2] * c.y,
+        w[0] * a.z + w[1] * b.z + w[2] * c.z,
+    )
+}
+
+/// Faces of a positively-oriented tetrahedron `(v0, v1, v2, v3)` such that
+/// face `i` is opposite vertex `i` and its normal points outward.
+pub const TET_FACES: [[usize; 3]; 4] = [[1, 3, 2], [0, 2, 3], [0, 3, 1], [0, 1, 2]];
+
+/// Outcome of intersecting an (infinite) line with a tetrahedron.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RayTetraHit {
+    /// Face index (opposite-vertex convention) the line enters through, with
+    /// the intersection point; `None` if the line misses the tetrahedron.
+    pub enter: Option<(usize, Vec3)>,
+    /// Face index the line exits through, with the intersection point.
+    pub exit: Option<(usize, Vec3)>,
+    /// `true` when any face test hit a degeneracy; the caller should perturb
+    /// the line and retry (paper Fig. 2–3).
+    pub degenerate: bool,
+}
+
+impl RayTetraHit {
+    pub const MISS: RayTetraHit = RayTetraHit { enter: None, exit: None, degenerate: false };
+
+    /// The line passes through the interior (both crossings found).
+    #[inline]
+    pub fn is_through(&self) -> bool {
+        self.enter.is_some() && self.exit.is_some()
+    }
+}
+
+/// Intersect a line with the tetrahedron `verts`. The vertex order may be
+/// either orientation; it is normalized internally.
+///
+/// Edge products shared between faces are computed once (six edges, not
+/// twelve), as the paper notes ("shared edge calculations can be reused").
+pub fn ray_tetra(r: &Plucker, verts: &[Vec3; 4]) -> RayTetraHit {
+    let mut v = *verts;
+    if orient3d_det(v[0], v[1], v[2], v[3]) < 0.0 {
+        v.swap(2, 3);
+    }
+    // The six directed edges i -> j for i < j.
+    let edge = |i: usize, j: usize| Plucker::from_edge(v[i], v[j]);
+    let s01 = r.side(&edge(0, 1));
+    let s02 = r.side(&edge(0, 2));
+    let s03 = r.side(&edge(0, 3));
+    let s12 = r.side(&edge(1, 2));
+    let s13 = r.side(&edge(1, 3));
+    let s23 = r.side(&edge(2, 3));
+
+    // Products for each outward face's directed edges, reusing edge products
+    // with a sign flip when the face traverses the edge backwards.
+    // Face 0 = (1,3,2): edges 1->3, 3->2, 2->1  => s13, -s23, -s12
+    // Face 1 = (0,2,3): edges 0->2, 2->3, 3->0  => s02, s23, -s03
+    // Face 2 = (0,3,1): edges 0->3, 3->1, 1->0  => s03, -s13, -s01
+    // Face 3 = (0,1,2): edges 0->1, 1->2, 2->0  => s01, s12, -s02
+    let face_products: [[f64; 3]; 4] = [
+        [s13, -s23, -s12],
+        [s02, s23, -s03],
+        [s03, -s13, -s01],
+        [s01, s12, -s02],
+    ];
+
+    let mut hit = RayTetraHit::MISS;
+    for (fi, p) in face_products.iter().enumerate() {
+        match classify_face(p[0], p[1], p[2]) {
+            FaceCrossing::Miss => {}
+            FaceCrossing::Degenerate => {
+                hit.degenerate = true;
+            }
+            FaceCrossing::Enter(w) => {
+                let [i, j, k] = TET_FACES[fi];
+                hit.enter = Some((fi, face_point(v[i], v[j], v[k], w)));
+            }
+            FaceCrossing::Exit(w) => {
+                let [i, j, k] = TET_FACES[fi];
+                hit.exit = Some((fi, face_point(v[i], v[j], v[k], w)));
+            }
+        }
+    }
+    // A line through the interior must cross exactly two faces; anything else
+    // with a zero product is already flagged degenerate above.
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    const B: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    const C: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+
+    #[test]
+    fn side_zero_for_meeting_lines() {
+        let r1 = Plucker::from_ray(&Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)));
+        let r2 = Plucker::from_ray(&Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)));
+        assert_eq!(r1.side(&r2), 0.0);
+    }
+
+    #[test]
+    fn face_crossing_classification() {
+        // Upward ray through the interior of triangle ABC (normal +z):
+        // crossing along the normal = Exit.
+        let up = Plucker::from_ray(&Ray::vertical(0.2, 0.2));
+        match ray_face(&up, A, B, C) {
+            FaceCrossing::Exit(w) => {
+                assert!((w[0] - 0.6).abs() < 1e-12);
+                assert!((w[1] - 0.2).abs() < 1e-12);
+                assert!((w[2] - 0.2).abs() < 1e-12);
+            }
+            other => panic!("expected Exit, got {other:?}"),
+        }
+        // Reversed face orientation flips Exit to Enter.
+        match ray_face(&up, A, C, B) {
+            FaceCrossing::Enter(_) => {}
+            other => panic!("expected Enter, got {other:?}"),
+        }
+        // A ray outside the triangle footprint misses.
+        let out = Plucker::from_ray(&Ray::vertical(2.0, 2.0));
+        assert_eq!(ray_face(&out, A, B, C), FaceCrossing::Miss);
+    }
+
+    #[test]
+    fn face_degenerate_through_vertex_and_edge() {
+        let through_vertex = Plucker::from_ray(&Ray::vertical(0.0, 0.0));
+        assert_eq!(ray_face(&through_vertex, A, B, C), FaceCrossing::Degenerate);
+        let through_edge = Plucker::from_ray(&Ray::vertical(0.5, 0.0));
+        assert_eq!(ray_face(&through_edge, A, B, C), FaceCrossing::Degenerate);
+    }
+
+    #[test]
+    fn face_point_from_weights() {
+        let p = face_point(A, B, C, [0.25, 0.5, 0.25]);
+        assert_eq!(p, Vec3::new(0.5, 0.25, 0.0));
+    }
+
+    #[test]
+    fn ray_tetra_through() {
+        let verts = [A, B, C, Vec3::new(0.0, 0.0, 1.0)];
+        let ray = Ray::new(Vec3::new(0.2, 0.2, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = ray_tetra(&Plucker::from_ray(&ray), &verts);
+        assert!(hit.is_through(), "hit = {hit:?}");
+        assert!(!hit.degenerate);
+        let (enter_face, p_in) = hit.enter.unwrap();
+        let (_, p_out) = hit.exit.unwrap();
+        // Enters through the bottom z=0 face, leaves through the slanted one.
+        assert!(p_in.z.abs() < 1e-12, "enter at {p_in:?}");
+        assert!((p_out.z - 0.6).abs() < 1e-12, "exit at {p_out:?}"); // x+y+z=1 plane
+        assert!(p_out.z > p_in.z);
+        // Entry point keeps the ray's x, y.
+        assert!((p_in.x - 0.2).abs() < 1e-12 && (p_in.y - 0.2).abs() < 1e-12);
+        let _ = enter_face;
+    }
+
+    #[test]
+    fn ray_tetra_vertex_order_invariant() {
+        let verts_pos = [B, A, C, Vec3::new(0.0, 0.0, 1.0)];
+        let verts_neg = [A, B, C, Vec3::new(0.0, 0.0, 1.0)];
+        let ray = Plucker::from_ray(&Ray::vertical(0.1, 0.3));
+        let h1 = ray_tetra(&ray, &verts_pos);
+        let h2 = ray_tetra(&ray, &verts_neg);
+        assert_eq!(h1.enter.unwrap().1, h2.enter.unwrap().1);
+        assert_eq!(h1.exit.unwrap().1, h2.exit.unwrap().1);
+    }
+
+    #[test]
+    fn ray_tetra_miss() {
+        let verts = [A, B, C, Vec3::new(0.0, 0.0, 1.0)];
+        let ray = Plucker::from_ray(&Ray::vertical(0.9, 0.9));
+        let hit = ray_tetra(&ray, &verts);
+        assert!(hit.enter.is_none() && hit.exit.is_none());
+    }
+
+    #[test]
+    fn ray_tetra_degenerate_through_edge() {
+        let verts = [A, B, C, Vec3::new(0.0, 0.0, 1.0)];
+        // Vertical line through the edge from (0,0,0) to (0,0,1): x=y=0.
+        let hit = ray_tetra(&Plucker::from_ray(&Ray::vertical(0.0, 0.0)), &verts);
+        assert!(hit.degenerate);
+    }
+
+    #[test]
+    fn ray_tetra_degenerate_edge_intersection() {
+        // The vertical line x = y = 0.25 meets the edge from the origin to the
+        // apex (0.3, 0.3, 1.0) — both lie in the plane x = y.
+        let verts = [A, B, C, Vec3::new(0.3, 0.3, 1.0)];
+        let ray = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::new(0.0, 0.0, 2.0));
+        let hit = ray_tetra(&Plucker::from_ray(&ray), &verts);
+        assert!(hit.degenerate);
+    }
+
+    #[test]
+    fn ray_param_orders_crossings() {
+        let verts = [A, B, C, Vec3::new(0.3, 0.3, 1.0)];
+        let ray = Ray::new(Vec3::new(0.25, 0.2, -1.0), Vec3::new(0.0, 0.0, 2.0));
+        let hit = ray_tetra(&Plucker::from_ray(&ray), &verts);
+        let (_, p_in) = hit.enter.unwrap();
+        let (_, p_out) = hit.exit.unwrap();
+        assert!(ray.param_of(p_in) < ray.param_of(p_out));
+    }
+
+    #[test]
+    fn oblique_ray_tetra() {
+        let verts = [A, B, C, Vec3::new(0.2, 0.2, 1.0)];
+        let ray = Ray::new(Vec3::new(-1.0, 0.15, 0.1), Vec3::new(1.0, 0.05, 0.05));
+        let hit = ray_tetra(&Plucker::from_ray(&ray), &verts);
+        if hit.is_through() {
+            let (_, p_in) = hit.enter.unwrap();
+            let (_, p_out) = hit.exit.unwrap();
+            // Both points must lie (approximately) on the ray.
+            for p in [p_in, p_out] {
+                let t = ray.param_of(p);
+                assert!(ray.at(t).distance(p) < 1e-9, "point {p:?} not on ray");
+            }
+        }
+    }
+}

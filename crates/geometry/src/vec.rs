@@ -1,0 +1,425 @@
+//! Small fixed-size vector types.
+//!
+//! These are deliberately minimal: `f64` components, `Copy`, and only the
+//! operations the rest of the workspace needs. Keeping them local (rather than
+//! pulling in a linear-algebra crate) keeps the hot loops transparent to the
+//! optimizer and the dependency tree small.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A 3D vector / point with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+/// A 2D vector / point with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All components set to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the same direction; `None` if the norm underflows.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > 0.0 && n.is_finite() {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    #[inline]
+    pub fn distance_sq(self, o: Vec3) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Drop the `z` component (projection along the line of sight; paper
+    /// integrates along `z` by convention, §IV-A-2).
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2 { x: self.x, y: self.y }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Largest absolute component.
+    #[inline]
+    pub fn max_abs(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// The z-component of the 3D cross product (signed parallelogram area).
+    #[inline]
+    pub fn perp_dot(self, o: Vec2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    #[inline]
+    pub fn distance(self, o: Vec2) -> f64 {
+        (self - o).norm()
+    }
+
+    #[inline]
+    pub fn distance_sq(self, o: Vec2) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Lift back to 3D at height `z`.
+    #[inline]
+    pub fn with_z(self, z: f64) -> Vec3 {
+        Vec3 { x: self.x, y: self.y, z }
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+macro_rules! impl_binop3 {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for Vec3 {
+            type Output = Vec3;
+            #[inline]
+            fn $fn(self, o: Vec3) -> Vec3 {
+                Vec3::new(self.x $op o.x, self.y $op o.y, self.z $op o.z)
+            }
+        }
+    };
+}
+
+macro_rules! impl_binop2 {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for Vec2 {
+            type Output = Vec2;
+            #[inline]
+            fn $fn(self, o: Vec2) -> Vec2 {
+                Vec2::new(self.x $op o.x, self.y $op o.y)
+            }
+        }
+    };
+}
+
+impl_binop3!(Add, add, +);
+impl_binop3!(Sub, sub, -);
+impl_binop2!(Add, add, +);
+impl_binop2!(Sub, sub, -);
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, v: Vec2) -> Vec2 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec2) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec2) {
+        *self = *self - o;
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Index<usize> for Vec2 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            _ => panic!("Vec2 index out of range: {i}"),
+        }
+    }
+}
+
+impl fmt::Debug for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Debug for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    #[inline]
+    fn from(a: [f64; 2]) -> Self {
+        Vec2::new(a[0], a[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 5.0, 0.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec3::new(3.0, 4.0, 12.0);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn perp_dot_sign_follows_orientation() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert!(a.perp_dot(b) > 0.0);
+        assert!(b.perp_dot(a) < 0.0);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Vec3::new(1.5, -2.0, 0.25);
+        let b = Vec3::new(0.5, 1.0, -0.75);
+        assert_eq!(a + b - b, a);
+        assert_eq!((a * 2.0) / 2.0, a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn indexing_matches_fields() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], v.x);
+        assert_eq!(v[1], v.y);
+        assert_eq!(v[2], v.z);
+    }
+
+    #[test]
+    fn xy_projection_drops_z() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v.xy(), Vec2::new(1.0, 2.0));
+        assert_eq!(v.xy().with_z(3.0), v);
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, 3.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 3.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, -1.0));
+    }
+}

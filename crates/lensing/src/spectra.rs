@@ -1,0 +1,166 @@
+//! Power spectra of 2D maps — the summary statistic lensing studies
+//! extract from convergence fields (the "meaningful statistics" gathered
+//! from many fields that motivate the paper's high-throughput design, §I).
+
+use dtfe_core::grid::Field2;
+use dtfe_nbody::fft::{fft, C64};
+
+/// Isotropically-binned 2D power spectrum of a square power-of-two map.
+///
+/// Returns `(k, P(k))` pairs with `k` in units of the map's fundamental
+/// mode `2π/L` (integer-bin shells). The mean (k = 0) is excluded. The
+/// normalization is `P(k) = ⟨|f̂_k|²⟩ · (Δx Δy)² / A` — the standard
+/// continuum convention, so `Σ_k P(k)·(shell area)` recovers the field
+/// variance times the map area.
+pub fn power_spectrum_2d(map: &Field2) -> Vec<(f64, f64)> {
+    let n = map.spec.nx;
+    assert_eq!(map.spec.nx, map.spec.ny, "square maps only");
+    assert!(n.is_power_of_two(), "power-of-two maps only");
+
+    // Forward 2D FFT.
+    let mut data: Vec<C64> = map.data.iter().map(|&v| C64::real(v)).collect();
+    for row in data.chunks_mut(n) {
+        fft(row, false);
+    }
+    let mut col = vec![C64::ZERO; n];
+    for i in 0..n {
+        for j in 0..n {
+            col[j] = data[j * n + i];
+        }
+        fft(&mut col, false);
+        for j in 0..n {
+            data[j * n + i] = col[j];
+        }
+    }
+
+    let cell_area = map.spec.cell.x * map.spec.cell.y;
+    let map_area = cell_area * (n * n) as f64;
+    let norm = cell_area * cell_area / map_area;
+    let freq = |i: usize| if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
+
+    let max_k = n / 2;
+    let mut power = vec![0.0; max_k + 1];
+    let mut count = vec![0usize; max_k + 1];
+    for j in 0..n {
+        for i in 0..n {
+            let kk = (freq(i).powi(2) + freq(j).powi(2)).sqrt();
+            let bin = kk.round() as usize;
+            if bin == 0 || bin > max_k {
+                continue;
+            }
+            power[bin] += data[j * n + i].norm_sq() * norm;
+            count[bin] += 1;
+        }
+    }
+    (1..=max_k)
+        .filter(|&k| count[k] > 0)
+        .map(|k| (k as f64, power[k] / count[k] as f64))
+        .collect()
+}
+
+/// Mean power spectrum over many maps — the per-field statistic stacked
+/// over a field catalog (what the high-throughput pipeline produces).
+pub fn stacked_spectrum(maps: &[Field2]) -> Vec<(f64, f64)> {
+    assert!(!maps.is_empty());
+    let mut acc = power_spectrum_2d(&maps[0]);
+    for m in &maps[1..] {
+        let s = power_spectrum_2d(m);
+        assert_eq!(s.len(), acc.len(), "maps must share a grid");
+        for (a, b) in acc.iter_mut().zip(s) {
+            a.1 += b.1;
+        }
+    }
+    for a in acc.iter_mut() {
+        a.1 /= maps.len() as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtfe_core::grid::GridSpec2;
+    use dtfe_geometry::Vec2;
+
+    fn grid(n: usize, l: f64) -> GridSpec2 {
+        GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(l, l), n, n)
+    }
+
+    #[test]
+    fn single_mode_lands_in_one_bin() {
+        let n = 64;
+        let g = grid(n, 1.0);
+        let mut f = Field2::zeros(g);
+        for j in 0..n {
+            for i in 0..n {
+                let x = g.center(i, j).x;
+                f.set(i, j, (std::f64::consts::TAU * 5.0 * x).cos());
+            }
+        }
+        let ps = power_spectrum_2d(&f);
+        let (peak_k, peak_p) = ps
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak_k, 5.0);
+        // Every other bin is tiny.
+        for &(k, p) in &ps {
+            if k != 5.0 {
+                assert!(p < 1e-9 * peak_p, "leak at k={k}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_map_has_no_power() {
+        let g = grid(16, 2.0);
+        let mut f = Field2::zeros(g);
+        f.data.fill(7.0);
+        let ps = power_spectrum_2d(&f);
+        for &(_, p) in &ps {
+            assert!(p < 1e-18);
+        }
+    }
+
+    #[test]
+    fn amplitude_scales_quadratically() {
+        let g = grid(32, 4.0);
+        let mut f = Field2::zeros(g);
+        for j in 0..32 {
+            for i in 0..32 {
+                let c = g.center(i, j);
+                f.set(i, j, (c.x * 3.1).sin() + 0.5 * (c.y * 2.3).cos());
+            }
+        }
+        let mut f2 = f.clone();
+        for v in f2.data.iter_mut() {
+            *v *= 3.0;
+        }
+        let a = power_spectrum_2d(&f);
+        let b = power_spectrum_2d(&f2);
+        for ((_, pa), (_, pb)) in a.iter().zip(&b) {
+            assert!((pb - 9.0 * pa).abs() <= 1e-9 * pb.abs().max(1e-30));
+        }
+    }
+
+    #[test]
+    fn stacking_averages() {
+        let g = grid(16, 1.0);
+        let mut a = Field2::zeros(g);
+        let mut b = Field2::zeros(g);
+        for j in 0..16 {
+            for i in 0..16 {
+                let x = g.center(i, j).x;
+                a.set(i, j, (std::f64::consts::TAU * 2.0 * x).cos());
+                b.set(i, j, 3.0 * (std::f64::consts::TAU * 2.0 * x).cos());
+            }
+        }
+        let sa = power_spectrum_2d(&a);
+        let sb = power_spectrum_2d(&b);
+        let st = stacked_spectrum(&[a, b]);
+        for (((_, pa), (_, pb)), (_, pt)) in sa.iter().zip(&sb).zip(&st) {
+            assert!((pt - 0.5 * (pa + pb)).abs() < 1e-12 * pt.abs().max(1e-30));
+        }
+    }
+}

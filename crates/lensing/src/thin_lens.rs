@@ -1,0 +1,57 @@
+//! Critical surface density and convergence.
+
+use dtfe_core::grid::Field2;
+
+/// `c² / (4πG)` in `M_sun / Mpc`, with `c` in km/s and
+/// `G = 4.30091e-9 Mpc (km/s)² / M_sun`.
+pub const C2_OVER_4PIG: f64 = 299_792.458 * 299_792.458 / (4.0 * std::f64::consts::PI * 4.300_91e-9);
+
+/// Critical surface density of the thin-lens approximation,
+/// `Σ_cr = c²/(4πG) · D_s / (D_l · D_ls)`, in `M_sun / Mpc²` for angular
+/// diameter distances in Mpc.
+pub fn critical_surface_density(d_lens: f64, d_source: f64, d_lens_source: f64) -> f64 {
+    assert!(d_lens > 0.0 && d_source > 0.0 && d_lens_source > 0.0);
+    C2_OVER_4PIG * d_source / (d_lens * d_lens_source)
+}
+
+/// Convergence map `κ = Σ / Σ_cr` from a surface density field.
+pub fn convergence_map(sigma: &Field2, sigma_cr: f64) -> Field2 {
+    assert!(sigma_cr > 0.0);
+    let data = sigma.data.iter().map(|&s| s / sigma_cr).collect();
+    Field2 { spec: sigma.spec, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtfe_core::grid::GridSpec2;
+    use dtfe_geometry::Vec2;
+
+    #[test]
+    fn sigma_cr_scalings() {
+        let base = critical_surface_density(1000.0, 2000.0, 1200.0);
+        assert!(base > 0.0);
+        // Farther source (at fixed D_l, D_ls) ⇒ larger Σ_cr.
+        assert!(critical_surface_density(1000.0, 4000.0, 1200.0) > base);
+        // Larger lens-source separation ⇒ smaller Σ_cr (more efficient lens).
+        assert!(critical_surface_density(1000.0, 2000.0, 2400.0) < base);
+        // Magnitude sanity: typical cluster lensing Σ_cr ~ 1e15 M_sun/Mpc²
+        // within a couple of orders.
+        assert!(base > 1e14 && base < 1e17, "Σ_cr = {base:e}");
+    }
+
+    #[test]
+    fn convergence_scales_linearly() {
+        let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0), 2, 2);
+        let mut s = Field2::zeros(g);
+        s.data = vec![1.0, 2.0, 3.0, 4.0];
+        let k = convergence_map(&s, 2.0);
+        assert_eq!(k.data, vec![0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_distance_rejected() {
+        critical_surface_density(0.0, 1.0, 1.0);
+    }
+}

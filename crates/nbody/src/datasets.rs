@@ -1,0 +1,107 @@
+//! One-call dataset constructors for the examples and experiment harnesses.
+//!
+//! Each function documents which of the paper's datasets it stands in for.
+
+use crate::halos::{clustered_box, sample_nfw, ClusteredBoxSpec, Halo};
+use crate::rng::Sampler;
+use crate::zeldovich::{zeldovich_particles, ZeldovichSpec};
+use dtfe_geometry::{Aabb3, Vec3};
+
+/// A `Planck`-like cosmological box (paper: 1024³ particles in
+/// 256 Mpc/h): a Zel'dovich realization with mild nonlinear clustering.
+/// `n_side³` particles in a cube of side `box_len`.
+pub fn planck_like(n_side: usize, box_len: f64, seed: u64) -> Vec<Vec3> {
+    zeldovich_particles(&ZeldovichSpec { growth: 1.8, ..ZeldovichSpec::new(n_side, box_len, seed) })
+}
+
+/// The Gadget demo dataset analog (paper §V-1: 650k particles in
+/// (100 Mpc/h)³) at a configurable particle count.
+pub fn gadget_demo_like(n_side: usize, seed: u64) -> (Vec<Vec3>, f64) {
+    let box_len = 100.0;
+    (planck_like(n_side, box_len, seed), box_len)
+}
+
+/// The paper's Fig. 1 object: "the largest structural object" of a
+/// simulation — a massive cluster halo with substructure, embedded in a
+/// diffuse background. Returns the particles and the sub-volume bounds
+/// (paper: ~1.5 M particles in a (4 Mpc/h)³ sub-volume; scale with `n`).
+pub fn cluster_with_substructure(n: usize, seed: u64) -> (Vec<Vec3>, Aabb3) {
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(4.0));
+    let c = bounds.center();
+    let mut s = Sampler::new(seed);
+    let mut pts = Vec::with_capacity(n);
+    // Main halo: 60% of the mass.
+    pts.extend(sample_nfw(c, 1.4, 7.0, n * 6 / 10, &mut s));
+    // Substructure: a handful of satellites at 0.3–1.2 from centre.
+    let n_sub = 8;
+    for _ in 0..n_sub {
+        let d = s.direction();
+        let r = s.range(0.3, 1.2);
+        let sub_c = c + Vec3::new(d[0], d[1], d[2]) * r;
+        let frac = s.range(0.01, 0.06);
+        pts.extend(sample_nfw(sub_c, s.range(0.15, 0.4), s.range(5.0, 10.0), (n as f64 * frac) as usize, &mut s));
+    }
+    // Diffuse background fills the remainder.
+    while pts.len() < n {
+        pts.push(Vec3::new(s.range(0.0, 4.0), s.range(0.0, 4.0), s.range(0.0, 4.0)));
+    }
+    pts.truncate(n);
+    // Clamp stragglers from satellites near the boundary into the box.
+    for p in pts.iter_mut() {
+        p.x = p.x.clamp(0.0, 4.0 - 1e-9);
+        p.y = p.y.clamp(0.0, 4.0 - 1e-9);
+        p.z = p.z.clamp(0.0, 4.0 - 1e-9);
+    }
+    (pts, bounds)
+}
+
+/// A halo-dominated box with its catalog — the substrate for the
+/// galaxy-galaxy lensing experiment (paper §V-3: fields centred on galaxy
+/// positions in the densest regions).
+pub fn galaxy_box(
+    box_len: f64,
+    n_particles: usize,
+    n_halos: usize,
+    seed: u64,
+) -> (Vec<Vec3>, Vec<Halo>) {
+    clustered_box(&ClusteredBoxSpec::new(
+        Aabb3::new(Vec3::ZERO, Vec3::splat(box_len)),
+        n_particles,
+        n_halos,
+        seed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zeldovich::count_in_cells_variance;
+
+    #[test]
+    fn planck_like_is_clustered_and_in_box() {
+        let pts = planck_like(16, 32.0, 1);
+        assert_eq!(pts.len(), 4096);
+        assert!(pts.iter().all(|p| p.x >= 0.0 && p.x < 32.0));
+        assert!(count_in_cells_variance(&pts, 32.0, 4) > 1.2);
+    }
+
+    #[test]
+    fn cluster_has_central_concentration() {
+        let (pts, bounds) = cluster_with_substructure(20_000, 2);
+        assert_eq!(pts.len(), 20_000);
+        let c = bounds.center();
+        let inner = pts.iter().filter(|p| p.distance(c) < 0.5).count();
+        let outer = pts.iter().filter(|p| p.distance(c) > 1.5).count();
+        // NFW core: far denser than the outskirts despite tiny volume.
+        assert!(inner > outer / 4, "inner {inner}, outer {outer}");
+        assert!(pts.iter().all(|p| bounds.contains(*p)));
+    }
+
+    #[test]
+    fn galaxy_box_catalog_nonempty() {
+        let (pts, halos) = galaxy_box(64.0, 30_000, 20, 3);
+        assert_eq!(pts.len(), 30_000);
+        assert_eq!(halos.len(), 20);
+        assert!(halos[0].n_particles >= halos.last().unwrap().n_particles);
+    }
+}

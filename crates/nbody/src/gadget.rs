@@ -1,0 +1,209 @@
+//! Minimal Gadget-1 snapshot reader/writer (positions only).
+//!
+//! The paper's shared-memory comparison (§V-1) uses "the provided demo
+//! dataset from a publicly available N-body simulation software called
+//! Gadget". This module reads the classic Gadget-1 (SnapFormat=1) binary
+//! layout far enough to extract particle positions, and writes the same
+//! layout so tests (and users without real snapshots) can round-trip.
+//!
+//! Gadget-1 stores Fortran-style records: `u32 len | payload | u32 len`.
+//! The header record is 256 bytes (`npart[6]`, `mass[6]`, time, redshift,
+//! …, `BoxSize`, …); the next record holds `Σ npart` single-precision
+//! position triples.
+
+use dtfe_geometry::Vec3;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// The subset of the Gadget-1 header this reader interprets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GadgetHeader {
+    pub npart: [u32; 6],
+    pub mass: [f64; 6],
+    pub time: f64,
+    pub redshift: f64,
+    pub box_size: f64,
+}
+
+impl GadgetHeader {
+    pub fn total_particles(&self) -> usize {
+        self.npart.iter().map(|&n| n as usize).sum()
+    }
+}
+
+const HEADER_BYTES: u32 = 256;
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Read header and positions from a Gadget-1 snapshot.
+pub fn read_gadget(path: &Path) -> io::Result<(GadgetHeader, Vec<Vec3>)> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+
+    // Header record.
+    if read_u32(&mut r)? != HEADER_BYTES {
+        return Err(bad("not a Gadget-1 snapshot (bad header record length)"));
+    }
+    let mut h = GadgetHeader::default();
+    for n in h.npart.iter_mut() {
+        *n = read_u32(&mut r)?;
+    }
+    for m in h.mass.iter_mut() {
+        *m = read_f64(&mut r)?;
+    }
+    h.time = read_f64(&mut r)?;
+    h.redshift = read_f64(&mut r)?;
+    // flag_sfr, flag_feedback (i32 each), npartTotal[6], flag_cooling,
+    // num_files (i32 each), BoxSize.
+    let mut skip = [0u8; 4 * 2 + 4 * 6 + 4 * 2];
+    r.read_exact(&mut skip)?;
+    h.box_size = read_f64(&mut r)?;
+    // Remainder of the 256-byte header.
+    let consumed = 4 * 6 + 8 * 6 + 8 + 8 + skip.len() + 8;
+    let mut rest = vec![0u8; HEADER_BYTES as usize - consumed];
+    r.read_exact(&mut rest)?;
+    if read_u32(&mut r)? != HEADER_BYTES {
+        return Err(bad("corrupt header record trailer"));
+    }
+
+    // Position record.
+    let n = h.total_particles();
+    let expect = (n * 12) as u32;
+    let len = read_u32(&mut r)?;
+    if len != expect {
+        return Err(bad("position record length does not match npart"));
+    }
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = read_f32(&mut r)? as f64;
+        let y = read_f32(&mut r)? as f64;
+        let z = read_f32(&mut r)? as f64;
+        pts.push(Vec3::new(x, y, z));
+    }
+    if read_u32(&mut r)? != expect {
+        return Err(bad("corrupt position record trailer"));
+    }
+    Ok((h, pts))
+}
+
+/// Write a Gadget-1 snapshot with all particles as type 1 (halo/dark
+/// matter), positions only.
+pub fn write_gadget(path: &Path, points: &[Vec3], box_size: f64) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    let put_u32 = |w: &mut dyn Write, v: u32| w.write_all(&v.to_le_bytes());
+    let put_f64 = |w: &mut dyn Write, v: f64| w.write_all(&v.to_le_bytes());
+
+    put_u32(&mut w, HEADER_BYTES)?;
+    let npart = [0u32, points.len() as u32, 0, 0, 0, 0];
+    for n in npart {
+        put_u32(&mut w, n)?;
+    }
+    for _ in 0..6 {
+        put_f64(&mut w, 0.0)?; // masses come from a mass block in real files
+    }
+    put_f64(&mut w, 1.0)?; // time
+    put_f64(&mut w, 0.0)?; // redshift
+    put_u32(&mut w, 0)?; // flag_sfr
+    put_u32(&mut w, 0)?; // flag_feedback
+    for n in npart {
+        put_u32(&mut w, n)?; // npartTotal
+    }
+    put_u32(&mut w, 0)?; // flag_cooling
+    put_u32(&mut w, 1)?; // num_files
+    put_f64(&mut w, box_size)?;
+    // Pad to 256 bytes.
+    let written = 4 * 6 + 8 * 6 + 8 + 8 + 4 * 2 + 4 * 6 + 4 * 2 + 8;
+    w.write_all(&vec![0u8; HEADER_BYTES as usize - written])?;
+    put_u32(&mut w, HEADER_BYTES)?;
+
+    let len = (points.len() * 12) as u32;
+    put_u32(&mut w, len)?;
+    for p in points {
+        w.write_all(&(p.x as f32).to_le_bytes())?;
+        w.write_all(&(p.y as f32).to_le_bytes())?;
+        w.write_all(&(p.z as f32).to_le_bytes())?;
+    }
+    put_u32(&mut w, len)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dtfe_gadget_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pts: Vec<Vec3> = (0..100)
+            .map(|i| Vec3::new(i as f64 * 0.25, (i % 7) as f64, (i % 13) as f64 * 0.5))
+            .collect();
+        let p = tmp("rt.gad");
+        write_gadget(&p, &pts, 100.0).unwrap();
+        let (h, got) = read_gadget(&p).unwrap();
+        assert_eq!(h.npart[1], 100);
+        assert_eq!(h.total_particles(), 100);
+        assert_eq!(h.box_size, 100.0);
+        assert_eq!(got.len(), 100);
+        // f32 storage: positions round-trip to single precision.
+        for (a, b) in pts.iter().zip(&got) {
+            assert!((a.x - b.x).abs() < 1e-4 * (1.0 + a.x.abs()));
+            assert!((a.y - b.y).abs() < 1e-4);
+            assert!((a.z - b.z).abs() < 1e-4);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let p = tmp("bad.gad");
+        std::fs::write(&p, b"this is not gadget data at all, sorry").unwrap();
+        assert!(read_gadget(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_positions() {
+        let pts: Vec<Vec3> = (0..10).map(|i| Vec3::splat(i as f64)).collect();
+        let p = tmp("trunc.gad");
+        write_gadget(&p, &pts, 10.0).unwrap();
+        let full = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() - 16]).unwrap();
+        assert!(read_gadget(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn header_layout_is_256_bytes() {
+        let p = tmp("hdr.gad");
+        write_gadget(&p, &[Vec3::ZERO], 1.0).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        // record marker + 256 header + marker + marker + 12 + marker.
+        assert_eq!(bytes.len(), 4 + 256 + 4 + 4 + 12 + 4);
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 256);
+        std::fs::remove_file(&p).ok();
+    }
+}

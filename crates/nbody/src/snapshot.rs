@@ -1,0 +1,217 @@
+//! Blocked binary snapshot format.
+//!
+//! Mimics the layout the paper reads with MPI-IO (§IV-B): "data was written
+//! to several files containing offsets within each file for an individual
+//! process's particles … on disk the data block written by a process
+//! represents a contiguous sub-volume". Here one file holds a header, a
+//! per-rank offset table, and contiguous per-rank particle blocks; readers
+//! can fetch any subset of blocks independently, which is what the
+//! framework's "parallel read with arbitrary block assignment" simulates.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  u64  = 0x44_54_46_45_53_4E_50_31 ("DTFESNP1")
+//! nranks u64
+//! total  u64
+//! bounds 6 × f64 (lo.xyz, hi.xyz)
+//! table  nranks × (offset u64, count u64)   — offset in particles, not bytes
+//! data   total × 3 × f64
+//! ```
+
+use dtfe_geometry::{Aabb3, Vec3};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: u64 = 0x4454_4645_534E_5031;
+
+/// Snapshot header and block table.
+#[derive(Clone, Debug)]
+pub struct SnapshotInfo {
+    pub bounds: Aabb3,
+    pub total: u64,
+    /// Per-rank `(offset, count)` in particle units.
+    pub blocks: Vec<(u64, u64)>,
+}
+
+impl SnapshotInfo {
+    pub fn num_ranks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Write a snapshot with one contiguous block per writer rank.
+pub fn write_snapshot(path: &Path, blocks: &[Vec<Vec3>], bounds: Aabb3) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+    write_u64(&mut w, MAGIC)?;
+    write_u64(&mut w, blocks.len() as u64)?;
+    write_u64(&mut w, total)?;
+    for v in [bounds.lo, bounds.hi] {
+        write_f64(&mut w, v.x)?;
+        write_f64(&mut w, v.y)?;
+        write_f64(&mut w, v.z)?;
+    }
+    let mut offset = 0u64;
+    for b in blocks {
+        write_u64(&mut w, offset)?;
+        write_u64(&mut w, b.len() as u64)?;
+        offset += b.len() as u64;
+    }
+    for b in blocks {
+        for p in b {
+            write_f64(&mut w, p.x)?;
+            write_f64(&mut w, p.y)?;
+            write_f64(&mut w, p.z)?;
+        }
+    }
+    w.flush()
+}
+
+/// Read only the header/table.
+pub fn read_info(path: &Path) -> io::Result<SnapshotInfo> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_info_from(&mut r)
+}
+
+fn read_info_from(r: &mut impl Read) -> io::Result<SnapshotInfo> {
+    let magic = read_u64(r)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
+    }
+    let nranks = read_u64(r)?;
+    let total = read_u64(r)?;
+    let lo = Vec3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
+    let hi = Vec3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
+    let mut blocks = Vec::with_capacity(nranks as usize);
+    for _ in 0..nranks {
+        blocks.push((read_u64(r)?, read_u64(r)?));
+    }
+    Ok(SnapshotInfo { bounds: Aabb3::new(lo, hi), total, blocks })
+}
+
+fn data_start(info: &SnapshotInfo) -> u64 {
+    // magic + nranks + total + 6 bounds + table.
+    (3 + 6 + 2 * info.blocks.len() as u64) * 8
+}
+
+/// Read one rank's block (the per-process read of the parallel ingest).
+pub fn read_block(path: &Path, info: &SnapshotInfo, rank: usize) -> io::Result<Vec<Vec3>> {
+    let (offset, count) = info.blocks[rank];
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(data_start(info) + offset * 24))?;
+    let mut r = BufReader::new(f);
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+    }
+    Ok(out)
+}
+
+/// Read the whole snapshot.
+pub fn read_all(path: &Path) -> io::Result<(SnapshotInfo, Vec<Vec3>)> {
+    let info = read_info(path)?;
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(data_start(&info)))?;
+    let mut r = BufReader::new(f);
+    let mut out = Vec::with_capacity(info.total as usize);
+    for _ in 0..info.total {
+        out.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+    }
+    Ok((info, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dtfe_snap_test_{}_{name}.bin", std::process::id()));
+        p
+    }
+
+    fn sample_blocks() -> (Vec<Vec<Vec3>>, Aabb3) {
+        let blocks = vec![
+            vec![Vec3::new(0.5, 0.5, 0.5), Vec3::new(0.25, 0.5, 0.75)],
+            vec![Vec3::new(1.5, 0.5, 0.5)],
+            vec![],
+            vec![Vec3::new(1.5, 1.5, 0.5), Vec3::new(1.25, 1.75, 0.5), Vec3::new(1.0, 1.0, 1.0)],
+        ];
+        (blocks, Aabb3::new(Vec3::ZERO, Vec3::splat(2.0)))
+    }
+
+    #[test]
+    fn roundtrip_all() {
+        let p = tmp("all");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot(&p, &blocks, bounds).unwrap();
+        let (info, pts) = read_all(&p).unwrap();
+        assert_eq!(info.total, 6);
+        assert_eq!(info.num_ranks(), 4);
+        assert_eq!(info.bounds, bounds);
+        let expect: Vec<Vec3> = blocks.concat();
+        assert_eq!(pts, expect);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn per_block_reads() {
+        let p = tmp("blocks");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot(&p, &blocks, bounds).unwrap();
+        let info = read_info(&p).unwrap();
+        for (rank, expect) in blocks.iter().enumerate() {
+            let got = read_block(&p, &info, rank).unwrap();
+            assert_eq!(&got, expect, "rank {rank}");
+        }
+        // Arbitrary block assignment: read blocks out of order.
+        assert_eq!(read_block(&p, &info, 3).unwrap().len(), 3);
+        assert_eq!(read_block(&p, &info, 0).unwrap().len(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let p = tmp("bad");
+        std::fs::write(&p, b"not a snapshot file at all").unwrap();
+        assert!(read_info(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn block_table_offsets_contiguous() {
+        let p = tmp("offsets");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot(&p, &blocks, bounds).unwrap();
+        let info = read_info(&p).unwrap();
+        let mut expect = 0u64;
+        for (i, &(off, count)) in info.blocks.iter().enumerate() {
+            assert_eq!(off, expect, "rank {i}");
+            expect += count;
+        }
+        assert_eq!(expect, info.total);
+        std::fs::remove_file(&p).ok();
+    }
+}

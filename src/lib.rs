@@ -1,0 +1,14 @@
+//! Umbrella crate for the DTFE surface-density reproduction.
+//!
+//! Re-exports every subsystem so the examples and integration tests can use a
+//! single dependency. The actual implementations live in the `crates/*`
+//! workspace members; see `DESIGN.md` for the system inventory.
+
+pub use dtfe_core as core;
+pub use dtfe_delaunay as delaunay;
+pub use dtfe_framework as framework;
+pub use dtfe_geometry as geometry;
+pub use dtfe_lensing as lensing;
+pub use dtfe_nbody as nbody;
+pub use dtfe_simcluster as simcluster;
+pub use dtfe_tess as tess;
