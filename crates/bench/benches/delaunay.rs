@@ -1,8 +1,9 @@
 //! Criterion benches of the Delaunay substrate: construction (with the
-//! Morton-order ablation from DESIGN.md) and point location.
+//! Morton-order ablation from DESIGN.md), the parallel-build thread sweep,
+//! and point location.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dtfe_delaunay::Delaunay;
+use dtfe_delaunay::DelaunayBuilder;
 use dtfe_geometry::Vec3;
 
 fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
@@ -22,10 +23,31 @@ fn bench_build(c: &mut Criterion) {
     for &n in &[2_000usize, 10_000] {
         let pts = cloud(n, 42);
         group.bench_with_input(BenchmarkId::new("morton", n), &pts, |b, pts| {
-            b.iter(|| Delaunay::build(pts).unwrap())
+            b.iter(|| DelaunayBuilder::new().threads(1).build(pts).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("input_order", n), &pts, |b, pts| {
-            b.iter(|| Delaunay::build_insertion_order(pts).unwrap())
+            b.iter(|| {
+                DelaunayBuilder::new()
+                    .threads(1)
+                    .spatial_sort(false)
+                    .build(pts)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The issue's scaling experiment: identical input, 1/2/4/8 builder threads.
+/// Thread count 1 is the serial path; the others run the round-synchronous
+/// parallel insertion, which produces the same mesh (see `parallel.rs`).
+fn bench_build_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delaunay_build_threads");
+    group.sample_size(10);
+    let pts = cloud(20_000, 42);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &pts, |b, pts| {
+            b.iter(|| DelaunayBuilder::new().threads(threads).build(pts).unwrap())
         });
     }
     group.finish();
@@ -33,7 +55,7 @@ fn bench_build(c: &mut Criterion) {
 
 fn bench_locate(c: &mut Criterion) {
     let pts = cloud(20_000, 7);
-    let del = Delaunay::build(&pts).unwrap();
+    let del = DelaunayBuilder::new().build(&pts).unwrap();
     let mut group = c.benchmark_group("delaunay_locate");
     group.bench_function("cold_walk", |b| {
         let mut seed = 1u64;
@@ -74,6 +96,6 @@ fn bench_locate(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_build, bench_locate
+    targets = bench_build, bench_build_threads, bench_locate
 }
 criterion_main!(benches);

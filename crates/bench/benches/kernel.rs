@@ -60,7 +60,10 @@ fn bench_kernels(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(0x9E3779B9);
-            index.query(Vec2::new((i % 997) as f64 / 997.0 * 16.0, (i % 991) as f64 / 991.0 * 16.0))
+            index.query(Vec2::new(
+                (i % 997) as f64 / 997.0 * 16.0,
+                (i % 991) as f64 / 991.0 * 16.0,
+            ))
         });
     });
     group.bench_with_input(BenchmarkId::new("locate_walk", 4096), &(), |b, _| {
@@ -73,7 +76,9 @@ fn bench_kernels(c: &mut Criterion) {
                 (i % 991) as f64 / 991.0 * 16.0,
                 0.01,
             );
-            field.delaunay().locate_seeded(p, dtfe_delaunay::NONE, &mut seed)
+            field
+                .delaunay()
+                .locate_seeded(p, dtfe_delaunay::NONE, &mut seed)
         });
     });
     group.finish();

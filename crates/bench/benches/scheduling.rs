@@ -3,7 +3,9 @@
 //! round.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dtfe_framework::eventsim::{partition_items, simulate_balanced, synth_global_workload, SimParams};
+use dtfe_framework::eventsim::{
+    partition_items, simulate_balanced, synth_global_workload, SimParams,
+};
 use dtfe_framework::sharing::{create_schedule, pack_bins, pack_bins_naive};
 
 fn bench_scheduling(c: &mut Criterion) {

@@ -36,17 +36,29 @@ fn main() {
     });
     let field_len = 3.0;
     let centers = galaxy_galaxy_centers(&halos, n_fields, bounds, field_len * 0.5);
-    let requests: Vec<FieldRequest> =
-        centers.iter().map(|&c| FieldRequest { center: c }).collect();
-    println!("# fig10: {} fields over {} particles", requests.len(), particles.len());
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
+    println!(
+        "# fig10: {} fields over {} particles",
+        requests.len(),
+        particles.len()
+    );
 
     let mut w = SeriesWriter::create(
         "fig10_imbalance",
         "nranks,balanced_norm_std,unbalanced_norm_std",
     );
     for &p in ranks {
-        let cfg_b = FrameworkConfig { balance: true, ..FrameworkConfig::new(field_len, 24) };
-        let cfg_u = FrameworkConfig { balance: false, ..FrameworkConfig::new(field_len, 24) };
+        let cfg_b = FrameworkConfig {
+            balance: true,
+            ..FrameworkConfig::new(field_len, 24)
+        };
+        let cfg_u = FrameworkConfig {
+            balance: false,
+            ..FrameworkConfig::new(field_len, 24)
+        };
         let (bal, _) = measure(&particles, bounds, &requests, &cfg_b, p);
         let (unbal, _) = measure(&particles, bounds, &requests, &cfg_u, p);
         w.row(&format!("{p},{:.3},{:.3}", bal.imbalance, unbal.imbalance));

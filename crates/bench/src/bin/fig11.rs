@@ -29,9 +29,15 @@ fn main() {
     });
     let field_len = 3.0;
     let centers = galaxy_galaxy_centers(&halos, n_fields, bounds, field_len * 0.5);
-    let requests: Vec<FieldRequest> =
-        centers.iter().map(|&c| FieldRequest { center: c }).collect();
-    println!("# fig11: {} fields over {} particles", requests.len(), particles.len());
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
+    println!(
+        "# fig11: {} fields over {} particles",
+        requests.len(),
+        particles.len()
+    );
 
     let cfg = FrameworkConfig::new(field_len, scale.pick(24, 40, 64));
     let reports = run_distributed(8, &particles, bounds, &requests, &cfg);
@@ -70,7 +76,15 @@ fn main() {
 
     let mean_of = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let mut s = SeriesWriter::create("fig11_summary", "model,mean_rel_error,samples");
-    s.row(&format!("triangulation,{:.4},{}", mean_of(&tri_err), tri_err.len()));
-    s.row(&format!("interpolation,{:.4},{}", mean_of(&interp_err), interp_err.len()));
+    s.row(&format!(
+        "triangulation,{:.4},{}",
+        mean_of(&tri_err),
+        tri_err.len()
+    ));
+    s.row(&format!(
+        "interpolation,{:.4},{}",
+        mean_of(&interp_err),
+        interp_err.len()
+    ));
     println!("# paper: both distributions symmetric, centred near zero");
 }

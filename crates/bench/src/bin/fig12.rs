@@ -40,8 +40,10 @@ fn main() {
     });
     let field_len = 3.0;
     let centers = multiplane_los_centers(bounds, n_lines, planes, field_len * 0.5, 77);
-    let requests: Vec<FieldRequest> =
-        centers.iter().map(|&c| FieldRequest { center: c }).collect();
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
     println!(
         "# fig12: {} lines × {} planes = {} fields over {} particles",
         n_lines,

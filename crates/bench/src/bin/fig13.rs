@@ -17,8 +17,8 @@
 
 use dtfe_bench::{Scale, SeriesWriter};
 use dtfe_framework::eventsim::{
-    normalized_std, partition_items, simulate_balanced, simulate_unbalanced,
-    synth_global_workload, SimParams,
+    normalized_std, partition_items, simulate_balanced, simulate_unbalanced, synth_global_workload,
+    SimParams,
 };
 
 fn main() {

@@ -32,7 +32,10 @@ fn main() {
 
     let t0 = Instant::now();
     let field = DtfeField::build(&particles, Mass::Uniform(1.0)).expect("triangulation");
-    println!("# triangulation: {:.2}s (excluded from the comparison, as in the paper)", t0.elapsed().as_secs_f64());
+    println!(
+        "# triangulation: {:.2}s (excluded from the comparison, as in the paper)",
+        t0.elapsed().as_secs_f64()
+    );
 
     let grid = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(box_len, box_len), ng, ng);
     let g3 = GridSpec3::lift(&grid, 0.0, box_len, ng);
@@ -53,7 +56,7 @@ fn main() {
 
     // --- Marching kernel: per-cell costs.
     let index = HullIndex::build(&field);
-    let opts = MarchOptions { parallel: false, ..Default::default() };
+    let opts = MarchOptions::new().parallel(false);
     let eps = opts.epsilon * grid.cell.norm();
     let mut stats = MarchStats::default();
     let t_all = Instant::now();
@@ -61,7 +64,9 @@ fn main() {
     for j in 0..ng {
         for i in 0..ng {
             let t = Instant::now();
-            let v = cell_value(&field, &index, &grid, i, j, eps, &opts, &mut seed, &mut stats);
+            let v = cell_value(
+                &field, &index, &grid, i, j, eps, &opts, &mut seed, &mut stats,
+            );
             march_costs.push(t.elapsed().as_secs_f64());
             std::hint::black_box(v);
         }
@@ -81,10 +86,7 @@ fn main() {
     }
     drop(w);
 
-    let mut s = SeriesWriter::create(
-        "fig6_summary",
-        "metric,walking,marching,ratio",
-    );
+    let mut s = SeriesWriter::create("fig6_summary", "metric,walking,marching,ratio");
     s.row(&format!(
         "total_cpu_s,{walk_total:.3},{march_total:.3},{:.2}",
         walk_total / march_total
@@ -101,7 +103,8 @@ fn main() {
         wall_of(&march_threads),
         wall_of(&walk_threads) / wall_of(&march_threads)
     ));
-    let spread = |v: &[f64]| (wall_of(v) - v.iter().cloned().fold(f64::INFINITY, f64::min)) / mean(v);
+    let spread =
+        |v: &[f64]| (wall_of(v) - v.iter().cloned().fold(f64::INFINITY, f64::min)) / mean(v);
     s.row(&format!(
         "thread_spread,{:.3},{:.3},{:.2}",
         spread(&walk_threads),

@@ -38,13 +38,21 @@ fn run_at(particles: &[Vec3], bounds: Aabb3, ng: usize, nranks: usize) -> StageT
     let decomp = Decomposition::new(bounds, nranks);
     let margin = bounds.extent().x / (nranks as f64).cbrt() * 0.25;
     let full = GridSpec2::covering(bounds.lo.xy(), bounds.hi.xy(), ng, ng);
-    let mut out = StageTimes { tri: vec![], interp: vec![], tess: vec![], dense: vec![] };
+    let mut out = StageTimes {
+        tri: vec![],
+        interp: vec![],
+        tess: vec![],
+        dense: vec![],
+    };
 
     for rank in 0..nranks {
         let sub = decomp.rank_box(rank);
         let inflated = sub.inflated(margin);
-        let local: Vec<Vec3> =
-            particles.iter().copied().filter(|p| inflated.contains_closed(*p)).collect();
+        let local: Vec<Vec3> = particles
+            .iter()
+            .copied()
+            .filter(|p| inflated.contains_closed(*p))
+            .collect();
 
         // The rank's share of the global 2D grid: the columns whose centre
         // falls in its box footprint AND whose z-range it owns — since the
@@ -73,12 +81,16 @@ fn run_at(particles: &[Vec3], bounds: Aabb3, ng: usize, nranks: usize) -> StageT
 
         // --- ours ---
         let t0 = Instant::now();
-        let del = dtfe_delaunay::Delaunay::build(&local).expect("triangulation");
+        let del = dtfe_delaunay::DelaunayBuilder::new()
+            .build(&local)
+            .expect("triangulation");
         let field = DtfeField::from_delaunay_for_inputs(del, local.len(), Mass::Uniform(1.0));
         out.tri.push(t0.elapsed().as_secs_f64());
 
         let t0 = Instant::now();
-        let opts = MarchOptions { parallel: false, z_range: Some(z_range), ..Default::default() };
+        let opts = MarchOptions::new()
+            .parallel(false)
+            .z_range(z_range.0, z_range.1);
         let sigma = surface_density(&field, &sub_grid, &opts);
         out.interp.push(t0.elapsed().as_secs_f64());
         std::hint::black_box(sigma);
@@ -111,7 +123,9 @@ fn main() {
     let keep = n_side * n_side * n_side;
     if particles.len() > keep {
         let step = particles.len() as f64 / keep as f64;
-        particles = (0..keep).map(|i| particles[(i as f64 * step) as usize]).collect();
+        particles = (0..keep)
+            .map(|i| particles[(i as f64 * step) as usize])
+            .collect();
     }
     let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
     println!("# fig7: {} particles, {ng}² global grid", particles.len());
@@ -128,8 +142,12 @@ fn main() {
     );
     for &p in ranks {
         let st = run_at(&particles, bounds, ng, p);
-        let (wi, wt, wd, wv) =
-            (wall_of(&st.interp), wall_of(&st.tri), wall_of(&st.dense), wall_of(&st.tess));
+        let (wi, wt, wd, wv) = (
+            wall_of(&st.interp),
+            wall_of(&st.tri),
+            wall_of(&st.dense),
+            wall_of(&st.tess),
+        );
         times.row(&format!(
             "{p},{wi:.3},{wt:.3},{wd:.3},{wv:.3},{:.3},{:.3}",
             wi + wt,

@@ -29,11 +29,7 @@ fn main() {
     let grid = GridSpec2::square(Vec3::splat(box_len / 2.0).xy(), box_len * 0.8, ng);
 
     // DTFE marching map.
-    let sigma_dtfe = surface_density(
-        &field,
-        &grid,
-        &MarchOptions { z_range: Some((0.0, box_len)), ..Default::default() },
-    );
+    let sigma_dtfe = surface_density(&field, &grid, &MarchOptions::new().z_range(0.0, box_len));
     // TESS/DENSE zero-order map on the same grid (3D grid with nz = ng).
     let vd = VoronoiDensity::from_dtfe(&field);
     let sigma_dense = vd.surface_density(&grid, (0.0, box_len), ng, true);
@@ -57,16 +53,18 @@ fn main() {
 
     // Agreement summary: the paper reports the maps "mostly in agreement"
     // with a small bias bump from the differing interpolations.
-    let finite: Vec<f64> = ratio.data.iter().copied().filter(|v| v.is_finite()).collect();
+    let finite: Vec<f64> = ratio
+        .data
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
     let mean = finite.iter().sum::<f64>() / finite.len() as f64;
     let within = finite.iter().filter(|v| v.abs() < 0.25).count() as f64 / finite.len() as f64;
     let mut s = SeriesWriter::create("fig8_summary", "metric,value");
     s.row(&format!("mean_log10_ratio,{mean:.4}"));
     s.row(&format!("fraction_within_quarter_dex,{within:.4}"));
-    s.row(&format!(
-        "mass_dtfe,{:.1}",
-        sigma_dtfe.total_mass()
-    ));
+    s.row(&format!("mass_dtfe,{:.1}", sigma_dtfe.total_mass()));
     s.row(&format!("mass_dense,{:.1}", sigma_dense.total_mass()));
     println!("# expect: mean near 0, most cells within ±0.25 dex, a skewed tail (bias bump)");
 }

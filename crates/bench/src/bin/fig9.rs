@@ -43,8 +43,10 @@ fn main() {
     });
     let field_len = 3.0;
     let centers = galaxy_galaxy_centers(&halos, n_fields, bounds, field_len * 0.5);
-    let requests: Vec<FieldRequest> =
-        centers.iter().map(|&c| FieldRequest { center: c }).collect();
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
     println!(
         "# fig9: {} particles, {} halos, {} fields of ({field_len})³ at {resolution}²",
         particles.len(),

@@ -52,7 +52,13 @@ pub fn measure(
         sharing_wait: wall_of(&wait),
         total: wall_of(&partition)
             + wall_of(&model)
-            + wall_of(&compute.iter().zip(&wait).map(|(c, w)| c + w).collect::<Vec<f64>>()),
+            + wall_of(
+                &compute
+                    .iter()
+                    .zip(&wait)
+                    .map(|(c, w)| c + w)
+                    .collect::<Vec<f64>>(),
+            ),
         imbalance: normalized_std(&compute),
         fields: reports.iter().map(|r| r.fields_computed).sum(),
     };
@@ -85,7 +91,10 @@ pub fn scaling_sweep(
     for &p in rank_counts {
         let mut row_imb = (0.0, 0.0);
         for balanced in [true, false] {
-            let cfg = FrameworkConfig { balance: balanced, ..base_cfg.clone() };
+            let cfg = FrameworkConfig {
+                balance: balanced,
+                ..base_cfg.clone()
+            };
             let (pt, reports) = measure(particles, bounds, requests, &cfg, p);
             assert_eq!(pt.fields, requests.len(), "lost work items");
             let mode = if balanced { "balanced" } else { "unbalanced" };

@@ -110,9 +110,8 @@ impl SeriesWriter {
     pub fn create(name: &str, header: &str) -> SeriesWriter {
         let dir = dtfe_core::io::experiments_dir();
         let path = dir.join(format!("{name}.csv"));
-        let mut file = std::io::BufWriter::new(
-            std::fs::File::create(&path).expect("create experiment csv"),
-        );
+        let mut file =
+            std::io::BufWriter::new(std::fs::File::create(&path).expect("create experiment csv"));
         writeln!(file, "{header}").unwrap();
         println!("# {name} -> {}", path.display());
         println!("{header}");

@@ -27,7 +27,11 @@ pub struct AdaptiveOptions {
 
 impl Default for AdaptiveOptions {
     fn default() -> Self {
-        AdaptiveOptions { tol: 0.25, max_depth: 4, march: MarchOptions::default() }
+        AdaptiveOptions {
+            tol: 0.25,
+            max_depth: 4,
+            march: MarchOptions::default(),
+        }
     }
 }
 
@@ -111,7 +115,7 @@ pub fn adaptive_surface_density(
             field,
             &index,
             xi,
-            opts.march.z_range,
+            opts.march.render.z_range,
             eps,
             opts.march.max_perturb,
             seed,
@@ -131,7 +135,10 @@ pub fn adaptive_surface_density(
                 base.origin.x + i as f64 * base.cell.x,
                 base.origin.y + j as f64 * base.cell.y,
             );
-            stack.push(Work { rect: Aabb2::new(lo, lo + base.cell), depth: 0 });
+            stack.push(Work {
+                rect: Aabb2::new(lo, lo + base.cell),
+                depth: 0,
+            });
         }
     }
     while let Some(w) = stack.pop() {
@@ -154,14 +161,26 @@ pub fn adaptive_surface_density(
             let half = w.rect.extent() * 0.5;
             for (ci, &cc) in child_centers.iter().enumerate() {
                 let lo = Vec2::new(cc.x - half.x * 0.5, cc.y - half.y * 0.5);
-                stack.push(Work { rect: Aabb2::new(lo, lo + half), depth: w.depth + 1 });
+                stack.push(Work {
+                    rect: Aabb2::new(lo, lo + half),
+                    depth: w.depth + 1,
+                });
                 let _ = ci;
             }
         } else {
-            cells.push(AdaptiveCell { rect: w.rect, depth: w.depth, value: mean });
+            cells.push(AdaptiveCell {
+                rect: w.rect,
+                depth: w.depth,
+                value: mean,
+            });
         }
     }
-    AdaptiveField { base: *base, cells, stats, rays }
+    AdaptiveField {
+        base: *base,
+        cells,
+        stats,
+        rays,
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +188,6 @@ mod tests {
     use super::*;
     use crate::density::Mass;
     use crate::marching::surface_density;
-    use dtfe_geometry::Vec3;
     use dtfe_nbody_testdata::*;
 
     // Local replacement for a would-be test-support crate: inline data
@@ -222,10 +240,18 @@ mod tests {
         let pts = jittered_cloud(6, 3);
         let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
         let base = GridSpec2::covering(Vec2::new(1.5, 1.5), Vec2::new(4.0, 4.0), 8, 8);
-        let opts = AdaptiveOptions { tol: 0.8, max_depth: 4, ..Default::default() };
+        let opts = AdaptiveOptions {
+            tol: 0.8,
+            max_depth: 4,
+            ..Default::default()
+        };
         let af = adaptive_surface_density(&field, &base, &opts);
         // Few refinements on smooth jittered-lattice data with loose tol.
-        assert!(af.num_leaves() < 2 * base.num_cells(), "leaves = {}", af.num_leaves());
+        assert!(
+            af.num_leaves() < 2 * base.num_cells(),
+            "leaves = {}",
+            af.num_leaves()
+        );
     }
 
     #[test]
@@ -233,16 +259,30 @@ mod tests {
         let pts = cloud_with_clump(7);
         let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
         let base = GridSpec2::covering(Vec2::new(0.5, 0.5), Vec2::new(5.0, 5.0), 8, 8);
-        let opts = AdaptiveOptions { tol: 0.3, max_depth: 4, ..Default::default() };
+        let opts = AdaptiveOptions {
+            tol: 0.3,
+            max_depth: 4,
+            ..Default::default()
+        };
         let af = adaptive_surface_density(&field, &base, &opts);
-        assert!(af.max_depth() >= 2, "never refined (max depth {})", af.max_depth());
+        assert!(
+            af.max_depth() >= 2,
+            "never refined (max depth {})",
+            af.max_depth()
+        );
         // Deep leaves cluster near the clump centre (2.5, 2.5).
         let c = Vec2::new(2.5, 2.5);
-        let deep: Vec<&AdaptiveCell> =
-            af.cells.iter().filter(|l| l.depth == af.max_depth()).collect();
+        let deep: Vec<&AdaptiveCell> = af
+            .cells
+            .iter()
+            .filter(|l| l.depth == af.max_depth())
+            .collect();
         assert!(!deep.is_empty());
-        let mean_dist =
-            deep.iter().map(|l| l.rect.center().distance(c)).sum::<f64>() / deep.len() as f64;
+        let mean_dist = deep
+            .iter()
+            .map(|l| l.rect.center().distance(c))
+            .sum::<f64>()
+            / deep.len() as f64;
         assert!(mean_dist < 1.2, "deep leaves far from clump: {mean_dist}");
     }
 
@@ -264,14 +304,14 @@ mod tests {
         let opts = AdaptiveOptions {
             tol: 0.15,
             max_depth: 3,
-            march: MarchOptions { parallel: false, ..Default::default() },
+            march: MarchOptions::new().parallel(false),
         };
         let af = adaptive_surface_density(&field, &base, &opts);
         let raster = af.rasterize(32, 32);
         let uniform = surface_density(
             &field,
             &GridSpec2::covering(Vec2::new(1.5, 1.5), Vec2::new(3.5, 3.5), 32, 32),
-            &MarchOptions { parallel: false, ..Default::default() },
+            &MarchOptions::new().parallel(false),
         );
         // Integrated mass agrees a lot better than pointwise values do.
         let (ma, mu) = (raster.total_mass(), uniform.total_mass());

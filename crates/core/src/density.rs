@@ -1,7 +1,7 @@
 //! The DTFE estimator: per-vertex densities and the piecewise-linear
 //! interpolant (paper §III-A).
 
-use dtfe_delaunay::{Delaunay, DelaunayError, Located, TetId};
+use dtfe_delaunay::{BuildError, Delaunay, DelaunayBuilder, Located, TetId};
 use dtfe_geometry::tetra::{linear_gradient, volume};
 use dtfe_geometry::{Vec2, Vec3};
 use rayon::prelude::*;
@@ -40,8 +40,8 @@ pub struct DtfeField {
 
 impl DtfeField {
     /// Triangulate `points` and estimate densities.
-    pub fn build(points: &[Vec3], mass: Mass) -> Result<DtfeField, DelaunayError> {
-        let del = Delaunay::build(points)?;
+    pub fn build(points: &[Vec3], mass: Mass) -> Result<DtfeField, BuildError> {
+        let del = DelaunayBuilder::new().build(points)?;
         Ok(Self::from_delaunay_for_inputs(del, points.len(), mass))
     }
 
@@ -92,7 +92,11 @@ impl DtfeField {
             .map(|t| {
                 let tet = del.tet_slot(t);
                 if !tet.is_live() || tet.is_ghost() {
-                    return TetInterp { v0: Vec3::ZERO, rho0: 0.0, grad: Vec3::ZERO };
+                    return TetInterp {
+                        v0: Vec3::ZERO,
+                        rho0: 0.0,
+                        grad: Vec3::ZERO,
+                    };
                 }
                 let v = [
                     del.vertex(tet.verts[0]),
@@ -107,11 +111,19 @@ impl DtfeField {
                     vertex_density[tet.verts[3] as usize],
                 ];
                 let grad = linear_gradient(&v, &f).unwrap_or(Vec3::ZERO);
-                TetInterp { v0: v[0], rho0: f[0], grad }
+                TetInterp {
+                    v0: v[0],
+                    rho0: f[0],
+                    grad,
+                }
             })
             .collect();
 
-        DtfeField { del, vertex_density, interp }
+        DtfeField {
+            del,
+            vertex_density,
+            interp,
+        }
     }
 
     /// The underlying triangulation.
@@ -157,7 +169,8 @@ impl DtfeField {
     /// Convenience single query (fresh walk each call).
     pub fn density_at(&self, p: Vec3) -> Option<f64> {
         let mut seed = 0x9E3779B97F4A7C15 ^ (p.x.to_bits() ^ p.y.to_bits().rotate_left(17));
-        self.density_at_hinted(p, dtfe_delaunay::NONE, &mut seed).map(|(d, _)| d)
+        self.density_at_hinted(p, dtfe_delaunay::NONE, &mut seed)
+            .map(|(d, _)| d)
     }
 
     /// Total estimated mass `∫ ρ̂ dV` over the hull — equals the input mass
@@ -282,7 +295,8 @@ mod tests {
         // cells must average to ~1.
         let pts: Vec<Vec3> = (0..6)
             .flat_map(|i| {
-                (0..6).flat_map(move |j| (0..6).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
+                (0..6)
+                    .flat_map(move |j| (0..6).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
             })
             .collect();
         let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();

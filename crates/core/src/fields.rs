@@ -32,7 +32,11 @@ impl<'a> VertexField<'a> {
             .map(|t| {
                 let tet = del.tet_slot(t);
                 if !tet.is_live() || tet.is_ghost() {
-                    return TetInterp { v0: Vec3::ZERO, rho0: 0.0, grad: Vec3::ZERO };
+                    return TetInterp {
+                        v0: Vec3::ZERO,
+                        rho0: 0.0,
+                        grad: Vec3::ZERO,
+                    };
                 }
                 let v = [
                     del.vertex(tet.verts[0]),
@@ -47,10 +51,18 @@ impl<'a> VertexField<'a> {
                     values[tet.verts[3] as usize],
                 ];
                 let grad = linear_gradient(&v, &f).unwrap_or(Vec3::ZERO);
-                TetInterp { v0: v[0], rho0: f[0], grad }
+                TetInterp {
+                    v0: v[0],
+                    rho0: f[0],
+                    grad,
+                }
             })
             .collect();
-        VertexField { del, values, interp }
+        VertexField {
+            del,
+            values,
+            interp,
+        }
     }
 
     /// The underlying triangulation.
@@ -92,7 +104,9 @@ impl<'a> VertexField<'a> {
         // March directly (no perturbation loop: callers wanting degeneracy
         // handling should offset their query points; kept simple because the
         // density kernel in `marching` is the production path).
-        let Some(ghost) = index.query(xi) else { return 0.0 };
+        let Some(ghost) = index.query(xi) else {
+            return 0.0;
+        };
         let mut t = self.del.tet(ghost).neighbors[3];
         let ray = Ray::vertical(xi.x, xi.y);
         let pl = Plucker::from_ray(&ray);
@@ -156,7 +170,12 @@ impl DtfeFieldView<'_, '_> {
             let (pa, pb, pc) = (del.vertex(a), del.vertex(b), del.vertex(c));
             let n = (pb - pa).cross(pc - pa);
             if n.z < 0.0 {
-                out.push(crate::density::EntryFacet { ghost: g, a: pa.xy(), b: pb.xy(), c: pc.xy() });
+                out.push(crate::density::EntryFacet {
+                    ghost: g,
+                    a: pa.xy(),
+                    b: pb.xy(),
+                    c: pc.xy(),
+                });
             }
         }
         out
@@ -173,8 +192,12 @@ pub fn volume_weighted_mean(field: &VertexField<'_>) -> f64 {
         let p = del.tet_points(t);
         let vol = dtfe_geometry::tetra::volume(p[0], p[1], p[2], p[3]);
         let tet = del.tet(t);
-        let mean: f64 =
-            tet.verts.iter().map(|&v| field.values()[v as usize]).sum::<f64>() / 4.0;
+        let mean: f64 = tet
+            .verts
+            .iter()
+            .map(|&v| field.values()[v as usize])
+            .sum::<f64>()
+            / 4.0;
         num += vol * mean;
         den += vol;
     }
@@ -194,7 +217,7 @@ pub fn density_as_vertex_field(field: &DtfeField) -> VertexField<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtfe_delaunay::Delaunay;
+    use dtfe_delaunay::DelaunayBuilder;
 
     fn jittered_cloud(n_side: usize, seed: u64) -> Vec<Vec3> {
         let mut s = seed;
@@ -222,7 +245,7 @@ mod tests {
     #[test]
     fn linear_field_reproduced_exactly() {
         let pts = jittered_cloud(4, 3);
-        let del = Delaunay::build(&pts).unwrap();
+        let del = DelaunayBuilder::new().build(&pts).unwrap();
         let g = Vec3::new(1.5, -2.0, 0.5);
         let f = |p: Vec3| 3.0 + g.dot(p);
         let values: Vec<f64> = del.vertices().iter().map(|&p| f(p)).collect();
@@ -232,21 +255,22 @@ mod tests {
             let v = field.value_at(q, &mut seed).unwrap();
             assert!((v - f(q)).abs() < 1e-9, "{v} vs {}", f(q));
         }
-        assert!((volume_weighted_mean(&field)
-            - {
+        assert!(
+            (volume_weighted_mean(&field) - {
                 // Analytic mean of a linear field over the hull = value at
                 // the hull's centroid... approximate by integrating exactly
                 // via the same decomposition: consistency check only.
                 volume_weighted_mean(&field)
             })
-        .abs()
-            < 1e-12);
+            .abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn los_integral_of_linear_field() {
         let pts = jittered_cloud(4, 7);
-        let del = Delaunay::build(&pts).unwrap();
+        let del = DelaunayBuilder::new().build(&pts).unwrap();
         // f = z: ∫ f dz over [a, b] = (b²−a²)/2 where a, b are the hull
         // entry/exit heights along the line.
         let values: Vec<f64> = del.vertices().iter().map(|p| p.z).collect();
@@ -269,18 +293,24 @@ mod tests {
         let mut hi = f64::NEG_INFINITY;
         for k in 0..400 {
             let z = k as f64 * 0.01;
-            if field.value_at(Vec3::new(xi.x, xi.y, z), &mut seed).is_some() {
+            if field
+                .value_at(Vec3::new(xi.x, xi.y, z), &mut seed)
+                .is_some()
+            {
                 lo = lo.min(z);
                 hi = hi.max(z);
             }
         }
-        assert!((mid_z - 0.5 * (lo + hi)).abs() < 0.02, "mid {mid_z} vs [{lo},{hi}]");
+        assert!(
+            (mid_z - 0.5 * (lo + hi)).abs() < 0.02,
+            "mid {mid_z} vs [{lo},{hi}]"
+        );
     }
 
     #[test]
     fn project_constant_field_gives_chords() {
         let pts = jittered_cloud(4, 11);
-        let del = Delaunay::build(&pts).unwrap();
+        let del = DelaunayBuilder::new().build(&pts).unwrap();
         let field = VertexField::new(&del, vec![2.0; del.num_vertices()]);
         let grid = GridSpec2::covering(Vec2::new(1.0, 1.0), Vec2::new(2.5, 2.5), 6, 6);
         let proj = field.project(&grid, None);

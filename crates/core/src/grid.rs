@@ -132,7 +132,12 @@ impl GridSpec3 {
 
     /// The 2D footprint.
     pub fn footprint(&self) -> GridSpec2 {
-        GridSpec2 { origin: self.origin.xy(), cell: self.cell.xy(), nx: self.nx, ny: self.ny }
+        GridSpec2 {
+            origin: self.origin.xy(),
+            cell: self.cell.xy(),
+            nx: self.nx,
+            ny: self.ny,
+        }
     }
 }
 
@@ -145,7 +150,10 @@ pub struct Field2 {
 
 impl Field2 {
     pub fn zeros(spec: GridSpec2) -> Self {
-        Field2 { data: vec![0.0; spec.num_cells()], spec }
+        Field2 {
+            data: vec![0.0; spec.num_cells()],
+            spec,
+        }
     }
 
     #[inline]
@@ -167,7 +175,9 @@ impl Field2 {
     pub fn min_max(&self) -> (f64, f64) {
         self.data
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     }
 
     /// Bilinear interpolation at an arbitrary point (cell-centre nodes,
@@ -179,7 +189,10 @@ impl Field2 {
         let v = ((p.y - self.spec.origin.y) / self.spec.cell.y - 0.5)
             .clamp(0.0, self.spec.ny as f64 - 1.0);
         let (i0, j0) = (u.floor() as usize, v.floor() as usize);
-        let (i1, j1) = ((i0 + 1).min(self.spec.nx - 1), (j0 + 1).min(self.spec.ny - 1));
+        let (i1, j1) = (
+            (i0 + 1).min(self.spec.nx - 1),
+            (j0 + 1).min(self.spec.ny - 1),
+        );
         let (fx, fy) = (u - i0 as f64, v - j0 as f64);
         self.at(i0, j0) * (1.0 - fx) * (1.0 - fy)
             + self.at(i1, j0) * fx * (1.0 - fy)
@@ -195,9 +208,18 @@ impl Field2 {
             .data
             .iter()
             .zip(&other.data)
-            .map(|(&a, &b)| if a > 0.0 && b > 0.0 { (a / b).log10() } else { f64::NAN })
+            .map(|(&a, &b)| {
+                if a > 0.0 && b > 0.0 {
+                    (a / b).log10()
+                } else {
+                    f64::NAN
+                }
+            })
             .collect();
-        Field2 { spec: self.spec, data }
+        Field2 {
+            spec: self.spec,
+            data,
+        }
     }
 
     /// Histogram of finite values in `[lo, hi]` over `bins` equal bins —
@@ -209,7 +231,12 @@ impl Field2 {
 
 /// Histogram of the finite values of an iterator (shared by several
 /// experiment harnesses).
-pub fn histogram(values: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+pub fn histogram(
+    values: impl IntoIterator<Item = f64>,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+) -> Vec<usize> {
     assert!(bins > 0 && hi > lo);
     let mut h = vec![0usize; bins];
     let w = (hi - lo) / bins as f64;
@@ -230,7 +257,10 @@ pub struct Field3 {
 
 impl Field3 {
     pub fn zeros(spec: GridSpec3) -> Self {
-        Field3 { data: vec![0.0; spec.num_cells()], spec }
+        Field3 {
+            data: vec![0.0; spec.num_cells()],
+            spec,
+        }
     }
 
     #[inline]
@@ -310,7 +340,7 @@ mod tests {
         let g = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0), 2, 2);
         let mut f = Field2::zeros(g);
         f.data = vec![0.0, 1.0, 2.0, 3.0]; // (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3
-        // Exactly at cell centres.
+                                           // Exactly at cell centres.
         assert_eq!(f.sample_bilinear(Vec2::new(0.5, 0.5)), 0.0);
         assert_eq!(f.sample_bilinear(Vec2::new(1.5, 1.5)), 3.0);
         // Midpoint between all four centres: the average.

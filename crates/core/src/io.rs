@@ -11,7 +11,11 @@ use std::path::Path;
 /// paper's Fig. 1/8 log-scale maps).
 pub fn write_pgm(field: &Field2, path: &Path, log10: bool) -> io::Result<()> {
     let vals: Vec<f64> = if log10 {
-        field.data.iter().map(|&v| if v > 0.0 { v.log10() } else { f64::NAN }).collect()
+        field
+            .data
+            .iter()
+            .map(|&v| if v > 0.0 { v.log10() } else { f64::NAN })
+            .collect()
     } else {
         field.data.clone()
     };

@@ -61,9 +61,11 @@ pub mod io;
 pub mod marching;
 pub mod oriented;
 pub mod periodic;
+pub mod render;
 pub mod walking;
 
 pub use density::{DtfeField, Mass};
 pub use grid::{Field2, Field3, GridSpec2, GridSpec3};
 pub use marching::{surface_density, MarchOptions};
+pub use render::RenderOptions;
 pub use walking::{surface_density_walking, WalkOptions};

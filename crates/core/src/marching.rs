@@ -25,28 +25,36 @@
 
 use crate::density::{DtfeField, EntryFacet};
 use crate::grid::{Field2, GridSpec2};
+use crate::render::RenderOptions;
 use dtfe_delaunay::TetId;
 use dtfe_geometry::plucker::{ray_tetra, Plucker, Ray};
 use dtfe_geometry::predicates::{orient2d, Orientation};
 use dtfe_geometry::{Aabb2, Vec2};
 use rayon::prelude::*;
 
-/// Options for the marching kernel.
+/// Options for the marching kernel: the shared [`RenderOptions`] knobs plus
+/// the degeneracy-perturbation parameters specific to this kernel.
+///
+/// # Example
+///
+/// ```
+/// use dtfe_core::MarchOptions;
+///
+/// let opts = MarchOptions::new().samples(4).z_range(0.0, 8.0).epsilon(1e-6);
+/// assert_eq!(opts.render.samples, 4);
+/// assert_eq!(opts.epsilon, 1e-6);
+/// ```
 #[derive(Clone, Debug)]
 pub struct MarchOptions {
-    /// Line-of-sight samples per cell: 1 uses the cell centre; more uses
-    /// deterministic jittered samples and averages (the Monte-Carlo mean of
-    /// Eq. 5, but with "one fewer degree of freedom in the error" since z is
-    /// integrated exactly).
-    pub samples: usize,
+    /// Shared renderer knobs (samples, z-bounds, parallelism). With one
+    /// sample the cell centre is used; more samples average deterministic
+    /// jittered lines of sight (the Monte-Carlo mean of Eq. 5, but with "one
+    /// fewer degree of freedom in the error" since z is integrated exactly).
+    /// `z_range: None` integrates the full hull chord.
+    pub render: RenderOptions,
     /// Perturbation magnitude for degeneracy resolution, *relative to the
     /// cell diagonal* (paper Fig. 2's `ε`).
     pub epsilon: f64,
-    /// Restrict the integral to `z ∈ [lo, hi]` (sub-volume fields). `None`
-    /// integrates the full hull chord.
-    pub z_range: Option<(f64, f64)>,
-    /// Parallelize over grid rows with Rayon (the paper's OpenMP loop).
-    pub parallel: bool,
     /// Give up on a cell after this many perturbation restarts (the cell
     /// keeps its best-effort value; with exact entry handling this is
     /// practically unreachable).
@@ -55,7 +63,49 @@ pub struct MarchOptions {
 
 impl Default for MarchOptions {
     fn default() -> Self {
-        MarchOptions { samples: 1, epsilon: 1e-7, z_range: None, parallel: true, max_perturb: 64 }
+        MarchOptions {
+            render: RenderOptions::default(),
+            epsilon: 1e-7,
+            max_perturb: 64,
+        }
+    }
+}
+
+impl MarchOptions {
+    /// Default options (see [`RenderOptions::default`]; `epsilon = 1e-7`,
+    /// `max_perturb = 64`).
+    pub fn new() -> MarchOptions {
+        MarchOptions::default()
+    }
+
+    /// Forwards to [`RenderOptions::samples`].
+    pub fn samples(mut self, n: usize) -> MarchOptions {
+        self.render = self.render.samples(n);
+        self
+    }
+
+    /// Forwards to [`RenderOptions::z_range`].
+    pub fn z_range(mut self, lo: f64, hi: f64) -> MarchOptions {
+        self.render = self.render.z_range(lo, hi);
+        self
+    }
+
+    /// Forwards to [`RenderOptions::parallel`].
+    pub fn parallel(mut self, yes: bool) -> MarchOptions {
+        self.render = self.render.parallel(yes);
+        self
+    }
+
+    /// Set the relative perturbation magnitude `ε`.
+    pub fn epsilon(mut self, e: f64) -> MarchOptions {
+        self.epsilon = e;
+        self
+    }
+
+    /// Set the perturbation-restart budget per cell.
+    pub fn max_perturb(mut self, n: usize) -> MarchOptions {
+        self.max_perturb = n;
+        self
     }
 }
 
@@ -82,7 +132,10 @@ impl HullIndex {
     /// Index a caller-supplied facet list (used by
     /// [`crate::fields::VertexField`], which shares the hull machinery).
     pub fn build_from_entry_facets(facets: Vec<EntryFacet>) -> HullIndex {
-        assert!(!facets.is_empty(), "triangulation has no downward hull facets");
+        assert!(
+            !facets.is_empty(),
+            "triangulation has no downward hull facets"
+        );
         let mut bounds = Aabb2::new(facets[0].a, facets[0].a);
         for f in &facets {
             for p in [f.a, f.b, f.c] {
@@ -135,7 +188,15 @@ impl HullIndex {
                 }
             }
         }
-        HullIndex { facets, bounds, nx, ny, inv_cell, off, items }
+        HullIndex {
+            facets,
+            bounds,
+            nx,
+            ny,
+            inv_cell,
+            off,
+            items,
+        }
     }
 
     /// The ghost tetrahedron whose projected hull facet contains `q`
@@ -306,13 +367,7 @@ pub fn march_cell(
 
 /// The paper's `Perturb` (Fig. 2): move `ξ` by at most `eps` toward the
 /// projection of a randomly chosen vertex of the offending tetrahedron.
-fn perturb(
-    del: &dtfe_delaunay::Delaunay,
-    t: TetId,
-    xi: Vec2,
-    eps: f64,
-    seed: &mut u64,
-) -> Vec2 {
+fn perturb(del: &dtfe_delaunay::Delaunay, t: TetId, xi: Vec2, eps: f64, seed: &mut u64) -> Vec2 {
     let tet = del.tet(t);
     for _ in 0..4 {
         let v = tet.verts[(next_rand(seed) % 4) as usize];
@@ -359,7 +414,7 @@ pub fn surface_density_with_stats(
     };
     let mut out = Field2::zeros(*grid);
     let mut stats = MarchStats::default();
-    if opts.parallel {
+    if opts.render.parallel {
         let collected: Vec<MarchStats> = out
             .data
             .par_chunks_mut(grid.nx)
@@ -394,20 +449,38 @@ pub fn cell_value(
     seed: &mut u64,
     stats: &mut MarchStats,
 ) -> f64 {
-    if opts.samples <= 1 {
+    if opts.render.samples <= 1 {
         let xi = grid.center(i, j);
-        return march_cell(field, index, xi, opts.z_range, eps, opts.max_perturb, seed, stats);
+        return march_cell(
+            field,
+            index,
+            xi,
+            opts.render.z_range,
+            eps,
+            opts.max_perturb,
+            seed,
+            stats,
+        );
     }
     let base = Vec2::new(
         grid.origin.x + i as f64 * grid.cell.x,
         grid.origin.y + j as f64 * grid.cell.y,
     );
     let mut acc = 0.0;
-    for _ in 0..opts.samples {
+    for _ in 0..opts.render.samples {
         let xi = base + Vec2::new(rand_unit(seed) * grid.cell.x, rand_unit(seed) * grid.cell.y);
-        acc += march_cell(field, index, xi, opts.z_range, eps, opts.max_perturb, seed, stats);
+        acc += march_cell(
+            field,
+            index,
+            xi,
+            opts.render.z_range,
+            eps,
+            opts.max_perturb,
+            seed,
+            stats,
+        );
     }
-    acc / opts.samples as f64
+    acc / opts.render.samples as f64
 }
 
 #[cfg(test)]
@@ -453,11 +526,29 @@ mod tests {
         // chord at (0.2, 0.2) runs z ∈ [0, 0.6].
         let mut seed = 1;
         let mut stats = MarchStats::default();
-        let sigma = march_cell(&field, &index, Vec2::new(0.2, 0.2), None, 1e-9, 16, &mut seed, &mut stats);
+        let sigma = march_cell(
+            &field,
+            &index,
+            Vec2::new(0.2, 0.2),
+            None,
+            1e-9,
+            16,
+            &mut seed,
+            &mut stats,
+        );
         assert!((sigma - 24.0 * 0.6).abs() < 1e-9, "sigma = {sigma}");
         assert_eq!(stats.failures, 0);
         // Outside the footprint: zero.
-        let z = march_cell(&field, &index, Vec2::new(0.9, 0.9), None, 1e-9, 16, &mut seed, &mut stats);
+        let z = march_cell(
+            &field,
+            &index,
+            Vec2::new(0.9, 0.9),
+            None,
+            1e-9,
+            16,
+            &mut seed,
+            &mut stats,
+        );
         assert_eq!(z, 0.0);
     }
 
@@ -486,8 +577,7 @@ mod tests {
             }
             let mut seed = 5;
             let mut stats = MarchStats::default();
-            let marched =
-                march_cell(&field, &index, xi, None, 1e-9, 16, &mut seed, &mut stats);
+            let marched = march_cell(&field, &index, xi, None, 1e-9, 16, &mut seed, &mut stats);
             assert_eq!(stats.perturbations, 0, "unexpected degeneracy at {xi:?}");
             assert!(
                 (marched - brute).abs() <= 1e-9 * (1.0 + brute.abs()),
@@ -503,7 +593,7 @@ mod tests {
         // A fine grid over the full footprint captures (nearly) all mass:
         // ∫∫ Σ dA = M up to x-y discretization error.
         let grid = GridSpec2::covering(Vec2::new(-0.2, -0.2), Vec2::new(5.9, 5.9), 96, 96);
-        let opts = MarchOptions { samples: 2, parallel: true, ..Default::default() };
+        let opts = MarchOptions::new().samples(2).parallel(true);
         let (sigma, stats) = surface_density_with_stats(&field, &grid, &opts);
         let m = sigma.total_mass();
         let m_true = pts.len() as f64;
@@ -520,7 +610,8 @@ mod tests {
         // through the lattice planes / vertices are maximally degenerate.
         let pts: Vec<Vec3> = (0..4)
             .flat_map(|i| {
-                (0..4).flat_map(move |j| (0..4).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
+                (0..4)
+                    .flat_map(move |j| (0..4).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
             })
             .collect();
         let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
@@ -528,14 +619,21 @@ mod tests {
         let mut stats = MarchStats::default();
         let mut seed = 3;
         // Through a vertex column and along an edge plane.
-        for xi in [Vec2::new(1.0, 1.0), Vec2::new(1.0, 1.5), Vec2::new(2.0, 0.5)] {
+        for xi in [
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 1.5),
+            Vec2::new(2.0, 0.5),
+        ] {
             let v = march_cell(&field, &index, xi, None, 1e-7, 64, &mut seed, &mut stats);
             assert!(v.is_finite());
             // The lattice interior has density ~1 and chord length 3, and the
             // perturbed ray must see approximately that.
             assert!(v > 0.5 && v < 6.0, "sigma = {v} at {xi:?}");
         }
-        assert!(stats.perturbations > 0, "expected degeneracies on lattice rays");
+        assert!(
+            stats.perturbations > 0,
+            "expected degeneracies on lattice rays"
+        );
         assert_eq!(stats.failures, 0);
     }
 
@@ -563,8 +661,8 @@ mod tests {
         let pts = jittered_cloud(4, 41);
         let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
         let grid = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(3.5, 3.5), 24, 24);
-        let par = surface_density(&field, &grid, &MarchOptions { parallel: true, ..Default::default() });
-        let ser = surface_density(&field, &grid, &MarchOptions { parallel: false, ..Default::default() });
+        let par = surface_density(&field, &grid, &MarchOptions::new().parallel(true));
+        let ser = surface_density(&field, &grid, &MarchOptions::new().parallel(false));
         // Deterministic per-row seeding makes these bit-identical.
         assert_eq!(par.data, ser.data);
     }
@@ -589,6 +687,11 @@ mod tests {
         assert!(triangle_contains(a, b, c, Vec2::new(1.0, 0.0))); // on edge
         assert!(triangle_contains(a, b, c, a)); // on vertex
         assert!(!triangle_contains(a, b, c, Vec2::new(2.0, 2.0)));
-        assert!(!triangle_contains(a, b, Vec2::new(4.0, 0.0), Vec2::new(1.0, 0.0))); // degenerate
+        assert!(!triangle_contains(
+            a,
+            b,
+            Vec2::new(4.0, 0.0),
+            Vec2::new(1.0, 0.0)
+        )); // degenerate
     }
 }

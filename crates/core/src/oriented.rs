@@ -11,7 +11,7 @@
 use crate::density::{DtfeField, Mass};
 use crate::grid::{Field2, GridSpec2};
 use crate::marching::{surface_density_with_stats, MarchOptions, MarchStats};
-use dtfe_delaunay::DelaunayError;
+use dtfe_delaunay::BuildError;
 use dtfe_geometry::mat::Mat3;
 use dtfe_geometry::Vec3;
 
@@ -24,7 +24,10 @@ pub struct LosFrame {
 
 impl LosFrame {
     pub fn new(direction: Vec3) -> LosFrame {
-        LosFrame { direction, rot: Mat3::rotation_to_z(direction) }
+        LosFrame {
+            direction,
+            rot: Mat3::rotation_to_z(direction),
+        }
     }
 
     /// World → rotated frame.
@@ -50,10 +53,17 @@ pub struct OrientedField {
 impl OrientedField {
     /// Rotate `points` so `direction` becomes the line of sight and build
     /// the DTFE field there.
-    pub fn build(points: &[Vec3], mass: Mass, direction: Vec3) -> Result<OrientedField, DelaunayError> {
+    pub fn build(
+        points: &[Vec3],
+        mass: Mass,
+        direction: Vec3,
+    ) -> Result<OrientedField, BuildError> {
         let frame = LosFrame::new(direction);
         let rotated: Vec<Vec3> = points.iter().map(|&p| frame.to_frame(p)).collect();
-        Ok(OrientedField { frame, field: DtfeField::build(&rotated, mass)? })
+        Ok(OrientedField {
+            frame,
+            field: DtfeField::build(&rotated, mass)?,
+        })
     }
 
     /// Surface density on a grid specified *in the rotated frame's x-y
@@ -95,7 +105,7 @@ mod tests {
     fn z_direction_matches_plain_kernel() {
         let pts = jittered_cloud(5, 3);
         let grid = GridSpec2::covering(Vec2::new(1.0, 1.0), Vec2::new(3.5, 3.5), 12, 12);
-        let opts = MarchOptions { parallel: false, ..Default::default() };
+        let opts = MarchOptions::new().parallel(false);
 
         let of = OrientedField::build(&pts, Mass::Uniform(1.0), Vec3::new(0.0, 0.0, 1.0)).unwrap();
         let (rotated, _) = of.surface_density(&grid, &opts);
@@ -113,7 +123,7 @@ mod tests {
         // twin along +z (up to the kernel's exact arithmetic).
         let pts = jittered_cloud(5, 17);
         let grid = GridSpec2::covering(Vec2::new(1.2, 1.2), Vec2::new(3.2, 3.2), 10, 10);
-        let opts = MarchOptions { parallel: false, ..Default::default() };
+        let opts = MarchOptions::new().parallel(false);
 
         let of = OrientedField::build(&pts, Mass::Uniform(1.0), Vec3::new(1.0, 0.0, 0.0)).unwrap();
         let (along_x, stats) = of.surface_density(&grid, &opts);
@@ -137,19 +147,28 @@ mod tests {
         let of = OrientedField::build(&pts, Mass::Uniform(1.0), dir).unwrap();
         // Rotations preserve the DTFE integral.
         let m = of.field.integrated_mass();
-        assert!((m - pts.len() as f64).abs() < 1e-8 * pts.len() as f64, "mass {m}");
+        assert!(
+            (m - pts.len() as f64).abs() < 1e-8 * pts.len() as f64,
+            "mass {m}"
+        );
 
         // A wide grid in the rotated frame captures (almost) all mass.
         let frame = LosFrame::new(dir);
         let rotated: Vec<Vec3> = pts.iter().map(|&p| frame.to_frame(p)).collect();
         let (lo, hi) = rotated.iter().fold(
-            (Vec2::new(f64::INFINITY, f64::INFINITY), Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY)),
+            (
+                Vec2::new(f64::INFINITY, f64::INFINITY),
+                Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            ),
             |(lo, hi), p| {
-                (Vec2::new(lo.x.min(p.x), lo.y.min(p.y)), Vec2::new(hi.x.max(p.x), hi.y.max(p.y)))
+                (
+                    Vec2::new(lo.x.min(p.x), lo.y.min(p.y)),
+                    Vec2::new(hi.x.max(p.x), hi.y.max(p.y)),
+                )
             },
         );
         let grid = GridSpec2::covering(lo - Vec2::new(0.1, 0.1), hi + Vec2::new(0.1, 0.1), 96, 96);
-        let opts = MarchOptions { samples: 2, parallel: false, ..Default::default() };
+        let opts = MarchOptions::new().samples(2).parallel(false);
         let (sigma, stats) = of.surface_density(&grid, &opts);
         assert_eq!(stats.failures, 0);
         let grid_mass = sigma.total_mass();

@@ -1,0 +1,81 @@
+//! Options shared by every surface-density renderer.
+//!
+//! The marching kernel ([`crate::marching::MarchOptions`]) and the walking
+//! 3D-grid baseline ([`crate::walking::WalkOptions`]) historically duplicated
+//! the same three knobs — per-cell sample count, line-of-sight integration
+//! bounds, and the parallel switch. [`RenderOptions`] is the single shared
+//! home for them; the kernel-specific option structs embed it as their
+//! `render` field and forward builder-style setters so call sites read the
+//! same either way.
+
+/// Knobs common to every line-of-sight surface-density renderer.
+///
+/// # Example
+///
+/// ```
+/// use dtfe_core::RenderOptions;
+///
+/// let opts = RenderOptions::new().samples(4).z_range(0.0, 10.0).parallel(false);
+/// assert_eq!(opts.samples, 4);
+/// assert_eq!(opts.z_range, Some((0.0, 10.0)));
+/// assert!(!opts.parallel);
+///
+/// // Defaults: one centre sample, full hull depth, parallel on.
+/// let d = RenderOptions::default();
+/// assert_eq!((d.samples, d.z_range, d.parallel), (1, None, true));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RenderOptions {
+    /// Line-of-sight samples per cell: 1 uses the cell centre; more uses
+    /// deterministic jittered samples and averages (the Monte-Carlo mean of
+    /// Eq. 5).
+    pub samples: usize,
+    /// Restrict the integral to `z ∈ [lo, hi]` (sub-volume fields). `None`
+    /// uses the full extent: the marching kernel integrates the hull chord,
+    /// the walking baseline lifts its 3D grid over the vertex z-extent.
+    pub z_range: Option<(f64, f64)>,
+    /// Parallelize over grid rows/columns with Rayon (the paper's OpenMP
+    /// loop).
+    pub parallel: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            samples: 1,
+            z_range: None,
+            parallel: true,
+        }
+    }
+}
+
+impl RenderOptions {
+    /// Default options: one centre sample, full depth, parallel on.
+    pub fn new() -> RenderOptions {
+        RenderOptions::default()
+    }
+
+    /// Sample points per cell (clamped to at least 1).
+    pub fn samples(mut self, n: usize) -> RenderOptions {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Integrate only over `z ∈ [lo, hi]`.
+    pub fn z_range(mut self, lo: f64, hi: f64) -> RenderOptions {
+        self.z_range = Some((lo, hi));
+        self
+    }
+
+    /// Integrate over the full extent (undo [`RenderOptions::z_range`]).
+    pub fn full_depth(mut self) -> RenderOptions {
+        self.z_range = None;
+        self
+    }
+
+    /// Switch row/column parallelism on or off.
+    pub fn parallel(mut self, yes: bool) -> RenderOptions {
+        self.parallel = yes;
+        self
+    }
+}

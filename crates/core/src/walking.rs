@@ -12,28 +12,77 @@
 
 use crate::density::DtfeField;
 use crate::grid::{Field2, Field3, GridSpec2, GridSpec3};
+use crate::render::RenderOptions;
 use dtfe_delaunay::NONE;
 use dtfe_geometry::Vec3;
 use rayon::prelude::*;
 
-/// Options for the walking renderer.
-#[derive(Clone, Debug)]
+/// Options for the walking renderer: the shared [`RenderOptions`] knobs plus
+/// the 3D grid depth specific to this baseline.
+///
+/// # Example
+///
+/// ```
+/// use dtfe_core::WalkOptions;
+///
+/// let opts = WalkOptions::new(128).samples(4).z_range(0.0, 8.0);
+/// assert_eq!(opts.nz, 128);
+/// assert_eq!(opts.render.z_range, Some((0.0, 8.0)));
+/// ```
+#[derive(Clone, Copy, Debug)]
 pub struct WalkOptions {
+    /// Shared renderer knobs. `samples` counts sample points per **3D** cell:
+    /// 1 = cell centre (the paper's comparison setting, "a single point for
+    /// computing the density at each grid cell"); more = jittered Monte-Carlo
+    /// mean (Eq. 5). `z_range: None` spans the triangulation's vertex
+    /// z-extent.
+    pub render: RenderOptions,
     /// 3D cells along the line of sight (`N_z`).
     pub nz: usize,
-    /// Sample points per 3D cell: 1 = cell centre (the paper's comparison
-    /// setting, "a single point for computing the density at each grid
-    /// cell"); more = jittered Monte-Carlo mean (Eq. 5).
-    pub samples: usize,
-    /// Integration bounds along z.
-    pub z_range: (f64, f64),
-    /// Parallelize over grid columns.
-    pub parallel: bool,
 }
 
 impl WalkOptions {
-    pub fn new(z_range: (f64, f64), nz: usize) -> Self {
-        WalkOptions { nz, samples: 1, z_range, parallel: true }
+    /// Options for an `nz`-deep walk with the [`RenderOptions`] defaults.
+    pub fn new(nz: usize) -> WalkOptions {
+        WalkOptions {
+            render: RenderOptions::default(),
+            nz,
+        }
+    }
+
+    /// Forwards to [`RenderOptions::samples`].
+    pub fn samples(mut self, n: usize) -> WalkOptions {
+        self.render = self.render.samples(n);
+        self
+    }
+
+    /// Forwards to [`RenderOptions::z_range`].
+    pub fn z_range(mut self, lo: f64, hi: f64) -> WalkOptions {
+        self.render = self.render.z_range(lo, hi);
+        self
+    }
+
+    /// Forwards to [`RenderOptions::parallel`].
+    pub fn parallel(mut self, yes: bool) -> WalkOptions {
+        self.render = self.render.parallel(yes);
+        self
+    }
+
+    /// The integration bounds actually used for `field`: the explicit
+    /// `z_range` when set, else the triangulation's vertex z-extent.
+    pub fn resolve_z_range(&self, field: &DtfeField) -> (f64, f64) {
+        match self.render.z_range {
+            Some(r) => r,
+            None => {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for p in field.delaunay().vertices() {
+                    lo = lo.min(p.z);
+                    hi = hi.max(p.z);
+                }
+                (lo, hi)
+            }
+        }
     }
 }
 
@@ -55,7 +104,14 @@ fn rand_unit(seed: &mut u64) -> f64 {
 /// Integrate one (i, j) column of the lifted 3D grid by walking cell to
 /// cell along z (the baseline's inner loop, exposed for the Fig. 6
 /// harness's per-thread timing).
-pub fn walk_column(field: &DtfeField, g3: &GridSpec3, i: usize, j: usize, samples: usize, seed: &mut u64) -> f64 {
+pub fn walk_column(
+    field: &DtfeField,
+    g3: &GridSpec3,
+    i: usize,
+    j: usize,
+    samples: usize,
+    seed: &mut u64,
+) -> f64 {
     let dz = g3.cell.z;
     let mut hint = NONE;
     let mut acc = 0.0;
@@ -95,19 +151,26 @@ pub fn walk_column(field: &DtfeField, g3: &GridSpec3, i: usize, j: usize, sample
 /// the Fig. 6/7 baselines produce, for the same grid footprint the marching
 /// kernel renders directly.
 pub fn surface_density_walking(field: &DtfeField, grid: &GridSpec2, opts: &WalkOptions) -> Field2 {
-    let g3 = GridSpec3::lift(grid, opts.z_range.0, opts.z_range.1, opts.nz);
+    let (z_lo, z_hi) = opts.resolve_z_range(field);
+    let g3 = GridSpec3::lift(grid, z_lo, z_hi, opts.nz);
     let mut out = Field2::zeros(*grid);
     let nx = grid.nx;
     let column = |j: usize, row: &mut [f64]| {
         let mut seed = 0xA24BAED4963EE407u64 ^ ((j as u64) << 32);
         for (i, slot) in row.iter_mut().enumerate() {
-            *slot = walk_column(field, &g3, i, j, opts.samples, &mut seed);
+            *slot = walk_column(field, &g3, i, j, opts.render.samples, &mut seed);
         }
     };
-    if opts.parallel {
-        out.data.par_chunks_mut(nx).enumerate().for_each(|(j, row)| column(j, row));
+    if opts.render.parallel {
+        out.data
+            .par_chunks_mut(nx)
+            .enumerate()
+            .for_each(|(j, row)| column(j, row));
     } else {
-        out.data.chunks_mut(nx).enumerate().for_each(|(j, row)| column(j, row));
+        out.data
+            .chunks_mut(nx)
+            .enumerate()
+            .for_each(|(j, row)| column(j, row));
     }
     out
 }
@@ -135,9 +198,15 @@ pub fn render_density_3d(field: &DtfeField, g3: &GridSpec3, parallel: bool) -> F
         }
     };
     if parallel {
-        out.data.par_chunks_mut(nx * ny).enumerate().for_each(|(k, d)| plane(k, d));
+        out.data
+            .par_chunks_mut(nx * ny)
+            .enumerate()
+            .for_each(|(k, d)| plane(k, d));
     } else {
-        out.data.chunks_mut(nx * ny).enumerate().for_each(|(k, d)| plane(k, d));
+        out.data
+            .chunks_mut(nx * ny)
+            .enumerate()
+            .for_each(|(k, d)| plane(k, d));
     }
     out
 }
@@ -180,13 +249,13 @@ mod tests {
         let pts = jittered_cloud(5, 77);
         let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
         let grid = GridSpec2::covering(Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0), 12, 12);
-        let marched = surface_density(&field, &grid, &MarchOptions { parallel: false, ..Default::default() });
+        let marched = surface_density(&field, &grid, &MarchOptions::new().parallel(false));
         let mut err_prev = f64::INFINITY;
         for nz in [64, 512] {
             let walked = surface_density_walking(
                 &field,
                 &grid,
-                &WalkOptions { nz, samples: 1, z_range: (-0.5, 5.5), parallel: false },
+                &WalkOptions::new(nz).z_range(-0.5, 5.5).parallel(false),
             );
             let err: f64 = marched
                 .data
@@ -195,7 +264,10 @@ mod tests {
                 .map(|(&a, &b)| (a - b).abs())
                 .sum::<f64>()
                 / marched.data.iter().sum::<f64>();
-            assert!(err < err_prev, "error should shrink with nz: {err} !< {err_prev}");
+            assert!(
+                err < err_prev,
+                "error should shrink with nz: {err} !< {err_prev}"
+            );
             err_prev = err;
         }
         assert!(err_prev < 0.02, "relative L1 error {err_prev}");
@@ -219,7 +291,7 @@ mod tests {
         let pts = jittered_cloud(4, 19);
         let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
         let grid = GridSpec2::covering(Vec2::new(0.5, 0.5), Vec2::new(3.0, 3.0), 6, 6);
-        let opts = WalkOptions { nz: 32, samples: 1, z_range: (0.0, 3.5), parallel: false };
+        let opts = WalkOptions::new(32).z_range(0.0, 3.5).parallel(false);
         let direct = surface_density_walking(&field, &grid, &opts);
         let g3 = GridSpec3::lift(&grid, 0.0, 3.5, 32);
         let projected = render_density_3d(&field, &g3, false).project_z();
@@ -253,12 +325,15 @@ mod tests {
         let one = surface_density_walking(
             &field,
             &grid,
-            &WalkOptions { nz: 64, samples: 1, z_range: (0.0, 5.0), parallel: false },
+            &WalkOptions::new(64).z_range(0.0, 5.0).parallel(false),
         );
         let mc = surface_density_walking(
             &field,
             &grid,
-            &WalkOptions { nz: 64, samples: 4, z_range: (0.0, 5.0), parallel: false },
+            &WalkOptions::new(64)
+                .samples(4)
+                .z_range(0.0, 5.0)
+                .parallel(false),
         );
         let rel: f64 = one
             .data

@@ -2,7 +2,9 @@
 
 use dtfe_core::density::{DtfeField, Mass};
 use dtfe_core::grid::GridSpec2;
-use dtfe_core::marching::{march_cell, surface_density_with_stats, HullIndex, MarchOptions, MarchStats};
+use dtfe_core::marching::{
+    march_cell, surface_density_with_stats, HullIndex, MarchOptions, MarchStats,
+};
 use dtfe_geometry::{Vec2, Vec3};
 use proptest::prelude::*;
 
@@ -45,7 +47,7 @@ proptest! {
         let (sigma, stats) = surface_density_with_stats(
             &field,
             &grid,
-            &MarchOptions { parallel: false, ..Default::default() },
+            &MarchOptions::new().parallel(false),
         );
         prop_assert_eq!(stats.failures, 0);
         for &v in &sigma.data {

@@ -34,7 +34,7 @@ impl Hasher for FxHasher {
     }
 }
 
-type FacetMap = HashMap<u64, (TetId, u8), BuildHasherDefault<FxHasher>>;
+pub(crate) type FacetMap = HashMap<u64, (TetId, u8), BuildHasherDefault<FxHasher>>;
 
 /// Reusable buffers for the insertion loop.
 #[derive(Default)]
@@ -52,9 +52,39 @@ pub(crate) struct Scratch {
 /// Key for the facet map: the two vertices of a new tet's face other than
 /// the inserted point, order-normalized.
 #[inline]
-fn edge_key(a: VertexId, b: VertexId) -> u64 {
+pub(crate) fn edge_key(a: VertexId, b: VertexId) -> u64 {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     ((lo as u64) << 32) | hi as u64
+}
+
+/// Vertex/neighbor record for one star tetrahedron over the boundary facet
+/// `f` of a cavity, as seen from the outside tet `o` (i.e. `f` is
+/// outward-oriented w.r.t. `o`, its normal pointing into the cavity).
+/// Reversing two vertices makes `(f0, f2, f1, vid)` positively oriented.
+/// Ghosts are canonicalized — `INFINITE` moved to slot 3 by an even
+/// permutation (a 3-cycle), preserving orientation. Shared by the serial
+/// and parallel insertion paths so their cavities are bit-identical.
+#[inline]
+pub(crate) fn star_record(
+    f: [VertexId; 3],
+    vid: VertexId,
+    o: TetId,
+) -> ([VertexId; 4], [TetId; 4]) {
+    let mut verts = [f[0], f[2], f[1], vid];
+    let mut nbrs = [NONE, NONE, NONE, o];
+    if let Some(k) = verts[..3].iter().position(|&v| v == INFINITE) {
+        let m = (k + 1) % 3; // any other slot below 3
+                             // 3-cycle k -> 3 -> m -> k.
+        let (vk, v3, vm) = (verts[k], verts[3], verts[m]);
+        verts[3] = vk;
+        verts[m] = v3;
+        verts[k] = vm;
+        let (nk, n3, nm) = (nbrs[k], nbrs[3], nbrs[m]);
+        nbrs[3] = nk;
+        nbrs[m] = n3;
+        nbrs[k] = nm;
+    }
+    (verts, nbrs)
 }
 
 /// Find four affinely independent points in `order` and build the initial
@@ -76,7 +106,9 @@ pub(crate) fn bootstrap(input: &[Vec3], order: &[u32]) -> Result<Delaunay, Delau
     // tested exactly via the three coordinate-plane projections.
     let collinear = |p: Vec3, q: Vec3, r: Vec3| {
         let proj = |f: fn(Vec3) -> Vec2| orient2d(f(p), f(q), f(r)) == Orientation::Zero;
-        proj(|v| Vec2::new(v.x, v.y)) && proj(|v| Vec2::new(v.y, v.z)) && proj(|v| Vec2::new(v.z, v.x))
+        proj(|v| Vec2::new(v.x, v.y))
+            && proj(|v| Vec2::new(v.y, v.z))
+            && proj(|v| Vec2::new(v.z, v.x))
     };
     let i2 = order
         .iter()
@@ -162,7 +194,7 @@ impl Delaunay {
     /// `p`; for ghosts, `p` is strictly beyond the hull facet, or coplanar
     /// with it and inside the circumball of the adjacent finite
     /// tetrahedron)?
-    fn in_conflict(&self, t: TetId, p: Vec3) -> bool {
+    pub(crate) fn in_conflict(&self, t: TetId, p: Vec3) -> bool {
         let tet = &self.tets[t as usize];
         if tet.is_ghost() {
             let (a, b, c) = (
@@ -256,22 +288,7 @@ impl Delaunay {
             // its normal points into the cavity (toward p). Reversing two
             // vertices makes (f0, f2, f1, p) positively oriented.
             let f = self.tets[o as usize].face(j as usize);
-            let mut verts = [f[0], f[2], f[1], vid];
-            let mut nbrs = [NONE, NONE, NONE, o];
-            // Canonicalize ghosts: move INFINITE to slot 3 with an even
-            // permutation (a 3-cycle), preserving orientation.
-            if let Some(k) = verts[..3].iter().position(|&v| v == INFINITE) {
-                let m = (k + 1) % 3; // any other slot below 3
-                // 3-cycle k -> 3 -> m -> k.
-                let (vk, v3, vm) = (verts[k], verts[3], verts[m]);
-                verts[3] = vk;
-                verts[m] = v3;
-                verts[k] = vm;
-                let (nk, n3, nm) = (nbrs[k], nbrs[3], nbrs[m]);
-                nbrs[3] = nk;
-                nbrs[m] = n3;
-                nbrs[k] = nm;
-            }
+            let (verts, nbrs) = star_record(f, vid, o);
             let t_new = self.alloc_tet(verts, nbrs);
             scratch.created.push(t_new);
             // Reciprocal link to the outside tet through the boundary facet.

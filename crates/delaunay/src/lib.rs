@@ -32,10 +32,17 @@
 //! conditions, cospherical points). Points are inserted in Morton order
 //! (a BRIO-style spatial sort), which keeps consecutive locates short.
 //!
+//! # Parallel construction
+//!
+//! [`DelaunayBuilder`] is the single construction entry point. With more
+//! than one thread it inserts Morton-ordered batches of *spatially
+//! independent* points concurrently (see `parallel.rs`); the parallel and
+//! serial paths produce the identical mesh.
+//!
 //! # Example
 //!
 //! ```
-//! use dtfe_delaunay::Delaunay;
+//! use dtfe_delaunay::DelaunayBuilder;
 //! use dtfe_geometry::Vec3;
 //!
 //! let pts = vec![
@@ -45,23 +52,46 @@
 //!     Vec3::new(0.0, 0.0, 1.0),
 //!     Vec3::new(0.3, 0.3, 0.3),
 //! ];
-//! let del = Delaunay::build(&pts).unwrap();
+//! let del = DelaunayBuilder::new().build(&pts).unwrap();
 //! assert_eq!(del.num_vertices(), 5);
 //! assert!(del.validate().is_ok());
 //! ```
 
+mod builder;
 mod insert;
-mod queries;
 mod locate;
 mod mesh;
 mod morton;
-mod validate;
+mod parallel;
+mod queries;
+pub mod validate;
 
+pub use builder::{BuildError, DelaunayBuilder, Triangulation};
 pub use locate::Located;
 pub use mesh::{Tet, TetId, VertexId, INFINITE, NONE};
 pub use validate::ValidationError;
 
 use dtfe_geometry::Vec3;
+
+/// Serial Morton/input-order construction shared by the builder's
+/// single-thread path, the parallel prefix, and the deprecated shims.
+/// Assumes finite coordinates (the builder checks; the shims assert).
+pub(crate) fn build_serial(input: &[Vec3], order: &[u32]) -> Result<Delaunay, DelaunayError> {
+    let mut d = insert::bootstrap(input, order)?;
+    for &idx in order {
+        if d.input_vertex[idx as usize] == NONE {
+            let v = d.insert_point(input[idx as usize]);
+            d.input_vertex[idx as usize] = v;
+        }
+    }
+    Ok(d)
+}
+
+/// Free-function shim over [`DelaunayBuilder`] with default settings.
+#[deprecated(since = "0.2.0", note = "use `DelaunayBuilder::new().build(points)`")]
+pub fn triangulate(points: &[Vec3]) -> Result<Triangulation, BuildError> {
+    DelaunayBuilder::new().build(points)
+}
 
 /// Errors from triangulation construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,7 +105,10 @@ impl std::fmt::Display for DelaunayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DelaunayError::Degenerate => {
-                write!(f, "input points are affinely degenerate (need 4 non-coplanar points)")
+                write!(
+                    f,
+                    "input points are affinely degenerate (need 4 non-coplanar points)"
+                )
             }
         }
     }
@@ -124,32 +157,37 @@ impl Delaunay {
     /// Triangulate `input`, inserting in Morton order. Duplicate points are
     /// merged. Fails with [`DelaunayError::Degenerate`] when the input has no
     /// four affinely independent points.
+    #[deprecated(since = "0.2.0", note = "use `DelaunayBuilder::new().build(points)`")]
     pub fn build(input: &[Vec3]) -> Result<Delaunay, DelaunayError> {
         Self::build_with_order(input, true)
     }
 
     /// Triangulate without the Morton spatial sort (insertion in input
-    /// order). Mainly for the ablation bench; `build` is faster on large
-    /// inputs.
+    /// order). Mainly for the ablation bench; the builder's default spatial
+    /// sort is faster on large inputs.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DelaunayBuilder::new().spatial_sort(false).build(points)`"
+    )]
     pub fn build_insertion_order(input: &[Vec3]) -> Result<Delaunay, DelaunayError> {
         Self::build_with_order(input, false)
     }
 
     fn build_with_order(input: &[Vec3], spatial_sort: bool) -> Result<Delaunay, DelaunayError> {
-        assert!(input.iter().all(|p| p.is_finite()), "non-finite input coordinates");
+        // The historical contract of the deprecated entry points: panic on
+        // non-finite coordinates. The builder reports BuildError instead.
+        assert!(
+            input.iter().all(|p| p.is_finite()),
+            "non-finite input coordinates"
+        );
+        // Same canonical order as the builder, so the deprecated path yields
+        // the identical mesh.
         let order: Vec<u32> = if spatial_sort {
-            morton::morton_order(input)
+            morton::stratified_order(input)
         } else {
             (0..input.len() as u32).collect()
         };
-        let mut d = insert::bootstrap(input, &order)?;
-        for &idx in &order {
-            if d.input_vertex[idx as usize] == NONE {
-                let v = d.insert_point(input[idx as usize]);
-                d.input_vertex[idx as usize] = v;
-            }
-        }
-        Ok(d)
+        build_serial(input, &order)
     }
 
     /// Number of (unique) vertices.
@@ -281,7 +319,6 @@ impl Delaunay {
         }
         deg
     }
-
 }
 
 #[cfg(test)]
@@ -297,9 +334,13 @@ mod tests {
         ]
     }
 
+    fn build(pts: &[Vec3]) -> Result<Delaunay, BuildError> {
+        DelaunayBuilder::new().build(pts)
+    }
+
     #[test]
     fn single_tet() {
-        let d = Delaunay::build(&simplex_points()).unwrap();
+        let d = build(&simplex_points()).unwrap();
         assert_eq!(d.num_vertices(), 4);
         assert_eq!(d.num_tets(), 1);
         assert_eq!(d.num_ghosts(), 4);
@@ -308,22 +349,24 @@ mod tests {
 
     #[test]
     fn degenerate_inputs_rejected() {
-        assert_eq!(Delaunay::build(&[]).unwrap_err(), DelaunayError::Degenerate);
+        assert_eq!(build(&[]).unwrap_err(), BuildError::Degenerate);
         let coincident = vec![Vec3::splat(1.0); 10];
-        assert_eq!(Delaunay::build(&coincident).unwrap_err(), DelaunayError::Degenerate);
+        assert_eq!(build(&coincident).unwrap_err(), BuildError::Degenerate);
         let collinear: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
-        assert_eq!(Delaunay::build(&collinear).unwrap_err(), DelaunayError::Degenerate);
+        assert_eq!(build(&collinear).unwrap_err(), BuildError::Degenerate);
         let coplanar: Vec<Vec3> = (0..4)
             .flat_map(|i| (0..4).map(move |j| Vec3::new(i as f64, j as f64, 0.0)))
             .collect();
-        assert_eq!(Delaunay::build(&coplanar).unwrap_err(), DelaunayError::Degenerate);
+        assert_eq!(build(&coplanar).unwrap_err(), BuildError::Degenerate);
+        let nan = vec![Vec3::ZERO, Vec3::new(f64::NAN, 0.0, 0.0)];
+        assert_eq!(build(&nan).unwrap_err(), BuildError::NonFinite { index: 1 });
     }
 
     #[test]
     fn interior_point_splits_tet() {
         let mut pts = simplex_points();
         pts.push(Vec3::new(0.2, 0.2, 0.2));
-        let d = Delaunay::build(&pts).unwrap();
+        let d = build(&pts).unwrap();
         assert_eq!(d.num_vertices(), 5);
         assert_eq!(d.num_tets(), 4); // 1-to-4 split
         d.validate().unwrap();
@@ -336,7 +379,7 @@ mod tests {
         pts.push(Vec3::new(0.0, 0.0, 0.0));
         pts.push(Vec3::new(0.2, 0.2, 0.2));
         pts.push(Vec3::new(0.2, 0.2, 0.2));
-        let d = Delaunay::build(&pts).unwrap();
+        let d = build(&pts).unwrap();
         assert_eq!(d.num_vertices(), 5);
         assert_eq!(d.vertex_of_input(0), d.vertex_of_input(4));
         assert_eq!(d.vertex_of_input(5), d.vertex_of_input(6));
@@ -350,9 +393,13 @@ mod tests {
         let pts: Vec<Vec3> = (0..8)
             .map(|i| Vec3::new((i & 1) as f64, ((i >> 1) & 1) as f64, ((i >> 2) & 1) as f64))
             .collect();
-        let d = Delaunay::build(&pts).unwrap();
+        let d = build(&pts).unwrap();
         assert_eq!(d.num_vertices(), 8);
-        assert!(d.num_tets() == 5 || d.num_tets() == 6, "tets = {}", d.num_tets());
+        assert!(
+            d.num_tets() == 5 || d.num_tets() == 6,
+            "tets = {}",
+            d.num_tets()
+        );
         d.validate().unwrap();
         d.validate_delaunay_global().unwrap();
     }
@@ -361,10 +408,11 @@ mod tests {
     fn lattice_4x4x4() {
         let pts: Vec<Vec3> = (0..4)
             .flat_map(|i| {
-                (0..4).flat_map(move |j| (0..4).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
+                (0..4)
+                    .flat_map(move |j| (0..4).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
             })
             .collect();
-        let d = Delaunay::build(&pts).unwrap();
+        let d = build(&pts).unwrap();
         assert_eq!(d.num_vertices(), 64);
         d.validate().unwrap();
         d.validate_delaunay_global().unwrap();
@@ -389,7 +437,7 @@ mod tests {
             (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
         };
         let pts: Vec<Vec3> = (0..300).map(|_| Vec3::new(rnd(), rnd(), rnd())).collect();
-        let d = Delaunay::build(&pts).unwrap();
+        let d = build(&pts).unwrap();
         assert_eq!(d.num_vertices(), 300);
         d.validate().unwrap();
         d.validate_delaunay_global().unwrap();
@@ -414,8 +462,11 @@ mod tests {
             (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
         };
         let pts: Vec<Vec3> = (0..100).map(|_| Vec3::new(rnd(), rnd(), rnd())).collect();
-        let a = Delaunay::build(&pts).unwrap();
-        let b = Delaunay::build_insertion_order(&pts).unwrap();
+        let a = build(&pts).unwrap();
+        let b = DelaunayBuilder::new()
+            .spatial_sort(false)
+            .build(&pts)
+            .unwrap();
         // Same number of tets (Delaunay is unique for points in general
         // position) and both valid.
         assert_eq!(a.num_tets(), b.num_tets());
@@ -427,7 +478,7 @@ mod tests {
     fn star_volumes_cover_hull() {
         let mut pts = simplex_points();
         pts.push(Vec3::new(0.25, 0.25, 0.25));
-        let d = Delaunay::build(&pts).unwrap();
+        let d = build(&pts).unwrap();
         let w = d.vertex_star_volumes();
         // Each tet contributes its volume to 4 vertices; hull volume is 1/6.
         let total: f64 = w.iter().sum();

@@ -73,7 +73,11 @@ impl Delaunay {
             for k in 0..4 {
                 let i = (k + rot) & 3;
                 let [fa, fb, fc] = tet.face(i);
-                let (a, b, c) = (self.points[fa as usize], self.points[fb as usize], self.points[fc as usize]);
+                let (a, b, c) = (
+                    self.points[fa as usize],
+                    self.points[fb as usize],
+                    self.points[fc as usize],
+                );
                 // Face i is outward-oriented, so its normal points toward any
                 // point strictly beyond it — and `orient3d(F, p)` is Negative
                 // exactly when F's normal points toward p.
@@ -132,7 +136,7 @@ mod tests {
             (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
         };
         let pts: Vec<Vec3> = (0..n).map(|_| Vec3::new(rnd(), rnd(), rnd())).collect();
-        let d = Delaunay::build(&pts).unwrap();
+        let d = crate::DelaunayBuilder::new().build(&pts).unwrap();
         (d, pts)
     }
 

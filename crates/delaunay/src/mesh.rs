@@ -36,7 +36,10 @@ pub struct Tet {
 }
 
 impl Tet {
-    pub(crate) const DEAD: Tet = Tet { verts: [NONE; 4], neighbors: [NONE; 4] };
+    pub(crate) const DEAD: Tet = Tet {
+        verts: [NONE; 4],
+        neighbors: [NONE; 4],
+    };
 
     /// Is this slot live (not on the free list)?
     #[inline]
@@ -118,17 +121,26 @@ mod tests {
 
     #[test]
     fn ghost_detection() {
-        let g = Tet { verts: [0, 1, 2, INFINITE], neighbors: [NONE; 4] };
+        let g = Tet {
+            verts: [0, 1, 2, INFINITE],
+            neighbors: [NONE; 4],
+        };
         assert!(g.is_ghost());
         assert!(g.is_live());
-        let f = Tet { verts: [0, 1, 2, 3], neighbors: [NONE; 4] };
+        let f = Tet {
+            verts: [0, 1, 2, 3],
+            neighbors: [NONE; 4],
+        };
         assert!(!f.is_ghost());
         assert!(!Tet::DEAD.is_live());
     }
 
     #[test]
     fn face_uses_outward_table() {
-        let t = Tet { verts: [10, 11, 12, 13], neighbors: [NONE; 4] };
+        let t = Tet {
+            verts: [10, 11, 12, 13],
+            neighbors: [NONE; 4],
+        };
         assert_eq!(t.face(3), [10, 11, 12]);
         assert_eq!(t.face(0), [11, 13, 12]);
         assert_eq!(t.index_of_vertex(12), Some(2));

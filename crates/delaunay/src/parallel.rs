@@ -1,0 +1,549 @@
+//! Rayon-parallel Bowyer–Watson construction by independent-cavity rounds.
+//!
+//! # Strategy
+//!
+//! After a short serial prefix, the mesh grows in bulk-synchronous rounds of
+//! four phases over a *frontier*: the next `FRONTIER` still-uninserted points
+//! of the canonical insertion sequence. Using a global order-prefix — rather
+//! than, say, one independent cursor per spatial region — is what makes the
+//! result provably identical to the serial mesh (see below).
+//!
+//! The canonical order ([`crate::morton::stratified_order`]) interleaves 64
+//! contiguous Morton chunks round-robin, so order-consecutive points sit in
+//! distant regions of the space-filling curve. That is what makes the greedy
+//! selection below actually accept many points per round: in plain Morton
+//! order consecutive points are spatial *neighbors*, their conflict regions
+//! chain-overlap, and acceptance degenerates to ~1 point per round (measured
+//! on a 8k clustered cloud: 7 579 rounds for 8 128 insertions).
+//!
+//! 1. **Scan** (parallel, mesh read-only): frontier points without a valid
+//!    cached region are split into `LANES` contiguous sub-blocks; each lane
+//!    locates its points — seeding the stochastic walk from a lane-local
+//!    hint — and computes every point's conflict region and boundary with
+//!    lane-local visited sets.
+//! 2. **Select** (serial): candidates are visited in insertion order and
+//!    greedily accepted when their *footprint* (conflict region plus
+//!    boundary tets) is disjoint from every earlier candidate's footprint
+//!    this round — accepted or not; the rest are deferred to the next
+//!    round's frontier. Accepted points get vertex ids and pre-assigned
+//!    tetrahedron slots (free list first, then fresh).
+//! 3. **Star** (parallel): each accepted cavity is retriangulated into its
+//!    pre-assigned slots. Footprints are pairwise disjoint, so the tets each
+//!    task reads and writes are pairwise disjoint — raw-pointer writes into
+//!    the shared slot array are race-free by construction.
+//! 4. **Commit** (serial): conflict tets are freed and the live-tet counters
+//!    and walk hint updated.
+//!
+//! A final renumbering pass relabels the vertices created by the rounds into
+//! first-encounter order over the insertion sequence, which is exactly the
+//! numbering the serial path produces.
+//!
+//! Deferred candidates keep their scan result across rounds when their
+//! footprint is disjoint from every footprint *accepted* that round: by the
+//! commutation argument below, the accepted insertions then leave every tet
+//! of the cached region and boundary untouched (reads and writes stay inside
+//! their own disjoint footprints and freshly assigned slots), so the cached
+//! conflict region is still exactly what a rescan would recompute. Only
+//! candidates actually invalidated by a nearby insertion pay for a rescan,
+//! which keeps total scan work at O(n) instead of O(n · FRONTIER).
+//!
+//! # Why the result equals the serial mesh
+//!
+//! Two insertions with disjoint footprints *commute exactly*: by the
+//! circumball-pencil argument, every tetrahedron created by inserting `a`
+//! has its circumball inside the union of the balls of the two tets flanking
+//! its base facet — both in `a`'s footprint — so a point `b` with a disjoint
+//! footprint has the identical conflict region (and boundary facets, and
+//! therefore identical new tets) whether or not `a` was inserted first.
+//! Moreover inserting `a` leaves the footprint of any disjoint `b`
+//! untouched, and can only grow the footprint of an *overlapping* `b` into
+//! `a`'s own footprint and `a`'s new tets.
+//!
+//! Now take the round's candidates `c1 < c2 < …` (insertion order — a prefix
+//! of all remaining points, which is the crucial property). `c1` is always
+//! accepted, matching serial. Inductively, an accepted `ck` has a footprint
+//! disjoint from the footprints of *all* `ci < ck` — accepted ones (their
+//! regions and new tets, by the growth bound above) and deferred ones (their
+//! stale footprints, which only grow into already-blocked sets) — so
+//! inserting `ck` now commutes with every pending earlier point, and the
+//! execution order can be rewritten into serial insertion order by exchanges
+//! of commuting pairs. The parallel mesh is therefore the same abstract
+//! simplicial complex as the serial Morton-order mesh — even for degenerate
+//! (grid, cospherical) inputs where the Delaunay triangulation is not unique
+//! — and is identical for every thread count. The equivalence suite in
+//! `tests/parallel.rs` checks exactly this, including vertex numbering.
+
+use crate::insert::{self, edge_key, star_record, FacetMap, FxHasher};
+use crate::locate::Located;
+use crate::mesh::{Tet, TetId, VertexId, NONE};
+use crate::{Delaunay, DelaunayError};
+use dtfe_geometry::Vec3;
+use rayon::prelude::*;
+use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
+
+/// Points inserted serially before the rounds begin, so walks start on a
+/// substrate large enough that early cavities rarely collide.
+const SERIAL_PREFIX: usize = 64;
+/// Frontier size: how many order-consecutive pending points each round
+/// considers. Matching `morton::STREAMS` keeps the window at roughly one
+/// point per stream, which maximizes the accepted fraction and minimizes
+/// cache invalidations (a wider window mostly adds same-stream points that
+/// chain-block behind their stream head and get rescanned every round).
+/// Fixed (never thread-dependent) so the round structure — and hence the
+/// mesh — is identical for every thread count; the *result* is provably
+/// independent of this value, only the work schedule changes.
+const FRONTIER: usize = 64;
+/// Scan sub-blocks per round. Also fixed: each lane scans sequentially with
+/// its own walk hint and seed, so the computed regions are reproducible no
+/// matter how lanes are scheduled onto threads.
+const LANES: usize = 32;
+
+type TetStateMap = HashMap<TetId, bool, BuildHasherDefault<FxHasher>>;
+
+/// Per-lane walk state and reusable scan scratch.
+struct Lane {
+    hint: TetId,
+    seed: u64,
+    stack: Vec<TetId>,
+    state: TetStateMap,
+}
+
+/// A candidate insertion produced by the scan phase.
+struct Cand {
+    input_idx: u32,
+    /// Existing vertex id for an exact duplicate, else `NONE`.
+    vertex: VertexId,
+    region: Vec<TetId>,
+    boundary: Vec<(TetId, u8)>,
+}
+
+/// An accepted insertion: vertex id assigned, slots pre-allocated.
+struct Job {
+    vid: VertexId,
+    region: Vec<TetId>,
+    boundary: Vec<(TetId, u8)>,
+    slots: Vec<TetId>,
+}
+
+/// Shared raw view of the tet slot array for the star phase.
+///
+/// # Safety
+///
+/// Accepted footprints are pairwise disjoint and each job's writes go only to
+/// its own pre-assigned slots and to `neighbors` entries of its own boundary
+/// tets; its reads touch only its own boundary tets. No slot is accessed by
+/// two jobs, so no location is ever read or written concurrently. The slot
+/// vector is neither grown nor reallocated while this view is alive.
+struct SharedTets {
+    ptr: *mut Tet,
+    len: usize,
+}
+
+unsafe impl Sync for SharedTets {}
+unsafe impl Send for SharedTets {}
+
+impl SharedTets {
+    #[inline]
+    unsafe fn verts(&self, t: TetId) -> [VertexId; 4] {
+        debug_assert!((t as usize) < self.len);
+        std::ptr::addr_of!((*self.ptr.add(t as usize)).verts).read()
+    }
+
+    #[inline]
+    unsafe fn write(&self, t: TetId, tet: Tet) {
+        debug_assert!((t as usize) < self.len);
+        self.ptr.add(t as usize).write(tet);
+    }
+
+    #[inline]
+    unsafe fn set_neighbor(&self, t: TetId, j: usize, n: TetId) {
+        debug_assert!((t as usize) < self.len && j < 4);
+        std::ptr::addr_of_mut!((*self.ptr.add(t as usize)).neighbors[j]).write(n);
+    }
+}
+
+/// Read-only conflict-region BFS with caller-owned visited state, mirroring
+/// the epoch-marked serial search in `insert.rs`.
+fn conflict_region(
+    d: &Delaunay,
+    p: Vec3,
+    start: TetId,
+    region: &mut Vec<TetId>,
+    boundary: &mut Vec<(TetId, u8)>,
+    state: &mut TetStateMap,
+    stack: &mut Vec<TetId>,
+) {
+    state.clear();
+    stack.clear();
+    debug_assert!(d.in_conflict(start, p), "located tet must conflict");
+    state.insert(start, true);
+    stack.push(start);
+    while let Some(t) = stack.pop() {
+        region.push(t);
+        for i in 0..4 {
+            let n = d.tets[t as usize].neighbors[i];
+            match state.get(&n) {
+                Some(true) => continue,
+                Some(false) => {}
+                None => {
+                    if d.in_conflict(n, p) {
+                        state.insert(n, true);
+                        stack.push(n);
+                        continue;
+                    }
+                    state.insert(n, false);
+                }
+            }
+            let j = d.tets[n as usize]
+                .index_of_neighbor(t)
+                .expect("adjacency not reciprocal");
+            boundary.push((n, j as u8));
+        }
+    }
+}
+
+/// Scan phase for one lane: locate each frontier point and compute its
+/// conflict region in the current (frozen) mesh. Purely read-only on the
+/// mesh — overlapping regions are both computed here and arbitrated later by
+/// the serial select phase.
+fn scan_lane(d: &Delaunay, input: &[Vec3], indices: &[u32], lane: &mut Lane) -> Vec<Cand> {
+    let mut out = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        let p = input[idx as usize];
+        match d.locate_seeded(p, lane.hint, &mut lane.seed) {
+            Located::Vertex(v) => {
+                out.push(Cand {
+                    input_idx: idx,
+                    vertex: v,
+                    region: Vec::new(),
+                    boundary: Vec::new(),
+                });
+            }
+            Located::Finite(t) | Located::Ghost(t) => {
+                lane.hint = t;
+                let mut region = Vec::new();
+                let mut boundary = Vec::new();
+                conflict_region(
+                    d,
+                    p,
+                    t,
+                    &mut region,
+                    &mut boundary,
+                    &mut lane.state,
+                    &mut lane.stack,
+                );
+                out.push(Cand {
+                    input_idx: idx,
+                    vertex: NONE,
+                    region,
+                    boundary,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Star phase for one accepted cavity: retriangulate into pre-assigned
+/// slots, wiring internal faces through a job-local facet map.
+///
+/// # Safety
+///
+/// Caller must guarantee the disjointness contract of [`SharedTets`]: this
+/// job's `slots` and the tets named in `boundary` are touched by no other
+/// concurrently running job.
+unsafe fn star_cavity(tets: &SharedTets, points: &[Vec3], job: &Job) {
+    let mut recs: Vec<Tet> = Vec::with_capacity(job.boundary.len());
+    let mut fmap = FacetMap::default();
+    for (i, &(o, j)) in job.boundary.iter().enumerate() {
+        let o_verts = tets.verts(o);
+        let [fa, fb, fc] = dtfe_geometry::plucker::TET_FACES[j as usize];
+        let f = [o_verts[fa], o_verts[fb], o_verts[fc]];
+        let (verts, nbrs) = star_record(f, job.vid, o);
+        recs.push(Tet {
+            verts,
+            neighbors: nbrs,
+        });
+        // Wire the three faces incident to the new point against the other
+        // new tets of this cavity.
+        for l in 0..4usize {
+            if verts[l] == job.vid {
+                continue;
+            }
+            let mut uv = [NONE, NONE];
+            let mut n = 0;
+            for (m, &v) in verts.iter().enumerate() {
+                if m != l && v != job.vid {
+                    uv[n] = v;
+                    n += 1;
+                }
+            }
+            debug_assert_eq!(n, 2);
+            let key = edge_key(uv[0], uv[1]);
+            match fmap.remove(&key) {
+                Some((other, ol)) => {
+                    let other = other as usize;
+                    recs[i].neighbors[l] = job.slots[other];
+                    recs[other].neighbors[ol as usize] = job.slots[i];
+                }
+                None => {
+                    fmap.insert(key, (i as TetId, l as u8));
+                }
+            }
+        }
+    }
+    debug_assert!(fmap.is_empty(), "unpaired cavity facets");
+
+    #[cfg(debug_assertions)]
+    for rec in &recs {
+        if !rec.is_ghost() {
+            let q = |i: usize| points[rec.verts[i] as usize];
+            debug_assert!(
+                dtfe_geometry::predicates::orient3d(q(0), q(1), q(2), q(3)).is_positive(),
+                "new tet not positively oriented"
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = points;
+
+    for (i, rec) in recs.iter().enumerate() {
+        tets.write(job.slots[i], *rec);
+    }
+    for (i, &(o, j)) in job.boundary.iter().enumerate() {
+        tets.set_neighbor(o, j as usize, job.slots[i]);
+    }
+}
+
+/// Parallel triangulation of `input` in the given insertion order. Must run
+/// inside the Rayon pool that should execute the scan/star phases.
+pub(crate) fn triangulate(input: &[Vec3], order: &[u32]) -> Result<Delaunay, DelaunayError> {
+    let mut d = insert::bootstrap(input, order)?;
+    let prefix = order.len().min(SERIAL_PREFIX);
+    for &idx in &order[..prefix] {
+        if d.input_vertex[idx as usize] == NONE {
+            let v = d.insert_point(input[idx as usize]);
+            d.input_vertex[idx as usize] = v;
+        }
+    }
+    let rest = &order[prefix..];
+    if rest.is_empty() {
+        return Ok(d);
+    }
+    // First vertex id the rounds may create; everything below this point
+    // already carries its serial-path number.
+    let round_vid_base = d.points.len() as VertexId;
+
+    let mut pending: VecDeque<u32> = rest.iter().copied().collect();
+    let mut lanes: Vec<Lane> = (0..LANES)
+        .map(|li| Lane {
+            hint: d.hint,
+            // Deterministic per-lane walk seed (never thread-dependent).
+            seed: 0x9E3779B97F4A7C15 ^ (li as u64).wrapping_mul(0xA24BAED4963EE407),
+            stack: Vec::new(),
+            state: TetStateMap::default(),
+        })
+        .collect();
+
+    let mut frontier: Vec<u32> = Vec::with_capacity(FRONTIER);
+    let mut to_scan: Vec<u32> = Vec::with_capacity(FRONTIER);
+    let mut jobs: Vec<Job> = Vec::new();
+    // Scan results that survive across rounds (see the cache-validity note
+    // in the module docs), keyed by input index.
+    let mut cache: HashMap<u32, Cand, BuildHasherDefault<FxHasher>> = HashMap::default();
+    loop {
+        // --- Collect the frontier: next pending points, in order ---
+        frontier.clear();
+        while frontier.len() < FRONTIER {
+            let Some(idx) = pending.pop_front() else {
+                break;
+            };
+            if d.input_vertex[idx as usize] == NONE {
+                frontier.push(idx);
+            }
+        }
+        if frontier.is_empty() {
+            break;
+        }
+
+        // --- Phase 1: scan (parallel, mesh read-only) ---
+        // Only points without a still-valid cached region from an earlier
+        // round need the locate + conflict-region work.
+        to_scan.clear();
+        to_scan.extend(frontier.iter().copied().filter(|i| !cache.contains_key(i)));
+        let d_ref = &d;
+        let scan_ref = &to_scan;
+        let per_lane: Vec<Vec<Cand>> = lanes
+            .par_iter_mut()
+            .enumerate()
+            .map(|(li, lane)| {
+                let lo = scan_ref.len() * li / LANES;
+                let hi = scan_ref.len() * (li + 1) / LANES;
+                scan_lane(d_ref, input, &scan_ref[lo..hi], lane)
+            })
+            .collect();
+        for cand in per_lane.into_iter().flatten() {
+            cache.insert(cand.input_idx, cand);
+        }
+
+        // --- Phase 2: greedy in-order selection ---
+        // `stamp_any` = this round's footprint mark. Deferred candidates
+        // stamp their footprints too: they block later candidates, pinning
+        // every non-commuting pair to insertion order. `stamp_acc` re-marks
+        // the accepted footprints afterwards for cache invalidation.
+        d.epoch += 1;
+        let stamp_any = 2 * d.epoch;
+        let stamp_acc = stamp_any + 1;
+        jobs.clear();
+        let mut deferred: Vec<Cand> = Vec::new();
+        for &idx in &frontier {
+            let cand = cache
+                .remove(&idx)
+                .expect("frontier point neither cached nor scanned");
+            if cand.vertex != NONE {
+                d.input_vertex[cand.input_idx as usize] = cand.vertex;
+                continue;
+            }
+            let blocked = cand
+                .region
+                .iter()
+                .chain(cand.boundary.iter().map(|(o, _)| o))
+                .any(|&t| d.mark[t as usize] == stamp_any);
+            for &t in cand
+                .region
+                .iter()
+                .chain(cand.boundary.iter().map(|(o, _)| o))
+            {
+                d.mark[t as usize] = stamp_any;
+            }
+            if blocked {
+                deferred.push(cand);
+                continue;
+            }
+            let vid = d.points.len() as VertexId;
+            d.points.push(input[cand.input_idx as usize]);
+            d.input_vertex[cand.input_idx as usize] = vid;
+            jobs.push(Job {
+                vid,
+                region: cand.region,
+                boundary: cand.boundary,
+                slots: Vec::new(),
+            });
+        }
+        for job in &jobs {
+            for &t in job.region.iter().chain(job.boundary.iter().map(|(o, _)| o)) {
+                d.mark[t as usize] = stamp_acc;
+            }
+        }
+        // Deferred points precede everything still pending in the insertion
+        // order; push them back in order at the front. A deferred scan whose
+        // footprint is disjoint from every *accepted* footprint is still
+        // exact next round (disjoint insertions leave it untouched), so keep
+        // it cached; the rest are dropped and rescanned.
+        for cand in deferred.iter().rev() {
+            pending.push_front(cand.input_idx);
+        }
+        for cand in deferred {
+            let invalidated = cand
+                .region
+                .iter()
+                .chain(cand.boundary.iter().map(|(o, _)| o))
+                .any(|&t| d.mark[t as usize] == stamp_acc);
+            if !invalidated {
+                cache.insert(cand.input_idx, cand);
+            }
+        }
+
+        // Pre-assign slots (free list first, then fresh) so the star phase
+        // never grows the slot array.
+        for job in &mut jobs {
+            job.slots.reserve(job.boundary.len());
+            for _ in 0..job.boundary.len() {
+                job.slots.push(match d.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        d.tets.push(Tet::DEAD);
+                        d.mark.push(0);
+                        (d.tets.len() - 1) as TetId
+                    }
+                });
+            }
+        }
+
+        // --- Phase 3: star the cavities (parallel, disjoint writes) ---
+        let shared = SharedTets {
+            ptr: d.tets.as_mut_ptr(),
+            len: d.tets.len(),
+        };
+        let points = &d.points;
+        jobs.par_iter().for_each(|job| {
+            // SAFETY: selection guarantees pairwise-disjoint footprints and
+            // slots; see `SharedTets`.
+            unsafe { star_cavity(&shared, points, job) }
+        });
+
+        // --- Phase 4: commit (serial bookkeeping) ---
+        for job in &jobs {
+            for &t in &job.region {
+                d.free_tet(t);
+            }
+            for &s in &job.slots {
+                if d.tets[s as usize].is_ghost() {
+                    d.n_ghost += 1;
+                } else {
+                    d.n_finite += 1;
+                }
+            }
+            d.hint = *job.slots.last().expect("cavity produced no tets");
+        }
+    }
+
+    renumber_to_serial_order(&mut d, order, round_vid_base);
+    Ok(d)
+}
+
+/// Relabel the vertices created during the rounds into first-encounter order
+/// over the insertion sequence — the numbering the serial path assigns — so
+/// the builder's output is bit-for-bit reproducible across thread counts.
+/// Vertices below `base` (bootstrap + serial prefix) already match.
+fn renumber_to_serial_order(d: &mut Delaunay, order: &[u32], base: VertexId) {
+    let n = d.points.len();
+    if base as usize >= n {
+        return;
+    }
+    let mut perm: Vec<VertexId> = vec![NONE; n];
+    for v in 0..base {
+        perm[v as usize] = v;
+    }
+    let mut next = base;
+    for &idx in order {
+        let v = d.input_vertex[idx as usize];
+        if v != NONE && perm[v as usize] == NONE {
+            perm[v as usize] = next;
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next as usize, n, "every vertex has an input point");
+
+    let mut points = vec![Vec3::new(0.0, 0.0, 0.0); n];
+    for (old, &new) in perm.iter().enumerate() {
+        points[new as usize] = d.points[old];
+    }
+    d.points = points;
+    for v in &mut d.input_vertex {
+        if *v != NONE {
+            *v = perm[*v as usize];
+        }
+    }
+    for tet in &mut d.tets {
+        if !tet.is_live() {
+            continue;
+        }
+        for v in &mut tet.verts {
+            if *v != crate::mesh::INFINITE {
+                *v = perm[*v as usize];
+            }
+        }
+    }
+}

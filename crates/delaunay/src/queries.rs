@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn star_matches_degree_counts() {
         let pts = cloud(150, 3);
-        let d = Delaunay::build(&pts).unwrap();
+        let d = crate::DelaunayBuilder::new().build(&pts).unwrap();
         let seeds = d.vertex_seeds();
         let deg = d.vertex_degrees();
         for v in (0..d.num_vertices() as u32).step_by(13) {
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn star_volumes_match_bulk_computation() {
         let pts = cloud(80, 9);
-        let d = Delaunay::build(&pts).unwrap();
+        let d = crate::DelaunayBuilder::new().build(&pts).unwrap();
         let seeds = d.vertex_seeds();
         let bulk = d.vertex_star_volumes();
         for v in (0..d.num_vertices() as u32).step_by(7) {
@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn nearest_vertex_matches_brute_force() {
         let pts = cloud(200, 11);
-        let d = Delaunay::build(&pts).unwrap();
+        let d = crate::DelaunayBuilder::new().build(&pts).unwrap();
         let mut seed = 5u64;
         let queries = cloud(50, 77);
         for q in queries {
@@ -215,14 +215,17 @@ mod tests {
                 .unwrap() as u32;
             let dg = d.vertex(got).distance_sq(q);
             let db = d.vertex(brute).distance_sq(q);
-            assert!(dg == db, "nearest {got} (d²={dg}) vs brute {brute} (d²={db}) at {q:?}");
+            assert!(
+                dg == db,
+                "nearest {got} (d²={dg}) vs brute {brute} (d²={db}) at {q:?}"
+            );
         }
     }
 
     #[test]
     fn sampled_locate_agrees_with_plain() {
         let pts = cloud(300, 21);
-        let d = Delaunay::build(&pts).unwrap();
+        let d = crate::DelaunayBuilder::new().build(&pts).unwrap();
         let mut seed = 1u64;
         for q in cloud(30, 99) {
             let a = d.locate_sampled(q, 8, &mut seed);

@@ -39,6 +39,15 @@ impl std::fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
+/// Run every check we have: the structural + local-Delaunay validation plus
+/// the brute-force global empty-circumsphere cross-check. O(tets × vertices);
+/// intended for tests (the parallel-vs-serial equivalence suite in
+/// particular), not production paths.
+pub fn global_delaunay_check(d: &Delaunay) -> Result<(), ValidationError> {
+    d.validate()?;
+    d.validate_delaunay_global()
+}
+
 impl Delaunay {
     /// Check every structural invariant: vertex distinctness, positive
     /// orientation, reciprocal adjacency with matching shared facets, ghost
@@ -135,7 +144,10 @@ impl Delaunay {
                     let opp = ntet.verts[back];
                     let q = self.points[opp as usize];
                     if insphere(p[0], p[1], p[2], p[3], q).is_positive() {
-                        return Err(ValidationError::NotDelaunay { tet: t, vertex: opp });
+                        return Err(ValidationError::NotDelaunay {
+                            tet: t,
+                            vertex: opp,
+                        });
                     }
                 }
             }
@@ -156,7 +168,10 @@ impl Delaunay {
                     continue;
                 }
                 if insphere(p[0], p[1], p[2], p[3], q).is_positive() {
-                    return Err(ValidationError::NotDelaunay { tet: t, vertex: vi as u32 });
+                    return Err(ValidationError::NotDelaunay {
+                        tet: t,
+                        vertex: vi as u32,
+                    });
                 }
             }
         }

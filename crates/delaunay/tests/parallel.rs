@@ -1,0 +1,188 @@
+//! Serial/parallel equivalence suite for [`DelaunayBuilder`].
+//!
+//! The parallel path is designed to produce *exactly* the triangulation the
+//! serial Morton-order insertion produces (see `src/parallel.rs` for the
+//! commutation argument), so these tests hold it to that bar on the three
+//! adversarial families from the issue — uniform random clouds, exact
+//! regular grids (maximally cospherical/coplanar), and points on a common
+//! sphere — at 2, 4, and 8 threads:
+//!
+//! 1. both meshes pass `validate::global_delaunay_check` (full structural
+//!    validation plus the brute-force global empty-circumsphere check), and
+//! 2. the vertex-degree multisets are identical — and, stronger, the sorted
+//!    finite-tet vertex quadruples match, i.e. the two meshes are the same
+//!    abstract simplicial complex.
+
+use dtfe_delaunay::{validate, Delaunay, DelaunayBuilder, Triangulation};
+use dtfe_geometry::Vec3;
+use proptest::prelude::*;
+
+/// Canonical form of the finite complex: sorted list of sorted vertex
+/// quadruples.
+fn finite_complex(d: &Delaunay) -> Vec<[u32; 4]> {
+    let mut tets: Vec<[u32; 4]> = d
+        .finite_tets()
+        .map(|t| {
+            let mut v = d.tet(t).verts;
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    tets.sort_unstable();
+    tets
+}
+
+fn degree_multiset(d: &Delaunay) -> Vec<u32> {
+    let mut deg = d.vertex_degrees();
+    deg.sort_unstable();
+    deg
+}
+
+/// Build serially and at 2/4/8 threads; validate each and compare against
+/// the serial reference.
+///
+/// The O(tets × vertices) brute-force global empty-circumsphere check runs
+/// on the serial mesh and the first parallel one; the remaining thread
+/// counts get the full structural + local-Delaunay validation (which implies
+/// the global property for a valid triangulation) plus exact complex
+/// equality against the already-globally-checked reference — re-running the
+/// quadratic check on a complex asserted identical adds nothing but time.
+fn assert_parallel_matches_serial(pts: &[Vec3]) {
+    let serial = DelaunayBuilder::new()
+        .threads(1)
+        .build(pts)
+        .expect("serial build");
+    validate::global_delaunay_check(&serial).expect("serial validation");
+    let reference = finite_complex(&serial);
+    let degrees = degree_multiset(&serial);
+
+    for threads in [2usize, 4, 8] {
+        let par: Triangulation = DelaunayBuilder::new()
+            .threads(threads)
+            .build(pts)
+            .unwrap_or_else(|e| panic!("parallel build ({threads} threads): {e}"));
+        if threads == 2 {
+            validate::global_delaunay_check(&par)
+                .unwrap_or_else(|e| panic!("parallel validation ({threads} threads): {e}"));
+        } else {
+            par.validate()
+                .unwrap_or_else(|e| panic!("parallel validation ({threads} threads): {e}"));
+        }
+        assert_eq!(
+            degree_multiset(&par),
+            degrees,
+            "vertex-degree multiset diverged at {threads} threads"
+        );
+        assert_eq!(
+            finite_complex(&par),
+            reference,
+            "finite complex diverged at {threads} threads"
+        );
+    }
+}
+
+/// Exact n×n×n lattice: every 2×2×2 sub-cube is cospherical, so nearly all
+/// insertions hit the exact insphere==Zero path.
+fn grid(n: usize) -> Vec<Vec3> {
+    let mut pts = Vec::with_capacity(n * n * n);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                pts.push(Vec3::new(i as f64, j as f64, k as f64));
+            }
+        }
+    }
+    pts
+}
+
+/// Points on a common sphere (plus center): one giant cospherical family.
+fn cosphere(n: usize, jitter_seed: u64) -> Vec<Vec3> {
+    let mut pts = vec![Vec3::new(0.0, 0.0, 0.0)];
+    let mut s = jitter_seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        let z = 2.0 * next() - 1.0;
+        let phi = std::f64::consts::TAU * next();
+        let r = (1.0 - z * z).max(0.0).sqrt();
+        pts.push(Vec3::new(r * phi.cos(), r * phi.sin(), z));
+    }
+    pts
+}
+
+#[test]
+fn grid_5x5x5_equivalent() {
+    assert_parallel_matches_serial(&grid(5));
+}
+
+#[test]
+fn grid_7x7x7_equivalent() {
+    assert_parallel_matches_serial(&grid(7));
+}
+
+#[test]
+fn cospherical_200_equivalent() {
+    assert_parallel_matches_serial(&cosphere(200, 0x5EED));
+}
+
+#[test]
+fn cospherical_300_equivalent() {
+    assert_parallel_matches_serial(&cosphere(300, 0xBADC0DE));
+}
+
+#[test]
+fn duplicates_and_near_duplicates_equivalent() {
+    // Stress the Located::Vertex dedup path under parallel scanning.
+    let mut pts = grid(4);
+    let dups: Vec<Vec3> = pts.iter().step_by(3).copied().collect();
+    pts.extend(dups);
+    pts.push(Vec3::new(0.5, 0.5, 0.5));
+    assert_parallel_matches_serial(&pts);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_clouds_equivalent(
+        pts in prop::collection::vec(
+            (0.0f64..16.0, 0.0f64..16.0, 0.0f64..16.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+            8..300,
+        )
+    ) {
+        match DelaunayBuilder::new().threads(1).build(&pts) {
+            Ok(_) => assert_parallel_matches_serial(&pts),
+            // A degenerate random cloud (possible only at tiny sizes) must
+            // be degenerate for every thread count too.
+            Err(e) => {
+                for threads in [2usize, 4, 8] {
+                    let pe = DelaunayBuilder::new().threads(threads).build(&pts).unwrap_err();
+                    prop_assert_eq!(&pe, &e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_clouds_equivalent(
+        pts in prop::collection::vec((0u8..5, 0u8..5, 0u8..5), 10..120)
+    ) {
+        // Integer-lattice clouds with duplicates: heavy exact-predicate and
+        // vertex-merge traffic.
+        let pts: Vec<Vec3> =
+            pts.into_iter().map(|(x, y, z)| Vec3::new(x as f64, y as f64, z as f64)).collect();
+        match DelaunayBuilder::new().threads(1).build(&pts) {
+            Ok(_) => assert_parallel_matches_serial(&pts),
+            Err(e) => {
+                for threads in [2usize, 4, 8] {
+                    let pe = DelaunayBuilder::new().threads(threads).build(&pts).unwrap_err();
+                    prop_assert_eq!(&pe, &e);
+                }
+            }
+        }
+    }
+}

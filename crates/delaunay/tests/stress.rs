@@ -1,7 +1,7 @@
 //! Adversarial and property-based construction tests for the Delaunay
 //! substrate.
 
-use dtfe_delaunay::{Delaunay, DelaunayError, Located};
+use dtfe_delaunay::{BuildError, Delaunay, DelaunayBuilder, Located};
 use dtfe_geometry::tetra::{contains, volume};
 use dtfe_geometry::Vec3;
 use proptest::prelude::*;
@@ -42,7 +42,10 @@ fn collinear_hull_extensions() {
         pts.push(Vec3::new(0.0, i as f64, 0.0));
         pts.push(Vec3::new(0.0, 0.0, i as f64));
     }
-    let d = Delaunay::build_insertion_order(&pts).unwrap();
+    let d = DelaunayBuilder::new()
+        .spatial_sort(false)
+        .build(&pts)
+        .unwrap();
     d.validate().unwrap();
     d.validate_delaunay_global().unwrap();
     assert_eq!(d.num_vertices(), pts.len());
@@ -66,7 +69,7 @@ fn cospherical_shell() {
         }
     }
     pts.push(Vec3::ZERO);
-    let d = Delaunay::build(&pts).unwrap();
+    let d = DelaunayBuilder::new().build(&pts).unwrap();
     d.validate().unwrap();
 }
 
@@ -82,7 +85,7 @@ fn two_planes_lattice() {
             }
         }
     }
-    let d = Delaunay::build(&pts).unwrap();
+    let d = DelaunayBuilder::new().build(&pts).unwrap();
     d.validate().unwrap();
     d.validate_delaunay_global().unwrap();
     assert!((hull_volume(&d) - 16.0).abs() < 1e-9);
@@ -100,7 +103,7 @@ fn clustered_points() {
             pts.push(cx + Vec3::new(rng.f() - 0.5, rng.f() - 0.5, rng.f() - 0.5) * scale);
         }
     }
-    let d = Delaunay::build(&pts).unwrap();
+    let d = DelaunayBuilder::new().build(&pts).unwrap();
     assert_eq!(d.num_vertices(), pts.len());
     d.validate().unwrap();
 }
@@ -120,7 +123,7 @@ fn grid_plus_jitter_large() {
             }
         }
     }
-    let d = Delaunay::build(&pts).unwrap();
+    let d = DelaunayBuilder::new().build(&pts).unwrap();
     d.validate().unwrap();
     // Sanity: roughly 6 tets per interior point.
     assert!(d.num_tets() > 2 * pts.len(), "tets = {}", d.num_tets());
@@ -134,14 +137,19 @@ fn needs_four_independent_points() {
         Vec3::new(1.0, 2.0, 3.0),
         Vec3::new(-1.0, 0.5, 2.0),
     ];
-    assert_eq!(Delaunay::build(&pts).unwrap_err(), DelaunayError::Degenerate);
+    assert_eq!(
+        DelaunayBuilder::new().build(&pts).unwrap_err(),
+        BuildError::Degenerate
+    );
 }
 
 #[test]
 fn locate_after_build_is_consistent() {
     let mut rng = Rng(777);
-    let pts: Vec<Vec3> = (0..400).map(|_| Vec3::new(rng.f(), rng.f(), rng.f())).collect();
-    let mut d = Delaunay::build(&pts).unwrap();
+    let pts: Vec<Vec3> = (0..400)
+        .map(|_| Vec3::new(rng.f(), rng.f(), rng.f()))
+        .collect();
+    let mut d = DelaunayBuilder::new().build(&pts).unwrap();
     for _ in 0..100 {
         let q = Vec3::new(rng.f(), rng.f(), rng.f());
         match d.locate(q) {
@@ -168,17 +176,18 @@ proptest! {
             8..80,
         )
     ) {
-        match Delaunay::build(&pts) {
+        match DelaunayBuilder::new().build(&pts) {
             Ok(d) => {
                 d.validate().unwrap();
                 d.validate_delaunay_global().unwrap();
                 prop_assert!(d.num_vertices() <= pts.len());
             }
-            Err(DelaunayError::Degenerate) => {
+            Err(BuildError::Degenerate) => {
                 // Possible only if proptest generated a degenerate cloud;
                 // astronomically unlikely with continuous coordinates but not
                 // an error of the library.
             }
+            Err(e) => panic!("unexpected build error: {e}"),
         }
     }
 
@@ -192,14 +201,15 @@ proptest! {
             .into_iter()
             .map(|(x, y, z)| Vec3::new(x as f64, y as f64, z as f64))
             .collect();
-        match Delaunay::build(&pts) {
+        match DelaunayBuilder::new().build(&pts) {
             Ok(d) => {
                 d.validate().unwrap();
                 d.validate_delaunay_global().unwrap();
             }
-            Err(DelaunayError::Degenerate) => {
+            Err(BuildError::Degenerate) => {
                 // Legitimate for flat/collinear draws.
             }
+            Err(e) => panic!("unexpected build error: {e}"),
         }
     }
 }

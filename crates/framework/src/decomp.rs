@@ -46,7 +46,10 @@ pub fn factor3(n: usize) -> [usize; 3] {
 impl Decomposition {
     /// Decompose `bounds` across `nranks` with near-cubic boxes.
     pub fn new(bounds: Aabb3, nranks: usize) -> Self {
-        Decomposition { bounds, dims: factor3(nranks) }
+        Decomposition {
+            bounds,
+            dims: factor3(nranks),
+        }
     }
 
     #[inline]
@@ -58,7 +61,11 @@ impl Decomposition {
     #[inline]
     pub fn box_size(&self) -> Vec3 {
         let e = self.bounds.extent();
-        Vec3::new(e.x / self.dims[0] as f64, e.y / self.dims[1] as f64, e.z / self.dims[2] as f64)
+        Vec3::new(
+            e.x / self.dims[0] as f64,
+            e.y / self.dims[1] as f64,
+            e.z / self.dims[2] as f64,
+        )
     }
 
     #[inline]
@@ -118,8 +125,7 @@ impl Decomposition {
         for dk in -rk..=rk {
             for dj in -rj..=rj {
                 for di in -ri..=ri {
-                    let (i, j, k) =
-                        (c[0] as isize + di, c[1] as isize + dj, c[2] as isize + dk);
+                    let (i, j, k) = (c[0] as isize + di, c[1] as isize + dj, c[2] as isize + dk);
                     if i < 0
                         || j < 0
                         || k < 0
@@ -181,7 +187,10 @@ mod tests {
         ];
         for p in probe {
             let r = d.rank_of(p);
-            assert!(d.rank_box(r).contains_closed(p), "rank {r} box misses {p:?}");
+            assert!(
+                d.rank_box(r).contains_closed(p),
+                "rank {r} box misses {p:?}"
+            );
         }
     }
 

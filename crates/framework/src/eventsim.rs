@@ -59,7 +59,10 @@ pub struct SimParams {
 
 impl Default for SimParams {
     fn default() -> Self {
-        SimParams { per_item_comm: 1e-4, per_transfer_comm: 1e-3 }
+        SimParams {
+            per_item_comm: 1e-4,
+            per_transfer_comm: 1e-3,
+        }
     }
 }
 
@@ -67,7 +70,12 @@ impl Default for SimParams {
 pub fn simulate_unbalanced(work: &[RankWork]) -> SimResult {
     let finish: Vec<f64> = work.iter().map(|w| w.total_actual()).collect();
     let wall = finish.iter().cloned().fold(0.0, f64::max);
-    SimResult { finish, wall, total_wait: 0.0, transfers: 0 }
+    SimResult {
+        finish,
+        wall,
+        total_wait: 0.0,
+        transfers: 0,
+    }
 }
 
 /// Simulate execution with the a-priori schedule (paper §IV-D/E).
@@ -135,7 +143,13 @@ pub fn simulate_balanced(work: &[RankWork], params: &SimParams) -> SimResult {
                 consumed += 1;
             }
             t += params.per_transfer_comm + params.per_item_comm * n_items as f64;
-            bundles.insert((send.from, send.to), Bundle { available_at: t, actual_cost: cost });
+            bundles.insert(
+                (send.from, send.to),
+                Bundle {
+                    available_at: t,
+                    actual_cost: cost,
+                },
+            );
         }
         while consumed < kept.len() {
             t += kept[consumed];
@@ -161,7 +175,12 @@ pub fn simulate_balanced(work: &[RankWork], params: &SimParams) -> SimResult {
         finish[rank] = t;
     }
     let wall = finish.iter().cloned().fold(0.0, f64::max);
-    SimResult { finish, wall, total_wait, transfers: schedule.transfers.len() }
+    SimResult {
+        finish,
+        wall,
+        total_wait,
+        transfers: schedule.transfers.len(),
+    }
 }
 
 /// Generate a synthetic heavy-tailed workload for `nranks` ranks:
@@ -321,9 +340,11 @@ mod tests {
         );
         // Work is conserved (no items lost).
         let total: f64 = work.iter().map(|w| w.total_actual()).sum();
-        let executed: f64 = bal.finish.iter().sum::<f64>() - bal.total_wait
-            - 0.0; // finish includes waits; crude lower bound check below
-        assert!(executed > 0.9 * total / 64.0, "sanity: {executed} vs {total}");
+        let executed: f64 = bal.finish.iter().sum::<f64>() - bal.total_wait - 0.0; // finish includes waits; crude lower bound check below
+        assert!(
+            executed > 0.9 * total / 64.0,
+            "sanity: {executed} vs {total}"
+        );
     }
 
     #[test]
@@ -332,19 +353,37 @@ mod tests {
         let work = synth_workload(32, 64, 0.5, 0.0, 0, 1.0, 7);
         let total: f64 = work.iter().map(|w| w.total_actual()).sum();
         let mean = total / 32.0;
-        let bal = simulate_balanced(&work, &SimParams { per_item_comm: 0.0, per_transfer_comm: 0.0 });
+        let bal = simulate_balanced(
+            &work,
+            &SimParams {
+                per_item_comm: 0.0,
+                per_transfer_comm: 0.0,
+            },
+        );
         // Packing granularity keeps this approximate: within 2× of the mean
         // and far below the unbalanced max.
         let unbal = simulate_unbalanced(&work).wall;
         assert!(bal.wall < unbal);
-        assert!(bal.wall < 2.0 * mean + work.iter().flat_map(|w| &w.actual).cloned().fold(0.0, f64::max),
-            "wall {} vs mean {mean}", bal.wall);
+        assert!(
+            bal.wall
+                < 2.0 * mean
+                    + work
+                        .iter()
+                        .flat_map(|w| &w.actual)
+                        .cloned()
+                        .fold(0.0, f64::max),
+            "wall {} vs mean {mean}",
+            bal.wall
+        );
     }
 
     #[test]
     fn uniform_load_needs_no_transfers() {
         let work: Vec<RankWork> = (0..16)
-            .map(|_| RankWork { predicted: vec![1.0; 4], actual: vec![1.0; 4] })
+            .map(|_| RankWork {
+                predicted: vec![1.0; 4],
+                actual: vec![1.0; 4],
+            })
             .collect();
         let bal = simulate_balanced(&work, &SimParams::default());
         assert_eq!(bal.transfers, 0);
@@ -357,13 +396,15 @@ mod tests {
         let clean = synth_workload(256, 48, 0.5, 0.15, 0, 1.0, 11);
         let dirty = synth_workload(256, 48, 0.5, 0.15, 4, 400.0, 11);
         let params = SimParams::default();
-        let speedup = |w: &[RankWork]| {
-            simulate_unbalanced(w).wall / simulate_balanced(w, &params).wall
-        };
+        let speedup =
+            |w: &[RankWork]| simulate_unbalanced(w).wall / simulate_balanced(w, &params).wall;
         let s_clean = speedup(&clean);
         let s_dirty = speedup(&dirty);
         assert!(s_clean > 1.5, "clean speedup {s_clean}");
-        assert!(s_dirty < s_clean, "degeneracy should hurt: {s_dirty} vs {s_clean}");
+        assert!(
+            s_dirty < s_clean,
+            "degeneracy should hurt: {s_dirty} vs {s_clean}"
+        );
     }
 
     #[test]

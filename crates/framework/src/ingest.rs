@@ -57,7 +57,11 @@ pub fn redistribute(
             }
         }
     }
-    let ghosts: Vec<Vec3> = comm.alltoallv(ghost_buckets).into_iter().flatten().collect();
+    let ghosts: Vec<Vec3> = comm
+        .alltoallv(ghost_buckets)
+        .into_iter()
+        .flatten()
+        .collect();
     RankParticles { owned, ghosts }
 }
 
@@ -94,7 +98,9 @@ mod tests {
             s ^= s >> 27;
             (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Vec3::new(r() * side, r() * side, r() * side)).collect()
+        (0..n)
+            .map(|_| Vec3::new(r() * side, r() * side, r() * side))
+            .collect()
     }
 
     #[test]
@@ -107,8 +113,12 @@ mod tests {
         let pts2 = pts.clone();
         let results = run(nranks, move |mut comm| {
             // Arbitrary initial assignment: round-robin slices.
-            let mine: Vec<Vec3> =
-                pts2.iter().skip(comm.rank()).step_by(comm.size()).copied().collect();
+            let mine: Vec<Vec3> = pts2
+                .iter()
+                .skip(comm.rank())
+                .step_by(comm.size())
+                .copied()
+                .collect();
             let rp = redistribute(&mut comm, mine, &d2, 0.5);
             (comm.rank(), rp)
         });
@@ -124,7 +134,10 @@ mod tests {
             let inflated = bx.inflated(0.5);
             for g in &rp.ghosts {
                 assert!(inflated.contains_closed(*g));
-                assert!(!bx.contains(*g), "ghost {g:?} inside own box of rank {rank}");
+                assert!(
+                    !bx.contains(*g),
+                    "ghost {g:?} inside own box of rank {rank}"
+                );
             }
         }
     }
@@ -141,8 +154,12 @@ mod tests {
         let d2 = decomp.clone();
         let pts2 = pts.clone();
         let results = run(nranks, move |mut comm| {
-            let mine: Vec<Vec3> =
-                pts2.iter().skip(comm.rank()).step_by(comm.size()).copied().collect();
+            let mine: Vec<Vec3> = pts2
+                .iter()
+                .skip(comm.rank())
+                .step_by(comm.size())
+                .copied()
+                .collect();
             redistribute(&mut comm, mine, &d2, margin)
         });
         for (rank, rp) in results.iter().enumerate() {

@@ -32,5 +32,8 @@ pub mod sharing;
 
 pub use decomp::Decomposition;
 pub use model::{InterpModel, TriModel, WorkloadModel};
-pub use runner::{run_distributed, run_distributed_snapshot, FieldRequest, FrameworkConfig, PhaseTimings, RankReport};
+pub use runner::{
+    run_distributed, run_distributed_snapshot, FieldRequest, FrameworkConfig, PhaseTimings,
+    RankReport,
+};
 pub use sharing::{create_schedule, pack_bins, Schedule, Transfer};

@@ -38,7 +38,9 @@ impl TriModel {
             num += x * s.t_tri;
             den += x * x;
         }
-        TriModel { c: if den > 0.0 { num / den } else { 0.0 } }
+        TriModel {
+            c: if den > 0.0 { num / den } else { 0.0 },
+        }
     }
 
     #[inline]
@@ -73,11 +75,17 @@ impl InterpModel {
             .map(|s| (s.n, s.t_interp))
             .collect();
         if pts.is_empty() {
-            return InterpModel { alpha: 0.0, beta: 1.0 };
+            return InterpModel {
+                alpha: 0.0,
+                beta: 1.0,
+            };
         }
         if pts.len() == 1 {
             // Underdetermined: assume linear scaling through the sample.
-            return InterpModel { alpha: pts[0].1 / pts[0].0, beta: 1.0 };
+            return InterpModel {
+                alpha: pts[0].1 / pts[0].0,
+                beta: 1.0,
+            };
         }
         // Log-log linear initial guess.
         let m = pts.len() as f64;
@@ -90,13 +98,16 @@ impl InterpModel {
             sxy += x * y;
         }
         let den = m * sxx - sx * sx;
-        let mut beta = if den.abs() > 1e-12 { (m * sxy - sx * sy) / den } else { 1.0 };
+        let mut beta = if den.abs() > 1e-12 {
+            (m * sxy - sx * sy) / den
+        } else {
+            1.0
+        };
         let mut alpha = ((sy - beta * sx) / m).exp();
 
         // Gauss–Newton with simple step damping.
-        let sse = |a: f64, b: f64| -> f64 {
-            pts.iter().map(|&(n, t)| (t - a * n.powf(b)).powi(2)).sum()
-        };
+        let sse =
+            |a: f64, b: f64| -> f64 { pts.iter().map(|&(n, t)| (t - a * n.powf(b)).powi(2)).sum() };
         let mut err = sse(alpha, beta);
         for _ in 0..60 {
             // J columns: ∂/∂α = n^β, ∂/∂β = α n^β ln n.
@@ -158,7 +169,10 @@ pub struct WorkloadModel {
 
 impl WorkloadModel {
     pub fn fit(samples: &[TimingSample]) -> WorkloadModel {
-        WorkloadModel { tri: TriModel::fit(samples), interp: InterpModel::fit(samples) }
+        WorkloadModel {
+            tri: TriModel::fit(samples),
+            interp: InterpModel::fit(samples),
+        }
     }
 
     /// Predicted total time for a work item with `n` particles.
@@ -194,11 +208,19 @@ impl ParticleCounter {
             let c = |v: f64, lo: f64, n: usize| {
                 (((v - lo) * inv_cell) as isize).clamp(0, n as isize - 1) as usize
             };
-            let (i, j, k) =
-                (c(p.x, bounds.lo.x, dims[0]), c(p.y, bounds.lo.y, dims[1]), c(p.z, bounds.lo.z, dims[2]));
+            let (i, j, k) = (
+                c(p.x, bounds.lo.x, dims[0]),
+                c(p.y, bounds.lo.y, dims[1]),
+                c(p.z, bounds.lo.z, dims[2]),
+            );
             counts[(k * dims[1] + j) * dims[0] + i] += 1;
         }
-        ParticleCounter { lo: bounds.lo, inv_cell, dims, counts }
+        ParticleCounter {
+            lo: bounds.lo,
+            inv_cell,
+            dims,
+            counts,
+        }
     }
 
     /// Approximate count inside the cube of side `side` centred on `c`
@@ -295,7 +317,11 @@ mod tests {
     #[test]
     fn interp_fit_degenerate_inputs() {
         assert_eq!(InterpModel::fit(&[]).alpha, 0.0);
-        let one = [TimingSample { n: 100.0, t_tri: 0.0, t_interp: 5.0 }];
+        let one = [TimingSample {
+            n: 100.0,
+            t_tri: 0.0,
+            t_interp: 5.0,
+        }];
         let m = InterpModel::fit(&one);
         assert!((m.predict(100.0) - 5.0).abs() < 1e-12);
     }

@@ -141,12 +141,20 @@ fn execute_item(
     cfg: &FrameworkConfig,
 ) -> (f64, f64, Option<Field2>) {
     let cube = Aabb3::cube(center, cfg.field_len);
-    let local: Vec<Vec3> =
-        all_particles.iter().copied().filter(|p| cube.contains_closed(*p)).collect();
+    let local: Vec<Vec3> = all_particles
+        .iter()
+        .copied()
+        .filter(|p| cube.contains_closed(*p))
+        .collect();
     let grid = GridSpec2::square(center.xy(), cfg.field_len, cfg.resolution);
 
     let t0 = BusyTimer::start();
-    let del = match dtfe_delaunay::Delaunay::build(&local) {
+    // Each rank is one worker of the distributed experiment; the builder is
+    // pinned to a single thread so ranks don't oversubscribe the machine.
+    let del = match dtfe_delaunay::DelaunayBuilder::new()
+        .threads(1)
+        .build(&local)
+    {
         Ok(d) => d,
         Err(_) => return (t0.elapsed(), 0.0, Some(Field2::zeros(grid))),
     };
@@ -154,15 +162,16 @@ fn execute_item(
     let t_tri = t0.elapsed();
 
     let t1 = BusyTimer::start();
-    let opts = MarchOptions {
-        samples: cfg.samples,
-        // Ranks already run in parallel; nesting Rayon here would
-        // oversubscribe (the paper's per-rank OpenMP threads map onto the
-        // whole-process pool used by the shared-memory experiments instead).
-        parallel: false,
-        z_range: Some((center.z - cfg.field_len * 0.5, center.z + cfg.field_len * 0.5)),
-        ..MarchOptions::default()
-    };
+    // Ranks already run in parallel; nesting Rayon here would
+    // oversubscribe (the paper's per-rank OpenMP threads map onto the
+    // whole-process pool used by the shared-memory experiments instead).
+    let opts = MarchOptions::new()
+        .samples(cfg.samples)
+        .parallel(false)
+        .z_range(
+            center.z - cfg.field_len * 0.5,
+            center.z + cfg.field_len * 0.5,
+        );
     let (sigma, _stats) = surface_density_with_stats(&field, &grid, &opts);
     let t_render = t1.elapsed();
     (t_tri, t_render, Some(sigma))
@@ -180,7 +189,10 @@ pub fn run_rank(
     cfg: &FrameworkConfig,
 ) -> RankReport {
     let t_start = BusyTimer::start();
-    let mut report = RankReport { rank: comm.rank(), ..Default::default() };
+    let mut report = RankReport {
+        rank: comm.rank(),
+        ..Default::default()
+    };
 
     // ---- Phase 1: partition & redistribute ----
     let t0 = BusyTimer::start();
@@ -214,7 +226,11 @@ pub fn run_rank(
     let mut rng = cfg.seed ^ ((me as u64) << 32) ^ 0x9E37_79B9;
     let mut executed_early: Option<(usize, f64, f64, Option<Field2>)> = None;
     let my_sample = if local_centers.is_empty() {
-        TimingSample { n: 0.0, t_tri: 0.0, t_interp: 0.0 }
+        TimingSample {
+            n: 0.0,
+            t_tri: 0.0,
+            t_interp: 0.0,
+        }
     } else {
         rng ^= rng << 13;
         rng ^= rng >> 7;
@@ -222,7 +238,11 @@ pub fn run_rank(
         let pick = (rng % local_centers.len() as u64) as usize;
         let (t_tri, t_render, f) = execute_item(&all, local_centers[pick], cfg);
         executed_early = Some((pick, t_tri, t_render, f));
-        TimingSample { n: counts[pick].max(1.0), t_tri, t_interp: t_render }
+        TimingSample {
+            n: counts[pick].max(1.0),
+            t_tri,
+            t_interp: t_render,
+        }
     };
     let samples: Vec<TimingSample> = comm
         .allgather(my_sample)
@@ -237,7 +257,11 @@ pub fn run_rank(
 
     // ---- Phase 3: work-sharing schedule ----
     let totals = comm.allgather(my_total);
-    let schedule = if cfg.balance { create_schedule(&totals) } else { Default::default() };
+    let schedule = if cfg.balance {
+        create_schedule(&totals)
+    } else {
+        Default::default()
+    };
     let my_sends = schedule.sends_of(me);
     let my_recvs = schedule.recvs_of(me);
 
@@ -254,7 +278,11 @@ pub fn run_rank(
         let (assign, _left) = pack_bins(&costs, &bins);
         send_buckets = assign
             .into_iter()
-            .map(|bin| bin.into_iter().map(|ci| packable[ci]).collect::<Vec<usize>>())
+            .map(|bin| {
+                bin.into_iter()
+                    .map(|ci| packable[ci])
+                    .collect::<Vec<usize>>()
+            })
             .collect();
         for bucket in &send_buckets {
             for &i in bucket {
@@ -309,12 +337,13 @@ pub fn run_rank(
         // Interleaved mode: dispatch bundle `b` once (b+1)/(k+1) of the kept
         // items have executed.
         if cfg.interleave_sends {
-            while next_send < k_sends
-                && done * (k_sends + 1) >= kept.len() * (next_send + 1)
-            {
+            while next_send < k_sends && done * (k_sends + 1) >= kept.len() * (next_send + 1) {
                 let bundle = WorkBundle {
                     particles: all.clone(),
-                    centers: send_buckets[next_send].iter().map(|&x| local_centers[x]).collect(),
+                    centers: send_buckets[next_send]
+                        .iter()
+                        .map(|&x| local_centers[x])
+                        .collect(),
                 };
                 report.sent_items += bundle.centers.len();
                 comm.send(my_sends[next_send].to, TAG_WORK, bundle);
@@ -336,7 +365,10 @@ pub fn run_rank(
         while next_send < k_sends {
             let bundle = WorkBundle {
                 particles: all.clone(),
-                centers: send_buckets[next_send].iter().map(|&x| local_centers[x]).collect(),
+                centers: send_buckets[next_send]
+                    .iter()
+                    .map(|&x| local_centers[x])
+                    .collect(),
             };
             report.sent_items += bundle.centers.len();
             comm.send(my_sends[next_send].to, TAG_WORK, bundle);
@@ -390,8 +422,12 @@ pub fn run_distributed(
 ) -> Vec<RankReport> {
     let decomp = Decomposition::new(bounds, nranks);
     dtfe_simcluster::run(nranks, |mut comm| {
-        let mine: Vec<Vec3> =
-            particles.iter().skip(comm.rank()).step_by(comm.size()).copied().collect();
+        let mine: Vec<Vec3> = particles
+            .iter()
+            .skip(comm.rank())
+            .step_by(comm.size())
+            .copied()
+            .collect();
         run_rank(&mut comm, mine, requests, &decomp, cfg)
     })
 }
@@ -402,7 +438,11 @@ mod tests {
     use dtfe_nbody::datasets::galaxy_box;
 
     fn requests_at_halos(halos: &[dtfe_nbody::Halo], k: usize) -> Vec<FieldRequest> {
-        halos.iter().take(k).map(|h| FieldRequest { center: h.center }).collect()
+        halos
+            .iter()
+            .take(k)
+            .map(|h| FieldRequest { center: h.center })
+            .collect()
     }
 
     #[test]
@@ -410,10 +450,17 @@ mod tests {
         let (pts, halos) = galaxy_box(16.0, 12_000, 12, 42);
         let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(16.0));
         let requests = requests_at_halos(&halos, 12);
-        let cfg = FrameworkConfig { balance: true, ..FrameworkConfig::new(2.0, 16) };
+        let cfg = FrameworkConfig {
+            balance: true,
+            ..FrameworkConfig::new(2.0, 16)
+        };
         let reports = run_distributed(4, &pts, bounds, &requests, &cfg);
         let computed: usize = reports.iter().map(|r| r.fields_computed).sum();
-        assert_eq!(computed, requests.len(), "every request computed exactly once");
+        assert_eq!(
+            computed,
+            requests.len(),
+            "every request computed exactly once"
+        );
         // Conservation between sent and received.
         let sent: usize = reports.iter().map(|r| r.sent_items).sum();
         let recvd: usize = reports.iter().map(|r| r.received_items).sum();
@@ -425,11 +472,16 @@ mod tests {
         let (pts, halos) = galaxy_box(16.0, 8_000, 8, 7);
         let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(16.0));
         let requests = requests_at_halos(&halos, 8);
-        let cfg = FrameworkConfig { balance: false, ..FrameworkConfig::new(2.0, 12) };
+        let cfg = FrameworkConfig {
+            balance: false,
+            ..FrameworkConfig::new(2.0, 12)
+        };
         let reports = run_distributed(4, &pts, bounds, &requests, &cfg);
         let computed: usize = reports.iter().map(|r| r.fields_computed).sum();
         assert_eq!(computed, requests.len());
-        assert!(reports.iter().all(|r| r.sent_items == 0 && r.received_items == 0));
+        assert!(reports
+            .iter()
+            .all(|r| r.sent_items == 0 && r.received_items == 0));
         // Local counts equal computed counts.
         for r in &reports {
             assert_eq!(r.local_items, r.fields_computed);
@@ -501,8 +553,11 @@ mod interleave_tests {
     fn interleaved_sends_deliver_all_work() {
         let (pts, halos) = galaxy_box(16.0, 12_000, 12, 51);
         let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(16.0));
-        let requests: Vec<FieldRequest> =
-            halos.iter().take(12).map(|h| FieldRequest { center: h.center }).collect();
+        let requests: Vec<FieldRequest> = halos
+            .iter()
+            .take(12)
+            .map(|h| FieldRequest { center: h.center })
+            .collect();
         let cfg = FrameworkConfig {
             interleave_sends: true,
             ..FrameworkConfig::new(2.0, 16)
@@ -519,8 +574,11 @@ mod interleave_tests {
     fn interleaved_matches_upfront_results() {
         let (pts, halos) = galaxy_box(12.0, 8_000, 8, 53);
         let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(12.0));
-        let requests: Vec<FieldRequest> =
-            halos.iter().take(8).map(|h| FieldRequest { center: h.center }).collect();
+        let requests: Vec<FieldRequest> = halos
+            .iter()
+            .take(8)
+            .map(|h| FieldRequest { center: h.center })
+            .collect();
         let collect = |interleave| {
             let cfg = FrameworkConfig {
                 interleave_sends: interleave,
@@ -533,7 +591,9 @@ mod interleave_tests {
                     .flat_map(|r| r.fields.into_iter().map(|(c, f)| (c, f.data)))
                     .collect();
             fields.sort_by(|a, b| {
-                (a.0.x, a.0.y, a.0.z).partial_cmp(&(b.0.x, b.0.y, b.0.z)).unwrap()
+                (a.0.x, a.0.y, a.0.z)
+                    .partial_cmp(&(b.0.x, b.0.y, b.0.z))
+                    .unwrap()
             });
             fields
         };

@@ -27,13 +27,21 @@ pub struct Schedule {
 impl Schedule {
     /// Transfers out of `rank`, in schedule order (its `SendList`).
     pub fn sends_of(&self, rank: usize) -> Vec<Transfer> {
-        self.transfers.iter().copied().filter(|t| t.from == rank).collect()
+        self.transfers
+            .iter()
+            .copied()
+            .filter(|t| t.from == rank)
+            .collect()
     }
 
     /// Source ranks `rank` will receive from, in schedule order (its
     /// `RecvList`).
     pub fn recvs_of(&self, rank: usize) -> Vec<Transfer> {
-        self.transfers.iter().copied().filter(|t| t.to == rank).collect()
+        self.transfers
+            .iter()
+            .copied()
+            .filter(|t| t.to == rank)
+            .collect()
     }
 
     /// Per-rank predicted times after applying the schedule.
@@ -57,7 +65,10 @@ impl Schedule {
 pub fn create_schedule(times: &[f64]) -> Schedule {
     let p = times.len();
     if p < 2 {
-        return Schedule { transfers: Vec::new(), mean: times.first().copied().unwrap_or(0.0) };
+        return Schedule {
+            transfers: Vec::new(),
+            mean: times.first().copied().unwrap_or(0.0),
+        };
     }
     let mean = times.iter().sum::<f64>() / p as f64;
     // Sort by time descending (stable tie-break by rank id for determinism).
@@ -83,7 +94,11 @@ pub fn create_schedule(times: &[f64]) -> Schedule {
                 continue;
             }
             if give > take {
-                transfers.push(Transfer { from: order[i], to: order[cr], amount: take });
+                transfers.push(Transfer {
+                    from: order[i],
+                    to: order[cr],
+                    amount: take,
+                });
                 t[i] -= take;
                 t[cr] = mean;
                 if cr == lr {
@@ -91,7 +106,11 @@ pub fn create_schedule(times: &[f64]) -> Schedule {
                 }
                 cr -= 1;
             } else {
-                transfers.push(Transfer { from: order[i], to: order[cr], amount: give });
+                transfers.push(Transfer {
+                    from: order[i],
+                    to: order[cr],
+                    amount: give,
+                });
                 t[cr] += give;
                 t[i] = mean;
             }
@@ -167,7 +186,10 @@ mod tests {
 
     fn max_after(times: &[f64]) -> f64 {
         let s = create_schedule(times);
-        s.balanced_times(times).iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        s.balanced_times(times)
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     #[test]
@@ -228,7 +250,10 @@ mod tests {
         assert_eq!(total_r, s.transfers.len());
         // No rank both sends and receives.
         for r in 0..5 {
-            assert!(s.sends_of(r).is_empty() || s.recvs_of(r).is_empty(), "rank {r} does both");
+            assert!(
+                s.sends_of(r).is_empty() || s.recvs_of(r).is_empty(),
+                "rank {r} does both"
+            );
         }
     }
 
@@ -238,7 +263,14 @@ mod tests {
         assert!(create_schedule(&[3.0]).transfers.is_empty());
         let s = create_schedule(&[4.0, 0.0]);
         assert_eq!(s.transfers.len(), 1);
-        assert_eq!(s.transfers[0], Transfer { from: 0, to: 1, amount: 2.0 });
+        assert_eq!(
+            s.transfers[0],
+            Transfer {
+                from: 0,
+                to: 1,
+                amount: 2.0
+            }
+        );
     }
 
     #[test]
@@ -253,8 +285,12 @@ mod tests {
         let (assign, left) = pack_bins(&[5.0, 4.0, 3.0, 2.0, 1.0], &[6.0, 9.0]);
         // Largest item 5 → bin 6 (first fit ascending); 4 → bin 9; 3 → bin 9;
         // 2 → bin 9 (remaining 2); 1 → bin 6 (remaining 1).
-        let sum =
-            |b: usize| assign[b].iter().map(|&i| [5.0, 4.0, 3.0, 2.0, 1.0][i]).sum::<f64>();
+        let sum = |b: usize| {
+            assign[b]
+                .iter()
+                .map(|&i| [5.0, 4.0, 3.0, 2.0, 1.0][i])
+                .sum::<f64>()
+        };
         assert!(sum(0) <= 6.0 + 1e-9);
         assert!(sum(1) <= 9.0 + 1e-9);
         assert!(left.is_empty());
@@ -293,7 +329,12 @@ mod tests {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
             (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
         };
-        assert!(sd(&after) < 0.2 * sd(&times), "sd {} -> {}", sd(&times), sd(&after));
+        assert!(
+            sd(&after) < 0.2 * sd(&times),
+            "sd {} -> {}",
+            sd(&times),
+            sd(&after)
+        );
     }
 }
 

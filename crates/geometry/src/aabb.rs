@@ -31,7 +31,10 @@ impl Aabb3 {
     #[inline]
     pub fn cube(c: Vec3, side: f64) -> Self {
         let h = side * 0.5;
-        Aabb3 { lo: c - Vec3::splat(h), hi: c + Vec3::splat(h) }
+        Aabb3 {
+            lo: c - Vec3::splat(h),
+            hi: c + Vec3::splat(h),
+        }
     }
 
     /// Smallest box containing every point; `None` for an empty iterator.
@@ -88,7 +91,10 @@ impl Aabb3 {
     /// Grow by `margin` on every side (the ghost-zone operation).
     #[inline]
     pub fn inflated(&self, margin: f64) -> Aabb3 {
-        Aabb3 { lo: self.lo - Vec3::splat(margin), hi: self.hi + Vec3::splat(margin) }
+        Aabb3 {
+            lo: self.lo - Vec3::splat(margin),
+            hi: self.hi + Vec3::splat(margin),
+        }
     }
 
     #[inline]
@@ -115,7 +121,10 @@ impl Aabb3 {
     /// The 2D footprint in the x-y plane (line-of-sight projection).
     #[inline]
     pub fn footprint(&self) -> Aabb2 {
-        Aabb2 { lo: self.lo.xy(), hi: self.hi.xy() }
+        Aabb2 {
+            lo: self.lo.xy(),
+            hi: self.hi.xy(),
+        }
     }
 }
 
@@ -129,7 +138,10 @@ impl Aabb2 {
     #[inline]
     pub fn square(c: Vec2, side: f64) -> Self {
         let h = side * 0.5;
-        Aabb2 { lo: c - Vec2::new(h, h), hi: c + Vec2::new(h, h) }
+        Aabb2 {
+            lo: c - Vec2::new(h, h),
+            hi: c + Vec2::new(h, h),
+        }
     }
 
     #[inline]
@@ -177,7 +189,11 @@ mod tests {
 
     #[test]
     fn from_points_bounds_all() {
-        let pts = [Vec3::new(0.0, 5.0, -1.0), Vec3::new(2.0, -3.0, 4.0), Vec3::new(1.0, 1.0, 1.0)];
+        let pts = [
+            Vec3::new(0.0, 5.0, -1.0),
+            Vec3::new(2.0, -3.0, 4.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        ];
         let b = Aabb3::from_points(pts).unwrap();
         assert_eq!(b.lo, Vec3::new(0.0, -3.0, -1.0));
         assert_eq!(b.hi, Vec3::new(2.0, 5.0, 4.0));

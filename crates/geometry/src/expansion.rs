@@ -241,7 +241,13 @@ mod tests {
     fn grow_and_sum_integer_exactness() {
         // Build expansions of big+small integer pieces and verify exact totals
         // against i128.
-        let parts: [f64; 5] = [9007199254740992.0, 3.0, -7.0, 1048576.0, -9007199254740991.0];
+        let parts: [f64; 5] = [
+            9007199254740992.0,
+            3.0,
+            -7.0,
+            1048576.0,
+            -9007199254740991.0,
+        ];
         let mut e = vec![0.0];
         let mut exact: i128 = 0;
         for &p in &parts {

@@ -21,8 +21,8 @@
 //!   zones.
 
 pub mod aabb;
-pub mod mat;
 pub mod expansion;
+pub mod mat;
 pub mod plucker;
 pub mod predicates;
 pub mod tetra;

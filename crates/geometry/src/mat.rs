@@ -16,9 +16,21 @@ pub struct Mat3 {
 impl Mat3 {
     pub const IDENTITY: Mat3 = Mat3 {
         rows: [
-            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+            Vec3 {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 1.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         ],
     };
 
@@ -30,7 +42,11 @@ impl Mat3 {
     /// Matrix–vector product.
     #[inline]
     pub fn apply(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// Matrix–matrix product `self * o`.
@@ -38,9 +54,21 @@ impl Mat3 {
         let col = |j: usize| Vec3::new(o.rows[0][j], o.rows[1][j], o.rows[2][j]);
         let (c0, c1, c2) = (col(0), col(1), col(2));
         Mat3::from_rows(
-            Vec3::new(self.rows[0].dot(c0), self.rows[0].dot(c1), self.rows[0].dot(c2)),
-            Vec3::new(self.rows[1].dot(c0), self.rows[1].dot(c1), self.rows[1].dot(c2)),
-            Vec3::new(self.rows[2].dot(c0), self.rows[2].dot(c1), self.rows[2].dot(c2)),
+            Vec3::new(
+                self.rows[0].dot(c0),
+                self.rows[0].dot(c1),
+                self.rows[0].dot(c2),
+            ),
+            Vec3::new(
+                self.rows[1].dot(c0),
+                self.rows[1].dot(c1),
+                self.rows[1].dot(c2),
+            ),
+            Vec3::new(
+                self.rows[2].dot(c0),
+                self.rows[2].dot(c1),
+                self.rows[2].dot(c2),
+            ),
         )
     }
 
@@ -63,9 +91,21 @@ impl Mat3 {
         let (s, c) = angle.sin_cos();
         let t = 1.0 - c;
         Mat3::from_rows(
-            Vec3::new(t * a.x * a.x + c, t * a.x * a.y - s * a.z, t * a.x * a.z + s * a.y),
-            Vec3::new(t * a.x * a.y + s * a.z, t * a.y * a.y + c, t * a.y * a.z - s * a.x),
-            Vec3::new(t * a.x * a.z - s * a.y, t * a.y * a.z + s * a.x, t * a.z * a.z + c),
+            Vec3::new(
+                t * a.x * a.x + c,
+                t * a.x * a.y - s * a.z,
+                t * a.x * a.z + s * a.y,
+            ),
+            Vec3::new(
+                t * a.x * a.y + s * a.z,
+                t * a.y * a.y + c,
+                t * a.y * a.z - s * a.x,
+            ),
+            Vec3::new(
+                t * a.x * a.z - s * a.y,
+                t * a.y * a.z + s * a.x,
+                t * a.z * a.z + c,
+            ),
         )
     }
 
@@ -127,8 +167,14 @@ mod tests {
         ] {
             let r = Mat3::rotation_to_z(dir);
             let mapped = r.apply(dir.normalized().unwrap());
-            assert!(mapped.distance(Vec3::new(0.0, 0.0, 1.0)) < 1e-12, "dir {dir:?} -> {mapped:?}");
-            assert!((r.determinant() - 1.0).abs() < 1e-12, "improper rotation for {dir:?}");
+            assert!(
+                mapped.distance(Vec3::new(0.0, 0.0, 1.0)) < 1e-12,
+                "dir {dir:?} -> {mapped:?}"
+            );
+            assert!(
+                (r.determinant() - 1.0).abs() < 1e-12,
+                "improper rotation for {dir:?}"
+            );
         }
     }
 

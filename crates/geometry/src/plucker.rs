@@ -36,7 +36,10 @@ impl Ray {
     /// along `+z` — the paper's convention (§IV-A-2).
     #[inline]
     pub fn vertical(x: f64, y: f64) -> Self {
-        Ray { origin: Vec3::new(x, y, 0.0), dir: Vec3::new(0.0, 0.0, 1.0) }
+        Ray {
+            origin: Vec3::new(x, y, 0.0),
+            dir: Vec3::new(0.0, 0.0, 1.0),
+        }
     }
 
     /// Point at parameter `t`.
@@ -64,14 +67,20 @@ pub struct Plucker {
 impl Plucker {
     #[inline]
     pub fn from_ray(r: &Ray) -> Self {
-        Plucker { u: r.dir, v: r.dir.cross(r.origin) }
+        Plucker {
+            u: r.dir,
+            v: r.dir.cross(r.origin),
+        }
     }
 
     /// Plücker coordinates of the directed edge `p0 → p1`.
     #[inline]
     pub fn from_edge(p0: Vec3, p1: Vec3) -> Self {
         let l = p1 - p0;
-        Plucker { u: l, v: l.cross(p0) }
+        Plucker {
+            u: l,
+            v: l.cross(p0),
+        }
     }
 
     /// Permuted inner product `π_self ⊙ π_other` (Eq. 8). The sign gives the
@@ -120,7 +129,11 @@ pub fn classify_face(s_ab: f64, s_bc: f64, s_ca: f64) -> FaceCrossing {
     if pos == 3 || neg == 3 {
         let sum = s_ab + s_bc + s_ca;
         let w = [s_bc / sum, s_ca / sum, s_ab / sum];
-        return if pos == 3 { FaceCrossing::Enter(w) } else { FaceCrossing::Exit(w) };
+        return if pos == 3 {
+            FaceCrossing::Enter(w)
+        } else {
+            FaceCrossing::Exit(w)
+        };
     }
     // At least one product is exactly zero and the rest do not disagree:
     // the line grazes a vertex/edge or lies in the face plane.
@@ -163,7 +176,11 @@ pub struct RayTetraHit {
 }
 
 impl RayTetraHit {
-    pub const MISS: RayTetraHit = RayTetraHit { enter: None, exit: None, degenerate: false };
+    pub const MISS: RayTetraHit = RayTetraHit {
+        enter: None,
+        exit: None,
+        degenerate: false,
+    };
 
     /// The line passes through the interior (both crossings found).
     #[inline]
@@ -230,9 +247,21 @@ pub fn ray_tetra(r: &Plucker, verts: &[Vec3; 4]) -> RayTetraHit {
 mod tests {
     use super::*;
 
-    const A: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    const B: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
-    const C: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    const A: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    const B: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    const C: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
 
     #[test]
     fn side_zero_for_meeting_lines() {

@@ -264,7 +264,15 @@ fn insphere_exact(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> Orientation {
     let dlift = lift(&dx, &dy, &dz);
 
     // 3x3 determinant of three rows of difference expansions.
-    let det3 = |x0: &[f64], y0: &[f64], z0: &[f64], x1: &[f64], y1: &[f64], z1: &[f64], x2: &[f64], y2: &[f64], z2: &[f64]| {
+    let det3 = |x0: &[f64],
+                y0: &[f64],
+                z0: &[f64],
+                x1: &[f64],
+                y1: &[f64],
+                z1: &[f64],
+                x2: &[f64],
+                y2: &[f64],
+                z2: &[f64]| {
         let m0 = expansion_diff(&expansion_mul(y1, z2), &expansion_mul(z1, y2));
         let m1 = expansion_diff(&expansion_mul(y2, z0), &expansion_mul(z2, y0));
         let m2 = expansion_diff(&expansion_mul(y0, z1), &expansion_mul(z0, y1));
@@ -384,7 +392,10 @@ mod tests {
         let det = orient3d_det(a, b, c, d_up);
         let o = orient3d(a, b, c, d_up);
         assert_eq!(o.is_positive(), det > 0.0);
-        assert_eq!(orient3d(a, b, c, Vec3::new(0.3, 0.3, 0.0)), Orientation::Zero);
+        assert_eq!(
+            orient3d(a, b, c, Vec3::new(0.3, 0.3, 0.0)),
+            Orientation::Zero
+        );
         assert_eq!(orient3d(a, b, c, d_up).flipped(), orient3d(a, c, b, d_up));
     }
 
@@ -469,7 +480,10 @@ mod tests {
 
         let inside = Vec3::new(0.25, 0.25, 0.25);
         let outside = Vec3::new(2.0, 2.0, 2.0);
-        assert_eq!(insphere(a, b, c, d, inside).is_positive(), circumsphere_sign(a, b, c, d, inside) > 0.0);
+        assert_eq!(
+            insphere(a, b, c, d, inside).is_positive(),
+            circumsphere_sign(a, b, c, d, inside) > 0.0
+        );
         assert!(insphere(a, b, c, d, inside).is_positive());
         assert!(insphere(a, b, c, d, outside).is_negative());
     }

@@ -146,9 +146,9 @@ mod tests {
         let v = unit_tet();
         for i in 0..4 {
             let w = barycentric(v[i], &v).unwrap();
-            for j in 0..4 {
+            for (j, &wj) in w.iter().enumerate() {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((w[j] - expect).abs() < 1e-12);
+                assert!((wj - expect).abs() < 1e-12);
             }
         }
     }

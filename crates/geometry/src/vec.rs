@@ -24,7 +24,11 @@ pub struct Vec2 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -86,7 +90,10 @@ impl Vec3 {
     /// integrates along `z` by convention, §IV-A-2).
     #[inline]
     pub fn xy(self) -> Vec2 {
-        Vec2 { x: self.x, y: self.y }
+        Vec2 {
+            x: self.x,
+            y: self.y,
+        }
     }
 
     /// Component-wise minimum.
@@ -155,7 +162,11 @@ impl Vec2 {
     /// Lift back to 3D at height `z`.
     #[inline]
     pub fn with_z(self, z: f64) -> Vec3 {
-        Vec3 { x: self.x, y: self.y, z }
+        Vec3 {
+            x: self.x,
+            y: self.y,
+            z,
+        }
     }
 
     #[inline]

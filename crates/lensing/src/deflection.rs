@@ -110,7 +110,10 @@ pub fn deflection_maps(kappa: &Field2) -> LensMaps {
 
     let to_field = |mut hat: Vec<C64>| {
         fft2(&mut hat, n, true);
-        Field2 { spec: kappa.spec, data: hat.iter().map(|c| c.re).collect() }
+        Field2 {
+            spec: kappa.spec,
+            data: hat.iter().map(|c| c.re).collect(),
+        }
     };
     LensMaps {
         potential: to_field(psi_hat),
@@ -156,7 +159,10 @@ mod tests {
                     (maps.potential.at(i, j) - psi_expect).abs() < 1e-10,
                     "psi at {i},{j}"
                 );
-                assert!((maps.alpha_x.at(i, j) - ax_expect).abs() < 1e-10, "ax at {i},{j}");
+                assert!(
+                    (maps.alpha_x.at(i, j) - ax_expect).abs() < 1e-10,
+                    "ax at {i},{j}"
+                );
                 assert!(maps.alpha_y.at(i, j).abs() < 1e-10);
             }
         }
@@ -180,7 +186,11 @@ mod tests {
         let maps = deflection_maps(&kappa);
         // Sample on the +x axis from the blob.
         let (i, j) = (24, 16); // x ≈ 6.1, y ≈ 4.1
-        assert!(maps.alpha_x.at(i, j) > 0.0, "alpha_x = {}", maps.alpha_x.at(i, j));
+        assert!(
+            maps.alpha_x.at(i, j) > 0.0,
+            "alpha_x = {}",
+            maps.alpha_x.at(i, j)
+        );
         // By symmetry the y-deflection there is near zero.
         assert!(maps.alpha_y.at(i, j).abs() < 0.1 * maps.alpha_x.at(i, j).abs());
     }
@@ -196,7 +206,12 @@ mod tests {
         for j in 0..n {
             for i in 0..n {
                 let p = g.center(i, j);
-                kappa.set(i, j, (std::f64::consts::TAU * p.x / 4.0).sin() * (std::f64::consts::TAU * p.y / 4.0).cos());
+                kappa.set(
+                    i,
+                    j,
+                    (std::f64::consts::TAU * p.x / 4.0).sin()
+                        * (std::f64::consts::TAU * p.y / 4.0).cos(),
+                );
             }
         }
         let maps = deflection_maps(&kappa);

@@ -69,7 +69,11 @@ pub fn trace_rays(planes: &[LensPlane], theta_grid: GridSpec2, chi_source: f64) 
             beta_y.set(i, j, x.y);
         }
     }
-    RayTrace { theta_grid, beta_x, beta_y }
+    RayTrace {
+        theta_grid,
+        beta_x,
+        beta_y,
+    }
 }
 
 impl RayTrace {
@@ -108,7 +112,12 @@ mod tests {
             n,
             n,
         );
-        LensPlane { chi, alpha_x: Field2::zeros(g), alpha_y: Field2::zeros(g), weight: 1.0 }
+        LensPlane {
+            chi,
+            alpha_x: Field2::zeros(g),
+            alpha_y: Field2::zeros(g),
+            weight: 1.0,
+        }
     }
 
     fn theta_grid(n: usize, half: f64) -> GridSpec2 {

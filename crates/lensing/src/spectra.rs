@@ -36,7 +36,13 @@ pub fn power_spectrum_2d(map: &Field2) -> Vec<(f64, f64)> {
     let cell_area = map.spec.cell.x * map.spec.cell.y;
     let map_area = cell_area * (n * n) as f64;
     let norm = cell_area * cell_area / map_area;
-    let freq = |i: usize| if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
+    let freq = |i: usize| {
+        if i <= n / 2 {
+            i as f64
+        } else {
+            i as f64 - n as f64
+        }
+    };
 
     let max_k = n / 2;
     let mut power = vec![0.0; max_k + 1];

@@ -4,7 +4,8 @@ use dtfe_core::grid::Field2;
 
 /// `c² / (4πG)` in `M_sun / Mpc`, with `c` in km/s and
 /// `G = 4.30091e-9 Mpc (km/s)² / M_sun`.
-pub const C2_OVER_4PIG: f64 = 299_792.458 * 299_792.458 / (4.0 * std::f64::consts::PI * 4.300_91e-9);
+pub const C2_OVER_4PIG: f64 =
+    299_792.458 * 299_792.458 / (4.0 * std::f64::consts::PI * 4.300_91e-9);
 
 /// Critical surface density of the thin-lens approximation,
 /// `Σ_cr = c²/(4πG) · D_s / (D_l · D_ls)`, in `M_sun / Mpc²` for angular
@@ -18,7 +19,10 @@ pub fn critical_surface_density(d_lens: f64, d_source: f64, d_lens_source: f64) 
 pub fn convergence_map(sigma: &Field2, sigma_cr: f64) -> Field2 {
     assert!(sigma_cr > 0.0);
     let data = sigma.data.iter().map(|&s| s / sigma_cr).collect();
-    Field2 { spec: sigma.spec, data }
+    Field2 {
+        spec: sigma.spec,
+        data,
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@ use dtfe_geometry::{Aabb3, Vec3};
 /// 256 Mpc/h): a Zel'dovich realization with mild nonlinear clustering.
 /// `n_side³` particles in a cube of side `box_len`.
 pub fn planck_like(n_side: usize, box_len: f64, seed: u64) -> Vec<Vec3> {
-    zeldovich_particles(&ZeldovichSpec { growth: 1.8, ..ZeldovichSpec::new(n_side, box_len, seed) })
+    zeldovich_particles(&ZeldovichSpec {
+        growth: 1.8,
+        ..ZeldovichSpec::new(n_side, box_len, seed)
+    })
 }
 
 /// The Gadget demo dataset analog (paper §V-1: 650k particles in
@@ -39,11 +42,21 @@ pub fn cluster_with_substructure(n: usize, seed: u64) -> (Vec<Vec3>, Aabb3) {
         let r = s.range(0.3, 1.2);
         let sub_c = c + Vec3::new(d[0], d[1], d[2]) * r;
         let frac = s.range(0.01, 0.06);
-        pts.extend(sample_nfw(sub_c, s.range(0.15, 0.4), s.range(5.0, 10.0), (n as f64 * frac) as usize, &mut s));
+        pts.extend(sample_nfw(
+            sub_c,
+            s.range(0.15, 0.4),
+            s.range(5.0, 10.0),
+            (n as f64 * frac) as usize,
+            &mut s,
+        ));
     }
     // Diffuse background fills the remainder.
     while pts.len() < n {
-        pts.push(Vec3::new(s.range(0.0, 4.0), s.range(0.0, 4.0), s.range(0.0, 4.0)));
+        pts.push(Vec3::new(
+            s.range(0.0, 4.0),
+            s.range(0.0, 4.0),
+            s.range(0.0, 4.0),
+        ));
     }
     pts.truncate(n);
     // Clamp stragglers from satellites near the boundary into the box.

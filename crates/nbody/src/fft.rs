@@ -32,12 +32,18 @@ impl C64 {
     /// `e^{iθ}`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     #[inline]
@@ -47,7 +53,10 @@ impl C64 {
 
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -71,7 +80,10 @@ impl Mul for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, o: C64) -> C64 {
-        C64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -136,7 +148,10 @@ pub struct Grid3c {
 impl Grid3c {
     pub fn zeros(n: usize) -> Self {
         assert!(n.is_power_of_two(), "grid size {n} not a power of two");
-        Grid3c { n, data: vec![C64::ZERO; n * n * n] }
+        Grid3c {
+            n,
+            data: vec![C64::ZERO; n * n * n],
+        }
     }
 
     #[inline]
@@ -254,8 +269,9 @@ mod tests {
         // convention with negative exponent... verify a pure mode lands in
         // exactly one bin.
         let n = 32;
-        let mut data: Vec<C64> =
-            (0..n).map(|j| C64::cis(std::f64::consts::TAU * 3.0 * j as f64 / n as f64)).collect();
+        let mut data: Vec<C64> = (0..n)
+            .map(|j| C64::cis(std::f64::consts::TAU * 3.0 * j as f64 / n as f64))
+            .collect();
         fft(&mut data, false);
         for (k, v) in data.iter().enumerate() {
             let mag = v.norm_sq().sqrt();

@@ -30,7 +30,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -138,11 +140,17 @@ pub fn fof_groups(points: &[Vec3], linking_length: f64, min_members: usize) -> V
                 c += points[i as usize];
             }
             c = c / m.len() as f64;
-            FofGroup { members: m, center: c }
+            FofGroup {
+                members: m,
+                center: c,
+            }
         })
         .collect();
     groups.sort_by(|a, b| {
-        b.members.len().cmp(&a.members.len()).then(a.members[0].cmp(&b.members[0]))
+        b.members
+            .len()
+            .cmp(&a.members.len())
+            .then(a.members[0].cmp(&b.members[0]))
     });
     groups
 }
@@ -173,7 +181,11 @@ mod tests {
     #[test]
     fn planted_clusters_recovered() {
         let mut s = Sampler::new(9);
-        let centers = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(10.0, 0.0, 0.0), Vec3::new(0.0, 10.0, 0.0)];
+        let centers = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::new(0.0, 10.0, 0.0),
+        ];
         let sizes = [300usize, 200, 100];
         let mut pts = Vec::new();
         for (c, &n) in centers.iter().zip(&sizes) {
@@ -183,7 +195,12 @@ mod tests {
             }
         }
         let groups = fof_groups(&pts, 0.3, 10);
-        assert_eq!(groups.len(), 3, "groups: {:?}", groups.iter().map(|g| g.mass()).collect::<Vec<_>>());
+        assert_eq!(
+            groups.len(),
+            3,
+            "groups: {:?}",
+            groups.iter().map(|g| g.mass()).collect::<Vec<_>>()
+        );
         assert_eq!(groups[0].mass(), 300);
         assert_eq!(groups[1].mass(), 200);
         assert_eq!(groups[2].mass(), 100);
@@ -195,7 +212,9 @@ mod tests {
     #[test]
     fn chain_links_transitively() {
         // A chain of points each 0.9·b apart forms one group.
-        let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64 * 0.9, 0.0, 0.0)).collect();
+        let pts: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::new(i as f64 * 0.9, 0.0, 0.0))
+            .collect();
         let groups = fof_groups(&pts, 1.0, 2);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].mass(), 20);

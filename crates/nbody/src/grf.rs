@@ -5,7 +5,7 @@
 //! real Gaussian field with the requested spectrum and exact Hermitian
 //! symmetry (the noise is generated in real space).
 
-use crate::fft::{C64, Grid3c};
+use crate::fft::{Grid3c, C64};
 use crate::rng::Sampler;
 
 /// A smoothly-truncated power-law spectrum
@@ -24,7 +24,11 @@ pub struct PowerSpectrum {
 impl PowerSpectrum {
     /// A reasonable default shape for structure-formation-like clustering.
     pub fn cdm_like() -> Self {
-        PowerSpectrum { amplitude: 1.0, ns: 1.0, k0: 4.0 }
+        PowerSpectrum {
+            amplitude: 1.0,
+            ns: 1.0,
+            k0: 4.0,
+        }
     }
 
     /// Evaluate `P(k)`; `P(0) = 0` (no DC power — fields are mean-free).
@@ -128,12 +132,15 @@ mod tests {
     fn measured_spectrum_matches_input_shape() {
         // With enough modes per shell the measured spectrum tracks P(k).
         let n = 32;
-        let ps = PowerSpectrum { amplitude: 10.0, ns: 1.0, k0: 4.0 };
+        let ps = PowerSpectrum {
+            amplitude: 10.0,
+            ns: 1.0,
+            k0: 4.0,
+        };
         let f = gaussian_field(n, &ps, 17);
         let measured = measure_spectrum(&f, n, 8);
-        for k in 2..=8usize {
+        for (k, &got) in measured.iter().enumerate().take(9).skip(2) {
             let expect = ps.eval(k as f64);
-            let got = measured[k];
             // Cosmic variance on a single realization: generous tolerance.
             assert!(
                 got > 0.3 * expect && got < 3.0 * expect,
@@ -144,7 +151,11 @@ mod tests {
 
     #[test]
     fn spectrum_turnover_suppresses_small_scales() {
-        let ps = PowerSpectrum { amplitude: 1.0, ns: 1.0, k0: 2.0 };
+        let ps = PowerSpectrum {
+            amplitude: 1.0,
+            ns: 1.0,
+            k0: 2.0,
+        };
         assert!(ps.eval(2.0) > ps.eval(12.0));
         assert_eq!(ps.eval(0.0), 0.0);
         assert_eq!(ps.eval(-1.0), 0.0);

@@ -78,7 +78,15 @@ pub fn soneira_peebles(
 ) -> Vec<Vec3> {
     assert!(lambda > 1.0, "child spheres must shrink");
     let mut out = Vec::with_capacity(eta.pow(levels as u32));
-    fn recurse(c: Vec3, r: f64, eta: usize, lambda: f64, depth: usize, s: &mut Sampler, out: &mut Vec<Vec3>) {
+    fn recurse(
+        c: Vec3,
+        r: f64,
+        eta: usize,
+        lambda: f64,
+        depth: usize,
+        s: &mut Sampler,
+        out: &mut Vec<Vec3>,
+    ) {
         if depth == 0 {
             out.push(c);
             return;
@@ -152,7 +160,13 @@ pub fn clustered_box(spec: &ClusteredBoxSpec) -> (Vec<Vec3>, Vec<Halo>) {
     let budget = ((spec.n_particles as f64) * spec.halo_fraction) as usize;
     // Draw halo occupations from the power law, then rescale to the budget.
     let raw: Vec<f64> = (0..spec.n_halos)
-        .map(|_| s.power_law(spec.occupation_range.0, spec.occupation_range.1, spec.occupation_slope))
+        .map(|_| {
+            s.power_law(
+                spec.occupation_range.0,
+                spec.occupation_range.1,
+                spec.occupation_slope,
+            )
+        })
         .collect();
     let raw_total: f64 = raw.iter().sum();
     for r in &raw {
@@ -168,7 +182,12 @@ pub fn clustered_box(spec: &ClusteredBoxSpec) -> (Vec<Vec3>, Vec<Halo>) {
         );
         let c = s.range(4.0, 12.0);
         pts.extend(sample_nfw(center, r_vir, c, n, &mut s));
-        halos.push(Halo { center, r_vir, concentration: c, n_particles: n });
+        halos.push(Halo {
+            center,
+            r_vir,
+            concentration: c,
+            n_particles: n,
+        });
     }
     // Uniform background with the remaining budget.
     while pts.len() < spec.n_particles {
@@ -233,7 +252,11 @@ mod tests {
         }
         mean = mean / 2000.0;
         assert!(max_r <= 2.0 + 1e-9, "max_r = {max_r}");
-        assert!(mean.distance(center) < 0.2, "mean offset {:?}", mean - center);
+        assert!(
+            mean.distance(center) < 0.2,
+            "mean offset {:?}",
+            mean - center
+        );
     }
 
     #[test]
@@ -262,7 +285,9 @@ mod tests {
         }
         // Hierarchical: clustered much more than uniform.
         let v = crate::zeldovich::count_in_cells_variance(
-            &pts.iter().map(|p| *p + Vec3::splat(16.0)).collect::<Vec<_>>(),
+            &pts.iter()
+                .map(|p| *p + Vec3::splat(16.0))
+                .collect::<Vec<_>>(),
             32.0,
             4,
         );
@@ -271,12 +296,7 @@ mod tests {
 
     #[test]
     fn clustered_box_budget_and_catalog() {
-        let spec = ClusteredBoxSpec::new(
-            Aabb3::new(Vec3::ZERO, Vec3::splat(10.0)),
-            20_000,
-            15,
-            6,
-        );
+        let spec = ClusteredBoxSpec::new(Aabb3::new(Vec3::ZERO, Vec3::splat(10.0)), 20_000, 15, 6);
         let (pts, halos) = clustered_box(&spec);
         assert_eq!(pts.len(), 20_000);
         assert_eq!(halos.len(), 15);

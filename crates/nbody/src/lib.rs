@@ -25,8 +25,8 @@ pub mod fft;
 pub mod fof;
 pub mod gadget;
 pub mod grf;
-pub mod pm;
 pub mod halos;
+pub mod pm;
 pub mod rng;
 pub mod snapshot;
 pub mod zeldovich;

@@ -14,7 +14,7 @@
 //!    so the pairwise forces are antisymmetric and momentum is conserved),
 //! 5. leapfrog (kick-drift-kick) with periodic wrapping.
 
-use crate::fft::{C64, Grid3c};
+use crate::fft::{Grid3c, C64};
 use dtfe_geometry::Vec3;
 
 /// State and parameters of a PM run.
@@ -265,7 +265,10 @@ mod tests {
         let mut sim = PmSimulation::new(8.0, 16, pts);
         sim.step(0.1);
         let v_test = sim.velocities[500];
-        assert!(v_test.x < 0.0, "test particle not attracted: v = {v_test:?}");
+        assert!(
+            v_test.x < 0.0,
+            "test particle not attracted: v = {v_test:?}"
+        );
         assert!(v_test.y.abs() < 0.3 * v_test.x.abs());
     }
 
@@ -283,7 +286,9 @@ mod tests {
         assert!(v1 > v0, "clustering did not grow: {v0} -> {v1}");
         // Everything stays in the box.
         for p in &evolved {
-            assert!(p.x >= 0.0 && p.x < 16.0 && p.y >= 0.0 && p.y < 16.0 && p.z >= 0.0 && p.z < 16.0);
+            assert!(
+                p.x >= 0.0 && p.x < 16.0 && p.y >= 0.0 && p.y < 16.0 && p.z >= 0.0 && p.z < 16.0
+            );
         }
     }
 

@@ -11,7 +11,9 @@ pub struct Sampler {
 
 impl Sampler {
     pub fn new(seed: u64) -> Self {
-        Sampler { rng: StdRng::seed_from_u64(seed) }
+        Sampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform in `[0, 1)`.

@@ -98,7 +98,10 @@ pub fn read_info(path: &Path) -> io::Result<SnapshotInfo> {
 fn read_info_from(r: &mut impl Read) -> io::Result<SnapshotInfo> {
     let magic = read_u64(r)?;
     if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad snapshot magic",
+        ));
     }
     let nranks = read_u64(r)?;
     let total = read_u64(r)?;
@@ -108,7 +111,11 @@ fn read_info_from(r: &mut impl Read) -> io::Result<SnapshotInfo> {
     for _ in 0..nranks {
         blocks.push((read_u64(r)?, read_u64(r)?));
     }
-    Ok(SnapshotInfo { bounds: Aabb3::new(lo, hi), total, blocks })
+    Ok(SnapshotInfo {
+        bounds: Aabb3::new(lo, hi),
+        total,
+        blocks,
+    })
 }
 
 fn data_start(info: &SnapshotInfo) -> u64 {
@@ -124,7 +131,11 @@ pub fn read_block(path: &Path, info: &SnapshotInfo, rank: usize) -> io::Result<V
     let mut r = BufReader::new(f);
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        out.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+        out.push(Vec3::new(
+            read_f64(&mut r)?,
+            read_f64(&mut r)?,
+            read_f64(&mut r)?,
+        ));
     }
     Ok(out)
 }
@@ -137,7 +148,11 @@ pub fn read_all(path: &Path) -> io::Result<(SnapshotInfo, Vec<Vec3>)> {
     let mut r = BufReader::new(f);
     let mut out = Vec::with_capacity(info.total as usize);
     for _ in 0..info.total {
-        out.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+        out.push(Vec3::new(
+            read_f64(&mut r)?,
+            read_f64(&mut r)?,
+            read_f64(&mut r)?,
+        ));
     }
     Ok((info, out))
 }
@@ -157,7 +172,11 @@ mod tests {
             vec![Vec3::new(0.5, 0.5, 0.5), Vec3::new(0.25, 0.5, 0.75)],
             vec![Vec3::new(1.5, 0.5, 0.5)],
             vec![],
-            vec![Vec3::new(1.5, 1.5, 0.5), Vec3::new(1.25, 1.75, 0.5), Vec3::new(1.0, 1.0, 1.0)],
+            vec![
+                Vec3::new(1.5, 1.5, 0.5),
+                Vec3::new(1.25, 1.75, 0.5),
+                Vec3::new(1.0, 1.0, 1.0),
+            ],
         ];
         (blocks, Aabb3::new(Vec3::ZERO, Vec3::splat(2.0)))
     }

@@ -13,7 +13,7 @@
 //! property the load-balancing experiments care about: clustered particle
 //! counts per work item are what break naive decompositions (paper §IV-B).
 
-use crate::fft::{C64, Grid3c};
+use crate::fft::{Grid3c, C64};
 use crate::grf::{gaussian_field_k, PowerSpectrum};
 use dtfe_geometry::Vec3;
 
@@ -35,7 +35,13 @@ pub struct ZeldovichSpec {
 
 impl ZeldovichSpec {
     pub fn new(n_side: usize, box_len: f64, seed: u64) -> Self {
-        ZeldovichSpec { n_side, box_len, ps: PowerSpectrum::cdm_like(), growth: 1.5, seed }
+        ZeldovichSpec {
+            n_side,
+            box_len,
+            ps: PowerSpectrum::cdm_like(),
+            growth: 1.5,
+            seed,
+        }
     }
 }
 
@@ -80,7 +86,11 @@ pub fn zeldovich_particles(spec: &ZeldovichSpec) -> Vec<Vec3> {
         / (3 * n * n * n) as f64)
         .sqrt();
     let cell = spec.box_len / n as f64;
-    let amp = if rms > 0.0 { spec.growth * cell / rms } else { 0.0 };
+    let amp = if rms > 0.0 {
+        spec.growth * cell / rms
+    } else {
+        0.0
+    };
 
     let mut pts = Vec::with_capacity(n * n * n);
     let wrap = |v: f64| v.rem_euclid(spec.box_len);
@@ -134,7 +144,10 @@ mod tests {
 
     #[test]
     fn particles_stay_in_box() {
-        let spec = ZeldovichSpec { growth: 3.0, ..ZeldovichSpec::new(16, 10.0, 5) };
+        let spec = ZeldovichSpec {
+            growth: 3.0,
+            ..ZeldovichSpec::new(16, 10.0, 5)
+        };
         let pts = zeldovich_particles(&spec);
         assert_eq!(pts.len(), 4096);
         for p in &pts {
@@ -147,8 +160,14 @@ mod tests {
     #[test]
     fn growth_increases_clustering() {
         let base = ZeldovichSpec::new(16, 8.0, 11);
-        let weak = zeldovich_particles(&ZeldovichSpec { growth: 0.3, ..base.clone() });
-        let strong = zeldovich_particles(&ZeldovichSpec { growth: 3.0, ..base });
+        let weak = zeldovich_particles(&ZeldovichSpec {
+            growth: 0.3,
+            ..base.clone()
+        });
+        let strong = zeldovich_particles(&ZeldovichSpec {
+            growth: 3.0,
+            ..base
+        });
         let v_weak = count_in_cells_variance(&weak, 8.0, 4);
         let v_strong = count_in_cells_variance(&strong, 8.0, 4);
         assert!(
@@ -160,7 +179,10 @@ mod tests {
     #[test]
     fn displacement_rms_matches_growth() {
         // growth = 1 ⇒ rms displacement = one cell.
-        let spec = ZeldovichSpec { growth: 1.0, ..ZeldovichSpec::new(16, 16.0, 7) };
+        let spec = ZeldovichSpec {
+            growth: 1.0,
+            ..ZeldovichSpec::new(16, 16.0, 7)
+        };
         let pts = zeldovich_particles(&spec);
         let n = spec.n_side;
         let cell = spec.box_len / n as f64;

@@ -76,7 +76,11 @@ impl Comm {
 
     fn send_tagged<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
         self.senders[dst]
-            .send(Message { src: self.rank, tag, payload: Box::new(value) })
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
             .expect("rank mailbox closed (peer panicked?)");
     }
 
@@ -91,7 +95,11 @@ impl Comm {
 
     /// Non-blocking probe-and-receive: `Some` if a matching message is
     /// already available.
-    pub fn try_recv<T: Send + 'static>(&mut self, src: Option<usize>, tag: u32) -> Option<(usize, T)> {
+    pub fn try_recv<T: Send + 'static>(
+        &mut self,
+        src: Option<usize>,
+        tag: u32,
+    ) -> Option<(usize, T)> {
         let t = Tag::User(tag);
         if let Some(i) = self.find_pending(src, t) {
             return Some(Self::unwrap_msg(self.pending.remove(i)));
@@ -133,7 +141,10 @@ impl Comm {
             return Self::unwrap_msg(self.pending.remove(i));
         }
         loop {
-            let msg = self.inbox.recv().expect("all senders dropped while receiving");
+            let msg = self
+                .inbox
+                .recv()
+                .expect("all senders dropped while receiving");
             if Self::matches(&msg, src, tag) {
                 return Self::unwrap_msg(msg);
             }
@@ -211,7 +222,11 @@ impl Comm {
     /// every rank sent here, in rank order (the particle-redistribution
     /// primitive).
     pub fn alltoallv<T: Send + 'static>(&mut self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(sends.len(), self.size, "alltoallv needs one bucket per rank");
+        assert_eq!(
+            sends.len(),
+            self.size,
+            "alltoallv needs one bucket per rank"
+        );
         let tag = self.next_coll();
         let mine = std::mem::take(&mut sends[self.rank]);
         for (dst, bucket) in sends.into_iter().enumerate() {
@@ -371,7 +386,11 @@ mod tests {
     fn broadcast_from_each_root() {
         for root in 0..3 {
             let out = run(3, move |mut comm| {
-                let v = if comm.rank() == root { Some(format!("hello-{root}")) } else { None };
+                let v = if comm.rank() == root {
+                    Some(format!("hello-{root}"))
+                } else {
+                    None
+                };
                 comm.broadcast(root, v)
             });
             assert!(out.iter().all(|v| v == &format!("hello-{root}")));
@@ -382,8 +401,9 @@ mod tests {
     fn alltoallv_redistribution() {
         let out = run(3, |mut comm| {
             // Rank r sends the value 10r + d to rank d.
-            let sends: Vec<Vec<usize>> =
-                (0..comm.size()).map(|d| vec![10 * comm.rank() + d]).collect();
+            let sends: Vec<Vec<usize>> = (0..comm.size())
+                .map(|d| vec![10 * comm.rank() + d])
+                .collect();
             comm.alltoallv(sends)
         });
         for (d, res) in out.iter().enumerate() {
@@ -486,7 +506,10 @@ mod tests {
 /// time the paper's wall-clock measurements correspond to on dedicated
 /// cores. (Std has no thread CPU clock, hence the single `libc` call.)
 pub fn thread_cpu_time() -> f64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // Safety: plain syscall writing into a stack timespec.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");

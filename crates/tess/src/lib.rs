@@ -24,7 +24,7 @@
 
 use dtfe_core::density::{DtfeField, Mass};
 use dtfe_core::grid::{Field2, Field3, GridSpec2, GridSpec3};
-use dtfe_delaunay::{Delaunay, DelaunayError};
+use dtfe_delaunay::{BuildError, Delaunay, DelaunayBuilder};
 use dtfe_geometry::{Aabb3, Vec3};
 use rayon::prelude::*;
 
@@ -38,8 +38,8 @@ pub struct VoronoiDensity {
 
 impl VoronoiDensity {
     /// Build the tessellation (TESS stage) and the per-particle densities.
-    pub fn build(points: &[Vec3], mass: Mass) -> Result<VoronoiDensity, DelaunayError> {
-        let del = Delaunay::build(points)?;
+    pub fn build(points: &[Vec3], mass: Mass) -> Result<VoronoiDensity, BuildError> {
+        let del = DelaunayBuilder::new().build(points)?;
         Ok(Self::from_delaunay(&del, points.len(), mass))
     }
 
@@ -69,7 +69,11 @@ impl VoronoiDensity {
             .collect();
         let points = del.vertices().to_vec();
         let index = NnGrid::build(&points);
-        VoronoiDensity { points, density, index }
+        VoronoiDensity {
+            points,
+            density,
+            index,
+        }
     }
 
     /// Same on-site densities as a [`DtfeField`] (they coincide by
@@ -78,7 +82,11 @@ impl VoronoiDensity {
         let points = field.delaunay().vertices().to_vec();
         let density = field.vertex_densities().to_vec();
         let index = NnGrid::build(&points);
-        VoronoiDensity { points, density, index }
+        VoronoiDensity {
+            points,
+            density,
+            index,
+        }
     }
 
     /// Index of the particle whose Voronoi cell contains `p` (ties broken by
@@ -120,9 +128,15 @@ impl VoronoiDensity {
             }
         };
         if parallel {
-            out.data.par_chunks_mut(nx * ny).enumerate().for_each(|(k, d)| plane(k, d));
+            out.data
+                .par_chunks_mut(nx * ny)
+                .enumerate()
+                .for_each(|(k, d)| plane(k, d));
         } else {
-            out.data.chunks_mut(nx * ny).enumerate().for_each(|(k, d)| plane(k, d));
+            out.data
+                .chunks_mut(nx * ny)
+                .enumerate()
+                .for_each(|(k, d)| plane(k, d));
         }
         out
     }
@@ -185,7 +199,13 @@ impl NnGrid {
             items[cursor[b] as usize] = pi as u32;
             cursor[b] += 1;
         }
-        NnGrid { bounds, n, inv_cell, off, items }
+        NnGrid {
+            bounds,
+            n,
+            inv_cell,
+            off,
+            items,
+        }
     }
 
     fn nearest(&self, points: &[Vec3], p: Vec3) -> usize {
@@ -200,9 +220,21 @@ impl NnGrid {
         let ck = clampi(p.z, self.bounds.lo.z, self.inv_cell.z, self.n[2]);
         // Bin edge lengths (infinite when the extent collapses to a plane).
         let cell = [
-            if self.inv_cell.x > 0.0 { 1.0 / self.inv_cell.x } else { f64::INFINITY },
-            if self.inv_cell.y > 0.0 { 1.0 / self.inv_cell.y } else { f64::INFINITY },
-            if self.inv_cell.z > 0.0 { 1.0 / self.inv_cell.z } else { f64::INFINITY },
+            if self.inv_cell.x > 0.0 {
+                1.0 / self.inv_cell.x
+            } else {
+                f64::INFINITY
+            },
+            if self.inv_cell.y > 0.0 {
+                1.0 / self.inv_cell.y
+            } else {
+                f64::INFINITY
+            },
+            if self.inv_cell.z > 0.0 {
+                1.0 / self.inv_cell.z
+            } else {
+                f64::INFINITY
+            },
         ];
         let center = [ci, cj, ck];
         let q = [p.x, p.y, p.z];
@@ -359,7 +391,10 @@ mod tests {
         // must be the right order of magnitude.
         let m = sigma.total_mass();
         let m_true = pts.len() as f64;
-        assert!(m > 0.3 * m_true && m < 3.0 * m_true, "mass = {m} vs {m_true}");
+        assert!(
+            m > 0.3 * m_true && m < 3.0 * m_true,
+            "mass = {m} vs {m_true}"
+        );
     }
 
     #[test]
@@ -371,7 +406,10 @@ mod tests {
         let d1 = vd.density_at(p + Vec3::splat(1e-6));
         let d2 = vd.density_at(p + Vec3::splat(2e-6));
         assert_eq!(d1, d2);
-        assert_eq!(d1, vd.particle_densities()[vd.nearest(p + Vec3::splat(1e-6))]);
+        assert_eq!(
+            d1,
+            vd.particle_densities()[vd.nearest(p + Vec3::splat(1e-6))]
+        );
     }
 
     #[test]

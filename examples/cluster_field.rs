@@ -22,22 +22,36 @@ use std::time::Instant;
 fn main() {
     let n_particles = 150_000;
     let (particles, bounds) = cluster_with_substructure(n_particles, 7);
-    println!("cluster realization: {} particles in {:?}", particles.len(), bounds);
+    println!(
+        "cluster realization: {} particles in {:?}",
+        particles.len(),
+        bounds
+    );
 
     let t0 = Instant::now();
     // Mass scale: pretend the cluster is 1e14 M_sun total.
     let m_particle = 1.0e14 / n_particles as f64;
     let field = DtfeField::build(&particles, Mass::Uniform(m_particle)).expect("triangulation");
-    println!("DTFE built in {:.2}s ({} tets)", t0.elapsed().as_secs_f64(), field.delaunay().num_tets());
+    println!(
+        "DTFE built in {:.2}s ({} tets)",
+        t0.elapsed().as_secs_f64(),
+        field.delaunay().num_tets()
+    );
 
     // 512² grid over the central (3 Mpc)² footprint.
     let grid = GridSpec2::square(bounds.center().xy(), 3.0, 512);
     let t0 = Instant::now();
-    let opts = MarchOptions { samples: 1, ..Default::default() };
+    let opts = MarchOptions::new().samples(1);
     let sigma = surface_density(&field, &grid, &opts);
-    println!("rendered 512² surface density in {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "rendered 512² surface density in {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
     let (lo, hi) = sigma.min_max();
-    println!("Σ ∈ [{lo:.3e}, {hi:.3e}] M_sun/Mpc²; map mass = {:.3e}", sigma.total_mass());
+    println!(
+        "Σ ∈ [{lo:.3e}, {hi:.3e}] M_sun/Mpc²; map mass = {:.3e}",
+        sigma.total_mass()
+    );
 
     let dir = experiments_dir();
     write_pgm(&sigma, &dir.join("cluster_sigma.pgm"), true).unwrap();
@@ -53,8 +67,16 @@ fn main() {
     // Deflection and shear maps (the downstream lensing-pipeline step).
     let maps = deflection_maps(&kappa);
     let mu = maps.magnification(&kappa);
-    let peak_mu = mu.data.iter().cloned().filter(|v| v.is_finite()).fold(0.0, f64::max);
+    let peak_mu = mu
+        .data
+        .iter()
+        .cloned()
+        .filter(|v| v.is_finite())
+        .fold(0.0, f64::max);
     println!("peak magnification on the grid: {peak_mu:.2}");
     write_pgm(&maps.gamma1, &dir.join("cluster_gamma1.pgm"), false).unwrap();
-    println!("wrote cluster_sigma/_kappa/_gamma1 maps to {}", dir.display());
+    println!(
+        "wrote cluster_sigma/_kappa/_gamma1 maps to {}",
+        dir.display()
+    );
 }

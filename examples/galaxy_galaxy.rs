@@ -16,24 +16,39 @@ fn main() {
     let box_len = 32.0;
     let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
     let (particles, halos) = galaxy_box(box_len, 120_000, 48, 99);
-    println!("galaxy box: {} particles, {} halos", particles.len(), halos.len());
+    println!(
+        "galaxy box: {} particles, {} halos",
+        particles.len(),
+        halos.len()
+    );
 
     let field_len = 3.0;
     let centers = galaxy_galaxy_centers(&halos, 40, bounds, field_len * 0.5);
-    let requests: Vec<FieldRequest> = centers.iter().map(|&c| FieldRequest { center: c }).collect();
-    println!("field requests at the {} most massive (interior) halos", requests.len());
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
+    println!(
+        "field requests at the {} most massive (interior) halos",
+        requests.len()
+    );
 
     let nranks = 8;
     for balance in [false, true] {
-        let cfg = FrameworkConfig { balance, ..FrameworkConfig::new(field_len, 64) };
+        let cfg = FrameworkConfig {
+            balance,
+            ..FrameworkConfig::new(field_len, 64)
+        };
         let t0 = Instant::now();
         let reports = run_distributed(nranks, &particles, bounds, &requests, &cfg);
         let wall = t0.elapsed().as_secs_f64();
         let computed: usize = reports.iter().map(|r| r.fields_computed).sum();
         let mode = if balance { "balanced  " } else { "unbalanced" };
         // The Fig. 10 imbalance metric: normalized std of per-rank compute.
-        let compute: Vec<f64> =
-            reports.iter().map(|r| r.timings.triangulate + r.timings.render).collect();
+        let compute: Vec<f64> = reports
+            .iter()
+            .map(|r| r.timings.triangulate + r.timings.render)
+            .collect();
         let mean = compute.iter().sum::<f64>() / compute.len() as f64;
         let sd = (compute.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
             / compute.len() as f64)

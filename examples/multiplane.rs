@@ -19,12 +19,18 @@ fn main() {
     // n_side must be a power of two (the Zel'dovich generator FFTs an
     // n_side³ grid).
     let particles = planck_like(32, box_len, 12);
-    println!("volume: {} particles in ({box_len} Mpc/h)³", particles.len());
+    println!(
+        "volume: {} particles in ({box_len} Mpc/h)³",
+        particles.len()
+    );
 
     // 6 lines of sight × 5 planes each (the paper: 700 lines, ~13 planes).
     let field_len = 3.0;
     let centers = multiplane_los_centers(bounds, 6, 5, field_len * 0.5, 4);
-    let requests: Vec<FieldRequest> = centers.iter().map(|&c| FieldRequest { center: c }).collect();
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
     println!("{} field requests on {} lines of sight", requests.len(), 6);
 
     let cfg = FrameworkConfig {
@@ -33,9 +39,11 @@ fn main() {
     };
     let t0 = Instant::now();
     let reports = run_distributed(6, &particles, bounds, &requests, &cfg);
-    println!("computed {} fields in {:.2}s on 6 ranks",
+    println!(
+        "computed {} fields in {:.2}s on 6 ranks",
         reports.iter().map(|r| r.fields_computed).sum::<usize>(),
-        t0.elapsed().as_secs_f64());
+        t0.elapsed().as_secs_f64()
+    );
 
     // Stack each line of sight: total Σ and κ along the line (the
     // multi-plane approximation sums per-plane convergences).
@@ -44,7 +52,9 @@ fn main() {
     let mut fields: Vec<(Vec3, dtfe_repro::core::grid::Field2)> =
         reports.into_iter().flat_map(|r| r.fields).collect();
     fields.sort_by(|a, b| {
-        (a.0.x, a.0.y, a.0.z).partial_cmp(&(b.0.x, b.0.y, b.0.z)).unwrap()
+        (a.0.x, a.0.y, a.0.z)
+            .partial_cmp(&(b.0.x, b.0.y, b.0.z))
+            .unwrap()
     });
     let mut line = 0;
     let mut i = 0;
@@ -54,9 +64,8 @@ fn main() {
         let mut kappa_tot = 0.0;
         let mut planes = 0;
         while i < fields.len() && fields[i].0.x == x && fields[i].0.y == y {
-            let sigma_mean = fields[i].1.data.iter().sum::<f64>()
-                / fields[i].1.data.len() as f64
-                * m_particle;
+            let sigma_mean =
+                fields[i].1.data.iter().sum::<f64>() / fields[i].1.data.len() as f64 * m_particle;
             let kappa = convergence_map(&fields[i].1, sigma_cr / m_particle);
             let kappa_mean = kappa.data.iter().sum::<f64>() / kappa.data.len() as f64;
             kappa_tot += kappa_mean;

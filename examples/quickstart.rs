@@ -45,7 +45,10 @@ fn main() {
         stats.perturbations
     );
     let (lo, hi) = sigma.min_max();
-    println!("surface density range: [{lo:.3}, {hi:.3}], grid mass = {:.1}", sigma.total_mass());
+    println!(
+        "surface density range: [{lo:.3}, {hi:.3}], grid mass = {:.1}",
+        sigma.total_mass()
+    );
 
     let out = experiments_dir().join("quickstart.pgm");
     write_pgm(&sigma, &out, true).expect("write pgm");

@@ -28,7 +28,10 @@ use dtfe_repro::nbody::zeldovich::{zeldovich_particles, ZeldovichSpec};
 fn main() {
     // --- 1. PM-evolved snapshot with velocities ---
     let box_len = 16.0;
-    let spec = ZeldovichSpec { growth: 1.2, ..ZeldovichSpec::new(16, box_len, 42) };
+    let spec = ZeldovichSpec {
+        growth: 1.2,
+        ..ZeldovichSpec::new(16, box_len, 42)
+    };
     let ics = zeldovich_particles(&spec);
     let mut sim = PmSimulation::new(box_len, 16, ics);
     sim.run(4, 0.3);
@@ -64,8 +67,7 @@ fn main() {
     let dir = Vec3::new(1.0, 1.0, 1.0);
     let of = OrientedField::build(&sim.positions, Mass::Uniform(1.0), dir).expect("rotation");
     let grid = GridSpec2::square(Vec2::new(0.0, 0.0), 10.0, 64);
-    let (sigma_oblique, stats) =
-        of.surface_density(&grid, &MarchOptions { parallel: false, ..Default::default() });
+    let (sigma_oblique, stats) = of.surface_density(&grid, &MarchOptions::new().parallel(false));
     println!(
         "oblique Σ along (1,1,1): grid mass {:.1} of {} particles ({} ray perturbations)",
         sigma_oblique.total_mass(),
@@ -83,7 +85,7 @@ fn main() {
         let sigma = dtfe_repro::core::marching::surface_density(
             &field,
             &g,
-            &MarchOptions { z_range: Some(zr), ..Default::default() },
+            &MarchOptions::new().z_range(zr.0, zr.1),
         );
         let mean_sigma = sigma.data.iter().sum::<f64>() / sigma.data.len() as f64;
         let kappa = convergence_map(&sigma, mean_sigma / 0.02); // scale: mean κ = 0.02 (weak lensing)
@@ -95,12 +97,7 @@ fn main() {
             weight: 0.02,
         });
     }
-    let theta_grid = GridSpec2::covering(
-        Vec2::new(0.02, 0.02),
-        Vec2::new(0.045, 0.045),
-        48,
-        48,
-    );
+    let theta_grid = GridSpec2::covering(Vec2::new(0.02, 0.02), Vec2::new(0.045, 0.045), 48, 48);
     let rt = trace_rays(&planes, theta_grid, 500.0);
     let mu = rt.magnification(500.0);
     let finite: Vec<f64> = mu.data.iter().copied().filter(|v| v.is_finite()).collect();
@@ -113,7 +110,7 @@ fn main() {
     let sigma = dtfe_repro::core::marching::surface_density(
         &field,
         &g,
-        &MarchOptions { z_range: Some((slab, 2.0 * slab)), ..Default::default() },
+        &MarchOptions::new().z_range(slab, 2.0 * slab),
     );
     let ps = power_spectrum_2d(&sigma);
     println!("Σ power spectrum (k, P):");

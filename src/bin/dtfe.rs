@@ -35,7 +35,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let k = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-        let v = args.get(i + 1).ok_or_else(|| format!("--{k} needs a value"))?;
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{k} needs a value"))?;
         map.insert(k.to_string(), v.clone());
         i += 2;
     }
@@ -67,7 +69,10 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
                 return Err("--n must be a power of two for zeldovich".into());
             }
             let box_len = get_f64(flags, "box", n as f64)?;
-            (planck_like(n, box_len, seed), Aabb3::new(Vec3::ZERO, Vec3::splat(box_len)))
+            (
+                planck_like(n, box_len, seed),
+                Aabb3::new(Vec3::ZERO, Vec3::splat(box_len)),
+            )
         }
         "cluster" => {
             let n = get_usize(flags, "n", 100_000)?;
@@ -93,7 +98,11 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
         blocks[b].push(p);
     }
     snapshot::write_snapshot(&out, &blocks, bounds).map_err(|e| e.to_string())?;
-    println!("wrote {} particles ({kind}) to {}", points.len(), out.display());
+    println!(
+        "wrote {} particles ({kind}) to {}",
+        points.len(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -116,10 +125,19 @@ fn cmd_halos(flags: &HashMap<String, String>) -> Result<(), String> {
     let link = get_f64(flags, "link", 0.2 * spacing)?;
     let min = get_usize(flags, "min", 20)?;
     let groups = fof_groups(&pts, link, min);
-    println!("# FOF b = {link:.4}, min members = {min}: {} groups", groups.len());
+    println!(
+        "# FOF b = {link:.4}, min members = {min}: {} groups",
+        groups.len()
+    );
     println!("rank,mass,cx,cy,cz");
     for (i, g) in groups.iter().take(50).enumerate() {
-        println!("{i},{},{:.4},{:.4},{:.4}", g.mass(), g.center.x, g.center.y, g.center.z);
+        println!(
+            "{i},{},{:.4},{:.4},{:.4}",
+            g.mass(),
+            g.center.x,
+            g.center.y,
+            g.center.z
+        );
     }
     Ok(())
 }
@@ -151,7 +169,7 @@ fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
     eprintln!("triangulating {} particles...", pts.len());
     let field = DtfeField::build(&pts, Mass::Uniform(1.0)).map_err(|e| e.to_string())?;
     eprintln!("marching {} rays...", grid.num_cells());
-    let opts = MarchOptions { samples, ..Default::default() };
+    let opts = MarchOptions::new().samples(samples);
     let (sigma, stats) = surface_density_with_stats(&field, &grid, &opts);
     eprintln!(
         "done: {} crossings, {} perturbations, grid mass {:.1}",

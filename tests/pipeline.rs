@@ -46,13 +46,10 @@ fn three_estimators_agree_on_smooth_data() {
     let marched = dtfe_repro::core::marching::surface_density(
         &field,
         &grid,
-        &MarchOptions { z_range: Some((0.0, box_len)), ..Default::default() },
+        &MarchOptions::new().z_range(0.0, box_len),
     );
-    let walked = surface_density_walking(
-        &field,
-        &grid,
-        &WalkOptions { nz: 256, samples: 1, z_range: (0.0, box_len), parallel: true },
-    );
+    let walked =
+        surface_density_walking(&field, &grid, &WalkOptions::new(256).z_range(0.0, box_len));
     let vd = VoronoiDensity::from_dtfe(&field);
     let dense = vd.surface_density(&grid, (0.0, box_len), 256, true);
 
@@ -85,7 +82,11 @@ fn halo_pipeline_fof_to_framework_to_lensing() {
         .iter()
         .map(|h| h.center.distance(top.center))
         .fold(f64::INFINITY, f64::min);
-    assert!(nearest_catalog < 1.0, "top FOF group {:.2} from any catalog halo", nearest_catalog);
+    assert!(
+        nearest_catalog < 1.0,
+        "top FOF group {:.2} from any catalog halo",
+        nearest_catalog
+    );
 
     // Field requests on FOF-mass-ranked centres (as the MiraU experiment).
     let field_len = 3.0;
@@ -94,12 +95,20 @@ fn halo_pipeline_fof_to_framework_to_lensing() {
         .map(|g| g.center)
         .filter(|c| {
             let m = field_len * 0.5;
-            c.x > m && c.y > m && c.z > m && c.x < box_len - m && c.y < box_len - m && c.z < box_len - m
+            c.x > m
+                && c.y > m
+                && c.z > m
+                && c.x < box_len - m
+                && c.y < box_len - m
+                && c.z < box_len - m
         })
         .take(8)
         .collect();
     assert!(centers.len() >= 4);
-    let requests: Vec<FieldRequest> = centers.iter().map(|&c| FieldRequest { center: c }).collect();
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
 
     let cfg = FrameworkConfig {
         keep_fields: true,
@@ -120,7 +129,10 @@ fn halo_pipeline_fof_to_framework_to_lensing() {
     assert!(peak > 0.0);
 
     // Lensing maps on a power-of-two upsample-free grid: resolution 32 ✓.
-    let kappa = convergence_map(sigma, critical_surface_density(1000.0, 2000.0, 1000.0) / 1e12);
+    let kappa = convergence_map(
+        sigma,
+        critical_surface_density(1000.0, 2000.0, 1000.0) / 1e12,
+    );
     let maps = deflection_maps(&kappa);
     assert!(maps.alpha_x.data.iter().all(|v| v.is_finite()));
     assert!(maps.gamma1.data.iter().all(|v| v.is_finite()));
@@ -132,9 +144,15 @@ fn galaxy_galaxy_centers_from_catalog_work_in_framework() {
     let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
     let (pts, halos) = galaxy_box(box_len, 25_000, 16, 13);
     let centers = galaxy_galaxy_centers(&halos, 10, bounds, 1.0);
-    let requests: Vec<FieldRequest> = centers.iter().map(|&c| FieldRequest { center: c }).collect();
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
     for balance in [true, false] {
-        let cfg = FrameworkConfig { balance, ..FrameworkConfig::new(2.0, 16) };
+        let cfg = FrameworkConfig {
+            balance,
+            ..FrameworkConfig::new(2.0, 16)
+        };
         let reports = run_distributed(3, &pts, bounds, &requests, &cfg);
         assert_eq!(
             reports.iter().map(|r| r.fields_computed).sum::<usize>(),
@@ -148,7 +166,8 @@ fn cluster_dataset_renders_like_fig1() {
     let (pts, bounds) = cluster_with_substructure(20_000, 3);
     let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
     let grid = GridSpec2::square(bounds.center().xy(), 3.0, 64);
-    let sigma = dtfe_repro::core::marching::surface_density(&field, &grid, &MarchOptions::default());
+    let sigma =
+        dtfe_repro::core::marching::surface_density(&field, &grid, &MarchOptions::default());
     // Strong central concentration: peak well above the edge mean.
     let peak = sigma.min_max().1;
     let edge_mean = (0..64).map(|i| sigma.at(i, 0)).sum::<f64>() / 64.0;

@@ -1,0 +1,225 @@
+//! A small, dependency-free stand-in for the parts of `criterion` this
+//! workspace's benches use (see `vendor/README.md`). It keeps the
+//! `criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_function` / `Bencher::iter` shape so the bench sources compile
+//! unchanged, but the measurement is intentionally simple: warm up briefly,
+//! time a batch of iterations, and print the mean per iteration. No
+//! statistics, outlier rejection, or HTML reports — read the numbers as
+//! order-of-magnitude wall-clock, not publishable medians.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_one(&id.to_string(), sample_size, measurement_time, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    /// (total elapsed, iterations) accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warmup call (pulls code/data into cache, triggers lazy init).
+        black_box(routine());
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size as u64 || start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        measured: None,
+        sample_size,
+        measurement_time,
+    };
+    f(&mut b);
+    match b.measured {
+        Some((total, iters)) if iters > 0 => {
+            let per = total.as_secs_f64() / iters as f64;
+            println!("bench: {name:<45} {} /iter ({iters} iters)", fmt_time(per));
+        }
+        _ => println!("bench: {name:<45} (no measurement)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:9.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:9.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:9.3} µs", secs * 1e6)
+    } else {
+        format!("{:9.1} ns", secs * 1e9)
+    }
+}
+
+/// `criterion_group!(name, target...)` or the long form with `config =`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("demo");
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| b.iter(|| ran = black_box(ran.wrapping_add(1))));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! A small stand-in for the parts of `crossbeam` this workspace uses (see
+//! `vendor/README.md`): only `channel::{unbounded, Sender, Receiver}`,
+//! mapped onto [`std::sync::mpsc`]. Since Rust 1.72 the std `Sender` is
+//! `Sync`, so the simcluster pattern of sharing `Arc<Vec<Sender<_>>>`
+//! across rank threads works unchanged. Not covered (because unused here):
+//! bounded channels, `select!`, and `Receiver` cloning — std receivers are
+//! single-consumer.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Single-consumer receiver (std's); the simulator gives each rank its
+    /// own inbox, so multi-consumer semantics are never needed.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn senders_shared_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let senders = Arc::new(vec![tx]);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let senders = Arc::clone(&senders);
+                s.spawn(move || senders[0].send(i).unwrap());
+            }
+        });
+        drop(senders);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(rx.try_recv().is_err());
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 9);
+    }
+}

@@ -1,0 +1,49 @@
+//! A tiny stand-in for the parts of `libc` this workspace uses (see
+//! `vendor/README.md`): `clock_gettime(CLOCK_THREAD_CPUTIME_ID, ..)` for
+//! per-thread CPU-time accounting in the cluster simulator. Declarations
+//! follow the Linux LP64 ABI; std already links the C library, so the
+//! symbol resolves without extra build script work.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type time_t = i64;
+pub type clockid_t = c_int;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+/// Linux `CLOCK_THREAD_CPUTIME_ID` (bits/time.h).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
+extern "C" {
+    pub fn clock_gettime(clockid: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cputime_advances() {
+        let read = || {
+            let mut ts = timespec::default();
+            let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+            assert_eq!(rc, 0);
+            ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
+        };
+        let before = read();
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+        }
+        std::hint::black_box(acc);
+        assert!(read() >= before);
+    }
+}

@@ -1,0 +1,416 @@
+//! A small, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses (see `vendor/README.md`): the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` header, numeric-range and tuple
+//! strategies, `prop::collection::vec`, `prop_map` / `prop_filter`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics kept: property tests run a configurable number of
+//! deterministically seeded random cases (the seed is derived from the
+//! test's module path and name, so failures reproduce exactly on re-run).
+//! Semantics dropped: shrinking — a failing case panics with the assert
+//! message immediately instead of first searching for a minimal
+//! counterexample. That trades debugging convenience for zero dependencies;
+//! the deterministic seed means the failing input is still recoverable by
+//! re-running the test under a debugger or with added prints.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Mirror of the `prop::` path alias exposed by proptest's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---------------------------------------------------------------------------
+// Config and RNG.
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps debug-profile suites quick
+        // while still exercising plenty of inputs. Tests that need more (or
+        // fewer) set it explicitly via `with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator driving value generation (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test's identity so every run replays the same cases.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Rejection-free is unnecessary here; modulo bias is irrelevant for
+        // test-case generation.
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies.
+
+/// A generator of random values of `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return (rng.next_u64() as i128) as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    use super::{Range, RangeInclusive, Strategy, TestRng};
+
+    /// Length bounds for [`vec`], convertible from the usual range forms.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s whose length lies in `size`, elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+
+/// Define property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(0u32..9, 1..20)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // Upstream runs the body as a `Result<(), TestCaseError>`
+                // closure so tests may `return Ok(())` to skip a draw;
+                // mirror that contract.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(__msg) = __outcome {
+                    panic!("proptest case failed: {}", __msg);
+                }
+            }
+        }
+    )*};
+}
+
+/// Reject the current draw without failing the test. Upstream re-draws a
+/// replacement case; this runner simply skips the case (the configured case
+/// count bounds work, so a skipped draw only thins coverage slightly).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Assert within a property (no shrinking here, so it is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in -2.0f64..2.0,
+            v in prop::collection::vec((0u8..4, 0u8..4).prop_map(|(a, b)| a + b), 3..10),
+        ) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|&s| s <= 6));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn filter_holds(n in (0u32..100).prop_filter("even", |n| n % 2 == 0)) {
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = prop::collection::vec(0u64..1000, 5..9);
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        use crate::Strategy;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

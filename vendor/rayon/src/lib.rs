@@ -1,0 +1,505 @@
+//! A small, dependency-free stand-in for the parts of `rayon` this workspace
+//! uses, so the build works offline and fully from source.
+//!
+//! Everything here is *indexed* data parallelism: every source knows its
+//! length and can hand out the item at any index independently, so the
+//! executor just splits `0..len` into contiguous blocks, one per worker, and
+//! runs them under [`std::thread::scope`]. That covers the workspace's whole
+//! usage — `par_chunks_mut` over grids, `par_iter`/`par_iter_mut` over
+//! slices, `into_par_iter` over ranges, with `map`/`enumerate`/`for_each`
+//! and an order-preserving `collect` on top — with real multi-thread
+//! execution (important: the parallel-triangulation tests rely on actually
+//! racing threads, not on a serial fallback).
+//!
+//! Differences from real rayon, beyond the obvious scope cut: no work
+//! stealing (blocks are static), and pools don't own threads —
+//! [`ThreadPool::install`] just pins the worker count for the duration of
+//! the closure via a thread-local, spawning scoped threads on demand.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing ("pools").
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]; 0 = unset.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of workers parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(Cell::get);
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Use exactly `n` workers (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Building a pool cannot actually fail here; the type exists so callers can
+/// keep rayon's fallible signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool": a pinned worker count, applied for the duration of
+/// [`ThreadPool::install`]. Threads are spawned per parallel call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's worker count in effect (restored on exit,
+    /// including on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(Cell::get));
+        POOL_THREADS.with(|c| c.set(self.threads));
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor.
+
+/// Call `f(i, item(i))` for every `i in 0..len`, split into contiguous
+/// blocks across the current worker count. The calling thread takes the
+/// first block so a 1-worker run never spawns.
+fn run_indexed<I, F>(iter: I, f: F)
+where
+    I: ParallelIterator,
+    F: Fn(usize, I::Item) + Sync,
+{
+    let n = iter.len();
+    if n == 0 {
+        return;
+    }
+    let threads = current_num_threads().clamp(1, n);
+    if threads == 1 {
+        for i in 0..n {
+            // SAFETY: each index visited exactly once.
+            f(i, unsafe { iter.item(i) });
+        }
+        return;
+    }
+    let per = n.div_ceil(threads);
+    let (iter, f) = (&iter, &f);
+    std::thread::scope(|s| {
+        for t in 1..threads {
+            let (lo, hi) = (t * per, ((t + 1) * per).min(n));
+            if lo >= hi {
+                break;
+            }
+            s.spawn(move || {
+                for i in lo..hi {
+                    // SAFETY: blocks are disjoint; each index visited once.
+                    f(i, unsafe { iter.item(i) });
+                }
+            });
+        }
+        for i in 0..per.min(n) {
+            // SAFETY: as above; block 0 is disjoint from the spawned ones.
+            f(i, unsafe { iter.item(i) });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The iterator trait and adaptors.
+
+/// An indexed parallel iterator.
+///
+/// # Safety
+///
+/// Implementations must make [`ParallelIterator::item`] sound to call
+/// concurrently from multiple threads for *distinct* indices in `0..len()`,
+/// each index at most once per traversal.
+#[allow(clippy::len_without_is_empty)]
+pub unsafe trait ParallelIterator: Sized + Send + Sync {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    /// Produce the item at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index < self.len()`; callers pass each index at most once per
+    /// traversal (items like `&mut` chunks alias otherwise).
+    unsafe fn item(&self, index: usize) -> Self::Item;
+
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_indexed(self, |_, x| f(x));
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+// SAFETY: delegates indexing to `base`; `f` is `Sync` so calling it from
+// several threads is fine.
+unsafe impl<I, F, O> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Send + Sync,
+{
+    type Item = O;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn item(&self, index: usize) -> O {
+        (self.f)(self.base.item(index))
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+}
+
+// SAFETY: delegates indexing to `base`.
+unsafe impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn item(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.item(index))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving collect.
+
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        struct Slots<T>(*mut T);
+        // SAFETY: workers write disjoint slots (one per index).
+        unsafe impl<T: Send> Sync for Slots<T> {}
+        impl<T> Slots<T> {
+            /// # Safety
+            /// `i` in bounds and written at most once across all threads.
+            unsafe fn write(&self, i: usize, v: T) {
+                self.0.add(i).write(v);
+            }
+        }
+
+        let n = iter.len();
+        let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit needs no initialization.
+        unsafe { buf.set_len(n) };
+        let slots = Slots(buf.as_mut_ptr() as *mut T);
+        run_indexed(iter, |i, v| {
+            // SAFETY: i < n and each index is written exactly once. (A panic
+            // in a producer aborts the traversal and leaks the buffer's
+            // initialized slots — same leak-not-UB stance as rayon.)
+            unsafe { slots.write(i, v) };
+        });
+        let mut buf = ManuallyDrop::new(buf);
+        // SAFETY: all n slots are initialized; capacity/length transfer.
+        unsafe { Vec::from_raw_parts(buf.as_mut_ptr() as *mut T, n, buf.capacity()) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources: slices.
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> Iter<'_, T>;
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter {
+            ptr: self.as_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk,
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub struct Iter<'a, T> {
+    ptr: *const T,
+    len: usize,
+    _marker: PhantomData<&'a [T]>,
+}
+
+// SAFETY: stands for `&[T]`, which is Send + Sync when `T: Sync`.
+unsafe impl<T: Sync> Send for Iter<'_, T> {}
+unsafe impl<T: Sync> Sync for Iter<'_, T> {}
+
+// SAFETY: shared references to distinct elements; concurrent reads are fine.
+unsafe impl<'a, T: Sync + 'a> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn item(&self, index: usize) -> &'a T {
+        &*self.ptr.add(index)
+    }
+}
+
+pub struct IterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: stands for `&mut [T]`, which is Send + Sync when `T: Send` and
+// elements are handed out at most once each (the trait's contract).
+unsafe impl<T: Send> Send for IterMut<'_, T> {}
+unsafe impl<T: Send> Sync for IterMut<'_, T> {}
+
+// SAFETY: distinct indices yield non-aliasing `&mut`s, and the contract
+// forbids revisiting an index.
+unsafe impl<'a, T: Send + 'a> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn item(&self, index: usize) -> &'a mut T {
+        &mut *self.ptr.add(index)
+    }
+}
+
+pub struct ChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for `IterMut`.
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+// SAFETY: chunks at distinct indices cover disjoint element ranges.
+unsafe impl<'a, T: Send + 'a> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    unsafe fn item(&self, index: usize) -> &'a mut [T] {
+        let lo = index * self.chunk;
+        let hi = (lo + self.chunk).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources: ranges.
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        // SAFETY: items are computed values; no aliasing concerns.
+        unsafe impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            unsafe fn item(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+range_impl!(u32, u64, usize);
+
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I;
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_mut_for_each_touches_everything() {
+        let mut v = vec![0u64; 1003];
+        v.par_chunks_mut(17).enumerate().for_each(|(i, c)| {
+            for (k, x) in c.iter_mut().enumerate() {
+                *x = (i * 17 + k) as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<u32> = (0u32..5000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out.len(), 5000);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 3 * i as u32));
+    }
+
+    #[test]
+    fn pool_install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0u32..64)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        // With 3 workers over 64 items at least one spawned thread differs
+        // from the caller (block 0 runs on the caller).
+        assert!(ids.iter().any(|&id| id != std::thread::current().id()));
+    }
+
+    #[test]
+    fn par_iter_and_iter_mut() {
+        let mut v: Vec<u32> = (0..257).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        let sum: Vec<u32> = v.par_iter().map(|&x| x - 1).collect();
+        assert!(sum.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+}
