@@ -22,16 +22,16 @@ fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling");
     group.sample_size(20);
     group.bench_function("create_schedule_16k", |b| {
-        b.iter(|| create_schedule(&times));
+        b.iter(|| create_schedule(&times).unwrap());
     });
 
     let items: Vec<f64> = (0..512).map(|i| 1.0 + (i % 13) as f64).collect();
     let bins: Vec<f64> = (0..64).map(|i| 10.0 + i as f64).collect();
     group.bench_function("pack_bins_ffd_512x64", |b| {
-        b.iter(|| pack_bins(&items, &bins));
+        b.iter(|| pack_bins(&items, &bins).unwrap());
     });
     group.bench_function("pack_bins_naive_512x64", |b| {
-        b.iter(|| pack_bins_naive(&items, &bins));
+        b.iter(|| pack_bins_naive(&items, &bins).unwrap());
     });
     group.finish();
 

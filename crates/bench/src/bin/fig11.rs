@@ -40,7 +40,9 @@ fn main() {
     );
 
     let cfg = FrameworkConfig::new(field_len, scale.pick(24, 40, 64));
-    let reports = run_distributed(8, &particles, bounds, &requests, &cfg);
+    let reports = run_distributed(8, &particles, bounds, &requests, &cfg)
+        .expect("fault-free figure run")
+        .ranks;
 
     // Relative prediction errors (predicted − actual) / mean(actual): the
     // paper plots raw seconds; normalizing makes the histogram hardware-

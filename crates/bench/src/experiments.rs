@@ -34,7 +34,9 @@ pub fn measure(
     cfg: &FrameworkConfig,
     nranks: usize,
 ) -> (ScalingPoint, Vec<RankReport>) {
-    let reports = run_distributed(nranks, particles, bounds, requests, cfg);
+    let reports = run_distributed(nranks, particles, bounds, requests, cfg)
+        .expect("fault-free benchmark run")
+        .ranks;
     let collect = |f: &dyn Fn(&RankReport) -> f64| reports.iter().map(f).collect::<Vec<f64>>();
     let partition = collect(&|r| r.timings.partition);
     let model = collect(&|r| r.timings.model);

@@ -94,7 +94,8 @@ pub fn simulate_unbalanced(work: &[RankWork]) -> SimResult {
 pub fn simulate_balanced(work: &[RankWork], params: &SimParams) -> SimResult {
     let p = work.len();
     let predicted_totals: Vec<f64> = work.iter().map(|w| w.total_predicted()).collect();
-    let schedule = create_schedule(&predicted_totals);
+    // Synthetic workloads are finite by construction.
+    let schedule = create_schedule(&predicted_totals).expect("synthetic predicted totals");
 
     struct Bundle {
         available_at: f64,
@@ -112,7 +113,8 @@ pub fn simulate_balanced(work: &[RankWork], params: &SimParams) -> SimResult {
             continue;
         }
         let bins: Vec<f64> = sends.iter().map(|t| t.amount).collect();
-        let (assign, _left) = pack_bins(&work[rank].predicted, &bins);
+        let (assign, _left) =
+            pack_bins(&work[rank].predicted, &bins).expect("synthetic item costs");
         let mut moved = vec![false; work[rank].actual.len()];
         let mut bundle_costs = Vec::with_capacity(sends.len());
         for items in &assign {

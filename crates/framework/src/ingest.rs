@@ -74,12 +74,30 @@ pub fn ingest_snapshot(
     decomp: &Decomposition,
     margin: f64,
 ) -> std::io::Result<RankParticles> {
-    let info = snapshot::read_info(path)?;
     let mut mine = Vec::new();
-    let mut block = comm.rank();
-    while block < info.num_ranks() {
-        mine.extend(snapshot::read_block(path, &info, block)?);
-        block += comm.size();
+    let mut read_err: Option<String> = None;
+    match snapshot::read_info(path) {
+        Ok(info) => {
+            let mut block = comm.rank();
+            while block < info.num_ranks() {
+                match snapshot::read_block(path, &info, block) {
+                    Ok(pts) => mine.extend(pts),
+                    Err(e) => {
+                        read_err = Some(e.to_string());
+                        break;
+                    }
+                }
+                block += comm.size();
+            }
+        }
+        Err(e) => read_err = Some(e.to_string()),
+    }
+    // Coordinated abort: agree on read status before the redistribution
+    // collectives, so one rank's IO failure doesn't strand its peers
+    // inside an alltoallv that never completes.
+    let statuses = comm.allgather(read_err);
+    if let Some(msg) = statuses.into_iter().flatten().next() {
+        return Err(std::io::Error::other(msg));
     }
     Ok(redistribute(comm, mine, decomp, margin))
 }

@@ -22,18 +22,35 @@
 //! discrete-event simulator so the 4k–16k-rank regime of the paper's
 //! Fig. 13 can be evaluated without 16k OS threads (see `DESIGN.md`,
 //! substitutions).
+//!
+//! The framework is **fault-tolerant**: a [`FaultPlan`] in
+//! [`FrameworkConfig`] injects reproducible message loss, delay,
+//! duplication, reordering, and rank kills (see `dtfe-simcluster`), and
+//! the execution phase runs work sharing over a [`reliable`]
+//! ack/retry/heartbeat sublayer that survives them — lost ranks are
+//! detected, their scheduled work is reclaimed, and the drivers return a
+//! typed [`RunReport`]/[`FrameworkError`] instead of deadlocking
+//! (`DESIGN.md`, "Fault model & recovery").
 
 pub mod decomp;
+pub mod error;
 pub mod eventsim;
 pub mod ingest;
 pub mod model;
+pub mod reliable;
 pub mod runner;
 pub mod sharing;
 
 pub use decomp::Decomposition;
+pub use error::FrameworkError;
 pub use model::{InterpModel, TriModel, WorkloadModel};
+pub use reliable::{ReliabilityParams, TAG_WORK};
 pub use runner::{
     run_distributed, run_distributed_snapshot, FieldRequest, FrameworkConfig, PhaseTimings,
-    RankReport,
+    RankReport, RunReport, PHASE_EXEC,
 };
-pub use sharing::{create_schedule, pack_bins, Schedule, Transfer};
+pub use sharing::{create_schedule, pack_bins, Schedule, ScheduleError, Transfer};
+
+// Re-exported so framework users can build fault scenarios without naming
+// the simcluster crate.
+pub use dtfe_simcluster::{FaultPlan, FaultRule, FaultStats};

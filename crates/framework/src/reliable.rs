@@ -1,0 +1,600 @@
+//! Reliable delivery of work-sharing bundles over the (possibly lossy)
+//! simulated transport.
+//!
+//! The paper's framework assumes flawless MPI: a scheduled `MPI_Send`
+//! always arrives and the receiver blocks unconditionally. Under the
+//! fault-injected runtime that assumption deadlocks on the first dropped
+//! message, so work sharing runs over this sublayer instead:
+//!
+//! * Every scheduled transfer is a **sequence-numbered bundle** (`seq` =
+//!   the transfer's index in the global schedule, identical on all ranks).
+//! * The sender retransmits a bundle with bounded exponential backoff
+//!   until it is **acked**, then closes the edge with a burst of `Fin`
+//!   messages. If `max_retries` retransmissions go unacknowledged the
+//!   receiver is declared dead and the bundle is **reclaimed** for local
+//!   execution.
+//! * The receiver **acks every copy** it sees and executes only the first
+//!   (idempotent receive — duplicates injected by the fault layer or by
+//!   retransmission are discarded by `seq`), then lingers until the edge's
+//!   `Fin` so a retransmitting sender is never left talking to a closed
+//!   mailbox. Quiet senders are **pinged**; a `Pong` (or any traffic)
+//!   resets patience, and a sender silent for `max_pings` intervals is
+//!   declared dead (its transfer is lost and the run degraded).
+//!
+//! Exactly-once under default parameters is *provable*, not probabilistic:
+//! the fault layer caps consecutive drops per edge at `burst` (default 3),
+//! so any 4 consecutive transmissions land at least one copy and any 4
+//! acks land at least one ack — `(burst + 1)² = 16` transmissions
+//! (`max_retries = 15`) therefore guarantee an acked delivery to a live
+//! peer, which makes a false dead-declaration (the only path to double
+//! execution) impossible. See `DESIGN.md`, "Fault model & recovery".
+
+use dtfe_geometry::Vec3;
+use dtfe_simcluster::Comm;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Message tag for work-sharing traffic (bundles and protocol control).
+pub const TAG_WORK: u32 = 0xD7FE;
+
+/// Tunables of the reliable-delivery sublayer. The defaults are sized for
+/// the simulated transport's latencies (microseconds, with injected delays
+/// in the low milliseconds); see the module docs for why `max_retries`
+/// must stay ≥ `(burst + 1)² − 1` of the fault plan in play.
+#[derive(Clone, Debug)]
+pub struct ReliabilityParams {
+    /// Wait before the first retransmission of an unacked bundle.
+    pub ack_timeout: Duration,
+    /// Multiplicative backoff factor between retransmissions.
+    pub backoff: f64,
+    /// Ceiling on the retransmission interval.
+    pub max_backoff: Duration,
+    /// Retransmissions before the receiver is declared dead.
+    pub max_retries: u32,
+    /// Interval between heartbeat pings to a quiet sender.
+    pub ping_interval: Duration,
+    /// Unanswered pings before the sender is declared dead.
+    pub max_pings: u32,
+    /// `Fin` copies fired when closing an edge (fire-and-forget; must
+    /// exceed the fault plan's drop burst to guarantee one arrives).
+    pub fin_copies: u32,
+}
+
+impl Default for ReliabilityParams {
+    fn default() -> Self {
+        ReliabilityParams {
+            ack_timeout: Duration::from_millis(20),
+            backoff: 2.0,
+            max_backoff: Duration::from_millis(200),
+            max_retries: 15,
+            ping_interval: Duration::from_millis(20),
+            max_pings: 50,
+            fin_copies: 4,
+        }
+    }
+}
+
+impl ReliabilityParams {
+    /// Impatient settings for tests: same protocol, millisecond timescales
+    /// (a dead peer is detected in a couple of seconds instead of tens).
+    /// The heartbeat patience (`max_pings × ping_interval` = 2 s) is kept
+    /// deliberately far above the retransmission clock: on an oversubscribed
+    /// test machine a live thread can be starved for hundreds of
+    /// milliseconds, and a falsely-declared-dead peer would turn a timing
+    /// hiccup into a spurious lost transfer.
+    pub fn fast() -> Self {
+        ReliabilityParams {
+            ack_timeout: Duration::from_millis(5),
+            backoff: 2.0,
+            max_backoff: Duration::from_millis(40),
+            // ≥ 15 keeps the exactly-once guarantee; the extra headroom
+            // (~1.2 s of retransmission window) covers receiver starvation.
+            max_retries: 31,
+            ping_interval: Duration::from_millis(5),
+            max_pings: 400,
+            fin_copies: 4,
+        }
+    }
+}
+
+/// Everything that travels on [`TAG_WORK`]. One enum, so a single typed
+/// receive drains bundles and protocol control alike.
+#[derive(Clone)]
+pub enum WireMsg {
+    /// A work bundle: the sender's particle set and the field centres to
+    /// render ("the process receives a copy of the sender's particle set
+    /// and density field positions", paper §IV-E).
+    Bundle {
+        seq: u64,
+        particles: Arc<Vec<Vec3>>,
+        centers: Vec<Vec3>,
+    },
+    /// Receiver → sender: bundle `seq` arrived (sent for every copy).
+    Ack { seq: u64 },
+    /// Sender → receiver: edge `seq` is settled, stop expecting traffic.
+    Fin { seq: u64 },
+    /// Receiver → sender heartbeat probe.
+    Ping,
+    /// Sender → receiver heartbeat answer.
+    Pong,
+}
+
+enum SendState {
+    InFlight {
+        next_resend: Instant,
+        backoff: Duration,
+        /// Transmissions so far (1 after dispatch).
+        sends: u32,
+    },
+    Settled,
+    Dead,
+}
+
+struct OutTransfer {
+    seq: u64,
+    to: usize,
+    particles: Arc<Vec<Vec3>>,
+    centers: Vec<Vec3>,
+    state: SendState,
+}
+
+/// Sender side: dispatched bundles awaiting acknowledgement, plus the
+/// retransmission clock and death bookkeeping.
+pub struct Outbox {
+    params: ReliabilityParams,
+    transfers: Vec<OutTransfer>,
+    /// Total retransmissions performed.
+    pub retries: u64,
+    /// Receivers declared dead (retry exhaustion).
+    pub dead_peers: Vec<usize>,
+}
+
+impl Outbox {
+    pub fn new(params: ReliabilityParams) -> Outbox {
+        Outbox {
+            params,
+            transfers: Vec::new(),
+            retries: 0,
+            dead_peers: Vec::new(),
+        }
+    }
+
+    /// Send the first copy of a bundle and start its retransmission clock.
+    pub fn dispatch(
+        &mut self,
+        comm: &mut Comm,
+        seq: u64,
+        to: usize,
+        particles: Arc<Vec<Vec3>>,
+        centers: Vec<Vec3>,
+    ) {
+        comm.send(
+            to,
+            TAG_WORK,
+            WireMsg::Bundle {
+                seq,
+                particles: Arc::clone(&particles),
+                centers: centers.clone(),
+            },
+        );
+        self.transfers.push(OutTransfer {
+            seq,
+            to,
+            particles,
+            centers,
+            state: SendState::InFlight {
+                next_resend: Instant::now() + self.params.ack_timeout,
+                backoff: self.params.ack_timeout,
+                sends: 1,
+            },
+        });
+    }
+
+    /// One non-blocking protocol turn: absorb acks and pings, retransmit
+    /// overdue bundles. Call between local work items so the sender stays
+    /// responsive while computing. Returns bundles reclaimed from
+    /// receivers declared dead, as `(receiver, centers)` — the caller must
+    /// execute those centres locally.
+    pub fn poll(&mut self, comm: &mut Comm) -> Vec<(usize, Vec<Vec3>)> {
+        while let Some((src, msg)) = comm.try_recv::<WireMsg>(None, TAG_WORK) {
+            self.handle(comm, src, msg);
+        }
+        self.resend_overdue(comm)
+    }
+
+    /// Block until every dispatched bundle is settled or its receiver
+    /// declared dead. Returns bundles reclaimed during the wait.
+    pub fn drain(&mut self, comm: &mut Comm) -> Vec<(usize, Vec<Vec3>)> {
+        let mut reclaimed = Vec::new();
+        loop {
+            let next = self
+                .transfers
+                .iter()
+                .filter_map(|t| match t.state {
+                    SendState::InFlight { next_resend, .. } => Some(next_resend),
+                    _ => None,
+                })
+                .min();
+            let Some(next) = next else {
+                return reclaimed; // everything settled or dead
+            };
+            let wait = next.saturating_duration_since(Instant::now());
+            if let Some((src, msg)) = comm.recv_timeout::<WireMsg>(None, TAG_WORK, wait) {
+                self.handle(comm, src, msg);
+            }
+            reclaimed.extend(self.resend_overdue(comm));
+        }
+    }
+
+    fn handle(&mut self, comm: &mut Comm, src: usize, msg: WireMsg) {
+        match msg {
+            WireMsg::Ack { seq } => {
+                if let Some(t) = self.transfers.iter_mut().find(|t| t.seq == seq) {
+                    if matches!(t.state, SendState::InFlight { .. }) {
+                        t.state = SendState::Settled;
+                        for _ in 0..self.params.fin_copies {
+                            comm.send(t.to, TAG_WORK, WireMsg::Fin { seq });
+                        }
+                    }
+                }
+            }
+            WireMsg::Ping => comm.send(src, TAG_WORK, WireMsg::Pong),
+            // A sender never legitimately receives bundles, fins, or pongs
+            // (the schedule never makes a rank both sender and receiver);
+            // stray ones are ignored.
+            _ => {}
+        }
+    }
+
+    fn resend_overdue(&mut self, comm: &mut Comm) -> Vec<(usize, Vec<Vec3>)> {
+        let now = Instant::now();
+        let mut reclaimed = Vec::new();
+        for i in 0..self.transfers.len() {
+            let t = &mut self.transfers[i];
+            let SendState::InFlight {
+                next_resend,
+                backoff,
+                sends,
+            } = &mut t.state
+            else {
+                continue;
+            };
+            if now < *next_resend {
+                continue;
+            }
+            if *sends > self.params.max_retries {
+                // Retry exhaustion: under the fair-lossy bound a live peer
+                // would have acked by now, so the receiver is dead. Reclaim
+                // the work and close the edge anyway (a lingering receiver
+                // must not wait for a Fin that never comes).
+                let (to, seq) = (t.to, t.seq);
+                reclaimed.push((to, std::mem::take(&mut t.centers)));
+                t.state = SendState::Dead;
+                self.dead_peers.push(to);
+                for _ in 0..self.params.fin_copies {
+                    comm.send(to, TAG_WORK, WireMsg::Fin { seq });
+                }
+                continue;
+            }
+            comm.send(
+                t.to,
+                TAG_WORK,
+                WireMsg::Bundle {
+                    seq: t.seq,
+                    particles: Arc::clone(&t.particles),
+                    centers: t.centers.clone(),
+                },
+            );
+            *sends += 1;
+            *backoff = Duration::from_secs_f64(
+                (backoff.as_secs_f64() * self.params.backoff)
+                    .min(self.params.max_backoff.as_secs_f64()),
+            );
+            *next_resend = now + *backoff;
+            self.retries += 1;
+        }
+        reclaimed
+    }
+}
+
+enum EdgeState {
+    /// No bundle yet.
+    Waiting {
+        pings: u32,
+        next_ping: Instant,
+    },
+    /// Bundle delivered (and acked); lingering for the Fin so late
+    /// retransmissions still find a live, acking peer.
+    Draining {
+        pings: u32,
+        next_ping: Instant,
+    },
+    Closed,
+}
+
+struct Edge {
+    from: usize,
+    state: EdgeState,
+}
+
+/// Receiver side: one edge per scheduled sender, idempotent bundle intake,
+/// and the heartbeat sweep that replaces the unconditional blocking wait.
+pub struct InboxDrain {
+    params: ReliabilityParams,
+    edges: Vec<Edge>,
+    ready: VecDeque<(usize, Arc<Vec<Vec3>>, Vec<Vec3>)>,
+    /// Transfers lost to a sender that died before delivering.
+    pub lost_transfers: usize,
+    /// Senders declared dead (heartbeat exhaustion).
+    pub dead_peers: Vec<usize>,
+}
+
+impl InboxDrain {
+    pub fn new(params: ReliabilityParams, senders: impl IntoIterator<Item = usize>) -> InboxDrain {
+        let now = Instant::now();
+        let edges = senders
+            .into_iter()
+            .map(|from| Edge {
+                from,
+                state: EdgeState::Waiting {
+                    pings: 0,
+                    next_ping: now + params.ping_interval,
+                },
+            })
+            .collect();
+        InboxDrain {
+            params,
+            edges,
+            ready: VecDeque::new(),
+            lost_transfers: 0,
+            dead_peers: Vec::new(),
+        }
+    }
+
+    /// One non-blocking protocol turn: ack and buffer arriving bundles,
+    /// answer control traffic. Call between local work items so senders
+    /// get their acks while this rank is still computing.
+    pub fn poll(&mut self, comm: &mut Comm) {
+        while let Some((src, msg)) = comm.try_recv::<WireMsg>(None, TAG_WORK) {
+            self.handle(comm, src, msg);
+        }
+    }
+
+    /// Deliver the next bundle, blocking with heartbeats; `None` once
+    /// every edge is closed (all bundles delivered or senders dead).
+    pub fn next(&mut self, comm: &mut Comm) -> Option<(usize, Arc<Vec<Vec3>>, Vec<Vec3>)> {
+        loop {
+            self.poll(comm);
+            if let Some(b) = self.ready.pop_front() {
+                return Some(b);
+            }
+            let next_event = self
+                .edges
+                .iter()
+                .filter_map(|e| match e.state {
+                    EdgeState::Waiting { next_ping, .. }
+                    | EdgeState::Draining { next_ping, .. } => Some(next_ping),
+                    EdgeState::Closed => None,
+                })
+                .min();
+            let Some(next_event) = next_event else {
+                return None; // all edges closed
+            };
+            let wait = next_event.saturating_duration_since(Instant::now());
+            match comm.recv_timeout::<WireMsg>(None, TAG_WORK, wait) {
+                Some((src, msg)) => self.handle(comm, src, msg),
+                None => self.sweep(comm),
+            }
+        }
+    }
+
+    fn handle(&mut self, comm: &mut Comm, src: usize, msg: WireMsg) {
+        let Some(e) = self.edges.iter_mut().find(|e| e.from == src) else {
+            return; // traffic from a rank not in the recv list: ignore
+        };
+        // Any traffic from the sender is proof of life.
+        match &mut e.state {
+            EdgeState::Waiting { pings, next_ping } | EdgeState::Draining { pings, next_ping } => {
+                *pings = 0;
+                *next_ping = Instant::now() + self.params.ping_interval;
+            }
+            EdgeState::Closed => {}
+        }
+        match msg {
+            WireMsg::Bundle {
+                seq,
+                particles,
+                centers,
+            } => match e.state {
+                // First copy: ack, deliver.
+                EdgeState::Waiting { .. } => {
+                    e.state = EdgeState::Draining {
+                        pings: 0,
+                        next_ping: Instant::now() + self.params.ping_interval,
+                    };
+                    comm.send(src, TAG_WORK, WireMsg::Ack { seq });
+                    self.ready.push_back((src, particles, centers));
+                }
+                // Duplicate (retransmission or injected): ack, discard.
+                EdgeState::Draining { .. } => comm.send(src, TAG_WORK, WireMsg::Ack { seq }),
+                // Closed edge (sender was declared dead and has since
+                // reclaimed the work): deliberately NOT acked, so the
+                // sender's retries exhaust and it re-executes locally
+                // instead of believing a receiver that gave up on it.
+                EdgeState::Closed => {}
+            },
+            WireMsg::Fin { .. } => e.state = EdgeState::Closed,
+            WireMsg::Ping => comm.send(src, TAG_WORK, WireMsg::Pong),
+            // Pong handled by the proof-of-life reset above; a stray Ack
+            // at a receiver carries no information.
+            WireMsg::Pong | WireMsg::Ack { .. } => {}
+        }
+    }
+
+    /// Heartbeat sweep: ping every overdue edge; declare a sender dead
+    /// after `max_pings` unanswered pings.
+    fn sweep(&mut self, comm: &mut Comm) {
+        let now = Instant::now();
+        for e in &mut self.edges {
+            let (pings, next_ping, waiting) = match &mut e.state {
+                EdgeState::Waiting { pings, next_ping } => (pings, next_ping, true),
+                EdgeState::Draining { pings, next_ping } => (pings, next_ping, false),
+                EdgeState::Closed => continue,
+            };
+            if now < *next_ping {
+                continue;
+            }
+            if *pings >= self.params.max_pings {
+                if waiting {
+                    self.lost_transfers += 1;
+                }
+                self.dead_peers.push(e.from);
+                e.state = EdgeState::Closed;
+                continue;
+            }
+            comm.send(e.from, TAG_WORK, WireMsg::Ping);
+            *pings += 1;
+            *next_ping = now + self.params.ping_interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtfe_simcluster::{run_with_faults, FaultPlan, FaultRule};
+
+    fn centers(n: usize) -> Vec<Vec3> {
+        (0..n).map(|i| Vec3::splat(i as f64)).collect()
+    }
+
+    /// Drive one sender → one receiver transfer under a fault plan; return
+    /// (retries, receiver-saw-centers, sender dead_peers, receiver lost).
+    fn one_transfer(plan: &FaultPlan) -> (u64, Vec<Vec3>, Vec<usize>, usize) {
+        let out = run_with_faults(2, plan, |mut comm| {
+            let params = ReliabilityParams::fast();
+            if comm.rank() == 0 {
+                let mut ob = Outbox::new(params);
+                ob.dispatch(&mut comm, 0, 1, Arc::new(vec![Vec3::ZERO]), centers(3));
+                let reclaimed = ob.drain(&mut comm);
+                assert!(reclaimed.is_empty(), "live receiver lost the bundle");
+                (ob.retries, Vec::new(), ob.dead_peers, 0)
+            } else {
+                let mut ib = InboxDrain::new(params, [0]);
+                let mut got = Vec::new();
+                while let Some((src, _particles, cs)) = ib.next(&mut comm) {
+                    assert_eq!(src, 0);
+                    got.extend(cs);
+                }
+                (0, got, Vec::new(), ib.lost_transfers)
+            }
+        });
+        let (retries, _, dead, _) = out[0].clone();
+        let (_, got, _, lost) = out[1].clone();
+        (retries, got, dead, lost)
+    }
+
+    #[test]
+    fn clean_link_delivers_without_retries() {
+        let (retries, got, dead, lost) = one_transfer(&FaultPlan::none());
+        assert_eq!(retries, 0);
+        assert_eq!(got, centers(3));
+        assert!(dead.is_empty());
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn dropped_bundle_is_retransmitted_until_acked() {
+        // Drop hard (80%) on everything: bundles, acks, fins all lossy.
+        let plan = FaultPlan::seeded(11).rule(FaultRule::all().drop(0.8));
+        let (retries, got, dead, lost) = one_transfer(&plan);
+        assert!(retries >= 1, "an 80% loss link must force retries");
+        assert_eq!(got, centers(3), "delivered exactly once despite loss");
+        assert!(dead.is_empty(), "live peer falsely declared dead");
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn duplicated_bundles_are_discarded_by_seq() {
+        let plan = FaultPlan::seeded(5).rule(FaultRule::all().duplicate(1.0));
+        let (_retries, got, dead, lost) = one_transfer(&plan);
+        assert_eq!(got, centers(3), "duplicates must not re-deliver");
+        assert!(dead.is_empty());
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn dead_receiver_is_detected_and_bundle_reclaimed() {
+        let plan = FaultPlan::seeded(0).kill(1, "pre-share");
+        let out = run_with_faults(2, &plan, |mut comm| {
+            if comm.phase_boundary("pre-share") {
+                return (0u64, Vec::new(), 0usize);
+            }
+            let mut ob = Outbox::new(ReliabilityParams::fast());
+            ob.dispatch(&mut comm, 0, 1, Arc::new(Vec::new()), centers(4));
+            let mut reclaimed: Vec<Vec3> = Vec::new();
+            for (_to, cs) in ob.drain(&mut comm) {
+                reclaimed.extend(cs);
+            }
+            (ob.retries, reclaimed, ob.dead_peers.len())
+        });
+        let (retries, reclaimed, dead) = out[0].clone();
+        assert!(retries >= 15, "must exhaust retries before declaring death");
+        assert_eq!(
+            reclaimed,
+            centers(4),
+            "work must come back for local execution"
+        );
+        assert_eq!(dead, 1);
+    }
+
+    #[test]
+    fn dead_sender_is_detected_by_heartbeat() {
+        let plan = FaultPlan::seeded(0).kill(0, "pre-share");
+        let out = run_with_faults(2, &plan, |mut comm| {
+            if comm.phase_boundary("pre-share") {
+                return (0usize, Vec::new());
+            }
+            let mut ib = InboxDrain::new(ReliabilityParams::fast(), [0]);
+            assert!(ib.next(&mut comm).is_none(), "no bundle can arrive");
+            (ib.lost_transfers, ib.dead_peers.clone())
+        });
+        let (lost, dead) = out[1].clone();
+        assert_eq!(lost, 1);
+        assert_eq!(dead, vec![0]);
+    }
+
+    #[test]
+    fn fan_in_from_multiple_senders() {
+        // Ranks 0 and 1 both send to rank 2 under 30% loss.
+        let plan = FaultPlan::seeded(21).rule(FaultRule::all().drop(0.3));
+        let out = run_with_faults(3, &plan, |mut comm| {
+            let params = ReliabilityParams::fast();
+            if comm.rank() < 2 {
+                let mut ob = Outbox::new(params);
+                let me = comm.rank();
+                ob.dispatch(
+                    &mut comm,
+                    me as u64,
+                    2,
+                    Arc::new(Vec::new()),
+                    vec![Vec3::splat(me as f64)],
+                );
+                assert!(ob.drain(&mut comm).is_empty());
+                Vec::new()
+            } else {
+                let mut ib = InboxDrain::new(params, [0, 1]);
+                let mut got = Vec::new();
+                while let Some((src, _, cs)) = ib.next(&mut comm) {
+                    got.push((src, cs));
+                }
+                got.sort_by_key(|(src, _)| *src);
+                got
+            }
+        });
+        assert_eq!(out[2].len(), 2);
+        assert_eq!(out[2][0].1, vec![Vec3::splat(0.0)]);
+        assert_eq!(out[2][1].1, vec![Vec3::splat(1.0)]);
+    }
+}

@@ -1,15 +1,26 @@
 //! Phases 2–4: modeling, scheduling, and execution with work sharing
 //! (paper §IV-C/D/E) over the simulated cluster runtime.
+//!
+//! Execution-phase communication runs on the [`crate::reliable`]
+//! sublayer, so an injected [`FaultPlan`] (message loss, delay,
+//! duplication, reordering, or a rank kill) degrades the run instead of
+//! deadlocking it: bundles are retransmitted until acked, dead peers are
+//! detected by retry/heartbeat exhaustion, and work scheduled to a dead
+//! rank is reclaimed and executed locally. The drivers return a typed
+//! [`RunReport`] describing exactly what was computed, lost, and retried.
 
 use crate::decomp::Decomposition;
+use crate::error::FrameworkError;
 use crate::ingest::{redistribute, RankParticles};
 use crate::model::{ParticleCounter, TimingSample, WorkloadModel};
+use crate::reliable::{InboxDrain, Outbox, ReliabilityParams};
 use crate::sharing::{create_schedule, pack_bins};
 use dtfe_core::density::{DtfeField, Mass};
 use dtfe_core::grid::{Field2, GridSpec2};
 use dtfe_core::marching::{surface_density_with_stats, MarchOptions};
 use dtfe_geometry::{Aabb3, Vec3};
-use dtfe_simcluster::{thread_cpu_time, Comm};
+use dtfe_simcluster::{thread_cpu_time, Comm, FaultPlan, FaultStats};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scoped busy-time measurement: thread CPU time, immune to the
@@ -27,8 +38,13 @@ impl BusyTimer {
     }
 }
 
-/// Message tag for work-sharing bundles.
-const TAG_WORK: u32 = 0xD7FE;
+/// The phase-boundary label at which a [`FaultPlan::kill`] takes effect in
+/// the framework: entry to the execution phase, immediately after the last
+/// collective (the workload-totals allgather). Killing here models a rank
+/// lost mid-schedule without modeling a torn collective — MPI collectives
+/// over a dead rank abort the job wholesale, which is outside this fault
+/// model (see `DESIGN.md`, "Fault model & recovery").
+pub const PHASE_EXEC: &str = "exec";
 
 /// One requested surface-density field: a cube of side
 /// [`FrameworkConfig::field_len`] centred here, rendered to a square grid.
@@ -63,6 +79,12 @@ pub struct FrameworkConfig {
     /// interleaving is a blocking-MPI artifact kept for fidelity studies.
     pub interleave_sends: bool,
     pub seed: u64,
+    /// Faults to inject into the run ([`FaultPlan::none`] by default). The
+    /// plan is threaded through every rank's `Comm` by the drivers.
+    pub faults: FaultPlan,
+    /// Tunables of the reliable-delivery sublayer the execution phase runs
+    /// on (ack timeouts, retry budget, heartbeat cadence).
+    pub reliability: ReliabilityParams,
 }
 
 impl FrameworkConfig {
@@ -75,6 +97,8 @@ impl FrameworkConfig {
             samples: 1,
             interleave_sends: false,
             seed: 0x5EED,
+            faults: FaultPlan::none(),
+            reliability: ReliabilityParams::default(),
         }
     }
 
@@ -123,14 +147,40 @@ pub struct RankReport {
     /// Rendered fields, when `keep_fields` is set, with their request
     /// centres.
     pub fields: Vec<(Vec3, Field2)>,
+    /// This rank was killed by the fault plan at a phase boundary; nothing
+    /// past that boundary executed.
+    pub died: bool,
+    /// This rank observed degradation: a peer died, or a scheduled
+    /// transfer was lost.
+    pub degraded: bool,
+    /// Retransmissions performed by this rank's outbox.
+    pub retries: u64,
+    /// Work items scheduled to a dead receiver, reclaimed and executed
+    /// locally instead.
+    pub reclaimed_items: usize,
+    /// Scheduled incoming transfers whose sender died before delivering.
+    pub lost_transfers: usize,
+    /// Peers this rank declared dead (retry or heartbeat exhaustion).
+    pub dead_peers: Vec<usize>,
+    /// Fault-injection counters observed on this rank's `Comm`.
+    pub faults: FaultStats,
 }
 
-/// A work bundle sent from an overloaded rank: the particle set and the
-/// field positions to compute ("the process receives a copy of the sender's
-/// particle set and density field positions", §IV-E).
-struct WorkBundle {
-    particles: Vec<Vec3>,
-    centers: Vec<Vec3>,
+/// Whole-run summary returned by the drivers.
+#[derive(Debug)]
+pub struct RunReport {
+    pub ranks: Vec<RankReport>,
+    /// Number of requested fields.
+    pub requested: usize,
+    /// Fields actually rendered (across all ranks, exactly-once).
+    pub computed: usize,
+    /// Requested fields that were not rendered — items stranded on a killed
+    /// rank, transfers whose sender died, or requests outside the domain.
+    pub lost_items: usize,
+    /// Any rank died or observed a lost transfer.
+    pub degraded: bool,
+    /// Total retransmissions across all ranks.
+    pub retries: u64,
 }
 
 /// Execute one work item: triangulate the particles in the item's cube and
@@ -187,7 +237,7 @@ pub fn run_rank(
     requests: &[FieldRequest],
     decomp: &Decomposition,
     cfg: &FrameworkConfig,
-) -> RankReport {
+) -> Result<RankReport, FrameworkError> {
     let t_start = BusyTimer::start();
     let mut report = RankReport {
         rank: comm.rank(),
@@ -197,7 +247,9 @@ pub fn run_rank(
     // ---- Phase 1: partition & redistribute ----
     let t0 = BusyTimer::start();
     let rp: RankParticles = redistribute(comm, my_block, decomp, cfg.ghost_margin());
-    let all = rp.all();
+    // Shared so work bundles can carry the particle set without deep
+    // copies per scheduled transfer (retransmissions clone the Arc only).
+    let all: Arc<Vec<Vec3>> = Arc::new(rp.all());
     report.timings.partition = t0.elapsed();
 
     // Local work items: requests whose centre lies in this rank's box.
@@ -258,7 +310,9 @@ pub fn run_rank(
     // ---- Phase 3: work-sharing schedule ----
     let totals = comm.allgather(my_total);
     let schedule = if cfg.balance {
-        create_schedule(&totals)
+        // `totals` is identical on every rank, so a schedule rejection is
+        // rank-collective: all ranks return the same error, no stragglers.
+        create_schedule(&totals)?
     } else {
         Default::default()
     };
@@ -275,7 +329,7 @@ pub fn run_rank(
             .collect();
         let costs: Vec<f64> = packable.iter().map(|&i| predicted[i]).collect();
         let bins: Vec<f64> = my_sends.iter().map(|t| t.amount).collect();
-        let (assign, _left) = pack_bins(&costs, &bins);
+        let (assign, _left) = pack_bins(&costs, &bins)?;
         send_buckets = assign
             .into_iter()
             .map(|bin| {
@@ -291,18 +345,51 @@ pub fn run_rank(
         }
     }
 
+    // A fault plan may kill this rank here: past the last collective (so
+    // the survivors never block inside a torn allgather) but before any
+    // execution-phase traffic. Peers detect the death through the reliable
+    // sublayer and reclaim or write off this rank's transfers.
+    if comm.phase_boundary(PHASE_EXEC) {
+        report.died = true;
+        report.faults = comm.fault_stats();
+        report.timings.total = t_start.elapsed();
+        return Ok(report);
+    }
+
     // ---- Phase 4: execution & communication ----
+    // A bundle's sequence number is the transfer's index in the global
+    // schedule — identical on every rank, so receivers can discard
+    // duplicates without negotiation. (Schedule invariant: (from, to)
+    // pairs are unique, and no rank both sends and receives.)
+    let seq_of = |from: usize, to: usize| -> u64 {
+        schedule
+            .transfers
+            .iter()
+            .position(|t| t.from == from && t.to == to)
+            .expect("own transfer present in the global schedule") as u64
+    };
+    let mut outbox = (!my_sends.is_empty()).then(|| Outbox::new(cfg.reliability.clone()));
+    let mut inbox = (!my_recvs.is_empty())
+        .then(|| InboxDrain::new(cfg.reliability.clone(), my_recvs.iter().map(|t| t.from)));
+    // Work reclaimed from receivers that died before acking.
+    let mut reclaimed: Vec<(usize, Vec<Vec3>)> = Vec::new();
+
     // Default mode dispatches every bundle up front (our transport is
     // buffered, so this minimizes receiver wait); `interleave_sends`
     // reproduces the paper's send points instead (see FrameworkConfig).
     if !cfg.interleave_sends {
-        for (send, bucket) in my_sends.iter().zip(&send_buckets) {
-            let bundle = WorkBundle {
-                particles: all.clone(),
-                centers: bucket.iter().map(|&i| local_centers[i]).collect(),
-            };
-            report.sent_items += bundle.centers.len();
-            comm.send(send.to, TAG_WORK, bundle);
+        if let Some(ob) = outbox.as_mut() {
+            for (send, bucket) in my_sends.iter().zip(&send_buckets) {
+                let centers: Vec<Vec3> = bucket.iter().map(|&i| local_centers[i]).collect();
+                report.sent_items += centers.len();
+                ob.dispatch(
+                    comm,
+                    seq_of(me, send.to),
+                    send.to,
+                    Arc::clone(&all),
+                    centers,
+                );
+            }
         }
     }
 
@@ -337,17 +424,17 @@ pub fn run_rank(
         // Interleaved mode: dispatch bundle `b` once (b+1)/(k+1) of the kept
         // items have executed.
         if cfg.interleave_sends {
-            while next_send < k_sends && done * (k_sends + 1) >= kept.len() * (next_send + 1) {
-                let bundle = WorkBundle {
-                    particles: all.clone(),
-                    centers: send_buckets[next_send]
+            if let Some(ob) = outbox.as_mut() {
+                while next_send < k_sends && done * (k_sends + 1) >= kept.len() * (next_send + 1) {
+                    let centers: Vec<Vec3> = send_buckets[next_send]
                         .iter()
                         .map(|&x| local_centers[x])
-                        .collect(),
-                };
-                report.sent_items += bundle.centers.len();
-                comm.send(my_sends[next_send].to, TAG_WORK, bundle);
-                next_send += 1;
+                        .collect();
+                    report.sent_items += centers.len();
+                    let to = my_sends[next_send].to;
+                    ob.dispatch(comm, seq_of(me, to), to, Arc::clone(&all), centers);
+                    next_send += 1;
+                }
             }
         }
         let c = local_centers[i];
@@ -358,70 +445,140 @@ pub fn run_rank(
                 report.fields.push((c, f));
             }
         }
+        // Keep the protocol responsive while computing: senders absorb acks
+        // (so a long local phase doesn't read as death), receivers ack
+        // early-arriving bundles (so senders settle instead of retrying).
+        if let Some(ob) = outbox.as_mut() {
+            reclaimed.extend(ob.poll(comm));
+        }
+        if let Some(ib) = inbox.as_mut() {
+            ib.poll(comm);
+        }
     }
     // Flush any sends not yet dispatched (few kept items, or interleaving
     // fractions that never triggered).
     if cfg.interleave_sends {
-        while next_send < k_sends {
-            let bundle = WorkBundle {
-                particles: all.clone(),
-                centers: send_buckets[next_send]
+        if let Some(ob) = outbox.as_mut() {
+            while next_send < k_sends {
+                let centers: Vec<Vec3> = send_buckets[next_send]
                     .iter()
                     .map(|&x| local_centers[x])
-                    .collect(),
-            };
-            report.sent_items += bundle.centers.len();
-            comm.send(my_sends[next_send].to, TAG_WORK, bundle);
-            next_send += 1;
+                    .collect();
+                report.sent_items += centers.len();
+                let to = my_sends[next_send].to;
+                ob.dispatch(comm, seq_of(me, to), to, Arc::clone(&all), centers);
+                next_send += 1;
+            }
         }
     }
 
-    // Drain the receive list ("receivers simply execute all their local
-    // work and listen for a message from the next sender in their list").
-    for recv in &my_recvs {
-        // Wait time is wall clock by nature (the thread is blocked, not
-        // burning CPU); on an oversubscribed host it is diagnostic only.
+    // Sender epilogue: block until every bundle is acked or its receiver
+    // declared dead; execute reclaimed work locally so no item is lost to
+    // a dead receiver.
+    if let Some(mut ob) = outbox.take() {
         let t_wait = Instant::now();
-        let (_src, bundle): (usize, WorkBundle) = comm.recv(Some(recv.from), TAG_WORK);
+        reclaimed.extend(ob.drain(comm));
         report.timings.sharing_wait += t_wait.elapsed().as_secs_f64();
-        for c in bundle.centers {
-            let (t_tri, t_render, f) = execute_item(&bundle.particles, c, cfg);
-            // Received items have no precomputed count; reuse the cube count
-            // against the sender's particles.
-            let n = f64::max(
-                1.0,
-                bundle
-                    .particles
+        report.retries = ob.retries;
+        report.dead_peers = ob.dead_peers;
+        for (_to, centers) in reclaimed.drain(..) {
+            report.sent_items -= centers.len();
+            report.reclaimed_items += centers.len();
+            for c in centers {
+                let i = local_centers
                     .iter()
-                    .filter(|p| Aabb3::cube(c, cfg.field_len).contains_closed(**p))
-                    .count() as f64,
-            );
-            record_item(&mut report, n, t_tri, t_render);
-            report.received_items += 1;
-            if cfg.keep_fields {
-                if let Some(f) = f {
-                    report.fields.push((c, f));
+                    .position(|&lc| lc == c)
+                    .expect("reclaimed centre is one of this rank's items");
+                let (t_tri, t_render, f) = execute_item(&all, c, cfg);
+                record_item(&mut report, counts[i], t_tri, t_render);
+                if cfg.keep_fields {
+                    if let Some(f) = f {
+                        report.fields.push((c, f));
+                    }
                 }
             }
         }
     }
 
+    // Receiver epilogue: drain the receive list ("receivers simply execute
+    // all their local work and listen for a message from the next sender in
+    // their list") — under heartbeats instead of an unconditional block, so
+    // a dead sender is written off rather than waited on forever.
+    if let Some(mut ib) = inbox.take() {
+        loop {
+            // Wait time is wall clock by nature (the thread is blocked, not
+            // burning CPU); on an oversubscribed host it is diagnostic only.
+            let t_wait = Instant::now();
+            let next = ib.next(comm);
+            report.timings.sharing_wait += t_wait.elapsed().as_secs_f64();
+            let Some((_src, particles, centers)) = next else {
+                break;
+            };
+            for c in centers {
+                let (t_tri, t_render, f) = execute_item(&particles, c, cfg);
+                // Received items have no precomputed count; reuse the cube
+                // count against the sender's particles.
+                let n = f64::max(
+                    1.0,
+                    particles
+                        .iter()
+                        .filter(|p| Aabb3::cube(c, cfg.field_len).contains_closed(**p))
+                        .count() as f64,
+                );
+                record_item(&mut report, n, t_tri, t_render);
+                report.received_items += 1;
+                if cfg.keep_fields {
+                    if let Some(f) = f {
+                        report.fields.push((c, f));
+                    }
+                }
+            }
+        }
+        report.lost_transfers = ib.lost_transfers;
+        report.dead_peers = ib.dead_peers;
+    }
+
+    report.degraded = report.lost_transfers > 0 || !report.dead_peers.is_empty();
+    report.faults = comm.fault_stats();
     report.timings.total = t_start.elapsed();
-    report
+    Ok(report)
+}
+
+/// Fold per-rank results into a [`RunReport`]; the first rank error wins
+/// (schedule errors are rank-collective, so all ranks carry the same one).
+fn summarize(
+    results: Vec<Result<RankReport, FrameworkError>>,
+    requested: usize,
+) -> Result<RunReport, FrameworkError> {
+    let mut ranks = Vec::with_capacity(results.len());
+    for r in results {
+        ranks.push(r?);
+    }
+    let computed: usize = ranks.iter().map(|r| r.fields_computed).sum();
+    let degraded = ranks.iter().any(|r| r.died || r.degraded);
+    let retries = ranks.iter().map(|r| r.retries).sum();
+    Ok(RunReport {
+        requested,
+        computed,
+        lost_items: requested.saturating_sub(computed),
+        degraded,
+        retries,
+        ranks,
+    })
 }
 
 /// Convenience driver: run the whole framework on `nranks` simulated ranks
 /// over an in-memory particle set (round-robin "read" assignment), and
-/// return the per-rank reports.
+/// return the run summary with per-rank reports.
 pub fn run_distributed(
     nranks: usize,
     particles: &[Vec3],
     bounds: Aabb3,
     requests: &[FieldRequest],
     cfg: &FrameworkConfig,
-) -> Vec<RankReport> {
+) -> Result<RunReport, FrameworkError> {
     let decomp = Decomposition::new(bounds, nranks);
-    dtfe_simcluster::run(nranks, |mut comm| {
+    let results = dtfe_simcluster::run_with_faults(nranks, &cfg.faults, |mut comm| {
         let mine: Vec<Vec3> = particles
             .iter()
             .skip(comm.rank())
@@ -429,7 +586,8 @@ pub fn run_distributed(
             .copied()
             .collect();
         run_rank(&mut comm, mine, requests, &decomp, cfg)
-    })
+    });
+    summarize(results, requests.len())
 }
 
 #[cfg(test)]
@@ -454,16 +612,19 @@ mod tests {
             balance: true,
             ..FrameworkConfig::new(2.0, 16)
         };
-        let reports = run_distributed(4, &pts, bounds, &requests, &cfg);
-        let computed: usize = reports.iter().map(|r| r.fields_computed).sum();
+        let run = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
         assert_eq!(
-            computed,
+            run.computed,
             requests.len(),
             "every request computed exactly once"
         );
+        // Fault-free: nothing lost, nothing retried, nothing degraded.
+        assert_eq!(run.lost_items, 0);
+        assert_eq!(run.retries, 0);
+        assert!(!run.degraded);
         // Conservation between sent and received.
-        let sent: usize = reports.iter().map(|r| r.sent_items).sum();
-        let recvd: usize = reports.iter().map(|r| r.received_items).sum();
+        let sent: usize = run.ranks.iter().map(|r| r.sent_items).sum();
+        let recvd: usize = run.ranks.iter().map(|r| r.received_items).sum();
         assert_eq!(sent, recvd);
     }
 
@@ -476,14 +637,14 @@ mod tests {
             balance: false,
             ..FrameworkConfig::new(2.0, 12)
         };
-        let reports = run_distributed(4, &pts, bounds, &requests, &cfg);
-        let computed: usize = reports.iter().map(|r| r.fields_computed).sum();
-        assert_eq!(computed, requests.len());
-        assert!(reports
+        let run = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
+        assert_eq!(run.computed, requests.len());
+        assert!(run
+            .ranks
             .iter()
             .all(|r| r.sent_items == 0 && r.received_items == 0));
         // Local counts equal computed counts.
-        for r in &reports {
+        for r in &run.ranks {
             assert_eq!(r.local_items, r.fields_computed);
         }
     }
@@ -499,19 +660,19 @@ mod tests {
             keep_fields: true,
             ..FrameworkConfig::new(2.0, 8)
         };
-        let bal = run_distributed(4, &pts, bounds, &requests, &keep(true));
-        let unbal = run_distributed(4, &pts, bounds, &requests, &keep(false));
-        let collect = |reports: &[RankReport]| {
-            let mut fields: Vec<(Vec3, Vec<f64>)> = reports
+        let bal = run_distributed(4, &pts, bounds, &requests, &keep(true)).unwrap();
+        let unbal = run_distributed(4, &pts, bounds, &requests, &keep(false)).unwrap();
+        let collect = |run: &RunReport| {
+            let mut fields: Vec<(Vec3, Vec<f64>)> = run
+                .ranks
                 .iter()
                 .flat_map(|r| r.fields.iter().map(|(c, f)| (*c, f.data.clone())))
                 .collect();
             fields.sort_by(|a, b| {
                 a.0.x
-                    .partial_cmp(&b.0.x)
-                    .unwrap()
-                    .then(a.0.y.partial_cmp(&b.0.y).unwrap())
-                    .then(a.0.z.partial_cmp(&b.0.z).unwrap())
+                    .total_cmp(&b.0.x)
+                    .then(a.0.y.total_cmp(&b.0.y))
+                    .then(a.0.z.total_cmp(&b.0.z))
             });
             fields
         };
@@ -531,10 +692,10 @@ mod tests {
         let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(12.0));
         let requests = requests_at_halos(&halos, 6);
         let cfg = FrameworkConfig::new(2.0, 8);
-        let reports = run_distributed(2, &pts, bounds, &requests, &cfg);
-        let total_records: usize = reports.iter().map(|r| r.records.len()).sum();
+        let run = run_distributed(2, &pts, bounds, &requests, &cfg).unwrap();
+        let total_records: usize = run.ranks.iter().map(|r| r.records.len()).sum();
         assert_eq!(total_records, 6);
-        for r in &reports {
+        for r in &run.ranks {
             for rec in &r.records {
                 assert!(rec.n_particles >= 1.0);
                 assert!(rec.actual_tri >= 0.0 && rec.actual_interp >= 0.0);
@@ -562,11 +723,10 @@ mod interleave_tests {
             interleave_sends: true,
             ..FrameworkConfig::new(2.0, 16)
         };
-        let reports = run_distributed(4, &pts, bounds, &requests, &cfg);
-        let computed: usize = reports.iter().map(|r| r.fields_computed).sum();
-        assert_eq!(computed, requests.len());
-        let sent: usize = reports.iter().map(|r| r.sent_items).sum();
-        let recvd: usize = reports.iter().map(|r| r.received_items).sum();
+        let run = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
+        assert_eq!(run.computed, requests.len());
+        let sent: usize = run.ranks.iter().map(|r| r.sent_items).sum();
+        let recvd: usize = run.ranks.iter().map(|r| r.received_items).sum();
         assert_eq!(sent, recvd);
     }
 
@@ -587,13 +747,16 @@ mod interleave_tests {
             };
             let mut fields: Vec<(Vec3, Vec<f64>)> =
                 run_distributed(3, &pts, bounds, &requests, &cfg)
+                    .unwrap()
+                    .ranks
                     .into_iter()
                     .flat_map(|r| r.fields.into_iter().map(|(c, f)| (c, f.data)))
                     .collect();
             fields.sort_by(|a, b| {
-                (a.0.x, a.0.y, a.0.z)
-                    .partial_cmp(&(b.0.x, b.0.y, b.0.z))
-                    .unwrap()
+                a.0.x
+                    .total_cmp(&b.0.x)
+                    .then(a.0.y.total_cmp(&b.0.y))
+                    .then(a.0.z.total_cmp(&b.0.z))
             });
             fields
         };
@@ -609,24 +772,43 @@ pub fn run_distributed_snapshot(
     snapshot: &std::path::Path,
     requests: &[FieldRequest],
     cfg: &FrameworkConfig,
-) -> std::io::Result<Vec<RankReport>> {
-    let info = dtfe_nbody::snapshot::read_info(snapshot)?;
+) -> Result<RunReport, FrameworkError> {
+    let info = dtfe_nbody::snapshot::read_info(snapshot)
+        .map_err(|error| FrameworkError::Io { rank: 0, error })?;
     let decomp = Decomposition::new(info.bounds, nranks);
-    let reports = dtfe_simcluster::run(nranks, |mut comm| {
+    let results = dtfe_simcluster::run_with_faults(nranks, &cfg.faults, |mut comm| {
         // Phase 1a: the parallel read (measured into the partition phase by
         // run_rank's redistribute; the read itself happens here).
         let mut mine = Vec::new();
+        let mut read_err: Option<String> = None;
         let mut block = comm.rank();
         while block < info.num_ranks() {
-            mine.extend(
-                dtfe_nbody::snapshot::read_block(snapshot, &info, block)
-                    .expect("snapshot block read failed"),
-            );
+            match dtfe_nbody::snapshot::read_block(snapshot, &info, block) {
+                Ok(pts) => mine.extend(pts),
+                Err(e) => {
+                    read_err = Some(e.to_string());
+                    break;
+                }
+            }
             block += comm.size();
+        }
+        // Coordinated abort: agree on read status before entering the
+        // framework's collectives, so one rank's IO failure surfaces as the
+        // same typed error on every rank instead of a deadlock.
+        let statuses = comm.allgather(read_err);
+        if let Some((rank, msg)) = statuses
+            .iter()
+            .enumerate()
+            .find_map(|(r, s)| s.as_ref().map(|m| (r, m.clone())))
+        {
+            return Err(FrameworkError::Io {
+                rank,
+                error: std::io::Error::other(msg),
+            });
         }
         run_rank(&mut comm, mine, requests, &decomp, cfg)
     });
-    Ok(reports)
+    summarize(results, requests.len())
 }
 
 #[cfg(test)]
@@ -657,11 +839,8 @@ mod snapshot_tests {
             .collect();
         assert!(!requests.is_empty());
         let cfg = FrameworkConfig::new(2.0, 12);
-        let reports = run_distributed_snapshot(3, &path, &requests, &cfg).unwrap();
-        assert_eq!(
-            reports.iter().map(|r| r.fields_computed).sum::<usize>(),
-            requests.len()
-        );
+        let run = run_distributed_snapshot(3, &path, &requests, &cfg).unwrap();
+        assert_eq!(run.computed, requests.len());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -7,6 +7,45 @@
 //! largest-capacity receiver. The schedule leaves every sender at exactly
 //! the mean and no receiver above it.
 
+/// Why the scheduler rejected its input. Predicted times come from a
+/// fitted model, so a NaN/∞ anywhere upstream used to surface here as a
+/// comparator panic inside a sort; now it is a value the runner can turn
+/// into a coordinated, typed abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// `times[rank]` passed to [`create_schedule`] was NaN or infinite.
+    NonFiniteTime { rank: usize },
+    /// `items[index]` passed to [`pack_bins`] was NaN or infinite.
+    NonFiniteItem { index: usize },
+    /// `bins[index]` passed to [`pack_bins`] was NaN or infinite.
+    NonFiniteBin { index: usize },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NonFiniteTime { rank } => {
+                write!(f, "non-finite predicted time for rank {rank}")
+            }
+            ScheduleError::NonFiniteItem { index } => {
+                write!(f, "non-finite cost for work item {index}")
+            }
+            ScheduleError::NonFiniteBin { index } => {
+                write!(f, "non-finite capacity for bin {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+fn all_finite(xs: &[f64], err: impl Fn(usize) -> ScheduleError) -> Result<(), ScheduleError> {
+    match xs.iter().position(|x| !x.is_finite()) {
+        Some(i) => Err(err(i)),
+        None => Ok(()),
+    }
+}
+
 /// One scheduled work transfer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Transfer {
@@ -17,7 +56,7 @@ pub struct Transfer {
 }
 
 /// The full (global, deterministic) work-sharing schedule.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Schedule {
     pub transfers: Vec<Transfer>,
     /// Mean predicted time — the post-balance target.
@@ -62,18 +101,22 @@ impl Schedule {
 /// least-loaded receiver until it reaches the mean, consuming receivers
 /// from the bottom of the sorted order ("the senders with the most work to
 /// share send to receivers with the largest ability to receive").
-pub fn create_schedule(times: &[f64]) -> Schedule {
+///
+/// Rejects non-finite times with a typed error — a NaN prediction must
+/// abort the run identically on every rank, not panic mid-sort.
+pub fn create_schedule(times: &[f64]) -> Result<Schedule, ScheduleError> {
+    all_finite(times, |rank| ScheduleError::NonFiniteTime { rank })?;
     let p = times.len();
     if p < 2 {
-        return Schedule {
+        return Ok(Schedule {
             transfers: Vec::new(),
             mean: times.first().copied().unwrap_or(0.0),
-        };
+        });
     }
     let mean = times.iter().sum::<f64>() / p as f64;
     // Sort by time descending (stable tie-break by rank id for determinism).
     let mut order: Vec<usize> = (0..p).collect();
-    order.sort_by(|&a, &b| times[b].partial_cmp(&times[a]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| times[b].total_cmp(&times[a]).then(a.cmp(&b)));
     let mut t: Vec<f64> = order.iter().map(|&r| times[r]).collect();
 
     // lr = number of senders (entries strictly above the mean).
@@ -116,7 +159,7 @@ pub fn create_schedule(times: &[f64]) -> Schedule {
             }
         }
     }
-    Schedule { transfers, mean }
+    Ok(Schedule { transfers, mean })
 }
 
 /// Greedy first-fit approximation to variable-size bin packing (paper
@@ -125,12 +168,18 @@ pub fn create_schedule(times: &[f64]) -> Schedule {
 ///
 /// Returns `(assignment, leftovers)`: `assignment[b]` holds the item
 /// indices packed into bin `b` (indices into `items`), `leftovers` the
-/// items that fit nowhere (they stay local).
-pub fn pack_bins(items: &[f64], bins: &[f64]) -> (Vec<Vec<usize>>, Vec<usize>) {
+/// items that fit nowhere (they stay local). Non-finite costs or
+/// capacities are rejected with a typed error.
+pub fn pack_bins(
+    items: &[f64],
+    bins: &[f64],
+) -> Result<(Vec<Vec<usize>>, Vec<usize>), ScheduleError> {
+    all_finite(items, |index| ScheduleError::NonFiniteItem { index })?;
+    all_finite(bins, |index| ScheduleError::NonFiniteBin { index })?;
     let mut item_order: Vec<usize> = (0..items.len()).collect();
-    item_order.sort_by(|&a, &b| items[b].partial_cmp(&items[a]).unwrap().then(a.cmp(&b)));
+    item_order.sort_by(|&a, &b| items[b].total_cmp(&items[a]).then(a.cmp(&b)));
     let mut bin_order: Vec<usize> = (0..bins.len()).collect();
-    bin_order.sort_by(|&a, &b| bins[a].partial_cmp(&bins[b]).unwrap().then(a.cmp(&b)));
+    bin_order.sort_by(|&a, &b| bins[a].total_cmp(&bins[b]).then(a.cmp(&b)));
 
     let mut remaining: Vec<f64> = bins.to_vec();
     let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); bins.len()];
@@ -153,12 +202,17 @@ pub fn pack_bins(items: &[f64], bins: &[f64]) -> (Vec<Vec<usize>>, Vec<usize>) {
             leftovers.push(it);
         }
     }
-    (assignment, leftovers)
+    Ok((assignment, leftovers))
 }
 
 /// Naive first-fit in input order (no sorting) — the ablation baseline for
 /// the paper's FFD choice. Same interface as [`pack_bins`].
-pub fn pack_bins_naive(items: &[f64], bins: &[f64]) -> (Vec<Vec<usize>>, Vec<usize>) {
+pub fn pack_bins_naive(
+    items: &[f64],
+    bins: &[f64],
+) -> Result<(Vec<Vec<usize>>, Vec<usize>), ScheduleError> {
+    all_finite(items, |index| ScheduleError::NonFiniteItem { index })?;
+    all_finite(bins, |index| ScheduleError::NonFiniteBin { index })?;
     let mut remaining: Vec<f64> = bins.to_vec();
     let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); bins.len()];
     let mut leftovers = Vec::new();
@@ -177,7 +231,7 @@ pub fn pack_bins_naive(items: &[f64], bins: &[f64]) -> (Vec<Vec<usize>>, Vec<usi
             leftovers.push(it);
         }
     }
-    (assignment, leftovers)
+    Ok((assignment, leftovers))
 }
 
 #[cfg(test)]
@@ -185,7 +239,7 @@ mod tests {
     use super::*;
 
     fn max_after(times: &[f64]) -> f64 {
-        let s = create_schedule(times);
+        let s = create_schedule(times).unwrap();
         s.balanced_times(times)
             .iter()
             .cloned()
@@ -194,7 +248,7 @@ mod tests {
 
     #[test]
     fn balanced_input_produces_no_transfers() {
-        let s = create_schedule(&[5.0, 5.0, 5.0, 5.0]);
+        let s = create_schedule(&[5.0, 5.0, 5.0, 5.0]).unwrap();
         assert!(s.transfers.is_empty());
         assert_eq!(s.mean, 5.0);
     }
@@ -203,7 +257,7 @@ mod tests {
     fn single_overload_spreads() {
         let times = [10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         // mean = 16/7 ≈ 2.2857.
-        let s = create_schedule(&times);
+        let s = create_schedule(&times).unwrap();
         let after = s.balanced_times(&times);
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         for (r, &t) in after.iter().enumerate() {
@@ -230,7 +284,7 @@ mod tests {
         times[0] = 100.0;
         times[1] = 50.0;
         times[2] = 25.0;
-        let s = create_schedule(&times);
+        let s = create_schedule(&times).unwrap();
         let after = s.balanced_times(&times);
         let mean = times.iter().sum::<f64>() / 64.0;
         for &t in &after {
@@ -243,7 +297,7 @@ mod tests {
     #[test]
     fn send_and_recv_views_partition_transfers() {
         let times = [9.0, 8.0, 1.0, 1.0, 1.0];
-        let s = create_schedule(&times);
+        let s = create_schedule(&times).unwrap();
         let total: usize = (0..5).map(|r| s.sends_of(r).len()).sum();
         assert_eq!(total, s.transfers.len());
         let total_r: usize = (0..5).map(|r| s.recvs_of(r).len()).sum();
@@ -259,9 +313,9 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        assert!(create_schedule(&[]).transfers.is_empty());
-        assert!(create_schedule(&[3.0]).transfers.is_empty());
-        let s = create_schedule(&[4.0, 0.0]);
+        assert!(create_schedule(&[]).unwrap().transfers.is_empty());
+        assert!(create_schedule(&[3.0]).unwrap().transfers.is_empty());
+        let s = create_schedule(&[4.0, 0.0]).unwrap();
         assert_eq!(s.transfers.len(), 1);
         assert_eq!(
             s.transfers[0],
@@ -275,14 +329,14 @@ mod tests {
 
     #[test]
     fn zero_total_work() {
-        let s = create_schedule(&[0.0, 0.0, 0.0]);
+        let s = create_schedule(&[0.0, 0.0, 0.0]).unwrap();
         assert!(s.transfers.is_empty());
     }
 
     #[test]
     fn pack_bins_first_fit_decreasing() {
         // Items 5,4,3,2,1 into bins of 6 and 9 (sorted ascending: 6 first).
-        let (assign, left) = pack_bins(&[5.0, 4.0, 3.0, 2.0, 1.0], &[6.0, 9.0]);
+        let (assign, left) = pack_bins(&[5.0, 4.0, 3.0, 2.0, 1.0], &[6.0, 9.0]).unwrap();
         // Largest item 5 → bin 6 (first fit ascending); 4 → bin 9; 3 → bin 9;
         // 2 → bin 9 (remaining 2); 1 → bin 6 (remaining 1).
         let sum = |b: usize| {
@@ -299,31 +353,57 @@ mod tests {
 
     #[test]
     fn pack_bins_leftovers() {
-        let (assign, left) = pack_bins(&[10.0, 1.0], &[2.0]);
+        let (assign, left) = pack_bins(&[10.0, 1.0], &[2.0]).unwrap();
         assert_eq!(assign[0], vec![1]);
         assert_eq!(left, vec![0]);
     }
 
     #[test]
     fn pack_bins_no_bins() {
-        let (assign, left) = pack_bins(&[1.0, 2.0], &[]);
+        let (assign, left) = pack_bins(&[1.0, 2.0], &[]).unwrap();
         assert!(assign.is_empty());
         assert_eq!(left.len(), 2);
     }
 
     #[test]
     fn pack_bins_exact_fit() {
-        let (assign, left) = pack_bins(&[3.0, 3.0], &[3.0, 3.0]);
+        let (assign, left) = pack_bins(&[3.0, 3.0], &[3.0, 3.0]).unwrap();
         assert!(left.is_empty());
         assert_eq!(assign[0].len(), 1);
         assert_eq!(assign[1].len(), 1);
     }
 
     #[test]
+    fn non_finite_inputs_are_rejected_with_typed_errors() {
+        assert_eq!(
+            create_schedule(&[1.0, f64::NAN, 2.0]),
+            Err(ScheduleError::NonFiniteTime { rank: 1 })
+        );
+        assert_eq!(
+            create_schedule(&[1.0, f64::INFINITY]),
+            Err(ScheduleError::NonFiniteTime { rank: 1 })
+        );
+        assert_eq!(
+            pack_bins(&[1.0, f64::NAN], &[2.0]),
+            Err(ScheduleError::NonFiniteItem { index: 1 })
+        );
+        assert_eq!(
+            pack_bins(&[1.0], &[f64::NEG_INFINITY]),
+            Err(ScheduleError::NonFiniteBin { index: 0 })
+        );
+        assert_eq!(
+            pack_bins_naive(&[f64::NAN], &[1.0]),
+            Err(ScheduleError::NonFiniteItem { index: 0 })
+        );
+        let msg = ScheduleError::NonFiniteTime { rank: 3 }.to_string();
+        assert!(msg.contains("rank 3"), "{msg}");
+    }
+
+    #[test]
     fn schedule_reduces_imbalance_metric() {
         // Std-dev of compute time — the paper's Fig. 10 metric — drops.
         let times = [20.0, 3.0, 2.0, 2.0, 1.0, 1.0, 1.0, 2.0];
-        let s = create_schedule(&times);
+        let s = create_schedule(&times).unwrap();
         let after = s.balanced_times(&times);
         let sd = |xs: &[f64]| {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -342,7 +422,9 @@ mod tests {
 mod ablation_tests {
     use super::*;
 
-    fn packed_fraction(pack: impl Fn(&[f64], &[f64]) -> (Vec<Vec<usize>>, Vec<usize>)) -> f64 {
+    type PackResult = Result<(Vec<Vec<usize>>, Vec<usize>), ScheduleError>;
+
+    fn packed_fraction(pack: impl Fn(&[f64], &[f64]) -> PackResult) -> f64 {
         // Heavy-tailed items into tight bins: measure how much work the
         // packer manages to place.
         let mut s = 5u64;
@@ -354,7 +436,7 @@ mod ablation_tests {
         };
         let items: Vec<f64> = (0..200).map(|_| (1.0 - rnd()).powf(-0.4)).collect();
         let bins: Vec<f64> = (0..12).map(|_| 5.0 + 10.0 * rnd()).collect();
-        let (assign, _left) = pack(&items, &bins);
+        let (assign, _left) = pack(&items, &bins).unwrap();
         let placed: f64 = assign.iter().flatten().map(|&i| items[i]).sum();
         let capacity: f64 = bins.iter().sum();
         placed / capacity
@@ -371,7 +453,7 @@ mod ablation_tests {
 
     #[test]
     fn naive_respects_same_contract() {
-        let (assign, left) = pack_bins_naive(&[10.0, 1.0, 2.0], &[2.5]);
+        let (assign, left) = pack_bins_naive(&[10.0, 1.0, 2.0], &[2.5]).unwrap();
         assert_eq!(assign[0], vec![1]); // 10 skips, 1 fits, 2 no longer fits
         assert_eq!(left, vec![0, 2]);
     }

@@ -1,0 +1,262 @@
+//! Fault-injection integration tests: the framework must render every
+//! reachable field exactly once — bit-identical to a fault-free run — under
+//! injected message loss, delay, duplication, and reordering, and must
+//! degrade gracefully (typed report, no hang, no panic) when a rank dies.
+
+use dtfe_framework::decomp::Decomposition;
+use dtfe_framework::{
+    run_distributed, run_distributed_snapshot, FaultPlan, FaultRule, FieldRequest, FrameworkConfig,
+    FrameworkError, ReliabilityParams, RunReport, PHASE_EXEC,
+};
+use dtfe_geometry::{Aabb3, Vec3};
+use dtfe_nbody::datasets::galaxy_box;
+use dtfe_nbody::snapshot::write_snapshot;
+use std::time::Duration;
+
+fn requests_at_halos(halos: &[dtfe_nbody::Halo], k: usize) -> Vec<FieldRequest> {
+    halos
+        .iter()
+        .take(k)
+        .map(|h| FieldRequest { center: h.center })
+        .collect()
+}
+
+/// Rendered fields keyed by request centre, in a deterministic order.
+fn sorted_fields(run: RunReport) -> Vec<(Vec3, Vec<f64>)> {
+    let mut fields: Vec<(Vec3, Vec<f64>)> = run
+        .ranks
+        .into_iter()
+        .flat_map(|r| r.fields.into_iter().map(|(c, f)| (c, f.data)))
+        .collect();
+    fields.sort_by(|a, b| {
+        a.0.x
+            .total_cmp(&b.0.x)
+            .then(a.0.y.total_cmp(&b.0.y))
+            .then(a.0.z.total_cmp(&b.0.z))
+    });
+    fields
+}
+
+fn temp_snapshot(tag: &str, blocks: &[Vec<Vec3>], bounds: Aabb3) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("dtfe_faults_{tag}_{}.bin", std::process::id()));
+    write_snapshot(&path, blocks, bounds).unwrap();
+    path
+}
+
+/// Acceptance: 10% message drop at 4 ranks — `run_distributed_snapshot`
+/// completes, renders 100% of the requested fields, and reports its
+/// retry/loss counters. Work items are pinned to rank 0's sub-volume so
+/// the schedule is forced to move bundles across the lossy links.
+#[test]
+fn ten_percent_drop_at_four_ranks_renders_everything() {
+    let box_len = 16.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (pts, halos) = galaxy_box(box_len, 6_000, 16, 42);
+    let mut blocks: Vec<Vec<Vec3>> = vec![Vec::new(); 5];
+    for (i, &p) in pts.iter().enumerate() {
+        blocks[i % 5].push(p);
+    }
+    let path = temp_snapshot("drop10", &blocks, bounds);
+
+    // All requests inside rank 0's box: rank 0 is overloaded and must send.
+    let decomp = Decomposition::new(bounds, 4);
+    let requests: Vec<FieldRequest> = halos
+        .iter()
+        .filter(|h| decomp.rank_of(h.center) == 0)
+        .take(8)
+        .map(|h| FieldRequest { center: h.center })
+        .collect();
+    assert!(requests.len() >= 3, "dataset left rank 0 underpopulated");
+
+    let (mut dropped, mut retries, mut moved) = (0u64, 0u64, 0usize);
+    for seed in 0..20u64 {
+        let cfg = FrameworkConfig {
+            faults: FaultPlan::seeded(seed).rule(FaultRule::all().drop(0.1)),
+            reliability: ReliabilityParams::fast(),
+            ..FrameworkConfig::new(2.0, 8)
+        };
+        let run = run_distributed_snapshot(4, &path, &requests, &cfg).unwrap();
+        assert_eq!(run.computed, requests.len(), "seed {seed} lost fields");
+        assert_eq!(run.lost_items, 0);
+        assert!(!run.degraded, "seed {seed}: no rank died, yet degraded");
+        dropped += run.ranks.iter().map(|r| r.faults.dropped).sum::<u64>();
+        retries += run.retries;
+        moved += run.ranks.iter().map(|r| r.sent_items).sum::<usize>();
+        if seed >= 2 && dropped > 0 && retries > 0 {
+            break;
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    assert!(moved > 0, "schedule never moved work — test is vacuous");
+    assert!(dropped > 0, "fault plan injected no drops");
+    assert!(retries > 0, "drops never forced a retransmission");
+}
+
+/// Acceptance: a rank killed mid-schedule (at the execution phase boundary)
+/// must not hang or panic the run — survivors finish every reachable item
+/// and the report is typed as degraded, with the dead rank marked.
+#[test]
+fn killed_rank_degrades_gracefully() {
+    let box_len = 16.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (pts, halos) = galaxy_box(box_len, 8_000, 12, 7);
+    let requests = requests_at_halos(&halos, 10);
+
+    // Fault-free pass to learn the (deterministic) item placement.
+    let cfg = FrameworkConfig {
+        reliability: ReliabilityParams::fast(),
+        ..FrameworkConfig::new(2.0, 8)
+    };
+    let clean = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
+    assert_eq!(clean.computed, requests.len());
+    let victim = clean
+        .ranks
+        .iter()
+        .max_by_key(|r| r.local_items)
+        .map(|r| (r.rank, r.local_items))
+        .unwrap();
+    assert!(victim.1 > 0, "no rank owns any items");
+
+    let cfg = FrameworkConfig {
+        faults: FaultPlan::seeded(3).kill(victim.0, PHASE_EXEC),
+        ..cfg
+    };
+    let run = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
+    assert!(run.degraded, "a dead rank must degrade the run");
+    assert!(run.ranks[victim.0].died);
+    assert!(run.ranks[victim.0].faults.killed);
+    assert_eq!(run.ranks[victim.0].fields_computed, 0);
+    // Survivors finish everything that did not live on the dead rank.
+    assert_eq!(run.computed, requests.len() - victim.1);
+    assert_eq!(run.lost_items, victim.1);
+    // Somebody noticed the death through the protocol (unless the victim
+    // had no scheduled transfers at all, in which case its loss is silent
+    // to peers but still fully accounted above).
+    let noticed = run
+        .ranks
+        .iter()
+        .any(|r| r.dead_peers.contains(&victim.0) || r.reclaimed_items > 0);
+    let victim_in_schedule = run
+        .ranks
+        .iter()
+        .any(|r| r.rank != victim.0 && (r.sent_items > 0 || r.received_items > 0))
+        || run.ranks.iter().any(|r| r.reclaimed_items > 0);
+    if victim_in_schedule {
+        assert!(noticed || run.computed == requests.len() - victim.1);
+    }
+}
+
+/// Satellite (d): sweep seeds × fault kinds × rank counts; every run must
+/// render each field exactly once, conserve sent == received, and produce
+/// fields bit-identical to the fault-free baseline at the same rank count
+/// (an item is always executed against its owner rank's particle set, so
+/// faults may move work but never change its result).
+#[test]
+fn faulted_runs_are_bit_identical_to_clean_runs() {
+    let box_len = 12.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (pts, halos) = galaxy_box(box_len, 4_000, 8, 23);
+    let requests = requests_at_halos(&halos, 6);
+
+    let base = |nranks: usize, faults: FaultPlan| {
+        let cfg = FrameworkConfig {
+            keep_fields: true,
+            faults,
+            reliability: ReliabilityParams::fast(),
+            ..FrameworkConfig::new(2.0, 6)
+        };
+        run_distributed(nranks, &pts, bounds, &requests, &cfg).unwrap()
+    };
+
+    let kinds: Vec<(&str, FaultRule)> = vec![
+        ("drop", FaultRule::all().drop(0.2)),
+        (
+            "delay",
+            FaultRule::all().delay(0.3, Duration::from_millis(2)),
+        ),
+        ("duplicate", FaultRule::all().duplicate(0.3)),
+        ("reorder", FaultRule::all().reorder(0.2)),
+    ];
+
+    for nranks in [2usize, 4] {
+        let clean = base(nranks, FaultPlan::none());
+        assert_eq!(clean.computed, requests.len());
+        let baseline = sorted_fields(clean);
+        for seed in [1u64, 2] {
+            for (name, rule) in &kinds {
+                let ctx = format!("{name} seed {seed} at {nranks} ranks");
+                let run = base(nranks, FaultPlan::seeded(seed).rule(rule.clone()));
+                assert_eq!(run.computed, requests.len(), "{ctx}: lost fields");
+                assert!(!run.degraded, "{ctx}: spuriously degraded");
+                let sent: usize = run.ranks.iter().map(|r| r.sent_items).sum();
+                let recvd: usize = run.ranks.iter().map(|r| r.received_items).sum();
+                assert_eq!(sent, recvd, "{ctx}: sent/received imbalance");
+                let fields = sorted_fields(run);
+                assert_eq!(fields.len(), baseline.len(), "{ctx}: field count");
+                for ((ca, fa), (cb, fb)) in fields.iter().zip(&baseline) {
+                    assert_eq!(ca, cb, "{ctx}: centre mismatch");
+                    assert_eq!(fa, fb, "{ctx}: field at {ca:?} not bit-identical");
+                }
+            }
+        }
+    }
+}
+
+/// Satellite (c): a truncated snapshot surfaces as a typed IO error from
+/// `run_distributed_snapshot` on every rank — no panic, no deadlock.
+#[test]
+fn truncated_snapshot_reports_typed_io_error() {
+    let box_len = 8.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (pts, halos) = galaxy_box(box_len, 2_000, 4, 5);
+    let mut blocks: Vec<Vec<Vec3>> = vec![Vec::new(); 4];
+    for (i, &p) in pts.iter().enumerate() {
+        blocks[i % 4].push(p);
+    }
+    let path = temp_snapshot("truncated", &blocks, bounds);
+    // Chop the tail off: headers survive, some block read must fail.
+    let full = std::fs::metadata(&path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(full / 2).unwrap();
+    drop(f);
+
+    let requests = requests_at_halos(&halos, 3);
+    let cfg = FrameworkConfig::new(2.0, 6);
+    let err = run_distributed_snapshot(3, &path, &requests, &cfg).unwrap_err();
+    assert!(
+        matches!(err, FrameworkError::Io { .. }),
+        "expected Io, got {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite (e) sanity: a no-op plan injects nothing and the run reports a
+/// perfectly clean bill of health.
+#[test]
+fn noop_plan_reports_no_fault_events() {
+    let box_len = 12.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (pts, halos) = galaxy_box(box_len, 4_000, 6, 31);
+    let requests = requests_at_halos(&halos, 6);
+    assert!(FaultPlan::none().is_noop());
+    // Generous ack timeout: on a loaded machine a slow (but fault-free) ack
+    // must not trigger a retransmission and masquerade as a fault event.
+    let cfg = FrameworkConfig {
+        reliability: ReliabilityParams {
+            ack_timeout: Duration::from_secs(5),
+            ..ReliabilityParams::default()
+        },
+        ..FrameworkConfig::new(2.0, 6)
+    };
+    let run = run_distributed(3, &pts, bounds, &requests, &cfg).unwrap();
+    assert_eq!(run.computed, requests.len());
+    assert!(!run.degraded);
+    assert_eq!(run.retries, 0);
+    for r in &run.ranks {
+        assert_eq!(r.faults.total_events(), 0);
+        assert!(!r.faults.killed && !r.died);
+        assert_eq!(r.reclaimed_items + r.lost_transfers, 0);
+        assert!(r.dead_peers.is_empty());
+    }
+}

@@ -13,7 +13,7 @@ proptest! {
     fn schedule_conserves_work_and_caps_at_mean(
         times in prop::collection::vec(0.0f64..100.0, 2..64)
     ) {
-        let s = create_schedule(&times);
+        let s = create_schedule(&times).unwrap();
         let after = s.balanced_times(&times);
         let total: f64 = times.iter().sum();
         let mean = total / times.len() as f64;
@@ -34,7 +34,7 @@ proptest! {
     fn schedule_no_rank_both_sends_and_receives(
         times in prop::collection::vec(0.0f64..50.0, 2..40)
     ) {
-        let s = create_schedule(&times);
+        let s = create_schedule(&times).unwrap();
         for r in 0..times.len() {
             prop_assert!(
                 s.sends_of(r).is_empty() || s.recvs_of(r).is_empty(),
@@ -49,7 +49,7 @@ proptest! {
         items in prop::collection::vec(0.1f64..20.0, 0..40),
         bins in prop::collection::vec(1.0f64..30.0, 0..10),
     ) {
-        let (assign, left) = pack_bins(&items, &bins);
+        let (assign, left) = pack_bins(&items, &bins).unwrap();
         prop_assert_eq!(assign.len(), bins.len());
         // Every item exactly once.
         let mut seen = vec![false; items.len()];
@@ -69,6 +69,20 @@ proptest! {
             let sum: f64 = bin.iter().map(|&i| items[i]).sum();
             prop_assert!(sum <= bins[b] * (1.0 + 1e-6) + 1e-6, "bin {} over: {} > {}", b, sum, bins[b]);
         }
+    }
+
+    #[test]
+    fn non_finite_inputs_always_rejected(
+        times in prop::collection::vec(0.0f64..100.0, 2..32),
+        idx in 0usize..32,
+        bad_i in 0usize..3,
+    ) {
+        prop_assume!(idx < times.len());
+        let mut poisoned = times.clone();
+        poisoned[idx] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][bad_i];
+        prop_assert!(create_schedule(&poisoned).is_err());
+        prop_assert!(pack_bins(&poisoned, &times).is_err());
+        prop_assert!(pack_bins(&times, &poisoned).is_err());
     }
 
     #[test]

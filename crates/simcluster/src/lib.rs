@@ -1,5 +1,5 @@
 //! A simulated MPI-like runtime: ranks are OS threads, messages are typed
-//! values over channels.
+//! values over channels — with deterministic fault injection.
 //!
 //! The paper's distributed framework is C++/MPI on Cooley and Mira. This
 //! crate preserves the *communication structure* — blocking point-to-point
@@ -10,6 +10,14 @@
 //! describes its MPI usage (`MPI_Allgather` for the model exchange,
 //! `MPI_Send`/`MPI_Recv` for work sharing), so the scheduling behaviour,
 //! including blocking waits on senders, is faithfully reproduced.
+//!
+//! Beyond the happy path, [`run_with_faults`] threads a seeded
+//! [`FaultPlan`] through every rank's [`Comm`]: user-tagged messages can be
+//! dropped, delayed, duplicated, or reordered per `(src, dst, tag)`, and a
+//! rank can be killed at a named phase boundary — all reproducibly, so a
+//! failing fault scenario replays exactly. See the [`faults`] module for
+//! the model and the fair-lossy (bounded drop burst) guarantee that the
+//! framework's reliable-delivery layer builds on.
 //!
 //! # Example
 //!
@@ -24,478 +32,32 @@
 //! });
 //! assert_eq!(results, vec![14, 14, 14, 14]);
 //! ```
+//!
+//! With injected faults:
+//!
+//! ```
+//! use dtfe_simcluster::{run_with_faults, FaultPlan, FaultRule};
+//!
+//! // Drop 30% of tag-5 traffic, reproducibly.
+//! let plan = FaultPlan::seeded(7).rule(FaultRule::all().on_tag(5).drop(0.3));
+//! let stats = run_with_faults(2, &plan, |mut comm| {
+//!     if comm.rank() == 0 {
+//!         for i in 0..100u32 {
+//!             comm.send(1, 5, i);
+//!         }
+//!     }
+//!     comm.barrier();
+//!     while comm.try_recv::<u32>(None, 5).is_some() {}
+//!     comm.fault_stats()
+//! });
+//! assert!(stats[0].dropped > 0);
+//! ```
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::any::Any;
-use std::sync::{Arc, Barrier};
-use std::time::Duration;
+pub mod faults;
+pub mod transport;
 
-/// Message tags: user tags are plain `u32`s; collectives use an internal
-/// sequence-numbered space so they never collide with user traffic or with
-/// each other.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Tag {
-    User(u32),
-    Coll(u64),
-}
-
-struct Message {
-    src: usize,
-    tag: Tag,
-    payload: Box<dyn Any + Send>,
-}
-
-/// A rank's endpoint: its id, the channel mesh, and the pending-message
-/// buffer that implements MPI-style selective receive.
-pub struct Comm {
-    rank: usize,
-    size: usize,
-    senders: Arc<Vec<Sender<Message>>>,
-    inbox: Receiver<Message>,
-    pending: Vec<Message>,
-    barrier: Arc<Barrier>,
-    coll_seq: u64,
-}
-
-impl Comm {
-    #[inline]
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    #[inline]
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// Send `value` to `dst` with `tag`. Buffered (never blocks), like a
-    /// small-message `MPI_Send`.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u32, value: T) {
-        self.send_tagged(dst, Tag::User(tag), value);
-    }
-
-    fn send_tagged<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
-        self.senders[dst]
-            .send(Message {
-                src: self.rank,
-                tag,
-                payload: Box::new(value),
-            })
-            .expect("rank mailbox closed (peer panicked?)");
-    }
-
-    /// Blocking receive matching `(src, tag)`; `src = None` accepts any
-    /// source (like `MPI_ANY_SOURCE`). Returns the actual source.
-    ///
-    /// Panics if the received payload's type is not `T` — a type-mismatched
-    /// send/recv pair is a programming error, as in MPI.
-    pub fn recv<T: Send + 'static>(&mut self, src: Option<usize>, tag: u32) -> (usize, T) {
-        self.recv_tagged(src, Tag::User(tag))
-    }
-
-    /// Non-blocking probe-and-receive: `Some` if a matching message is
-    /// already available.
-    pub fn try_recv<T: Send + 'static>(
-        &mut self,
-        src: Option<usize>,
-        tag: u32,
-    ) -> Option<(usize, T)> {
-        let t = Tag::User(tag);
-        if let Some(i) = self.find_pending(src, t) {
-            return Some(Self::unwrap_msg(self.pending.remove(i)));
-        }
-        while let Ok(msg) = self.inbox.try_recv() {
-            if Self::matches(&msg, src, t) {
-                return Some(Self::unwrap_msg(msg));
-            }
-            self.pending.push(msg);
-        }
-        None
-    }
-
-    /// Blocking receive with a timeout (diagnostic aid for deadlock-prone
-    /// tests; real MPI has no equivalent).
-    pub fn recv_timeout<T: Send + 'static>(
-        &mut self,
-        src: Option<usize>,
-        tag: u32,
-        timeout: Duration,
-    ) -> Option<(usize, T)> {
-        let t = Tag::User(tag);
-        if let Some(i) = self.find_pending(src, t) {
-            return Some(Self::unwrap_msg(self.pending.remove(i)));
-        }
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
-            match self.inbox.recv_timeout(remaining) {
-                Ok(msg) if Self::matches(&msg, src, t) => return Some(Self::unwrap_msg(msg)),
-                Ok(msg) => self.pending.push(msg),
-                Err(_) => return None,
-            }
-        }
-    }
-
-    fn recv_tagged<T: Send + 'static>(&mut self, src: Option<usize>, tag: Tag) -> (usize, T) {
-        if let Some(i) = self.find_pending(src, tag) {
-            return Self::unwrap_msg(self.pending.remove(i));
-        }
-        loop {
-            let msg = self
-                .inbox
-                .recv()
-                .expect("all senders dropped while receiving");
-            if Self::matches(&msg, src, tag) {
-                return Self::unwrap_msg(msg);
-            }
-            self.pending.push(msg);
-        }
-    }
-
-    fn matches(msg: &Message, src: Option<usize>, tag: Tag) -> bool {
-        msg.tag == tag && src.is_none_or(|s| s == msg.src)
-    }
-
-    fn find_pending(&self, src: Option<usize>, tag: Tag) -> Option<usize> {
-        self.pending.iter().position(|m| Self::matches(m, src, tag))
-    }
-
-    fn unwrap_msg<T: Send + 'static>(msg: Message) -> (usize, T) {
-        let src = msg.src;
-        match msg.payload.downcast::<T>() {
-            Ok(v) => (src, *v),
-            Err(_) => panic!(
-                "recv type mismatch from rank {src}: expected {}",
-                std::any::type_name::<T>()
-            ),
-        }
-    }
-
-    /// Synchronize all ranks.
-    pub fn barrier(&self) {
-        self.barrier.wait();
-    }
-
-    fn next_coll(&mut self) -> Tag {
-        self.coll_seq += 1;
-        Tag::Coll(self.coll_seq)
-    }
-
-    /// Gather `value` from every rank, in rank order, on every rank
-    /// (the paper's `MPI_Allgather`, which it notes provides "implicit
-    /// synchronization").
-    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
-        let tag = self.next_coll();
-        for dst in 0..self.size {
-            if dst != self.rank {
-                self.send_tagged(dst, tag, value.clone());
-            }
-        }
-        let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
-        out[self.rank] = Some(value);
-        for _ in 0..self.size - 1 {
-            let (src, v): (usize, T) = self.recv_tagged(None, tag);
-            debug_assert!(out[src].is_none(), "duplicate allgather message");
-            out[src] = Some(v);
-        }
-        out.into_iter().map(|v| v.unwrap()).collect()
-    }
-
-    /// Broadcast from `root`: `value` must be `Some` on the root (ignored
-    /// elsewhere).
-    pub fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, value: Option<T>) -> T {
-        let tag = self.next_coll();
-        if self.rank == root {
-            let v = value.expect("broadcast root must supply a value");
-            for dst in 0..self.size {
-                if dst != root {
-                    self.send_tagged(dst, tag, v.clone());
-                }
-            }
-            v
-        } else {
-            self.recv_tagged::<T>(Some(root), tag).1
-        }
-    }
-
-    /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns what
-    /// every rank sent here, in rank order (the particle-redistribution
-    /// primitive).
-    pub fn alltoallv<T: Send + 'static>(&mut self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(
-            sends.len(),
-            self.size,
-            "alltoallv needs one bucket per rank"
-        );
-        let tag = self.next_coll();
-        let mine = std::mem::take(&mut sends[self.rank]);
-        for (dst, bucket) in sends.into_iter().enumerate() {
-            if dst != self.rank {
-                self.send_tagged(dst, tag, bucket);
-            }
-        }
-        let mut out: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
-        out[self.rank] = Some(mine);
-        for _ in 0..self.size - 1 {
-            let (src, v): (usize, Vec<T>) = self.recv_tagged(None, tag);
-            out[src] = Some(v);
-        }
-        out.into_iter().map(|v| v.unwrap()).collect()
-    }
-
-    /// Sum-reduction visible on all ranks.
-    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
-        self.allgather(value).iter().sum()
-    }
-}
-
-/// Run `f` on `nranks` thread-ranks; returns the per-rank results in rank
-/// order. Panics in any rank propagate (fail-fast, like an MPI abort).
-pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(Comm) -> T + Send + Sync,
-{
-    assert!(nranks > 0);
-    let mut senders = Vec::with_capacity(nranks);
-    let mut inboxes = Vec::with_capacity(nranks);
-    for _ in 0..nranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        inboxes.push(rx);
-    }
-    let senders = Arc::new(senders);
-    let barrier = Arc::new(Barrier::new(nranks));
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(nranks);
-        for (rank, inbox) in inboxes.into_iter().enumerate() {
-            let comm = Comm {
-                rank,
-                size: nranks,
-                senders: Arc::clone(&senders),
-                inbox,
-                pending: Vec::new(),
-                barrier: Arc::clone(&barrier),
-                coll_seq: 0,
-            };
-            let f = &f;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("rank-{rank}"))
-                    .stack_size(8 << 20)
-                    .spawn_scoped(scope, move || f(comm))
-                    .expect("failed to spawn rank thread"),
-            );
-        }
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(rank, h)| match h.join() {
-                Ok(v) => v,
-                Err(e) => std::panic::panic_any(format!("rank {rank} panicked: {e:?}")),
-            })
-            .collect()
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ranks_and_sizes() {
-        let out = run(5, |comm| (comm.rank(), comm.size()));
-        for (r, (rank, size)) in out.iter().enumerate() {
-            assert_eq!(*rank, r);
-            assert_eq!(*size, 5);
-        }
-    }
-
-    #[test]
-    fn point_to_point_ring() {
-        let out = run(4, |mut comm| {
-            let next = (comm.rank() + 1) % comm.size();
-            let prev = (comm.rank() + comm.size() - 1) % comm.size();
-            comm.send(next, 7, comm.rank());
-            let (src, v): (usize, usize) = comm.recv(Some(prev), 7);
-            assert_eq!(src, prev);
-            v
-        });
-        assert_eq!(out, vec![3, 0, 1, 2]);
-    }
-
-    #[test]
-    fn selective_receive_by_tag() {
-        let out = run(2, |mut comm| {
-            if comm.rank() == 0 {
-                // Send tag 2 first, then tag 1; receiver asks for 1 first.
-                comm.send(1, 2, "second".to_string());
-                comm.send(1, 1, "first".to_string());
-                Vec::new()
-            } else {
-                let (_, a): (usize, String) = comm.recv(Some(0), 1);
-                let (_, b): (usize, String) = comm.recv(Some(0), 2);
-                vec![a, b]
-            }
-        });
-        assert_eq!(out[1], vec!["first".to_string(), "second".to_string()]);
-    }
-
-    #[test]
-    fn any_source_receive() {
-        let out = run(4, |mut comm| {
-            if comm.rank() == 0 {
-                let mut got = Vec::new();
-                for _ in 0..3 {
-                    let (src, v): (usize, usize) = comm.recv(None, 9);
-                    got.push((src, v));
-                }
-                got.sort_unstable();
-                got
-            } else {
-                comm.send(0, 9, comm.rank() * 10);
-                Vec::new()
-            }
-        });
-        assert_eq!(out[0], vec![(1, 10), (2, 20), (3, 30)]);
-    }
-
-    #[test]
-    fn allgather_ordered() {
-        let out = run(6, |mut comm| comm.allgather(comm.rank() as f64 * 1.5));
-        for res in out {
-            assert_eq!(res, vec![0.0, 1.5, 3.0, 4.5, 6.0, 7.5]);
-        }
-    }
-
-    #[test]
-    fn consecutive_collectives_do_not_collide() {
-        let out = run(3, |mut comm| {
-            let a = comm.allgather(comm.rank());
-            let b = comm.allgather(comm.rank() * 100);
-            (a, b)
-        });
-        for (a, b) in out {
-            assert_eq!(a, vec![0, 1, 2]);
-            assert_eq!(b, vec![0, 100, 200]);
-        }
-    }
-
-    #[test]
-    fn broadcast_from_each_root() {
-        for root in 0..3 {
-            let out = run(3, move |mut comm| {
-                let v = if comm.rank() == root {
-                    Some(format!("hello-{root}"))
-                } else {
-                    None
-                };
-                comm.broadcast(root, v)
-            });
-            assert!(out.iter().all(|v| v == &format!("hello-{root}")));
-        }
-    }
-
-    #[test]
-    fn alltoallv_redistribution() {
-        let out = run(3, |mut comm| {
-            // Rank r sends the value 10r + d to rank d.
-            let sends: Vec<Vec<usize>> = (0..comm.size())
-                .map(|d| vec![10 * comm.rank() + d])
-                .collect();
-            comm.alltoallv(sends)
-        });
-        for (d, res) in out.iter().enumerate() {
-            let flat: Vec<usize> = res.iter().flatten().copied().collect();
-            assert_eq!(flat, vec![d, 10 + d, 20 + d]);
-        }
-    }
-
-    #[test]
-    fn alltoallv_uneven_buckets() {
-        let out = run(2, |mut comm| {
-            let sends: Vec<Vec<u8>> = if comm.rank() == 0 {
-                vec![vec![], vec![1, 2, 3]]
-            } else {
-                vec![vec![9], vec![]]
-            };
-            comm.alltoallv(sends)
-        });
-        assert_eq!(out[0], vec![vec![], vec![9]]);
-        assert_eq!(out[1], vec![vec![1, 2, 3], vec![]]);
-    }
-
-    #[test]
-    fn allreduce_sum() {
-        let out = run(4, |mut comm| comm.allreduce_sum(comm.rank() as f64 + 1.0));
-        assert!(out.iter().all(|&v| (v - 10.0).abs() < 1e-12));
-    }
-
-    #[test]
-    fn barrier_orders_phases() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let counter = AtomicUsize::new(0);
-        run(8, |comm| {
-            counter.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
-            // After the barrier every rank must observe all increments.
-            assert_eq!(counter.load(Ordering::SeqCst), 8);
-        });
-    }
-
-    #[test]
-    fn try_recv_nonblocking() {
-        let out = run(2, |mut comm| {
-            if comm.rank() == 0 {
-                assert!(comm.try_recv::<usize>(None, 5).is_none());
-                comm.barrier(); // let rank 1 send
-                comm.barrier(); // ensure delivery ordering via rank 1's barrier
-                let mut spins = 0;
-                loop {
-                    if let Some((src, v)) = comm.try_recv::<usize>(Some(1), 5) {
-                        return (src, v);
-                    }
-                    spins += 1;
-                    assert!(spins < 1_000_000, "message never arrived");
-                    std::hint::spin_loop();
-                }
-            } else {
-                comm.barrier();
-                comm.send(0, 5, 42usize);
-                comm.barrier();
-                (0, 0)
-            }
-        });
-        assert_eq!(out[0], (1, 42));
-    }
-
-    #[test]
-    fn recv_timeout_expires() {
-        run(2, |mut comm| {
-            if comm.rank() == 0 {
-                let r = comm.recv_timeout::<usize>(Some(1), 99, Duration::from_millis(50));
-                assert!(r.is_none());
-            }
-            comm.barrier();
-        });
-    }
-
-    #[test]
-    fn large_payload_roundtrip() {
-        let out = run(2, |mut comm| {
-            if comm.rank() == 0 {
-                let big: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
-                comm.send(1, 3, big);
-                0.0
-            } else {
-                let (_, v): (usize, Vec<f64>) = comm.recv(Some(0), 3);
-                v.iter().sum::<f64>()
-            }
-        });
-        assert_eq!(out[1], (0..100_000).map(|i| i as f64).sum::<f64>());
-    }
-}
+pub use faults::{FaultPlan, FaultRule, FaultStats};
+pub use transport::{run, run_with_faults, Comm};
 
 /// Per-thread CPU time in seconds (`CLOCK_THREAD_CPUTIME_ID`).
 ///

@@ -40,12 +40,14 @@ fn main() {
             ..FrameworkConfig::new(field_len, 64)
         };
         let t0 = Instant::now();
-        let reports = run_distributed(nranks, &particles, bounds, &requests, &cfg);
+        let run =
+            run_distributed(nranks, &particles, bounds, &requests, &cfg).expect("framework run");
         let wall = t0.elapsed().as_secs_f64();
-        let computed: usize = reports.iter().map(|r| r.fields_computed).sum();
+        let computed = run.computed;
         let mode = if balance { "balanced  " } else { "unbalanced" };
         // The Fig. 10 imbalance metric: normalized std of per-rank compute.
-        let compute: Vec<f64> = reports
+        let compute: Vec<f64> = run
+            .ranks
             .iter()
             .map(|r| r.timings.triangulate + r.timings.render)
             .collect();
@@ -53,14 +55,14 @@ fn main() {
         let sd = (compute.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
             / compute.len() as f64)
             .sqrt();
-        let moved: usize = reports.iter().map(|r| r.sent_items).sum();
+        let moved: usize = run.ranks.iter().map(|r| r.sent_items).sum();
         println!(
             "{mode}: wall {wall:6.2}s | {computed} fields | {} items moved | \
              per-rank compute {mean:.2}±{sd:.2}s (norm. std {:.2})",
             moved,
             if mean > 0.0 { sd / mean } else { 0.0 }
         );
-        for r in &reports {
+        for r in &run.ranks {
             println!(
                 "  rank {}: local {:2} sent {:2} recvd {:2} | tri {:5.2}s render {:5.2}s wait {:5.2}s",
                 r.rank,

@@ -38,10 +38,10 @@ fn main() {
         ..FrameworkConfig::new(field_len, 48)
     };
     let t0 = Instant::now();
-    let reports = run_distributed(6, &particles, bounds, &requests, &cfg);
+    let run = run_distributed(6, &particles, bounds, &requests, &cfg).expect("framework run");
     println!(
         "computed {} fields in {:.2}s on 6 ranks",
-        reports.iter().map(|r| r.fields_computed).sum::<usize>(),
+        run.computed,
         t0.elapsed().as_secs_f64()
     );
 
@@ -50,11 +50,12 @@ fn main() {
     let m_particle = 1.0e12 / particles.len() as f64; // pretend-mass scaling
     let sigma_cr = critical_surface_density(800.0, 1600.0, 800.0);
     let mut fields: Vec<(Vec3, dtfe_repro::core::grid::Field2)> =
-        reports.into_iter().flat_map(|r| r.fields).collect();
+        run.ranks.into_iter().flat_map(|r| r.fields).collect();
     fields.sort_by(|a, b| {
-        (a.0.x, a.0.y, a.0.z)
-            .partial_cmp(&(b.0.x, b.0.y, b.0.z))
-            .unwrap()
+        a.0.x
+            .total_cmp(&b.0.x)
+            .then(a.0.y.total_cmp(&b.0.y))
+            .then(a.0.z.total_cmp(&b.0.z))
     });
     let mut line = 0;
     let mut i = 0;

@@ -115,8 +115,8 @@ fn halo_pipeline_fof_to_framework_to_lensing() {
         resolution: 32,
         ..FrameworkConfig::new(field_len, 32)
     };
-    let reports = run_distributed(4, &pts, bounds, &requests, &cfg);
-    let fields: Vec<_> = reports.into_iter().flat_map(|r| r.fields).collect();
+    let run = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
+    let fields: Vec<_> = run.ranks.into_iter().flat_map(|r| r.fields).collect();
     assert_eq!(fields.len(), requests.len());
 
     // Densest field: positive everywhere near the halo, peaked at centre.
@@ -153,11 +153,8 @@ fn galaxy_galaxy_centers_from_catalog_work_in_framework() {
             balance,
             ..FrameworkConfig::new(2.0, 16)
         };
-        let reports = run_distributed(3, &pts, bounds, &requests, &cfg);
-        assert_eq!(
-            reports.iter().map(|r| r.fields_computed).sum::<usize>(),
-            requests.len()
-        );
+        let run = run_distributed(3, &pts, bounds, &requests, &cfg).unwrap();
+        assert_eq!(run.computed, requests.len());
     }
 }
 
