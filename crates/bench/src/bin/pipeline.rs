@@ -1,0 +1,89 @@
+//! End-to-end instrumented pipeline bench: one telemetry-enabled
+//! `run_distributed` over a clustered galaxy box, reporting the whole
+//! run as `target/experiments/BENCH_pipeline.json`:
+//!
+//! ```json
+//! {"bench":"pipeline","n":...,"threads":...,"ranks":...,
+//!  "wall_s":...,"cpu_s":...,"metrics":{counters,gauges,histograms}}
+//! ```
+//!
+//! `threads` is the host parallelism available to the run (the simulated
+//! ranks are OS threads); `cpu_s` is the summed per-rank busy time, so
+//! `cpu_s / wall_s` is the achieved parallel efficiency. `metrics` is the
+//! cluster-wide merged registry (span-derived phase gauges, item
+//! histograms, predicate/marching counters).
+//!
+//! ```text
+//! cargo run --release -p dtfe-bench --bin pipeline [-- --scale small|medium|paper]
+//! ```
+
+use dtfe_bench::Scale;
+use dtfe_framework::{run_distributed, FieldRequest, FrameworkConfig};
+use dtfe_geometry::{Aabb3, Vec3};
+use dtfe_lensing::configs::galaxy_galaxy_centers;
+use dtfe_nbody::datasets::galaxy_box;
+use dtfe_telemetry::json::number;
+use dtfe_telemetry::{check, merged_metrics, metrics_object, Summary};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = scale.pick(20_000, 120_000, 400_000);
+    let n_fields = scale.pick(16, 40, 96);
+    let resolution = scale.pick(32, 64, 96);
+    let nranks = 8;
+
+    let box_len = 32.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (particles, halos) = galaxy_box(box_len, n, 48, 99);
+    let field_len = 3.0;
+    let centers = galaxy_galaxy_centers(&halos, n_fields, bounds, field_len * 0.5);
+    let requests: Vec<FieldRequest> = centers
+        .iter()
+        .map(|&c| FieldRequest { center: c })
+        .collect();
+
+    let cfg = FrameworkConfig {
+        balance: true,
+        telemetry: true,
+        ..FrameworkConfig::new(field_len, resolution)
+    };
+    let t0 = Instant::now();
+    let run = run_distributed(nranks, &particles, bounds, &requests, &cfg).expect("framework run");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let cpu_s: f64 = run.ranks.iter().map(|r| r.timings.total).sum();
+
+    let snaps = run.telemetry();
+    let merged = merged_metrics(&snaps);
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = String::from("{\"bench\":\"pipeline\"");
+    out.push_str(&format!(
+        ",\"n\":{n},\"threads\":{threads},\"ranks\":{nranks},\"wall_s\":{},\"cpu_s\":{},\"metrics\":",
+        number(wall_s),
+        number(cpu_s),
+    ));
+    out.push_str(&metrics_object(&merged));
+    out.push_str("}\n");
+
+    let dir = dtfe_core::io::experiments_dir();
+    let path = dir.join("BENCH_pipeline.json");
+    std::fs::write(&path, &out).expect("write BENCH_pipeline.json");
+
+    // Self-check the exports before declaring success: the trace must be a
+    // valid Chrome trace and the report must parse back.
+    let trace = run.chrome_trace().expect("telemetry on");
+    let stats = check::check_chrome_trace(&trace).expect("valid chrome trace");
+    dtfe_telemetry::json::Json::parse(&out).expect("valid bench report JSON");
+
+    println!("# pipeline -> {}", path.display());
+    println!(
+        "n={n} ranks={nranks} fields={} wall {wall_s:.2}s cpu {cpu_s:.2}s \
+         (efficiency {:.2}) | trace: {} spans over {} ranks | imbalance {:.3}",
+        run.computed,
+        cpu_s / wall_s.max(1e-12) / nranks as f64,
+        stats.spans,
+        stats.processes,
+        run.imbalance(),
+    );
+    println!("{}", Summary(&snaps));
+}

@@ -101,9 +101,15 @@ pub fn mean(xs: &[f64]) -> f64 {
 
 /// A CSV writer into `target/experiments/<name>.csv` that echoes rows to
 /// stdout, so every harness both prints the figure's series and archives
-/// it.
+/// it. On drop it also writes a JSON sibling `<name>.json` — the same
+/// series as an array of row objects keyed by the header columns, with
+/// numeric cells emitted as JSON numbers — so downstream tooling never
+/// has to re-parse the CSV.
 pub struct SeriesWriter {
     file: std::io::BufWriter<std::fs::File>,
+    json_path: std::path::PathBuf,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
 }
 
 impl SeriesWriter {
@@ -115,18 +121,54 @@ impl SeriesWriter {
         writeln!(file, "{header}").unwrap();
         println!("# {name} -> {}", path.display());
         println!("{header}");
-        SeriesWriter { file }
+        SeriesWriter {
+            file,
+            json_path: dir.join(format!("{name}.json")),
+            columns: header.split(',').map(|c| c.trim().to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, row: &str) {
         writeln!(self.file, "{row}").unwrap();
         println!("{row}");
+        self.rows
+            .push(row.split(',').map(|c| c.trim().to_string()).collect());
     }
+}
+
+/// Render the series rows as a JSON array of objects keyed by `columns`.
+/// Cells that parse as finite floats become numbers, everything else a
+/// string; short rows just omit the trailing columns.
+pub fn series_json(columns: &[String], rows: &[Vec<String>]) -> String {
+    use dtfe_telemetry::json::{escape_into, number};
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{");
+        for (j, cell) in row.iter().enumerate().take(columns.len()) {
+            if j > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, &columns[j]);
+            out.push(':');
+            match cell.parse::<f64>() {
+                Ok(v) if v.is_finite() => out.push_str(&number(v)),
+                _ => escape_into(&mut out, cell),
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 impl Drop for SeriesWriter {
     fn drop(&mut self) {
         self.file.flush().ok();
+        std::fs::write(&self.json_path, series_json(&self.columns, &self.rows)).ok();
     }
 }
 
@@ -186,6 +228,25 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Small.pick(1, 2, 3), 1);
         assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn series_json_types_cells() {
+        let cols: Vec<String> = ["n", "label", "wall_s"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows = vec![
+            vec!["8".to_string(), "static".to_string(), "0.25".to_string()],
+            vec!["16".to_string(), "dynamic".to_string()],
+        ];
+        let json = series_json(&cols, &rows);
+        assert_eq!(
+            json,
+            "[\n{\"n\":8,\"label\":\"static\",\"wall_s\":0.25},\n{\"n\":16,\"label\":\"dynamic\"}\n]\n"
+        );
+        // Must be accepted by the telemetry JSON parser.
+        dtfe_telemetry::json::Json::parse(&json).expect("valid JSON");
     }
 }
 

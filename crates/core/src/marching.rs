@@ -132,6 +132,7 @@ impl HullIndex {
     /// Index a caller-supplied facet list (used by
     /// [`crate::fields::VertexField`], which shares the hull machinery).
     pub fn build_from_entry_facets(facets: Vec<EntryFacet>) -> HullIndex {
+        let _span = dtfe_telemetry::span!("core.hull_index_build", facets = facets.len());
         assert!(
             !facets.is_empty(),
             "triangulation has no downward hull facets"
@@ -289,6 +290,25 @@ pub fn march_cell(
     seed: &mut u64,
     stats: &mut MarchStats,
 ) -> f64 {
+    let crossings_before = stats.crossings;
+    let v = march_cell_inner(field, index, xi, z_range, eps, max_perturb, seed, stats);
+    // Per-LOS traversal depth distribution; free when telemetry is off and
+    // invisible on rayon workers unless a global recorder is installed.
+    dtfe_telemetry::hist_record!("core.tets_per_los", stats.crossings - crossings_before);
+    v
+}
+
+#[allow(clippy::too_many_arguments)]
+fn march_cell_inner(
+    field: &DtfeField,
+    index: &HullIndex,
+    xi: Vec2,
+    z_range: Option<(f64, f64)>,
+    eps: f64,
+    max_perturb: usize,
+    seed: &mut u64,
+    stats: &mut MarchStats,
+) -> f64 {
     let del = field.delaunay();
     let mut xi_cur = xi;
     let mut attempts = 0usize;
@@ -404,6 +424,7 @@ pub fn surface_density_with_stats(
     grid: &GridSpec2,
     opts: &MarchOptions,
 ) -> (Field2, MarchStats) {
+    let span = dtfe_telemetry::span!("core.march_render", nx = grid.nx, ny = grid.ny);
     let index = HullIndex::build(field);
     let eps = opts.epsilon * grid.cell.norm();
     let row = |j: usize, out: &mut [f64], stats: &mut MarchStats| {
@@ -433,6 +454,13 @@ pub fn surface_density_with_stats(
             row(j, chunk, &mut stats);
         }
     }
+    // Bridge the kernel-local counters into the registry from this thread,
+    // which covers the parallel path too (workers only merged into `stats`).
+    dtfe_telemetry::counter_add!("core.los_marched", (grid.nx * grid.ny) as u64);
+    dtfe_telemetry::counter_add!("core.tets_crossed", stats.crossings);
+    dtfe_telemetry::counter_add!("core.degenerate_restarts", stats.perturbations);
+    dtfe_telemetry::counter_add!("core.march_failures", stats.failures);
+    drop(span);
     (out, stats)
 }
 

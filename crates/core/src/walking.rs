@@ -151,6 +151,8 @@ pub fn walk_column(
 /// the Fig. 6/7 baselines produce, for the same grid footprint the marching
 /// kernel renders directly.
 pub fn surface_density_walking(field: &DtfeField, grid: &GridSpec2, opts: &WalkOptions) -> Field2 {
+    let _span = dtfe_telemetry::span!("core.walk_render", nx = grid.nx, ny = grid.ny);
+    dtfe_telemetry::counter_add!("core.columns_walked", (grid.nx * grid.ny) as u64);
     let (z_lo, z_hi) = opts.resolve_z_range(field);
     let g3 = GridSpec3::lift(grid, z_lo, z_hi, opts.nz);
     let mut out = Field2::zeros(*grid);
@@ -179,6 +181,7 @@ pub fn surface_density_walking(field: &DtfeField, grid: &GridSpec2, opts: &WalkO
 /// public software and TESS/DENSE actually materialize; used by comparison
 /// tests and the TESS analog).
 pub fn render_density_3d(field: &DtfeField, g3: &GridSpec3, parallel: bool) -> Field3 {
+    let _span = dtfe_telemetry::span!("core.render_3d", nx = g3.nx, ny = g3.ny, nz = g3.nz);
     let mut out = Field3::zeros(*g3);
     let (nx, ny) = (g3.nx, g3.ny);
     let plane = |k: usize, data: &mut [f64]| {

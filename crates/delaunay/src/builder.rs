@@ -140,6 +140,7 @@ impl DelaunayBuilder {
     /// maps input indices to vertex ids); degenerate or non-finite input
     /// returns a typed [`BuildError`] instead of panicking.
     pub fn build(&self, points: &[Vec3]) -> Result<Triangulation, BuildError> {
+        let span = dtfe_telemetry::span!("delaunay.build", n = points.len());
         if let Some(index) = points.iter().position(|p| !p.is_finite()) {
             return Err(BuildError::NonFinite { index });
         }
@@ -148,13 +149,17 @@ impl DelaunayBuilder {
         } else {
             morton::stratified_order(points)
         };
+        // Round accounting from the parallel path, published below from the
+        // *caller's* thread (the round driver runs on a Rayon worker, which
+        // a thread-locally installed recorder would not cover).
+        let mut rounds = parallel::RoundStats::default();
         let d = match self.threads {
             Some(1) => crate::build_serial(points, &order)?,
             Some(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
-                Ok(pool) => pool.install(|| parallel::triangulate(points, &order))?,
+                Ok(pool) => pool.install(|| parallel::triangulate(points, &order, &mut rounds))?,
                 // Pool creation can only fail in exotic environments; the
                 // global pool still yields the identical mesh.
-                Err(_) => parallel::triangulate(points, &order)?,
+                Err(_) => parallel::triangulate(points, &order, &mut rounds)?,
             },
             // Auto mode: small inputs and single-worker pools gain nothing
             // from round synchronization — build serially (the mesh is
@@ -162,11 +167,28 @@ impl DelaunayBuilder {
             None if points.len() < AUTO_PARALLEL_MIN || rayon::current_num_threads() < 2 => {
                 crate::build_serial(points, &order)?
             }
-            None => parallel::triangulate(points, &order)?,
+            None => parallel::triangulate(points, &order, &mut rounds)?,
         };
         if self.validate {
             d.validate().map_err(BuildError::Validation)?;
         }
+        dtfe_telemetry::counter_add!("delaunay.points_inserted", d.num_vertices() as u64);
+        if rounds.rounds > 0 {
+            dtfe_telemetry::counter_add!("delaunay.rounds", rounds.rounds);
+            dtfe_telemetry::counter_add!("delaunay.round_inserted", rounds.inserted);
+            dtfe_telemetry::counter_add!("delaunay.duplicates_merged", rounds.duplicates);
+            dtfe_telemetry::counter_add!("delaunay.cache_hits", rounds.cache_hits);
+            dtfe_telemetry::counter_add!("delaunay.scans", rounds.scans);
+            dtfe_telemetry::counter_add!("delaunay.deferred", rounds.deferred);
+            if dtfe_telemetry::is_enabled() {
+                for &k in &rounds.per_round {
+                    dtfe_telemetry::hist_record!("delaunay.points_per_round", k);
+                }
+            }
+        } else {
+            dtfe_telemetry::counter_add!("delaunay.serial_builds", 1);
+        }
+        drop(span);
         Ok(d)
     }
 }

@@ -316,9 +316,34 @@ unsafe fn star_cavity(tets: &SharedTets, points: &[Vec3], job: &Job) {
     }
 }
 
+/// Per-build round accounting, filled by [`triangulate`] and published as
+/// telemetry by the builder *on the caller's thread* — the round driver runs
+/// on a Rayon worker, which a thread-locally installed recorder would miss.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RoundStats {
+    /// Bulk-synchronous rounds executed.
+    pub rounds: u64,
+    /// Points inserted by the rounds (excluding bootstrap + serial prefix).
+    pub inserted: u64,
+    /// Merged exact-duplicate points.
+    pub duplicates: u64,
+    /// Frontier entries whose cross-round cached conflict region was reused.
+    pub cache_hits: u64,
+    /// Frontier entries that needed a locate + conflict-region scan.
+    pub scans: u64,
+    /// Candidates pushed to the next round by footprint conflicts.
+    pub deferred: u64,
+    /// Accepted insertions per round, for the points-per-round histogram.
+    pub per_round: Vec<u32>,
+}
+
 /// Parallel triangulation of `input` in the given insertion order. Must run
 /// inside the Rayon pool that should execute the scan/star phases.
-pub(crate) fn triangulate(input: &[Vec3], order: &[u32]) -> Result<Delaunay, DelaunayError> {
+pub(crate) fn triangulate(
+    input: &[Vec3],
+    order: &[u32],
+    stats: &mut RoundStats,
+) -> Result<Delaunay, DelaunayError> {
     let mut d = insert::bootstrap(input, order)?;
     let prefix = order.len().min(SERIAL_PREFIX);
     for &idx in &order[..prefix] {
@@ -372,6 +397,8 @@ pub(crate) fn triangulate(input: &[Vec3], order: &[u32]) -> Result<Delaunay, Del
         // round need the locate + conflict-region work.
         to_scan.clear();
         to_scan.extend(frontier.iter().copied().filter(|i| !cache.contains_key(i)));
+        stats.cache_hits += (frontier.len() - to_scan.len()) as u64;
+        stats.scans += to_scan.len() as u64;
         let d_ref = &d;
         let scan_ref = &to_scan;
         let per_lane: Vec<Vec<Cand>> = lanes
@@ -403,6 +430,7 @@ pub(crate) fn triangulate(input: &[Vec3], order: &[u32]) -> Result<Delaunay, Del
                 .expect("frontier point neither cached nor scanned");
             if cand.vertex != NONE {
                 d.input_vertex[cand.input_idx as usize] = cand.vertex;
+                stats.duplicates += 1;
                 continue;
             }
             let blocked = cand
@@ -436,6 +464,10 @@ pub(crate) fn triangulate(input: &[Vec3], order: &[u32]) -> Result<Delaunay, Del
                 d.mark[t as usize] = stamp_acc;
             }
         }
+        stats.rounds += 1;
+        stats.inserted += jobs.len() as u64;
+        stats.deferred += deferred.len() as u64;
+        stats.per_round.push(jobs.len() as u32);
         // Deferred points precede everything still pending in the insertion
         // order; push them back in order at the front. A deferred scan whose
         // footprint is disjoint from every *accepted* footprint is still

@@ -312,17 +312,19 @@ pub fn partition_items(items: &[Item], nranks: usize) -> Vec<RankWork> {
 }
 
 /// Normalized standard deviation of per-rank compute times — the paper's
-/// Fig. 10 imbalance metric.
+/// Fig. 10 imbalance metric. Delegates to the shared
+/// [`dtfe_telemetry::LoadSummary`] helper, the same computation the
+/// work-sharing [`Schedule::report`](crate::sharing::Schedule::report)
+/// uses, so the simulator and the schedule report cannot drift.
 pub fn normalized_std(times: &[f64]) -> f64 {
-    if times.is_empty() {
-        return 0.0;
+    dtfe_telemetry::normalized_std(times)
+}
+
+impl SimResult {
+    /// Load summary over per-rank finish times (Fig. 10's aggregation).
+    pub fn load_summary(&self) -> dtfe_telemetry::LoadSummary {
+        dtfe_telemetry::LoadSummary::from_times(&self.finish)
     }
-    let mean = times.iter().sum::<f64>() / times.len() as f64;
-    if mean == 0.0 {
-        return 0.0;
-    }
-    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
-    var.sqrt() / mean
 }
 
 #[cfg(test)]
@@ -433,5 +435,21 @@ mod tests {
         assert_eq!(normalized_std(&[]), 0.0);
         assert_eq!(normalized_std(&[2.0, 2.0, 2.0]), 0.0);
         assert!(normalized_std(&[0.0, 4.0]) > 0.9);
+    }
+
+    #[test]
+    fn imbalance_agrees_with_schedule_report() {
+        // One load vector, two consumers: the simulator's metric and the
+        // scheduler's report must be the same number (shared helper).
+        let work = synth_workload(64, 32, 0.5, 0.1, 0, 1.0, 17);
+        let unbal = simulate_unbalanced(&work);
+        let totals: Vec<f64> = work.iter().map(|w| w.total_predicted()).collect();
+        let schedule = create_schedule(&totals).unwrap();
+        let rep = schedule.report(&totals);
+        assert_eq!(rep.before.normalized_std, normalized_std(&totals));
+        assert_eq!(
+            unbal.load_summary().normalized_std,
+            normalized_std(&unbal.finish)
+        );
     }
 }

@@ -43,14 +43,20 @@ pub mod sharing;
 
 pub use decomp::Decomposition;
 pub use error::FrameworkError;
-pub use model::{InterpModel, TriModel, WorkloadModel};
+pub use model::{
+    InterpModel, ModelResiduals, ResidualSummary, TimingSample, TriModel, WorkloadModel,
+};
 pub use reliable::{ReliabilityParams, TAG_WORK};
 pub use runner::{
     run_distributed, run_distributed_snapshot, FieldRequest, FrameworkConfig, PhaseTimings,
     RankReport, RunReport, PHASE_EXEC,
 };
-pub use sharing::{create_schedule, pack_bins, Schedule, ScheduleError, Transfer};
+pub use sharing::{create_schedule, pack_bins, Schedule, ScheduleError, ScheduleReport, Transfer};
 
 // Re-exported so framework users can build fault scenarios without naming
 // the simcluster crate.
 pub use dtfe_simcluster::{FaultPlan, FaultRule, FaultStats};
+// Re-exported so framework users can consume RankReport telemetry
+// (snapshots, exporters, the shared load statistics) without naming the
+// telemetry crate.
+pub use dtfe_telemetry::{LoadSummary, TelemetrySnapshot};

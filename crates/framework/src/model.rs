@@ -182,6 +182,77 @@ impl WorkloadModel {
     }
 }
 
+/// Measured-vs-predicted residual summary for one fitted quantity.
+///
+/// Computed from `(predicted, actual)` pairs, so it works equally on the
+/// fit's own samples (in-sample error) and on the full execution-phase
+/// [`ItemRecord`](crate::runner::ItemRecord) stream (out-of-sample error —
+/// the spread behind Fig. 11's histograms).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResidualSummary {
+    pub n: usize,
+    /// Root-mean-square residual (seconds).
+    pub rmse: f64,
+    /// Mean of `|predicted − actual| / actual` over pairs with `actual > 0`.
+    pub mean_rel_err: f64,
+    /// Max of the same relative error.
+    pub max_rel_err: f64,
+}
+
+impl ResidualSummary {
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> ResidualSummary {
+        let mut n = 0usize;
+        let mut sq = 0.0;
+        let mut rel_sum = 0.0;
+        let mut rel_n = 0usize;
+        let mut rel_max = 0.0f64;
+        for (pred, actual) in pairs {
+            n += 1;
+            sq += (pred - actual) * (pred - actual);
+            if actual > 0.0 {
+                let rel = (pred - actual).abs() / actual;
+                rel_sum += rel;
+                rel_max = rel_max.max(rel);
+                rel_n += 1;
+            }
+        }
+        ResidualSummary {
+            n,
+            rmse: if n > 0 { (sq / n as f64).sqrt() } else { 0.0 },
+            mean_rel_err: if rel_n > 0 {
+                rel_sum / rel_n as f64
+            } else {
+                0.0
+            },
+            max_rel_err: rel_max,
+        }
+    }
+}
+
+/// Residuals of both phase models over a set of timing samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ModelResiduals {
+    pub tri: ResidualSummary,
+    pub interp: ResidualSummary,
+}
+
+impl WorkloadModel {
+    /// Measured-vs-predicted residuals of this model over `samples` —
+    /// how well the OLS / Gauss–Newton fits explain recorded phase times.
+    pub fn residuals(&self, samples: &[TimingSample]) -> ModelResiduals {
+        ModelResiduals {
+            tri: ResidualSummary::from_pairs(
+                samples.iter().map(|s| (self.tri.predict(s.n), s.t_tri)),
+            ),
+            interp: ResidualSummary::from_pairs(
+                samples
+                    .iter()
+                    .map(|s| (self.interp.predict(s.n), s.t_interp)),
+            ),
+        }
+    }
+}
+
 /// Uniform-bin particle counter for the modeling phase's step 1: "count the
 /// number of particles needed to complete each local work item" by centring
 /// a cube on the item (paper §IV-C-1).
@@ -333,6 +404,39 @@ mod tests {
         let n: f64 = 3000.0;
         let expect = 1e-6 * n * n.log2() + 2e-5 * n;
         assert!((m.predict(n) - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn residuals_vanish_for_a_perfect_fit() {
+        let samples = synth_samples(3e-6, 4e-5, 0.75, 0.0, 1);
+        let m = WorkloadModel::fit(&samples);
+        let r = m.residuals(&samples);
+        assert_eq!(r.tri.n, samples.len());
+        assert_eq!(r.interp.n, samples.len());
+        assert!(r.tri.mean_rel_err < 1e-6, "{:?}", r.tri);
+        assert!(r.interp.mean_rel_err < 1e-3, "{:?}", r.interp);
+    }
+
+    #[test]
+    fn residuals_track_noise_scale() {
+        let samples = synth_samples(2e-6, 4e-5, 0.9, 0.3, 13);
+        let m = WorkloadModel::fit(&samples);
+        let r = m.residuals(&samples);
+        // ±15% multiplicative noise: mean relative error lands near its
+        // expectation (~7.5%), far from zero and far below the noise bound.
+        assert!(
+            r.tri.mean_rel_err > 0.01 && r.tri.mean_rel_err < 0.15,
+            "{:?}",
+            r.tri
+        );
+        assert!(r.tri.max_rel_err >= r.tri.mean_rel_err);
+        assert!(r.tri.rmse > 0.0);
+    }
+
+    #[test]
+    fn residuals_of_empty_input_are_zero() {
+        let r = WorkloadModel::fit(&[]).residuals(&[]);
+        assert_eq!(r, ModelResiduals::default());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use dtfe_geometry::Vec3;
 use dtfe_simcluster::Comm;
+use dtfe_telemetry::counter_add;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -169,6 +170,7 @@ impl Outbox {
         particles: Arc<Vec<Vec3>>,
         centers: Vec<Vec3>,
     ) {
+        counter_add!("reliable.bundles_sent", 1);
         comm.send(
             to,
             TAG_WORK,
@@ -230,9 +232,11 @@ impl Outbox {
     fn handle(&mut self, comm: &mut Comm, src: usize, msg: WireMsg) {
         match msg {
             WireMsg::Ack { seq } => {
+                counter_add!("reliable.acks_received", 1);
                 if let Some(t) = self.transfers.iter_mut().find(|t| t.seq == seq) {
                     if matches!(t.state, SendState::InFlight { .. }) {
                         t.state = SendState::Settled;
+                        counter_add!("reliable.fins_sent", self.params.fin_copies as u64);
                         for _ in 0..self.params.fin_copies {
                             comm.send(t.to, TAG_WORK, WireMsg::Fin { seq });
                         }
@@ -272,6 +276,8 @@ impl Outbox {
                 reclaimed.push((to, std::mem::take(&mut t.centers)));
                 t.state = SendState::Dead;
                 self.dead_peers.push(to);
+                counter_add!("reliable.dead_receivers", 1);
+                counter_add!("reliable.fins_sent", self.params.fin_copies as u64);
                 for _ in 0..self.params.fin_copies {
                     comm.send(to, TAG_WORK, WireMsg::Fin { seq });
                 }
@@ -287,6 +293,7 @@ impl Outbox {
                 },
             );
             *sends += 1;
+            counter_add!("reliable.retransmits", 1);
             *backoff = Duration::from_secs_f64(
                 (backoff.as_secs_f64() * self.params.backoff)
                     .min(self.params.max_backoff.as_secs_f64()),
@@ -413,11 +420,15 @@ impl InboxDrain {
                         pings: 0,
                         next_ping: Instant::now() + self.params.ping_interval,
                     };
+                    counter_add!("reliable.bundles_received", 1);
                     comm.send(src, TAG_WORK, WireMsg::Ack { seq });
                     self.ready.push_back((src, particles, centers));
                 }
                 // Duplicate (retransmission or injected): ack, discard.
-                EdgeState::Draining { .. } => comm.send(src, TAG_WORK, WireMsg::Ack { seq }),
+                EdgeState::Draining { .. } => {
+                    counter_add!("reliable.duplicates_dropped", 1);
+                    comm.send(src, TAG_WORK, WireMsg::Ack { seq });
+                }
                 // Closed edge (sender was declared dead and has since
                 // reclaimed the work): deliberately NOT acked, so the
                 // sender's retries exhaust and it re-executes locally
@@ -448,11 +459,14 @@ impl InboxDrain {
             if *pings >= self.params.max_pings {
                 if waiting {
                     self.lost_transfers += 1;
+                    counter_add!("reliable.lost_transfers", 1);
                 }
                 self.dead_peers.push(e.from);
+                counter_add!("reliable.dead_senders", 1);
                 e.state = EdgeState::Closed;
                 continue;
             }
+            counter_add!("reliable.pings_sent", 1);
             comm.send(e.from, TAG_WORK, WireMsg::Ping);
             *pings += 1;
             *next_ping = now + self.params.ping_interval;

@@ -12,31 +12,16 @@
 use crate::decomp::Decomposition;
 use crate::error::FrameworkError;
 use crate::ingest::{redistribute, RankParticles};
-use crate::model::{ParticleCounter, TimingSample, WorkloadModel};
+use crate::model::{ModelResiduals, ParticleCounter, ResidualSummary, TimingSample, WorkloadModel};
 use crate::reliable::{InboxDrain, Outbox, ReliabilityParams};
 use crate::sharing::{create_schedule, pack_bins};
 use dtfe_core::density::{DtfeField, Mass};
 use dtfe_core::grid::{Field2, GridSpec2};
 use dtfe_core::marching::{surface_density_with_stats, MarchOptions};
 use dtfe_geometry::{Aabb3, Vec3};
-use dtfe_simcluster::{thread_cpu_time, Comm, FaultPlan, FaultStats};
+use dtfe_simcluster::{Comm, FaultPlan, FaultStats};
+use dtfe_telemetry::{counter_add, gauge_set, hist_record, span, Recorder, TelemetrySnapshot};
 use std::sync::Arc;
-use std::time::Instant;
-
-/// Scoped busy-time measurement: thread CPU time, immune to the
-/// oversubscription of thread-ranks on few cores (see
-/// [`dtfe_simcluster::thread_cpu_time`]).
-struct BusyTimer(f64);
-
-impl BusyTimer {
-    fn start() -> Self {
-        BusyTimer(thread_cpu_time())
-    }
-
-    fn elapsed(&self) -> f64 {
-        thread_cpu_time() - self.0
-    }
-}
 
 /// The phase-boundary label at which a [`FaultPlan::kill`] takes effect in
 /// the framework: entry to the execution phase, immediately after the last
@@ -85,6 +70,12 @@ pub struct FrameworkConfig {
     /// Tunables of the reliable-delivery sublayer the execution phase runs
     /// on (ack timeouts, retry budget, heartbeat cadence).
     pub reliability: ReliabilityParams,
+    /// Collect structured telemetry: each rank runs under its own
+    /// [`Recorder`] and attaches a [`TelemetrySnapshot`] (spans + metrics)
+    /// to its [`RankReport`], from which [`RunReport::chrome_trace`] and
+    /// [`RunReport::metrics_json`] are assembled. Off by default — the
+    /// disabled cost is one atomic load per instrumentation site.
+    pub telemetry: bool,
 }
 
 impl FrameworkConfig {
@@ -99,6 +90,7 @@ impl FrameworkConfig {
             seed: 0x5EED,
             faults: FaultPlan::none(),
             reliability: ReliabilityParams::default(),
+            telemetry: false,
         }
     }
 
@@ -108,7 +100,11 @@ impl FrameworkConfig {
     }
 }
 
-/// Wall-clock seconds per phase, per rank (the series of Figs. 9/12/13a).
+/// Busy (thread-CPU) seconds per phase, per rank (the series of Figs.
+/// 9/12/13a). Thread-CPU time is immune to the oversubscription of
+/// thread-ranks on few cores; `sharing_wait` alone is wall clock, since a
+/// blocked thread burns no CPU. The same numbers are recorded as telemetry
+/// spans when [`FrameworkConfig::telemetry`] is set.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
     pub partition: f64,
@@ -164,6 +160,25 @@ pub struct RankReport {
     pub dead_peers: Vec<usize>,
     /// Fault-injection counters observed on this rank's `Comm`.
     pub faults: FaultStats,
+    /// Spans and metrics recorded on this rank, when
+    /// [`FrameworkConfig::telemetry`] was set.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+impl RankReport {
+    /// This rank's executed items as model-fit samples `(n, t_tri,
+    /// t_interp)` — the recorded phase metrics in the shape
+    /// [`WorkloadModel::fit`]/[`WorkloadModel::residuals`] consume.
+    pub fn timing_samples(&self) -> Vec<TimingSample> {
+        self.records
+            .iter()
+            .map(|r| TimingSample {
+                n: r.n_particles,
+                t_tri: r.actual_tri,
+                t_interp: r.actual_interp,
+            })
+            .collect()
+    }
 }
 
 /// Whole-run summary returned by the drivers.
@@ -183,6 +198,59 @@ pub struct RunReport {
     pub retries: u64,
 }
 
+impl RunReport {
+    /// Per-rank telemetry snapshots, in rank order (empty when the run was
+    /// made without [`FrameworkConfig::telemetry`]).
+    pub fn telemetry(&self) -> Vec<TelemetrySnapshot> {
+        self.ranks
+            .iter()
+            .filter_map(|r| r.telemetry.clone())
+            .collect()
+    }
+
+    /// Chrome-trace JSON of the whole run (one `pid` per rank), loadable in
+    /// Perfetto / `chrome://tracing`. `None` when telemetry was off.
+    pub fn chrome_trace(&self) -> Option<String> {
+        let snaps = self.telemetry();
+        (!snaps.is_empty()).then(|| dtfe_telemetry::chrome_trace(&snaps))
+    }
+
+    /// Metrics JSON: per-rank counters/gauges/histograms plus a merged
+    /// view. `None` when telemetry was off.
+    pub fn metrics_json(&self) -> Option<String> {
+        let snaps = self.telemetry();
+        (!snaps.is_empty()).then(|| dtfe_telemetry::metrics_json(&snaps))
+    }
+
+    /// Per-rank compute (triangulate + render) busy seconds.
+    pub fn compute_times(&self) -> Vec<f64> {
+        self.ranks
+            .iter()
+            .map(|r| r.timings.triangulate + r.timings.render)
+            .collect()
+    }
+
+    /// The paper's Fig. 10 imbalance metric (normalized σ of per-rank
+    /// compute time), from the same [`dtfe_telemetry::LoadSummary`] helper
+    /// as the event simulator and the schedule report.
+    pub fn imbalance(&self) -> f64 {
+        dtfe_telemetry::normalized_std(&self.compute_times())
+    }
+
+    /// Measured-vs-predicted residuals of the fitted workload models over
+    /// every executed item of the run — how well the OLS (`c·n·log₂n`) and
+    /// Gauss–Newton (`α·n^β`) fits explain the recorded phase metrics.
+    pub fn model_residuals(&self) -> ModelResiduals {
+        let records = || self.ranks.iter().flat_map(|r| r.records.iter());
+        ModelResiduals {
+            tri: ResidualSummary::from_pairs(records().map(|r| (r.predicted_tri, r.actual_tri))),
+            interp: ResidualSummary::from_pairs(
+                records().map(|r| (r.predicted_interp, r.actual_interp)),
+            ),
+        }
+    }
+}
+
 /// Execute one work item: triangulate the particles in the item's cube and
 /// render its field. Returns phase times and (optionally) the field.
 fn execute_item(
@@ -198,7 +266,7 @@ fn execute_item(
         .collect();
     let grid = GridSpec2::square(center.xy(), cfg.field_len, cfg.resolution);
 
-    let t0 = BusyTimer::start();
+    let sp = span!("framework.triangulate_item", n = local.len());
     // Each rank is one worker of the distributed experiment; the builder is
     // pinned to a single thread so ranks don't oversubscribe the machine.
     let del = match dtfe_delaunay::DelaunayBuilder::new()
@@ -206,12 +274,12 @@ fn execute_item(
         .build(&local)
     {
         Ok(d) => d,
-        Err(_) => return (t0.elapsed(), 0.0, Some(Field2::zeros(grid))),
+        Err(_) => return (sp.end().cpu_s, 0.0, Some(Field2::zeros(grid))),
     };
     let field = DtfeField::from_delaunay_for_inputs(del, local.len(), Mass::Uniform(1.0));
-    let t_tri = t0.elapsed();
+    let t_tri = sp.end().cpu_s;
 
-    let t1 = BusyTimer::start();
+    let sp = span!("framework.interpolate_item", n = local.len());
     // Ranks already run in parallel; nesting Rayon here would
     // oversubscribe (the paper's per-rank OpenMP threads map onto the
     // whole-process pool used by the shared-memory experiments instead).
@@ -223,14 +291,30 @@ fn execute_item(
             center.z + cfg.field_len * 0.5,
         );
     let (sigma, _stats) = surface_density_with_stats(&field, &grid, &opts);
-    let t_render = t1.elapsed();
+    let t_render = sp.end().cpu_s;
+    counter_add!("framework.items_executed", 1);
+    hist_record!("framework.item_tri_us", (t_tri * 1e6) as u64);
+    hist_record!("framework.item_interp_us", (t_render * 1e6) as u64);
     (t_tri, t_render, Some(sigma))
+}
+
+/// Bridge the fault-injection counters into the installed recorder, so the
+/// metrics JSON carries the same numbers as [`RankReport::faults`].
+fn bridge_fault_stats(fs: &FaultStats) {
+    counter_add!("simcluster.faults_dropped", fs.dropped);
+    counter_add!("simcluster.faults_duplicated", fs.duplicated);
+    counter_add!("simcluster.faults_delayed", fs.delayed);
+    counter_add!("simcluster.faults_reordered", fs.reordered);
+    counter_add!("simcluster.faults_killed", fs.killed as u64);
 }
 
 /// Run the full four-phase framework on one rank. `my_block` is this rank's
 /// arbitrary slice of the input (the "parallel read"); `requests` is the
 /// full request list (every rank holds it, as after the paper's broadcast;
 /// each discards non-local centres).
+///
+/// With [`FrameworkConfig::telemetry`] set, the whole run executes under a
+/// per-rank [`Recorder`] and the report carries the snapshot.
 pub fn run_rank(
     comm: &mut Comm,
     my_block: Vec<Vec3>,
@@ -238,19 +322,40 @@ pub fn run_rank(
     decomp: &Decomposition,
     cfg: &FrameworkConfig,
 ) -> Result<RankReport, FrameworkError> {
-    let t_start = BusyTimer::start();
+    let recorder = cfg
+        .telemetry
+        .then(|| Recorder::new(&format!("rank{}", comm.rank())));
+    let guard = recorder.as_ref().map(|r| r.install());
+    let result = run_rank_inner(comm, my_block, requests, decomp, cfg);
+    drop(guard);
+    result.map(|mut report| {
+        report.telemetry = recorder.map(|r| r.snapshot());
+        report
+    })
+}
+
+fn run_rank_inner(
+    comm: &mut Comm,
+    my_block: Vec<Vec3>,
+    requests: &[FieldRequest],
+    decomp: &Decomposition,
+    cfg: &FrameworkConfig,
+) -> Result<RankReport, FrameworkError> {
+    // The phase spans below are contiguous children of this one, so the
+    // depth-1 spans of a rank's snapshot cover (nearly) all of its busy
+    // time — the invariant the observability acceptance test checks.
+    let rank_span = span!("framework.rank", rank = comm.rank());
     let mut report = RankReport {
         rank: comm.rank(),
         ..Default::default()
     };
 
     // ---- Phase 1: partition & redistribute ----
-    let t0 = BusyTimer::start();
+    let sp = span!("framework.partition");
     let rp: RankParticles = redistribute(comm, my_block, decomp, cfg.ghost_margin());
     // Shared so work bundles can carry the particle set without deep
     // copies per scheduled transfer (retransmissions clone the Arc only).
     let all: Arc<Vec<Vec3>> = Arc::new(rp.all());
-    report.timings.partition = t0.elapsed();
 
     // Local work items: requests whose centre lies in this rank's box.
     let me = comm.rank();
@@ -261,9 +366,11 @@ pub fn run_rank(
         .filter(|c| decomp.rank_of(*c) == me && my_box.contains_closed(*c))
         .collect();
     report.local_items = local_centers.len();
+    counter_add!("framework.particles_after_exchange", all.len() as u64);
+    report.timings.partition = sp.end().cpu_s;
 
     // ---- Phase 2: workload modeling ----
-    let t0 = BusyTimer::start();
+    let sp = span!("framework.model", items = local_centers.len());
     let counter = ParticleCounter::new(
         &all,
         my_box.inflated(cfg.ghost_margin()),
@@ -305,9 +412,11 @@ pub fn run_rank(
     let predicted: Vec<f64> = counts.iter().map(|&n| model.predict(n)).collect();
     let my_total: f64 = predicted.iter().sum();
     report.predicted_local_time = my_total;
-    report.timings.model = t0.elapsed();
+    gauge_set!("framework.predicted_local_s", my_total);
+    report.timings.model = sp.end().cpu_s;
 
     // ---- Phase 3: work-sharing schedule ----
+    let sp = span!("framework.schedule");
     let totals = comm.allgather(my_total);
     let schedule = if cfg.balance {
         // `totals` is identical on every rank, so a schedule rejection is
@@ -344,6 +453,15 @@ pub fn run_rank(
             }
         }
     }
+    counter_add!(
+        "framework.transfers_scheduled",
+        schedule.transfers.len() as u64
+    );
+    drop(sp);
+
+    // The exec span opens before the kill boundary so the barrier wait is
+    // covered; a killed rank still records a (short) exec span.
+    let exec_span = span!("framework.exec");
 
     // A fault plan may kill this rank here: past the last collective (so
     // the survivors never block inside a torn allgather) but before any
@@ -352,7 +470,9 @@ pub fn run_rank(
     if comm.phase_boundary(PHASE_EXEC) {
         report.died = true;
         report.faults = comm.fault_stats();
-        report.timings.total = t_start.elapsed();
+        bridge_fault_stats(&report.faults);
+        drop(exec_span);
+        report.timings.total = rank_span.end().cpu_s;
         return Ok(report);
     }
 
@@ -476,9 +596,9 @@ pub fn run_rank(
     // declared dead; execute reclaimed work locally so no item is lost to
     // a dead receiver.
     if let Some(mut ob) = outbox.take() {
-        let t_wait = Instant::now();
+        let spw = span!("framework.wait_acks");
         reclaimed.extend(ob.drain(comm));
-        report.timings.sharing_wait += t_wait.elapsed().as_secs_f64();
+        report.timings.sharing_wait += spw.end().wall_s;
         report.retries = ob.retries;
         report.dead_peers = ob.dead_peers;
         for (_to, centers) in reclaimed.drain(..) {
@@ -508,9 +628,9 @@ pub fn run_rank(
         loop {
             // Wait time is wall clock by nature (the thread is blocked, not
             // burning CPU); on an oversubscribed host it is diagnostic only.
-            let t_wait = Instant::now();
+            let spw = span!("framework.wait_bundle");
             let next = ib.next(comm);
-            report.timings.sharing_wait += t_wait.elapsed().as_secs_f64();
+            report.timings.sharing_wait += spw.end().wall_s;
             let Some((_src, particles, centers)) = next else {
                 break;
             };
@@ -540,7 +660,22 @@ pub fn run_rank(
 
     report.degraded = report.lost_transfers > 0 || !report.dead_peers.is_empty();
     report.faults = comm.fault_stats();
-    report.timings.total = t_start.elapsed();
+    bridge_fault_stats(&report.faults);
+    drop(exec_span);
+    report.timings.total = rank_span.end().cpu_s;
+
+    // Per-rank roll-up gauges: the phase series of Figs. 9/12 straight in
+    // the metrics JSON, one value per rank.
+    counter_add!("framework.items_sent", report.sent_items as u64);
+    counter_add!("framework.items_received", report.received_items as u64);
+    counter_add!("framework.items_reclaimed", report.reclaimed_items as u64);
+    counter_add!("framework.fields_computed", report.fields_computed as u64);
+    gauge_set!("framework.partition_s", report.timings.partition);
+    gauge_set!("framework.model_s", report.timings.model);
+    gauge_set!("framework.triangulate_s", report.timings.triangulate);
+    gauge_set!("framework.interpolate_s", report.timings.render);
+    gauge_set!("framework.sharing_wait_s", report.timings.sharing_wait);
+    gauge_set!("framework.busy_s", report.timings.total);
     Ok(report)
 }
 
@@ -684,6 +819,101 @@ mod tests {
             // Same item ⇒ same particles ⇒ same deterministic kernel output.
             assert_eq!(fa, fb, "field at {ca:?} differs between modes");
         }
+    }
+
+    #[test]
+    fn telemetry_run_yields_valid_trace_with_phase_coverage() {
+        let (pts, halos) = galaxy_box(16.0, 12_000, 12, 42);
+        let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(16.0));
+        let requests = requests_at_halos(&halos, 12);
+        let cfg = FrameworkConfig {
+            telemetry: true,
+            ..FrameworkConfig::new(2.0, 16)
+        };
+        let run = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
+        assert_eq!(run.computed, requests.len());
+
+        let snaps = run.telemetry();
+        assert_eq!(snaps.len(), 4, "every rank attaches a snapshot");
+        for (r, snap) in run.ranks.iter().zip(&snaps) {
+            assert_eq!(snap.label, format!("rank{}", r.rank));
+            // The root span is the rank's busy time; the contiguous phase
+            // spans beneath it must cover ≥95% of it (the acceptance bound).
+            let total = snap.span_cpu_s(0);
+            let phases = snap.span_cpu_s(1);
+            assert!(total > 0.0, "rank {} recorded no root span", r.rank);
+            assert!(
+                phases >= 0.95 * total,
+                "rank {}: phase spans cover {phases:.6}s of {total:.6}s busy",
+                r.rank
+            );
+            // Span timings and report timings are the same measurement
+            // (the snapshot's copy is rounded to whole microseconds).
+            assert!((total - r.timings.total).abs() < 2e-6);
+            assert_eq!(
+                snap.metrics.gauge("framework.busy_s"),
+                Some(r.timings.total)
+            );
+            assert_eq!(
+                snap.metrics.gauge("framework.triangulate_s"),
+                Some(r.timings.triangulate)
+            );
+            assert_eq!(
+                snap.metrics.counter("framework.fields_computed"),
+                r.fields_computed as u64
+            );
+        }
+
+        // Exporters round-trip through the validating checker.
+        let trace = run.chrome_trace().unwrap();
+        let ts = dtfe_telemetry::check::check_chrome_trace(&trace).unwrap();
+        assert_eq!(ts.processes, 4);
+        assert!(ts.spans > 0);
+        let metrics = run.metrics_json().unwrap();
+        let ms = dtfe_telemetry::check::check_metrics_json(&metrics).unwrap();
+        assert_eq!(ms.ranks, 4);
+
+        // Merged counters reconcile with the report's own accounting.
+        let merged = dtfe_telemetry::merged_metrics(&snaps);
+        assert_eq!(
+            merged.counter("framework.fields_computed"),
+            run.computed as u64
+        );
+        assert_eq!(
+            merged.counter("framework.items_sent"),
+            merged.counter("framework.items_received")
+        );
+        assert!(merged.histogram("framework.item_tri_us").is_some());
+
+        // The imbalance helper is the shared Fig. 10 metric over the same
+        // per-rank compute times the timings report.
+        assert_eq!(
+            run.imbalance(),
+            dtfe_telemetry::normalized_std(&run.compute_times())
+        );
+
+        // Model residuals are consumable straight from the run report.
+        let res = run.model_residuals();
+        let n_records: usize = run.ranks.iter().map(|r| r.records.len()).sum();
+        assert_eq!(res.tri.n, n_records);
+        assert_eq!(res.interp.n, n_records);
+        assert!(res.tri.rmse.is_finite() && res.interp.rmse.is_finite());
+        let samples: Vec<TimingSample> =
+            run.ranks.iter().flat_map(|r| r.timing_samples()).collect();
+        assert_eq!(samples.len(), n_records);
+    }
+
+    #[test]
+    fn telemetry_off_attaches_nothing() {
+        let (pts, halos) = galaxy_box(12.0, 6_000, 6, 11);
+        let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(12.0));
+        let requests = requests_at_halos(&halos, 6);
+        let cfg = FrameworkConfig::new(2.0, 8);
+        let run = run_distributed(2, &pts, bounds, &requests, &cfg).unwrap();
+        assert!(run.ranks.iter().all(|r| r.telemetry.is_none()));
+        assert!(run.chrome_trace().is_none());
+        assert!(run.metrics_json().is_none());
+        assert!(run.telemetry().is_empty());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! largest-capacity receiver. The schedule leaves every sender at exactly
 //! the mean and no receiver above it.
 
+use dtfe_telemetry::LoadSummary;
+
 /// Why the scheduler rejected its input. Predicted times come from a
 /// fitted model, so a NaN/∞ anywhere upstream used to surface here as a
 /// comparator panic inside a sort; now it is a value the runner can turn
@@ -92,6 +94,26 @@ impl Schedule {
         }
         t
     }
+
+    /// Imbalance before/after applying this schedule to `times`. Both
+    /// summaries come from the same [`LoadSummary`] helper the event
+    /// simulator's Fig. 10 metric uses, so the schedule report and the
+    /// simulator cannot drift apart in how they aggregate per-rank loads.
+    pub fn report(&self, times: &[f64]) -> ScheduleReport {
+        ScheduleReport {
+            before: LoadSummary::from_times(times),
+            after: LoadSummary::from_times(&self.balanced_times(times)),
+            transfers: self.transfers.len(),
+        }
+    }
+}
+
+/// Summary of what a schedule does to the load distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScheduleReport {
+    pub before: LoadSummary,
+    pub after: LoadSummary,
+    pub transfers: usize,
 }
 
 /// `CreateCommunicationList` (paper Fig. 5), computed globally.
@@ -113,7 +135,10 @@ pub fn create_schedule(times: &[f64]) -> Result<Schedule, ScheduleError> {
             mean: times.first().copied().unwrap_or(0.0),
         });
     }
-    let mean = times.iter().sum::<f64>() / p as f64;
+    // The mean comes from the same helper as every imbalance metric in the
+    // repo (Fig. 10's normalized σ/mean), so the schedule target and the
+    // reported statistics are one computation, not two.
+    let mean = LoadSummary::from_times(times).mean;
     // Sort by time descending (stable tie-break by rank id for determinism).
     let mut order: Vec<usize> = (0..p).collect();
     order.sort_by(|&a, &b| times[b].total_cmp(&times[a]).then(a.cmp(&b)));
@@ -397,6 +422,23 @@ mod tests {
         );
         let msg = ScheduleError::NonFiniteTime { rank: 3 }.to_string();
         assert!(msg.contains("rank 3"), "{msg}");
+    }
+
+    #[test]
+    fn schedule_report_matches_balanced_times() {
+        let times = [20.0, 3.0, 2.0, 2.0, 1.0, 1.0, 1.0, 2.0];
+        let s = create_schedule(&times).unwrap();
+        let rep = s.report(&times);
+        assert_eq!(rep.transfers, s.transfers.len());
+        // The report's mean IS the schedule's target mean (same helper).
+        assert_eq!(rep.before.mean, s.mean);
+        assert!((rep.after.mean - s.mean).abs() < 1e-12, "work conserved");
+        // Balancing brings max to the mean and collapses the spread.
+        assert!((rep.after.max - s.mean).abs() < 1e-9);
+        assert!(rep.after.normalized_std < 0.2 * rep.before.normalized_std);
+        // And the report agrees with an independent recompute.
+        let after = s.balanced_times(&times);
+        assert_eq!(rep.after, LoadSummary::from_times(&after));
     }
 
     #[test]

@@ -231,6 +231,55 @@ fn truncated_snapshot_reports_typed_io_error() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Telemetry bridge: when a run collects telemetry, the fault counters in
+/// each rank's metrics registry must equal the `FaultStats` the rank's
+/// `Comm` reports — one set of numbers, two views.
+#[test]
+fn fault_stats_match_bridged_registry_counters() {
+    let box_len = 16.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (pts, halos) = galaxy_box(box_len, 6_000, 16, 42);
+    let decomp = Decomposition::new(bounds, 4);
+    // Pin requests to rank 0 so the schedule moves bundles across the
+    // faulty links (otherwise no messages, no fault events).
+    let requests: Vec<FieldRequest> = halos
+        .iter()
+        .filter(|h| decomp.rank_of(h.center) == 0)
+        .take(8)
+        .map(|h| FieldRequest { center: h.center })
+        .collect();
+    assert!(requests.len() >= 3);
+
+    let mut saw_events = false;
+    for seed in 0..10u64 {
+        let cfg = FrameworkConfig {
+            telemetry: true,
+            faults: FaultPlan::seeded(seed).rule(FaultRule::all().drop(0.15).duplicate(0.15)),
+            reliability: ReliabilityParams::fast(),
+            ..FrameworkConfig::new(2.0, 8)
+        };
+        let run = run_distributed(4, &pts, bounds, &requests, &cfg).unwrap();
+        assert_eq!(run.computed, requests.len());
+        for r in &run.ranks {
+            let snap = r.telemetry.as_ref().expect("telemetry enabled");
+            let c = |name: &str| snap.metrics.counter(name);
+            assert_eq!(c("simcluster.faults_dropped"), r.faults.dropped);
+            assert_eq!(c("simcluster.faults_duplicated"), r.faults.duplicated);
+            assert_eq!(c("simcluster.faults_delayed"), r.faults.delayed);
+            assert_eq!(c("simcluster.faults_reordered"), r.faults.reordered);
+            assert_eq!(c("simcluster.faults_killed"), r.faults.killed as u64);
+            saw_events |= r.faults.total_events() > 0;
+        }
+        if saw_events && seed >= 1 {
+            break;
+        }
+    }
+    assert!(
+        saw_events,
+        "fault plan injected no events — test is vacuous"
+    );
+}
+
 /// Satellite (e) sanity: a no-op plan injects nothing and the run reports a
 /// perfectly clean bill of health.
 #[test]

@@ -146,8 +146,10 @@ pub fn orient3d(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Orientation {
         + cdx.abs() * (adybdz.abs() + adzbdy.abs());
 
     if det.abs() > O3D_BOUND * permanent {
+        dtfe_telemetry::counter_add!("geometry.orient3d_filtered", 1);
         return Orientation::from_sign(if det > 0.0 { 1 } else { -1 });
     }
+    dtfe_telemetry::counter_add!("geometry.orient3d_exact", 1);
     orient3d_exact(a, b, c, d)
 }
 
@@ -233,8 +235,10 @@ pub fn insphere(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> Orientation {
     let permanent = dlift * abc_p + clift * dab_p + blift * cda_p + alift * bcd_p;
 
     if det.abs() > ISP_BOUND * permanent {
+        dtfe_telemetry::counter_add!("geometry.insphere_filtered", 1);
         return Orientation::from_sign(if det > 0.0 { 1 } else { -1 });
     }
+    dtfe_telemetry::counter_add!("geometry.insphere_exact", 1);
     insphere_exact(a, b, c, d, e)
 }
 

@@ -112,6 +112,7 @@ impl Comm {
         payload: Box<dyn Any + Send>,
         not_before: Option<Instant>,
     ) {
+        dtfe_telemetry::counter_add!("simcluster.msgs_posted", 1);
         let _ = self.senders[dst].send(Message {
             src: self.rank,
             tag,
@@ -141,6 +142,7 @@ impl Comm {
         }
         let now = Instant::now();
         let i = self.find_pending(src, Tag::User(tag), now)?;
+        dtfe_telemetry::counter_add!("simcluster.msgs_received", 1);
         Some(Self::unwrap_msg(self.pending.remove(i)))
     }
 
@@ -173,6 +175,7 @@ impl Comm {
         loop {
             let now = Instant::now();
             if let Some(i) = self.find_pending(src, tag, now) {
+                dtfe_telemetry::counter_add!("simcluster.msgs_received", 1);
                 return Some(Self::unwrap_msg(self.pending.remove(i)));
             }
             if deadline.is_some_and(|d| now >= d) {
@@ -255,6 +258,7 @@ impl Comm {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        let _span = dtfe_telemetry::span!("simcluster.barrier");
         self.barrier.wait();
     }
 
@@ -267,6 +271,7 @@ impl Comm {
     /// (the paper's `MPI_Allgather`, which it notes provides "implicit
     /// synchronization").
     pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+        let _span = dtfe_telemetry::span!("simcluster.allgather");
         let tag = self.next_coll();
         for dst in 0..self.size {
             if dst != self.rank {

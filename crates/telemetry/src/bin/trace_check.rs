@@ -1,0 +1,60 @@
+//! CI checker for emitted telemetry artifacts.
+//!
+//! Usage: `trace_check <trace.json> [<metrics.json>]`
+//!
+//! Validates that the trace is well-formed Chrome-trace JSON (balanced,
+//! correctly nested B/E events with per-thread monotone timestamps) and,
+//! when given, that the metrics document has the `ranks`/`merged` layout
+//! with quantile-bearing histograms. Exits non-zero on any violation.
+
+use std::process::ExitCode;
+
+use dtfe_telemetry::check::{check_chrome_trace, check_metrics_json};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 2 {
+        eprintln!("usage: trace_check <trace.json> [<metrics.json>]");
+        return ExitCode::from(2);
+    }
+
+    let trace_path = &args[0];
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_chrome_trace(&text) {
+        Ok(stats) => println!(
+            "trace_check: {trace_path} OK ({} events, {} spans, {} process(es))",
+            stats.events, stats.spans, stats.processes
+        ),
+        Err(e) => {
+            eprintln!("trace_check: {trace_path} INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(metrics_path) = args.get(1) {
+        let text = match std::fs::read_to_string(metrics_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_check: cannot read {metrics_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_metrics_json(&text) {
+            Ok(stats) => println!(
+                "trace_check: {metrics_path} OK ({} rank(s), {} counters, {} gauges, {} histograms)",
+                stats.ranks, stats.merged_counters, stats.merged_gauges, stats.merged_histograms
+            ),
+            Err(e) => {
+                eprintln!("trace_check: {metrics_path} INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

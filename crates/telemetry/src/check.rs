@@ -1,0 +1,148 @@
+//! Validation for the emitted artifacts, shared by the `trace_check` binary
+//! (CI) and the test-suite: Chrome-trace JSON must have balanced, correctly
+//! nested B/E events with per-thread monotone timestamps, and the metrics
+//! JSON must carry the `ranks`/`merged` structure.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// What a valid trace contained, for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    pub events: usize,
+    pub spans: usize,
+    pub processes: usize,
+}
+
+/// Validate a Chrome-trace JSON document.
+pub fn check_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = Json::parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing traceEvents array")?;
+
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..Default::default()
+    };
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut pids: std::collections::BTreeSet<u64> = Default::default();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("event {i}: no ph"))?;
+        let pid = ev.get("pid").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+        let tid = ev.get("tid").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+        pids.insert(pid);
+        if ph != "B" && ph != "E" {
+            continue; // metadata and counter events are unchecked
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("event {i}: B/E without ts"))?;
+        let key = (pid, tid);
+        let prev = last_ts.entry(key).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!(
+                "event {i}: non-monotone ts on pid={pid} tid={tid}: {ts} < {prev}"
+            ));
+        }
+        *prev = ts;
+        let stack = stacks.entry(key).or_default();
+        match ph {
+            "B" => {
+                let name = ev
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or(format!("event {i}: B without name"))?;
+                stack.push(name.to_string());
+                stats.spans += 1;
+            }
+            _ => {
+                let open = stack.pop().ok_or(format!(
+                    "event {i}: E without open span on pid={pid} tid={tid}"
+                ))?;
+                if let Some(name) = ev.get("name").and_then(|v| v.as_str()) {
+                    if name != open {
+                        return Err(format!(
+                            "event {i}: E name '{name}' does not match open span '{open}'"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "unbalanced trace: {} span(s) never closed on pid={pid} tid={tid} (first: '{}')",
+                stack.len(),
+                stack[0]
+            ));
+        }
+    }
+    stats.processes = pids.len();
+    Ok(stats)
+}
+
+/// What a valid metrics document contained, for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsStats {
+    pub ranks: usize,
+    pub merged_counters: usize,
+    pub merged_gauges: usize,
+    pub merged_histograms: usize,
+}
+
+fn check_metrics_obj(v: &Json, what: &str) -> Result<(usize, usize, usize), String> {
+    let counters = v
+        .get("counters")
+        .and_then(|c| c.as_obj())
+        .ok_or(format!("{what}: missing counters object"))?;
+    let gauges = v
+        .get("gauges")
+        .and_then(|c| c.as_obj())
+        .ok_or(format!("{what}: missing gauges object"))?;
+    let hists = v
+        .get("histograms")
+        .and_then(|c| c.as_obj())
+        .ok_or(format!("{what}: missing histograms object"))?;
+    for (name, h) in hists {
+        for key in ["count", "p50", "p90", "p99"] {
+            h.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or(format!("{what}: histogram '{name}' missing {key}"))?;
+        }
+    }
+    Ok((counters.len(), gauges.len(), hists.len()))
+}
+
+/// Validate a metrics JSON document as written by
+/// [`crate::export::metrics_json`].
+pub fn check_metrics_json(text: &str) -> Result<MetricsStats, String> {
+    let doc = Json::parse(text).map_err(|e| format!("metrics not valid JSON: {e}"))?;
+    let ranks = doc
+        .get("ranks")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing ranks array")?;
+    for (i, r) in ranks.iter().enumerate() {
+        r.get("label")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("rank {i}: missing label"))?;
+        check_metrics_obj(r, &format!("rank {i}"))?;
+    }
+    let merged = doc.get("merged").ok_or("missing merged object")?;
+    let (c, g, h) = check_metrics_obj(merged, "merged")?;
+    Ok(MetricsStats {
+        ranks: ranks.len(),
+        merged_counters: c,
+        merged_gauges: g,
+        merged_histograms: h,
+    })
+}

@@ -1,0 +1,293 @@
+//! Exporters: Chrome-trace JSON (viewable in Perfetto / `chrome://tracing`),
+//! flat metrics JSON, and a human-readable summary table.
+//!
+//! Chrome-trace emission uses duration events (`ph: "B"`/`"E"`). Spans are
+//! recorded as closed intervals with truthful nesting depths, so emission
+//! replays them against a per-thread stack: before opening a span, every
+//! stacked span that is no shallower — or that already ended — is closed.
+//! Timestamps are clamped to be non-decreasing per thread (µs rounding can
+//! make a child's end exceed its parent's by a tick), which yields exactly
+//! the two properties the checker verifies: balanced B/E and monotone `ts`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{escape_into, number};
+use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::recorder::{SpanEvent, TelemetrySnapshot};
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    ph: char,
+    name: &str,
+    ts: u64,
+    pid: usize,
+    tid: u64,
+    args: Option<&[(String, String)]>,
+    cpu_us: Option<u64>,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n{\"name\":");
+    escape_into(out, name);
+    out.push_str(&format!(
+        ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}"
+    ));
+    if args.is_some() || cpu_us.is_some() {
+        out.push_str(",\"args\":{");
+        let mut afirst = true;
+        if let Some(cpu) = cpu_us {
+            out.push_str(&format!("\"cpu_us\":{cpu}"));
+            afirst = false;
+        }
+        for (k, v) in args.unwrap_or(&[]) {
+            if !afirst {
+                out.push(',');
+            }
+            afirst = false;
+            escape_into(out, k);
+            out.push(':');
+            escape_into(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Render snapshots (one per rank) as one Chrome-trace JSON document.
+/// `pid` is the snapshot index, `tid` the recorder-local thread id.
+pub fn chrome_trace(snaps: &[TelemetrySnapshot]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (pid, snap) in snaps.iter().enumerate() {
+        // Process metadata so Perfetto shows rank labels.
+        push_event(
+            &mut out,
+            &mut first,
+            'M',
+            "process_name",
+            0,
+            pid,
+            0,
+            None,
+            None,
+        );
+        // (the args of the metadata event carry the label)
+        out.pop(); // '}'
+        out.push_str(",\"args\":{\"name\":");
+        escape_into(&mut out, &snap.label);
+        out.push_str("}}");
+
+        let mut by_tid: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+        for s in &snap.spans {
+            by_tid.entry(s.tid).or_default().push(s);
+        }
+        for (tid, mut spans) in by_tid {
+            spans.sort_by(|a, b| {
+                (a.t0_us, a.depth, std::cmp::Reverse(a.dur_us)).cmp(&(
+                    b.t0_us,
+                    b.depth,
+                    std::cmp::Reverse(b.dur_us),
+                ))
+            });
+            let mut stack: Vec<(&SpanEvent, u64)> = Vec::new();
+            let mut last_ts = 0u64;
+            for s in spans {
+                let s_end = s.end_us();
+                while let Some(&(top, tend)) = stack.last() {
+                    if top.depth >= s.depth || tend <= s.t0_us {
+                        let ts = tend.min(s.t0_us).max(last_ts);
+                        push_event(
+                            &mut out, &mut first, 'E', &top.name, ts, pid, tid, None, None,
+                        );
+                        last_ts = ts;
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let ts = s.t0_us.max(last_ts);
+                push_event(
+                    &mut out,
+                    &mut first,
+                    'B',
+                    &s.name,
+                    ts,
+                    pid,
+                    tid,
+                    Some(&s.args),
+                    Some(s.cpu_us),
+                );
+                last_ts = ts;
+                stack.push((s, s_end));
+            }
+            while let Some((top, tend)) = stack.pop() {
+                let ts = tend.max(last_ts);
+                push_event(
+                    &mut out, &mut first, 'E', &top.name, ts, pid, tid, None, None,
+                );
+                last_ts = ts;
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn hist_json(out: &mut String, h: &Histogram) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        number(h.mean()),
+        h.quantile(0.50).unwrap_or(0),
+        h.quantile(0.90).unwrap_or(0),
+        h.quantile(0.99).unwrap_or(0),
+    ));
+}
+
+fn metrics_obj(out: &mut String, label: Option<&str>, m: &MetricsSnapshot) {
+    out.push('{');
+    if let Some(label) = label {
+        out.push_str("\"label\":");
+        escape_into(out, label);
+        out.push(',');
+    }
+    out.push_str("\"counters\":{");
+    let mut first = true;
+    for (k, v) in &m.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        escape_into(out, k);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    let mut first = true;
+    for (k, v) in &m.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        escape_into(out, k);
+        out.push(':');
+        out.push_str(&number(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    let mut first = true;
+    for (k, h) in &m.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        escape_into(out, k);
+        out.push(':');
+        hist_json(out, h);
+    }
+    out.push_str("}}");
+}
+
+/// Render one metrics snapshot as a standalone JSON object
+/// (`{"counters": {...}, "gauges": {...}, "histograms": {...}}`) — the
+/// building block benches embed inside their own report documents.
+pub fn metrics_object(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    metrics_obj(&mut out, None, m);
+    out
+}
+
+/// Merge per-rank metrics into one cluster-wide snapshot (counters and
+/// histograms add; gauges sum — see [`MetricsSnapshot::merge_from`]).
+pub fn merged_metrics(snaps: &[TelemetrySnapshot]) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for s in snaps {
+        merged.merge_from(&s.metrics);
+    }
+    merged
+}
+
+/// Render snapshots (one per rank) as the flat metrics JSON document:
+/// `{"ranks": [{label, counters, gauges, histograms}...], "merged": {...}}`.
+pub fn metrics_json(snaps: &[TelemetrySnapshot]) -> String {
+    let mut out = String::from("{\"ranks\":[");
+    for (i, s) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        metrics_obj(&mut out, Some(&s.label), &s.metrics);
+    }
+    out.push_str("\n],\"merged\":");
+    metrics_obj(&mut out, None, &merged_metrics(snaps));
+    out.push_str("}\n");
+    out
+}
+
+/// Human-readable summary table over a set of per-rank snapshots:
+/// `println!("{}", Summary(&snaps))`.
+pub struct Summary<'a>(pub &'a [TelemetrySnapshot]);
+
+impl fmt::Display for Summary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let merged = merged_metrics(self.0);
+        writeln!(f, "== telemetry summary ({} rank(s)) ==", self.0.len())?;
+
+        // Span roll-up: total wall/cpu and count per span name.
+        let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        for snap in self.0 {
+            for s in &snap.spans {
+                let e = by_name.entry(&s.name).or_insert((0, 0, 0));
+                e.0 += s.dur_us;
+                e.1 += s.cpu_us;
+                e.2 += 1;
+            }
+        }
+        if !by_name.is_empty() {
+            writeln!(f, "spans (name: count, wall s, cpu s):")?;
+            let mut rows: Vec<_> = by_name.into_iter().collect();
+            rows.sort_by_key(|&(_, (wall, _, _))| std::cmp::Reverse(wall));
+            for (name, (wall, cpu, n)) in rows {
+                writeln!(
+                    f,
+                    "  {name:<28} {n:>7}  {:>9.3}  {:>9.3}",
+                    wall as f64 * 1e-6,
+                    cpu as f64 * 1e-6
+                )?;
+            }
+        }
+        if !merged.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (k, v) in &merged.counters {
+                writeln!(f, "  {k:<40} {v:>12}")?;
+            }
+        }
+        if !merged.gauges.is_empty() {
+            writeln!(f, "gauges (summed across ranks):")?;
+            for (k, v) in &merged.gauges {
+                writeln!(f, "  {k:<40} {v:>12.6}")?;
+            }
+        }
+        if !merged.histograms.is_empty() {
+            writeln!(f, "histograms (count / p50 / p90 / p99 / max):")?;
+            for (k, h) in &merged.histograms {
+                writeln!(
+                    f,
+                    "  {k:<32} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    h.count(),
+                    h.quantile(0.50).unwrap_or(0),
+                    h.quantile(0.90).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                    h.max()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}

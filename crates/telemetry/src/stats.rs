@@ -1,0 +1,76 @@
+//! Shared load statistics.
+//!
+//! Both the event-driven simulator's imbalance metric (`eventsim.rs`, the
+//! paper's Fig. 10 "normalized standard deviation") and the work-sharing
+//! schedule report (`sharing.rs`) summarize a vector of per-rank times.
+//! They used to recompute mean/σ independently; both now call through this
+//! one helper so the two numbers cannot drift.
+
+/// Summary statistics over per-rank load (completion times, busy seconds…).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LoadSummary {
+    pub n: usize,
+    pub total: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Population standard deviation divided by the mean — the paper's
+    /// Fig. 10 imbalance metric. Zero for empty input or zero mean.
+    pub normalized_std: f64,
+}
+
+impl LoadSummary {
+    pub fn from_times(times: &[f64]) -> LoadSummary {
+        if times.is_empty() {
+            return LoadSummary::default();
+        }
+        let n = times.len();
+        let total: f64 = times.iter().sum();
+        let mean = total / n as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut var = 0.0;
+        for &t in times {
+            min = min.min(t);
+            max = max.max(t);
+            var += (t - mean) * (t - mean);
+        }
+        var /= n as f64;
+        let normalized_std = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        LoadSummary {
+            n,
+            total,
+            mean,
+            min,
+            max,
+            normalized_std,
+        }
+    }
+}
+
+/// The Fig. 10 imbalance metric: population σ of `times` over its mean.
+pub fn normalized_std(times: &[f64]) -> f64 {
+    LoadSummary::from_times(times).normalized_std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_uniform_are_zero() {
+        assert_eq!(normalized_std(&[]), 0.0);
+        assert_eq!(normalized_std(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = LoadSummary::from_times(&[1.0, 3.0]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.total, 4.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.normalized_std - 0.5).abs() < 1e-12);
+    }
+}

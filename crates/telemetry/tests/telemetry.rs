@@ -1,0 +1,289 @@
+//! Satellite test coverage for the telemetry crate: histogram quantile
+//! edge cases, span nesting/reentrancy under 8 threads, Chrome-trace JSON
+//! validity (balanced B/E, monotone timestamps), and per-thread shard
+//! merging.
+
+use dtfe_telemetry::check::{check_chrome_trace, check_metrics_json};
+use dtfe_telemetry::{
+    chrome_trace, counter_add, gauge_set, hist_record, metrics_json, span, Histogram, Recorder,
+};
+
+// ---------------------------------------------------------------------------
+// Histogram quantile edges
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+}
+
+#[test]
+fn single_sample_answers_every_quantile_exactly() {
+    for v in [0u64, 1, 15, 16, 17, 1000, 123_456_789] {
+        let mut h = Histogram::new();
+        h.record(v);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(v), "v={v} q={q}");
+        }
+    }
+}
+
+#[test]
+fn low_range_is_exact() {
+    // Values below 16 each get their own bucket: quantiles are exact.
+    let mut h = Histogram::new();
+    for v in 0..16u64 {
+        h.record(v);
+    }
+    assert_eq!(h.quantile(0.0), Some(0));
+    assert_eq!(h.quantile(1.0), Some(15));
+    assert_eq!(h.quantile(0.5), Some(7)); // rank 8 (1-based) = value 7
+}
+
+#[test]
+fn bucket_boundary_values_stay_within_relative_error() {
+    let mut h = Histogram::new();
+    // Powers of two are exact bucket lower bounds.
+    for v in [16u64, 32, 64, 128, 256, 512, 1024] {
+        h.record(v);
+    }
+    for q in [0.1, 0.5, 0.9, 1.0] {
+        let est = h.quantile(q).unwrap() as f64;
+        // The true quantile is one of the recorded powers of two; allow the
+        // documented 6.25% bucket error.
+        let nearest = [16.0f64, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                ((a - est).abs() / a)
+                    .partial_cmp(&((b - est).abs() / b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            (est - nearest).abs() / nearest <= 1.0 / 16.0 + 1e-9,
+            "q={q} est={est}"
+        );
+    }
+}
+
+#[test]
+fn quantiles_are_clamped_to_observed_range() {
+    let mut h = Histogram::new();
+    h.record(1000);
+    h.record(1001);
+    assert!(h.quantile(0.0).unwrap() >= 1000);
+    assert!(h.quantile(1.0).unwrap() <= 1001);
+}
+
+#[test]
+fn merge_of_shards_equals_single_histogram() {
+    let mut parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+    let mut whole = Histogram::new();
+    let mut v = 1u64;
+    for i in 0..1000u64 {
+        v = v
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let sample = v % 100_000;
+        parts[(i % 4) as usize].record(sample);
+        whole.record(sample);
+    }
+    let mut merged = Histogram::new();
+    for p in &parts {
+        merged.merge(p);
+    }
+    assert_eq!(merged, whole);
+    assert_eq!(merged.count(), 1000);
+    assert_eq!(merged.quantile(0.5), whole.quantile(0.5));
+    // Merging an empty histogram is a no-op.
+    merged.merge(&Histogram::new());
+    assert_eq!(merged, whole);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder + spans
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabled_macros_record_nothing() {
+    // No recorder installed on this thread (tests run on their own threads).
+    counter_add!("test.disabled_counter", 7);
+    hist_record!("test.disabled_hist", 7);
+    let sp = span!("test.disabled_span");
+    let times = sp.end();
+    assert!(times.wall_s >= 0.0 && times.cpu_s >= 0.0);
+}
+
+#[test]
+fn span_nesting_and_reentrancy_under_8_threads() {
+    let rec = Recorder::new("stress");
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let rec = rec.clone();
+            std::thread::spawn(move || {
+                let _g = rec.install();
+                for i in 0..50 {
+                    let _outer = span!("outer", thread = t, iter = i);
+                    counter_add!("test.iterations", 1);
+                    {
+                        let _mid = span!("mid");
+                        hist_record!("test.iter_value", i as u64);
+                        let _inner = span!("inner");
+                        counter_add!("test.inner_visits", 1);
+                    }
+                    {
+                        // Re-entering the same span name at the same depth.
+                        let _mid = span!("mid");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let snap = rec.snapshot();
+    assert_eq!(snap.metrics.counter("test.iterations"), 8 * 50);
+    assert_eq!(snap.metrics.counter("test.inner_visits"), 8 * 50);
+    let h = snap
+        .metrics
+        .histogram("test.iter_value")
+        .expect("histogram exists");
+    assert_eq!(h.count(), 8 * 50);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 49);
+
+    // 8 threads x 50 iterations x (outer + 2x mid + inner) spans.
+    assert_eq!(snap.spans.len(), 8 * 50 * 4);
+    // Depths are truthful: outer=0, mid=1, inner=2.
+    for s in &snap.spans {
+        let expected = match s.name.as_str() {
+            "outer" => 0,
+            "mid" => 1,
+            "inner" => 2,
+            other => panic!("unexpected span {other}"),
+        };
+        assert_eq!(s.depth, expected, "span {}", s.name);
+        // Children are contained in some same-thread parent window.
+        if s.depth > 0 {
+            let contained = snap.spans.iter().any(|p| {
+                p.tid == s.tid
+                    && p.depth == s.depth - 1
+                    && p.t0_us <= s.t0_us
+                    && s.end_us() <= p.end_us()
+            });
+            assert!(contained, "span {} at t0={} not contained", s.name, s.t0_us);
+        }
+    }
+    // 8 distinct shards (one per thread).
+    let tids: std::collections::BTreeSet<u64> = snap.spans.iter().map(|s| s.tid).collect();
+    assert_eq!(tids.len(), 8);
+
+    // The emitted trace must pass the checker: balanced B/E, monotone ts.
+    let trace = chrome_trace(&[snap]);
+    let stats = check_chrome_trace(&trace).expect("valid chrome trace");
+    assert_eq!(stats.spans, 8 * 50 * 4);
+    assert_eq!(stats.processes, 1);
+}
+
+#[test]
+fn install_is_scoped_and_nestable() {
+    let outer = Recorder::new("outer");
+    let inner = Recorder::new("inner");
+    {
+        let _g1 = outer.install();
+        counter_add!("test.scoped", 1);
+        {
+            let _g2 = inner.install();
+            counter_add!("test.scoped", 10);
+        }
+        // Previous recorder restored after the nested guard drops.
+        counter_add!("test.scoped", 100);
+    }
+    counter_add!("test.scoped", 1000); // no recorder: dropped
+    assert_eq!(outer.snapshot().metrics.counter("test.scoped"), 101);
+    assert_eq!(inner.snapshot().metrics.counter("test.scoped"), 10);
+}
+
+#[test]
+fn gauges_take_last_write() {
+    let rec = Recorder::new("g");
+    {
+        let _g = rec.install();
+        gauge_set!("test.phase_seconds", 1.5);
+        gauge_set!("test.phase_seconds", 2.5);
+    }
+    assert_eq!(
+        rec.snapshot().metrics.gauge("test.phase_seconds"),
+        Some(2.5)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chrome_trace_of_zero_duration_spans_is_balanced() {
+    let rec = Recorder::new("fast");
+    {
+        let _g = rec.install();
+        for _ in 0..100 {
+            let _sp = span!("blink"); // sub-microsecond: dur_us rounds to 0
+        }
+    }
+    let trace = chrome_trace(&[rec.snapshot()]);
+    let stats = check_chrome_trace(&trace).expect("valid trace with zero-duration spans");
+    assert_eq!(stats.spans, 100);
+}
+
+#[test]
+fn metrics_json_roundtrips_through_checker() {
+    let a = Recorder::new("rank0");
+    let b = Recorder::new("rank1");
+    {
+        let _g = a.install();
+        counter_add!("test.widgets_built", 3);
+        gauge_set!("test.busy_seconds", 0.25);
+        hist_record!("test.widget_us", 40);
+    }
+    {
+        let _g = b.install();
+        counter_add!("test.widgets_built", 5);
+        gauge_set!("test.busy_seconds", 0.75);
+        hist_record!("test.widget_us", 60);
+    }
+    let snaps = [a.snapshot(), b.snapshot()];
+    let doc = metrics_json(&snaps);
+    let stats = check_metrics_json(&doc).expect("valid metrics json");
+    assert_eq!(stats.ranks, 2);
+
+    let merged = dtfe_telemetry::merged_metrics(&snaps);
+    assert_eq!(merged.counter("test.widgets_built"), 8);
+    assert_eq!(merged.gauge("test.busy_seconds"), Some(1.0)); // summed
+    assert_eq!(merged.histogram("test.widget_us").unwrap().count(), 2);
+}
+
+#[test]
+fn checker_rejects_broken_traces() {
+    // Unbalanced: B without E.
+    let bad = r#"{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":0,"tid":0}]}"#;
+    assert!(check_chrome_trace(bad).is_err());
+    // Non-monotone timestamps.
+    let bad = r#"{"traceEvents":[
+        {"name":"x","ph":"B","ts":5,"pid":0,"tid":0},
+        {"name":"x","ph":"E","ts":4,"pid":0,"tid":0}]}"#;
+    assert!(check_chrome_trace(bad).is_err());
+    // E without any open span.
+    let bad = r#"{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":0,"tid":0}]}"#;
+    assert!(check_chrome_trace(bad).is_err());
+    // Valid empty trace.
+    assert!(check_chrome_trace(r#"{"traceEvents":[]}"#).is_ok());
+}

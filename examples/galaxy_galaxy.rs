@@ -3,19 +3,30 @@
 //! framework with a-priori work sharing.
 //!
 //! ```text
-//! cargo run --release --example galaxy_galaxy
+//! cargo run --release --example galaxy_galaxy [-- --quick] [-- --trace]
 //! ```
+//!
+//! `--quick` shrinks the problem to CI size; `--trace` turns on the
+//! telemetry recorder and writes `galaxy_galaxy_trace.json` (Chrome
+//! trace — load it in Perfetto / `chrome://tracing`) plus
+//! `galaxy_galaxy_metrics.json` next to the experiment CSVs.
 
 use dtfe_repro::framework::{run_distributed, FieldRequest, FrameworkConfig};
 use dtfe_repro::geometry::{Aabb3, Vec3};
 use dtfe_repro::lensing::configs::galaxy_galaxy_centers;
 use dtfe_repro::nbody::datasets::galaxy_box;
+use dtfe_repro::telemetry::Summary;
 use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace = args.iter().any(|a| a == "--trace");
+
     let box_len = 32.0;
     let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
-    let (particles, halos) = galaxy_box(box_len, 120_000, 48, 99);
+    let n_particles = if quick { 20_000 } else { 120_000 };
+    let (particles, halos) = galaxy_box(box_len, n_particles, 48, 99);
     println!(
         "galaxy box: {} particles, {} halos",
         particles.len(),
@@ -23,7 +34,8 @@ fn main() {
     );
 
     let field_len = 3.0;
-    let centers = galaxy_galaxy_centers(&halos, 40, bounds, field_len * 0.5);
+    let n_fields = if quick { 16 } else { 40 };
+    let centers = galaxy_galaxy_centers(&halos, n_fields, bounds, field_len * 0.5);
     let requests: Vec<FieldRequest> = centers
         .iter()
         .map(|&c| FieldRequest { center: c })
@@ -33,11 +45,13 @@ fn main() {
         requests.len()
     );
 
+    let resolution = if quick { 32 } else { 64 };
     let nranks = 8;
     for balance in [false, true] {
         let cfg = FrameworkConfig {
             balance,
-            ..FrameworkConfig::new(field_len, 64)
+            telemetry: trace,
+            ..FrameworkConfig::new(field_len, resolution)
         };
         let t0 = Instant::now();
         let run =
@@ -46,21 +60,14 @@ fn main() {
         let computed = run.computed;
         let mode = if balance { "balanced  " } else { "unbalanced" };
         // The Fig. 10 imbalance metric: normalized std of per-rank compute.
-        let compute: Vec<f64> = run
-            .ranks
-            .iter()
-            .map(|r| r.timings.triangulate + r.timings.render)
-            .collect();
-        let mean = compute.iter().sum::<f64>() / compute.len() as f64;
-        let sd = (compute.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
-            / compute.len() as f64)
-            .sqrt();
+        let load = dtfe_repro::framework::LoadSummary::from_times(&run.compute_times());
         let moved: usize = run.ranks.iter().map(|r| r.sent_items).sum();
         println!(
             "{mode}: wall {wall:6.2}s | {computed} fields | {} items moved | \
-             per-rank compute {mean:.2}±{sd:.2}s (norm. std {:.2})",
+             per-rank compute {:.2}s mean (norm. std {:.2})",
             moved,
-            if mean > 0.0 { sd / mean } else { 0.0 }
+            load.mean,
+            run.imbalance(),
         );
         for r in &run.ranks {
             println!(
@@ -73,6 +80,20 @@ fn main() {
                 r.timings.render,
                 r.timings.sharing_wait,
             );
+        }
+        // Export the balanced run's telemetry: that is the configuration
+        // the paper profiles.
+        if trace && balance {
+            let dir = dtfe_repro::core::io::experiments_dir();
+            let trace_path = dir.join("galaxy_galaxy_trace.json");
+            let metrics_path = dir.join("galaxy_galaxy_metrics.json");
+            std::fs::write(&trace_path, run.chrome_trace().expect("telemetry on"))
+                .expect("write trace");
+            std::fs::write(&metrics_path, run.metrics_json().expect("telemetry on"))
+                .expect("write metrics");
+            println!("trace   -> {}", trace_path.display());
+            println!("metrics -> {}", metrics_path.display());
+            println!("{}", Summary(&run.telemetry()));
         }
     }
 }

@@ -159,6 +159,95 @@ fn galaxy_galaxy_centers_from_catalog_work_in_framework() {
 }
 
 #[test]
+fn telemetry_snapshot_run_exports_trace_and_imbalance() {
+    // The observability acceptance test: a snapshot-driven distributed run
+    // with telemetry on must yield (a) a valid Chrome trace whose phase
+    // spans cover ≥95% of every rank's busy time and (b) a metrics JSON
+    // document whose per-rank triangulate/interpolate gauges reproduce the
+    // Fig. 10 imbalance metric computed by the framework itself.
+    use dtfe_repro::nbody::snapshot::write_snapshot;
+    use dtfe_repro::telemetry::json::Json;
+    use dtfe_repro::telemetry::{check, normalized_std};
+
+    let box_len = 20.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(box_len));
+    let (pts, halos) = galaxy_box(box_len, 30_000, 20, 17);
+    let mut blocks: Vec<Vec<Vec3>> = vec![Vec::new(); 3];
+    for (i, &p) in pts.iter().enumerate() {
+        blocks[i % 3].push(p);
+    }
+    let mut path = std::env::temp_dir();
+    path.push(format!("dtfe_pipeline_snap_{}.bin", std::process::id()));
+    write_snapshot(&path, &blocks, bounds).unwrap();
+
+    let requests: Vec<FieldRequest> = halos
+        .iter()
+        .filter(|h| bounds.inflated(-1.0).contains_closed(h.center))
+        .take(10)
+        .map(|h| FieldRequest { center: h.center })
+        .collect();
+    assert!(requests.len() >= 6);
+    let nranks = 4;
+    let cfg = FrameworkConfig {
+        balance: true,
+        telemetry: true,
+        ..FrameworkConfig::new(2.0, 24)
+    };
+    let run = dtfe_repro::framework::run_distributed_snapshot(nranks, &path, &requests, &cfg)
+        .expect("snapshot run");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(run.computed, requests.len());
+
+    // (a) Chrome trace: parses, one process per rank, and on every rank
+    // the depth-1 phase spans cover ≥95% of the depth-0 rank span's CPU.
+    let trace = run.chrome_trace().expect("telemetry attached");
+    let stats = check::check_chrome_trace(&trace).expect("valid chrome trace");
+    assert_eq!(stats.processes, nranks);
+    let snaps = run.telemetry();
+    assert_eq!(snaps.len(), nranks);
+    for snap in &snaps {
+        let busy = snap.span_cpu_s(0);
+        let phases = snap.span_cpu_s(1);
+        assert!(
+            phases >= 0.95 * busy,
+            "{}: phase spans cover {phases:.6}s of {busy:.6}s busy",
+            snap.label
+        );
+    }
+
+    // (b) Metrics JSON: per-rank tri/interp gauges round-trip exactly, so
+    // the imbalance recomputed from the exported document equals the
+    // framework's own Fig. 10 metric.
+    let metrics = run.metrics_json().expect("telemetry attached");
+    check::check_metrics_json(&metrics).expect("valid metrics json");
+    let doc = Json::parse(&metrics).unwrap();
+    let ranks = doc.get("ranks").and_then(|r| r.as_arr()).unwrap();
+    assert_eq!(ranks.len(), nranks);
+    let mut times = vec![0.0; nranks];
+    for r in ranks {
+        let label = r.get("label").and_then(|l| l.as_str()).unwrap();
+        let idx: usize = label.strip_prefix("rank").unwrap().parse().unwrap();
+        let gauges = r.get("gauges").unwrap();
+        let tri = gauges
+            .get("framework.triangulate_s")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        let interp = gauges
+            .get("framework.interpolate_s")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        times[idx] = tri + interp;
+    }
+    let from_json = normalized_std(&times);
+    assert!(
+        (from_json - run.imbalance()).abs() < 1e-12,
+        "imbalance from exported JSON {from_json} vs framework {}",
+        run.imbalance()
+    );
+    assert!(from_json.is_finite());
+}
+
+#[test]
 fn cluster_dataset_renders_like_fig1() {
     let (pts, bounds) = cluster_with_substructure(20_000, 3);
     let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
