@@ -1,0 +1,422 @@
+//! Open-loop load generator for `dtfe-service`, reporting
+//! `target/experiments/BENCH_service.json`.
+//!
+//! Two phases against a zipf-popular tile workload:
+//!
+//! 1. **cold sweep** — one request per tile, serially, with an empty
+//!    cache: every request pays (or would pay) a triangulation build, so
+//!    the phase's p50 is the triangulation-included latency;
+//! 2. **warm open-loop** — `--requests` requests at `--rate` req/s with
+//!    zipf(`--zipf`) tile popularity. Arrivals follow a fixed schedule
+//!    (open loop: a slow server grows queueing delay rather than slowing
+//!    the arrival process), spread over enough sender threads that the
+//!    schedule never starves.
+//!
+//! Modes: in-process (default; self-seeds a demo snapshot) or `--addr
+//! HOST:PORT` against a running `dtfe-served` (the CI smoke run). Exits
+//! nonzero if any request fails or the hit/miss counters fail to account
+//! for every completed request.
+//!
+//! ```text
+//! cargo run --release -p dtfe-bench --bin loadgen [-- --requests 400 --rate 100]
+//! cargo run --release -p dtfe-bench --bin loadgen -- --addr 127.0.0.1:7433
+//! ```
+
+use dtfe_framework::Decomposition;
+use dtfe_geometry::{Aabb3, Vec3};
+use dtfe_nbody::halos::{clustered_box, ClusteredBoxSpec};
+use dtfe_nbody::snapshot::write_snapshot;
+use dtfe_service::{Client, RenderRequest, Service, ServiceConfig};
+use dtfe_telemetry::json::number;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    snapshots: PathBuf,
+    snapshot_id: String,
+    requests: usize,
+    rate: f64,
+    zipf: f64,
+    tiles: usize,
+    box_len: f64,
+    field_len: f64,
+    resolution: usize,
+    particles: usize,
+    senders: usize,
+    seed: u64,
+    /// After the run, send the wire `Shutdown` to a `--addr` server (the
+    /// SIGTERM-equivalent) and wait for its ack — the CI smoke run uses
+    /// this to assert clean drain.
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--snapshots DIR] [--snapshot ID] [--requests N] \
+         [--rate R] [--zipf S] [--tiles N] [--box-len L] [--field-len L] [--resolution N] \
+         [--particles N] [--senders N] [--seed N] [--shutdown]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        snapshots: PathBuf::from("target/service-snapshots"),
+        snapshot_id: "demo".into(),
+        requests: 200,
+        rate: 50.0,
+        zipf: 1.1,
+        tiles: 8,
+        box_len: 32.0,
+        field_len: 8.0,
+        resolution: 64,
+        particles: 120_000,
+        senders: 8,
+        seed: 42,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val()),
+            "--snapshots" => args.snapshots = PathBuf::from(val()),
+            "--snapshot" => args.snapshot_id = val(),
+            "--requests" => args.requests = val().parse().unwrap_or_else(|_| usage()),
+            "--rate" => args.rate = val().parse().unwrap_or_else(|_| usage()),
+            "--zipf" => args.zipf = val().parse().unwrap_or_else(|_| usage()),
+            "--tiles" => args.tiles = val().parse().unwrap_or_else(|_| usage()),
+            "--box-len" => args.box_len = val().parse().unwrap_or_else(|_| usage()),
+            "--field-len" => args.field_len = val().parse().unwrap_or_else(|_| usage()),
+            "--resolution" => args.resolution = val().parse().unwrap_or_else(|_| usage()),
+            "--particles" => args.particles = val().parse().unwrap_or_else(|_| usage()),
+            "--senders" => args.senders = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        (self.0.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf sampler over `0..k` (rank r has weight `1/(r+1)^s`).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(k: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for r in 0..k {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Xorshift) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Either transport, one per sender thread.
+enum Conn {
+    InProc(Arc<Service>),
+    Tcp(Client),
+}
+
+impl Conn {
+    fn render(&mut self, req: &RenderRequest) -> Result<bool, String> {
+        let resp = match self {
+            Conn::InProc(svc) => svc.render(req),
+            Conn::Tcp(client) => client.render(req),
+        };
+        match resp {
+            Ok(r) => Ok(r.meta.cache_hit),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    /// `(was_hit, latency_us)` per completed request.
+    done: Vec<(bool, u64)>,
+    errors: Vec<String>,
+}
+
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(args.box_len));
+    let decomp = Decomposition::new(bounds, args.tiles);
+    let tiles = decomp.num_ranks();
+
+    // The service under test: remote, or started in-process over a
+    // self-seeded demo snapshot.
+    let service: Option<Arc<Service>> = if args.addr.is_some() {
+        None
+    } else {
+        std::fs::create_dir_all(&args.snapshots).expect("create snapshot dir");
+        let path = args.snapshots.join(format!("{}.snap", args.snapshot_id));
+        if !path.is_file() {
+            let (points, _) =
+                clustered_box(&ClusteredBoxSpec::new(bounds, args.particles, 24, 1234));
+            write_snapshot(&path, &[points], bounds).expect("write demo snapshot");
+        }
+        let mut cfg = ServiceConfig::new(args.field_len, args.resolution);
+        cfg.tiles = args.tiles;
+        cfg.telemetry = true;
+        Some(Arc::new(
+            Service::start(&args.snapshots, cfg).expect("start service"),
+        ))
+    };
+    let connect = || -> Conn {
+        match (&service, &args.addr) {
+            (Some(svc), _) => Conn::InProc(svc.clone()),
+            (None, Some(addr)) => Conn::Tcp(Client::connect(addr).expect("connect")),
+            (None, None) => unreachable!(),
+        }
+    };
+
+    // Request centres: the tile centre, nudged inward so jitter never
+    // leaves the tile (tile popularity stays exactly zipf).
+    let center_of = |tile: usize, rng: &mut Xorshift| -> Vec3 {
+        let bx = decomp.rank_box(tile);
+        let c = bx.center();
+        let jitter = 0.25
+            * (bx.hi.x - bx.lo.x)
+                .min(bx.hi.y - bx.lo.y)
+                .min(bx.hi.z - bx.lo.z);
+        Vec3::new(
+            c.x + (rng.next_f64() - 0.5) * jitter,
+            c.y + (rng.next_f64() - 0.5) * jitter,
+            c.z + (rng.next_f64() - 0.5) * jitter,
+        )
+    };
+
+    // ---- Phase 1: cold sweep, one request per tile, serial.
+    let mut rng = Xorshift(args.seed | 1);
+    let mut conn = connect();
+    let mut cold_us = Vec::with_capacity(tiles);
+    let mut errors: Vec<String> = Vec::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let t_cold = Instant::now();
+    for tile in 0..tiles {
+        let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng));
+        let t0 = Instant::now();
+        match conn.render(&req) {
+            Ok(hit) => {
+                cold_us.push(t0.elapsed().as_micros() as u64);
+                if hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            Err(e) => errors.push(format!("cold tile {tile}: {e}")),
+        }
+    }
+    let cold_wall = t_cold.elapsed().as_secs_f64();
+    eprintln!(
+        "# cold sweep: {tiles} tiles in {cold_wall:.2}s ({} ok, {} errors)",
+        cold_us.len(),
+        errors.len()
+    );
+
+    // ---- Phase 2: warm open-loop at fixed rate with zipf popularity.
+    let zipf = Zipf::new(tiles, args.zipf);
+    let schedule: Vec<(Duration, Vec3)> = {
+        let mut rng = Xorshift(args.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        (0..args.requests)
+            .map(|i| {
+                let tile = zipf.sample(&mut rng);
+                (
+                    Duration::from_secs_f64(i as f64 / args.rate),
+                    center_of(tile, &mut rng),
+                )
+            })
+            .collect()
+    };
+    let schedule = Arc::new(schedule);
+    let next = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let lag_us = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let senders: Vec<_> = (0..args.senders.max(1))
+        .map(|_| {
+            let schedule = schedule.clone();
+            let next = next.clone();
+            let tally = tally.clone();
+            let lag_us = lag_us.clone();
+            let snapshot_id = args.snapshot_id.clone();
+            let mut conn = connect();
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((at, center)) = schedule.get(i).copied() else {
+                    return;
+                };
+                // Open loop: wait for the scheduled arrival, then record
+                // how late the send actually is (sender starvation shows
+                // up as lag, not as a silently lowered rate).
+                let now = start.elapsed();
+                if now < at {
+                    std::thread::sleep(at - now);
+                } else {
+                    lag_us.fetch_add((now - at).as_micros() as u64, Ordering::Relaxed);
+                }
+                let req = RenderRequest::new(&snapshot_id, center);
+                let t0 = Instant::now();
+                let result = conn.render(&req);
+                let us = t0.elapsed().as_micros() as u64;
+                let mut t = tally.lock().unwrap();
+                match result {
+                    Ok(hit) => t.done.push((hit, us)),
+                    Err(e) => t.errors.push(format!("warm req {i}: {e}")),
+                }
+            })
+        })
+        .collect();
+    for h in senders {
+        let _ = h.join();
+    }
+    let warm_wall = start.elapsed().as_secs_f64();
+    let tally = Arc::try_unwrap(tally).ok().unwrap().into_inner().unwrap();
+    errors.extend(tally.errors);
+
+    for &(hit, _) in &tally.done {
+        if hit {
+            hits += 1;
+        } else {
+            misses += 1;
+        }
+    }
+    let completed = cold_us.len() + tally.done.len();
+    let accounted = hits + misses == completed as u64;
+
+    let mut all_us: Vec<u64> = cold_us
+        .iter()
+        .copied()
+        .chain(tally.done.iter().map(|&(_, us)| us))
+        .collect();
+    all_us.sort_unstable();
+    let mut cold_sorted = cold_us.clone();
+    cold_sorted.sort_unstable();
+    let mut warm_hit_us: Vec<u64> = tally
+        .done
+        .iter()
+        .filter(|&&(hit, _)| hit)
+        .map(|&(_, us)| us)
+        .collect();
+    warm_hit_us.sort_unstable();
+
+    let p50_ms = percentile_ms(&all_us, 0.50);
+    let p99_ms = percentile_ms(&all_us, 0.99);
+    let cold_p50_ms = percentile_ms(&cold_sorted, 0.50);
+    let warm_p50_ms = percentile_ms(&warm_hit_us, 0.50);
+    let throughput_rps = tally.done.len() as f64 / warm_wall.max(1e-9);
+    let mean_lag_ms = if tally.done.is_empty() {
+        0.0
+    } else {
+        lag_us.load(Ordering::Relaxed) as f64 / 1e3 / args.requests as f64
+    };
+
+    let stats_json = match (&service, &args.addr) {
+        (Some(svc), _) => svc.metrics_json(),
+        (None, Some(addr)) => Client::connect(addr)
+            .ok()
+            .and_then(|mut c| c.stats().ok())
+            .unwrap_or_else(|| "null".into()),
+        (None, None) => unreachable!(),
+    };
+
+    let out = format!(
+        "{{\"bench\":\"service\",\"mode\":\"{}\",\"tiles\":{tiles},\"requests\":{},\
+         \"rate\":{},\"zipf\":{},\"completed\":{completed},\"errors\":{},\
+         \"hits\":{hits},\"misses\":{misses},\"accounted\":{accounted},\
+         \"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
+         \"cold_p50_ms\":{},\"warm_p50_ms\":{},\"mean_lag_ms\":{},\"server\":{stats_json}}}\n",
+        if args.addr.is_some() { "tcp" } else { "inproc" },
+        args.requests,
+        number(args.rate),
+        number(args.zipf),
+        errors.len(),
+        number(throughput_rps),
+        number(p50_ms),
+        number(p99_ms),
+        number(cold_p50_ms),
+        number(warm_p50_ms),
+        number(mean_lag_ms),
+    );
+    let dir = dtfe_core::io::experiments_dir();
+    let path = dir.join("BENCH_service.json");
+    std::fs::write(&path, &out).expect("write BENCH_service.json");
+    dtfe_telemetry::json::Json::parse(&out).expect("valid bench report JSON");
+
+    println!("# service -> {}", path.display());
+    println!(
+        "requests={completed} errors={} | throughput {throughput_rps:.1} rps | \
+         p50 {p50_ms:.2} ms p99 {p99_ms:.2} ms | cold p50 {cold_p50_ms:.2} ms \
+         warm p50 {warm_p50_ms:.2} ms ({:.1}x) | hits {hits} misses {misses} | lag {mean_lag_ms:.2} ms",
+        errors.len(),
+        cold_p50_ms / warm_p50_ms.max(1e-9),
+    );
+    for e in errors.iter().take(5) {
+        eprintln!("error: {e}");
+    }
+
+    if let Some(svc) = service {
+        // In-process mode owns the service: drain before reporting success
+        // so the run also smoke-tests shutdown.
+        svc.drain();
+    } else if args.shutdown {
+        let addr = args.addr.as_deref().unwrap();
+        match Client::connect(addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.shutdown().map_err(|e| e.to_string()))
+        {
+            Ok(()) => eprintln!("# server acked shutdown"),
+            Err(e) => {
+                eprintln!("error: shutdown: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !errors.is_empty() || !accounted {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

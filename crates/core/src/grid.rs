@@ -2,6 +2,33 @@
 
 use dtfe_geometry::{Aabb2, Aabb3, Vec2, Vec3};
 
+/// Typed rejection of malformed grid geometry, surfaced at construction
+/// instead of as NaN-filled fields deep inside a marching kernel (the
+/// serving layer validates remote requests through these).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GridError {
+    /// `nx` or `ny` (or `nz`) is zero.
+    EmptyResolution,
+    /// A bound coordinate is NaN or infinite.
+    NonFiniteExtent,
+    /// `hi <= lo` on some axis: the grid would have zero or negative area.
+    InvertedExtent,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::EmptyResolution => write!(f, "grid resolution must be at least 1×1"),
+            GridError::NonFiniteExtent => write!(f, "grid extent has a non-finite coordinate"),
+            GridError::InvertedExtent => {
+                write!(f, "grid extent is inverted or zero-area (hi <= lo)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// A regular 2D grid: `nx × ny` cells of size `cell`, lower-left corner at
 /// `origin`. Cell `(i, j)` covers
 /// `[origin.x + i·cell.x, origin.x + (i+1)·cell.x) × [...)` and its
@@ -15,16 +42,35 @@ pub struct GridSpec2 {
 }
 
 impl GridSpec2 {
-    /// Grid covering `[lo, hi]` with `nx × ny` cells.
+    /// Grid covering `[lo, hi]` with `nx × ny` cells. Panics on malformed
+    /// input; use [`GridSpec2::try_covering`] to validate untrusted input.
     pub fn covering(lo: Vec2, hi: Vec2, nx: usize, ny: usize) -> Self {
-        assert!(nx > 0 && ny > 0, "empty grid");
-        assert!(hi.x > lo.x && hi.y > lo.y, "inverted bounds");
-        GridSpec2 {
+        match Self::try_covering(lo, hi, nx, ny) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`GridSpec2::covering`], rejecting malformed geometry with a typed
+    /// [`GridError`] instead of panicking — non-finite bounds, inverted or
+    /// zero-area extents, and zero resolutions are all caught here, before
+    /// they can surface as NaN-filled fields out of a render kernel.
+    pub fn try_covering(lo: Vec2, hi: Vec2, nx: usize, ny: usize) -> Result<Self, GridError> {
+        if nx == 0 || ny == 0 {
+            return Err(GridError::EmptyResolution);
+        }
+        if !(lo.x.is_finite() && lo.y.is_finite() && hi.x.is_finite() && hi.y.is_finite()) {
+            return Err(GridError::NonFiniteExtent);
+        }
+        if hi.x <= lo.x || hi.y <= lo.y {
+            return Err(GridError::InvertedExtent);
+        }
+        Ok(GridSpec2 {
             origin: lo,
             cell: Vec2::new((hi.x - lo.x) / nx as f64, (hi.y - lo.y) / ny as f64),
             nx,
             ny,
-        }
+        })
     }
 
     /// Square grid of side `len` centred on `c` with `n × n` cells — the
@@ -33,6 +79,16 @@ impl GridSpec2 {
     pub fn square(c: Vec2, len: f64, n: usize) -> Self {
         let h = len * 0.5;
         Self::covering(c - Vec2::new(h, h), c + Vec2::new(h, h), n, n)
+    }
+
+    /// As [`GridSpec2::square`], with typed validation (`len` must be finite
+    /// and positive, `n` at least 1, `c` finite).
+    pub fn try_square(c: Vec2, len: f64, n: usize) -> Result<Self, GridError> {
+        if !len.is_finite() {
+            return Err(GridError::NonFiniteExtent);
+        }
+        let h = len * 0.5;
+        Self::try_covering(c - Vec2::new(h, h), c + Vec2::new(h, h), n, n)
     }
 
     #[inline]
@@ -301,6 +357,51 @@ mod tests {
         assert_eq!(g.center(3, 1), Vec2::new(3.5, 1.5));
         assert_eq!(g.cell_area(), 1.0);
         assert_eq!(g.num_cells(), 8);
+    }
+
+    #[test]
+    fn try_constructors_reject_malformed_extents() {
+        let lo = Vec2::new(0.0, 0.0);
+        let hi = Vec2::new(2.0, 2.0);
+        assert!(GridSpec2::try_covering(lo, hi, 4, 4).is_ok());
+        assert_eq!(
+            GridSpec2::try_covering(lo, hi, 0, 4),
+            Err(GridError::EmptyResolution)
+        );
+        assert_eq!(
+            GridSpec2::try_covering(Vec2::new(f64::NAN, 0.0), hi, 4, 4),
+            Err(GridError::NonFiniteExtent)
+        );
+        assert_eq!(
+            GridSpec2::try_covering(lo, Vec2::new(f64::INFINITY, 2.0), 4, 4),
+            Err(GridError::NonFiniteExtent)
+        );
+        assert_eq!(
+            GridSpec2::try_covering(hi, lo, 4, 4),
+            Err(GridError::InvertedExtent)
+        );
+        // Zero-area: hi == lo on one axis.
+        assert_eq!(
+            GridSpec2::try_covering(lo, Vec2::new(2.0, 0.0), 4, 4),
+            Err(GridError::InvertedExtent)
+        );
+        assert_eq!(
+            GridSpec2::try_square(Vec2::new(1.0, 1.0), 0.0, 4),
+            Err(GridError::InvertedExtent)
+        );
+        assert_eq!(
+            GridSpec2::try_square(Vec2::new(1.0, 1.0), f64::NAN, 4),
+            Err(GridError::NonFiniteExtent)
+        );
+        assert_eq!(
+            GridSpec2::try_square(Vec2::new(1.0, 1.0), 2.0, 0),
+            Err(GridError::EmptyResolution)
+        );
+        // The panicking constructor still matches the Ok path exactly.
+        assert_eq!(
+            GridSpec2::try_covering(lo, hi, 3, 5).unwrap(),
+            GridSpec2::covering(lo, hi, 3, 5)
+        );
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod render;
 pub mod walking;
 
 pub use density::{DtfeField, Mass};
-pub use grid::{Field2, Field3, GridSpec2, GridSpec3};
-pub use marching::{surface_density, MarchOptions};
-pub use render::RenderOptions;
+pub use grid::{Field2, Field3, GridError, GridSpec2, GridSpec3};
+pub use marching::{surface_density, surface_density_with_index, HullIndex, MarchOptions};
+pub use render::{RenderOptions, RenderOptionsError};
 pub use walking::{surface_density_walking, WalkOptions};

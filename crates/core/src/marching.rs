@@ -424,13 +424,27 @@ pub fn surface_density_with_stats(
     grid: &GridSpec2,
     opts: &MarchOptions,
 ) -> (Field2, MarchStats) {
-    let span = dtfe_telemetry::span!("core.march_render", nx = grid.nx, ny = grid.ny);
     let index = HullIndex::build(field);
+    surface_density_with_index(field, &index, grid, opts)
+}
+
+/// As [`surface_density_with_stats`], but marching through a caller-supplied
+/// [`HullIndex`]. Building the index costs one pass over the hull facets, so
+/// callers rendering *several* grids against the same triangulation (the
+/// serving layer's batched tile renders) build it once and amortize it; the
+/// output is bit-identical to [`surface_density`] on the same grid.
+pub fn surface_density_with_index(
+    field: &DtfeField,
+    index: &HullIndex,
+    grid: &GridSpec2,
+    opts: &MarchOptions,
+) -> (Field2, MarchStats) {
+    let span = dtfe_telemetry::span!("core.march_render", nx = grid.nx, ny = grid.ny);
     let eps = opts.epsilon * grid.cell.norm();
     let row = |j: usize, out: &mut [f64], stats: &mut MarchStats| {
         let mut seed = 0x9E3779B97F4A7C15u64 ^ ((j as u64) << 32) ^ 0xD1B54A32D192ED03;
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = cell_value(field, &index, grid, i, j, eps, opts, &mut seed, stats);
+            *slot = cell_value(field, index, grid, i, j, eps, opts, &mut seed, stats);
         }
     };
     let mut out = Field2::zeros(*grid);
@@ -693,6 +707,25 @@ mod tests {
         let ser = surface_density(&field, &grid, &MarchOptions::new().parallel(false));
         // Deterministic per-row seeding makes these bit-identical.
         assert_eq!(par.data, ser.data);
+    }
+
+    #[test]
+    fn shared_index_render_is_bit_identical() {
+        let pts = jittered_cloud(4, 61);
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let index = HullIndex::build(&field);
+        let opts = MarchOptions::new().samples(2).parallel(false);
+        // Two different grids against one index: each matches the
+        // build-per-call path exactly.
+        for grid in [
+            GridSpec2::covering(Vec2::new(0.2, 0.2), Vec2::new(3.1, 3.1), 17, 13),
+            GridSpec2::square(Vec2::new(1.7, 1.9), 2.0, 24),
+        ] {
+            let (a, sa) = surface_density_with_stats(&field, &grid, &opts);
+            let (b, sb) = surface_density_with_index(&field, &index, &grid, &opts);
+            assert_eq!(a.data, b.data);
+            assert_eq!(sa, sb);
+        }
     }
 
     #[test]

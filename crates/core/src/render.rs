@@ -78,4 +78,84 @@ impl RenderOptions {
         self.parallel = yes;
         self
     }
+
+    /// Check the options for values the kernels would silently turn into
+    /// garbage (NaN integration bounds, inverted z-windows, a zero sample
+    /// count). The builder setters cannot construct most of these, but
+    /// options deserialized from a wire request can — the serving layer
+    /// calls this before admitting a request.
+    pub fn validate(&self) -> Result<(), RenderOptionsError> {
+        if self.samples == 0 {
+            return Err(RenderOptionsError::ZeroSamples);
+        }
+        if let Some((lo, hi)) = self.z_range {
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(RenderOptionsError::NonFiniteZRange);
+            }
+            if hi <= lo {
+                return Err(RenderOptionsError::InvertedZRange);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed rejection of malformed [`RenderOptions`] (see
+/// [`RenderOptions::validate`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RenderOptionsError {
+    /// `samples == 0`: the Monte-Carlo mean over zero samples is undefined.
+    ZeroSamples,
+    /// A z-integration bound is NaN or infinite.
+    NonFiniteZRange,
+    /// `z_range.1 <= z_range.0`: the integration window is empty.
+    InvertedZRange,
+}
+
+impl std::fmt::Display for RenderOptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderOptionsError::ZeroSamples => write!(f, "samples per cell must be at least 1"),
+            RenderOptionsError::NonFiniteZRange => {
+                write!(f, "z-range has a non-finite bound")
+            }
+            RenderOptionsError::InvertedZRange => {
+                write!(f, "z-range is inverted or empty (hi <= lo)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderOptionsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert_eq!(RenderOptions::new().validate(), Ok(()));
+        assert_eq!(
+            RenderOptions::new()
+                .samples(4)
+                .z_range(-1.0, 1.0)
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wire_shaped_garbage() {
+        let mut o = RenderOptions::new();
+        o.samples = 0;
+        assert_eq!(o.validate(), Err(RenderOptionsError::ZeroSamples));
+        let o = RenderOptions::new().z_range(f64::NAN, 1.0);
+        assert_eq!(o.validate(), Err(RenderOptionsError::NonFiniteZRange));
+        let o = RenderOptions::new().z_range(0.0, f64::INFINITY);
+        assert_eq!(o.validate(), Err(RenderOptionsError::NonFiniteZRange));
+        let o = RenderOptions::new().z_range(2.0, 2.0);
+        assert_eq!(o.validate(), Err(RenderOptionsError::InvertedZRange));
+        let o = RenderOptions::new().z_range(3.0, 1.0);
+        assert_eq!(o.validate(), Err(RenderOptionsError::InvertedZRange));
+    }
 }

@@ -1003,8 +1003,10 @@ pub fn run_distributed_snapshot(
     requests: &[FieldRequest],
     cfg: &FrameworkConfig,
 ) -> Result<RunReport, FrameworkError> {
-    let info = dtfe_nbody::snapshot::read_info(snapshot)
-        .map_err(|error| FrameworkError::Io { rank: 0, error })?;
+    let info = dtfe_nbody::snapshot::read_info(snapshot).map_err(|error| FrameworkError::Io {
+        rank: 0,
+        error: error.into(),
+    })?;
     let decomp = Decomposition::new(info.bounds, nranks);
     let results = dtfe_simcluster::run_with_faults(nranks, &cfg.faults, |mut comm| {
         // Phase 1a: the parallel read (measured into the partition phase by

@@ -8,23 +8,115 @@
 //! can fetch any subset of blocks independently, which is what the
 //! framework's "parallel read with arbitrary block assignment" simulates.
 //!
-//! Layout (little-endian):
+//! Current layout, version 2 (little-endian):
 //!
 //! ```text
-//! magic  u64  = 0x44_54_46_45_53_4E_50_31 ("DTFESNP1")
-//! nranks u64
-//! total  u64
-//! bounds 6 × f64 (lo.xyz, hi.xyz)
-//! table  nranks × (offset u64, count u64)   — offset in particles, not bytes
-//! data   total × 3 × f64
+//! magic    u64  = 0x44_54_46_45_53_4E_50_32 ("DTFESNP2")
+//! nranks   u64
+//! total    u64
+//! checksum u64  — FNV-1a 64 over the data section bytes
+//! bounds   6 × f64 (lo.xyz, hi.xyz)
+//! table    nranks × (offset u64, count u64)   — offset in particles, not bytes
+//! data     total × 3 × f64
 //! ```
+//!
+//! Version 1 ("DTFESNP1") lacked the checksum word; legacy files still read
+//! (with a `nbody.legacy_snapshot_reads` warning counter), but a truncated
+//! or bit-flipped v2 file surfaces as a typed
+//! [`SnapshotError::ChecksumMismatch`] instead of silently returning garbage
+//! particles — the serving layer's registry depends on this to reject
+//! corrupt uploads.
 
 use dtfe_geometry::{Aabb3, Vec3};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-const MAGIC: u64 = 0x4454_4645_534E_5031;
+/// Version-1 magic (no checksum).
+const MAGIC_V1: u64 = 0x4454_4645_534E_5031;
+/// Version-2 magic (FNV-1a content checksum in the header).
+const MAGIC_V2: u64 = 0x4454_4645_534E_5032;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher over the snapshot data section.
+#[derive(Clone, Copy, Debug)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Typed snapshot IO failure.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file IO failed (includes unexpected EOF on short files).
+    Io(io::Error),
+    /// The file does not start with a known snapshot magic.
+    BadMagic { found: u64 },
+    /// The header's block table is inconsistent with `total` (overlapping,
+    /// out-of-range, or non-contiguous offsets) — the file cannot have been
+    /// produced by [`write_snapshot`].
+    MalformedTable,
+    /// The FNV-1a checksum of the data section does not match the header:
+    /// the particle payload was truncated or corrupted after writing.
+    ChecksumMismatch { expected: u64, actual: u64 },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "bad snapshot magic {found:#018x}")
+            }
+            SnapshotError::MalformedTable => write!(f, "snapshot block table is malformed"),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot data checksum mismatch: header says {expected:#018x}, \
+                 data hashes to {actual:#018x} (file truncated or corrupted)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for io::Error {
+    fn from(e: SnapshotError) -> io::Error {
+        match e {
+            SnapshotError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// Snapshot header and block table.
 #[derive(Clone, Debug)]
@@ -33,6 +125,10 @@ pub struct SnapshotInfo {
     pub total: u64,
     /// Per-rank `(offset, count)` in particle units.
     pub blocks: Vec<(u64, u64)>,
+    /// Header checksum of the data section (`None` on legacy v1 files).
+    pub checksum: Option<u64>,
+    /// `true` when the file carries the pre-checksum v1 header.
+    pub legacy: bool,
 }
 
 impl SnapshotInfo {
@@ -61,13 +157,32 @@ fn read_f64(r: &mut impl Read) -> io::Result<f64> {
     Ok(f64::from_le_bytes(b))
 }
 
-/// Write a snapshot with one contiguous block per writer rank.
-pub fn write_snapshot(path: &Path, blocks: &[Vec<Vec3>], bounds: Aabb3) -> io::Result<()> {
+/// Hash the particle payload exactly as it is laid out on disk.
+fn checksum_blocks(blocks: &[Vec<Vec3>]) -> u64 {
+    let mut h = Fnv1a::new();
+    for b in blocks {
+        for p in b {
+            h.update(&p.x.to_le_bytes());
+            h.update(&p.y.to_le_bytes());
+            h.update(&p.z.to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Write a snapshot (current v2 layout, checksummed) with one contiguous
+/// block per writer rank.
+pub fn write_snapshot(
+    path: &Path,
+    blocks: &[Vec<Vec3>],
+    bounds: Aabb3,
+) -> Result<(), SnapshotError> {
     let mut w = BufWriter::new(File::create(path)?);
     let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
-    write_u64(&mut w, MAGIC)?;
+    write_u64(&mut w, MAGIC_V2)?;
     write_u64(&mut w, blocks.len() as u64)?;
     write_u64(&mut w, total)?;
+    write_u64(&mut w, checksum_blocks(blocks))?;
     for v in [bounds.lo, bounds.hi] {
         write_f64(&mut w, v.x)?;
         write_f64(&mut w, v.y)?;
@@ -86,45 +201,79 @@ pub fn write_snapshot(path: &Path, blocks: &[Vec<Vec3>], bounds: Aabb3) -> io::R
             write_f64(&mut w, p.z)?;
         }
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Read only the header/table.
-pub fn read_info(path: &Path) -> io::Result<SnapshotInfo> {
+pub fn read_info(path: &Path) -> Result<SnapshotInfo, SnapshotError> {
     let mut r = BufReader::new(File::open(path)?);
     read_info_from(&mut r)
 }
 
-fn read_info_from(r: &mut impl Read) -> io::Result<SnapshotInfo> {
+fn read_info_from(r: &mut impl Read) -> Result<SnapshotInfo, SnapshotError> {
     let magic = read_u64(r)?;
-    if magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad snapshot magic",
-        ));
-    }
+    let legacy = match magic {
+        MAGIC_V2 => false,
+        MAGIC_V1 => true,
+        found => return Err(SnapshotError::BadMagic { found }),
+    };
     let nranks = read_u64(r)?;
     let total = read_u64(r)?;
+    let checksum = if legacy {
+        // Pre-checksum header: readable, but integrity is unverifiable.
+        // Surface the fact as a warning counter so operators can find and
+        // rewrite stale files.
+        dtfe_telemetry::counter_add!("nbody.legacy_snapshot_reads", 1);
+        None
+    } else {
+        Some(read_u64(r)?)
+    };
     let lo = Vec3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
     let hi = Vec3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
     let mut blocks = Vec::with_capacity(nranks as usize);
     for _ in 0..nranks {
         blocks.push((read_u64(r)?, read_u64(r)?));
     }
+    // The table must tile [0, total) contiguously, exactly as the writer
+    // lays blocks out; anything else would make block reads alias.
+    let mut expect = 0u64;
+    for &(off, count) in &blocks {
+        if off != expect {
+            return Err(SnapshotError::MalformedTable);
+        }
+        expect = expect
+            .checked_add(count)
+            .ok_or(SnapshotError::MalformedTable)?;
+    }
+    if expect != total {
+        return Err(SnapshotError::MalformedTable);
+    }
     Ok(SnapshotInfo {
         bounds: Aabb3::new(lo, hi),
         total,
         blocks,
+        checksum,
+        legacy,
     })
 }
 
 fn data_start(info: &SnapshotInfo) -> u64 {
-    // magic + nranks + total + 6 bounds + table.
-    (3 + 6 + 2 * info.blocks.len() as u64) * 8
+    // magic + nranks + total (+ checksum on v2) + 6 bounds + table.
+    let head = if info.legacy { 3 } else { 4 };
+    (head + 6 + 2 * info.blocks.len() as u64) * 8
 }
 
 /// Read one rank's block (the per-process read of the parallel ingest).
-pub fn read_block(path: &Path, info: &SnapshotInfo, rank: usize) -> io::Result<Vec<Vec3>> {
+///
+/// A partial read cannot verify the whole-file checksum; callers that need
+/// integrity before fanning out block reads should [`verify`] once up front
+/// (the serving layer's registry does).
+pub fn read_block(
+    path: &Path,
+    info: &SnapshotInfo,
+    rank: usize,
+) -> Result<Vec<Vec3>, SnapshotError> {
     let (offset, count) = info.blocks[rank];
     let mut f = File::open(path)?;
     f.seek(SeekFrom::Start(data_start(info) + offset * 24))?;
@@ -140,21 +289,58 @@ pub fn read_block(path: &Path, info: &SnapshotInfo, rank: usize) -> io::Result<V
     Ok(out)
 }
 
-/// Read the whole snapshot.
-pub fn read_all(path: &Path) -> io::Result<(SnapshotInfo, Vec<Vec3>)> {
+/// Read the whole snapshot, verifying the data checksum (v2 files).
+pub fn read_all(path: &Path) -> Result<(SnapshotInfo, Vec<Vec3>), SnapshotError> {
     let info = read_info(path)?;
     let mut f = File::open(path)?;
     f.seek(SeekFrom::Start(data_start(&info)))?;
     let mut r = BufReader::new(f);
+    let mut hash = Fnv1a::new();
     let mut out = Vec::with_capacity(info.total as usize);
+    let mut buf = [0u8; 24];
     for _ in 0..info.total {
+        r.read_exact(&mut buf)?;
+        hash.update(&buf);
         out.push(Vec3::new(
-            read_f64(&mut r)?,
-            read_f64(&mut r)?,
-            read_f64(&mut r)?,
+            f64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            f64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            f64::from_le_bytes(buf[16..24].try_into().unwrap()),
         ));
     }
+    if let Some(expected) = info.checksum {
+        let actual = hash.finish();
+        if actual != expected {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+    }
     Ok((info, out))
+}
+
+/// Stream the data section and verify it against the header checksum
+/// without materializing the particles. Legacy v1 files (no checksum) pass
+/// vacuously — the read already bumped the legacy warning counter.
+pub fn verify(path: &Path) -> Result<SnapshotInfo, SnapshotError> {
+    let info = read_info(path)?;
+    let Some(expected) = info.checksum else {
+        return Ok(info);
+    };
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(data_start(&info)))?;
+    let mut r = BufReader::new(f);
+    let mut hash = Fnv1a::new();
+    let mut remaining = info.total * 24;
+    let mut buf = [0u8; 8192];
+    while remaining > 0 {
+        let want = remaining.min(buf.len() as u64) as usize;
+        r.read_exact(&mut buf[..want])?;
+        hash.update(&buf[..want]);
+        remaining -= want as u64;
+    }
+    let actual = hash.finish();
+    if actual != expected {
+        return Err(SnapshotError::ChecksumMismatch { expected, actual });
+    }
+    Ok(info)
 }
 
 #[cfg(test)]
@@ -181,6 +367,34 @@ mod tests {
         (blocks, Aabb3::new(Vec3::ZERO, Vec3::splat(2.0)))
     }
 
+    /// Write the pre-checksum v1 layout, as old files on disk have it.
+    fn write_snapshot_v1(path: &Path, blocks: &[Vec<Vec3>], bounds: Aabb3) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        write_u64(&mut w, MAGIC_V1)?;
+        write_u64(&mut w, blocks.len() as u64)?;
+        write_u64(&mut w, total)?;
+        for v in [bounds.lo, bounds.hi] {
+            write_f64(&mut w, v.x)?;
+            write_f64(&mut w, v.y)?;
+            write_f64(&mut w, v.z)?;
+        }
+        let mut offset = 0u64;
+        for b in blocks {
+            write_u64(&mut w, offset)?;
+            write_u64(&mut w, b.len() as u64)?;
+            offset += b.len() as u64;
+        }
+        for b in blocks {
+            for p in b {
+                write_f64(&mut w, p.x)?;
+                write_f64(&mut w, p.y)?;
+                write_f64(&mut w, p.z)?;
+            }
+        }
+        w.flush()
+    }
+
     #[test]
     fn roundtrip_all() {
         let p = tmp("all");
@@ -190,6 +404,8 @@ mod tests {
         assert_eq!(info.total, 6);
         assert_eq!(info.num_ranks(), 4);
         assert_eq!(info.bounds, bounds);
+        assert!(!info.legacy);
+        assert!(info.checksum.is_some());
         let expect: Vec<Vec3> = blocks.concat();
         assert_eq!(pts, expect);
         std::fs::remove_file(&p).ok();
@@ -214,8 +430,8 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let p = tmp("bad");
-        std::fs::write(&p, b"not a snapshot file at all").unwrap();
-        assert!(read_info(&p).is_err());
+        std::fs::write(&p, [0u8; 64]).unwrap();
+        assert!(matches!(read_info(&p), Err(SnapshotError::BadMagic { .. })));
         std::fs::remove_file(&p).ok();
     }
 
@@ -231,6 +447,94 @@ mod tests {
             expect += count;
         }
         assert_eq!(expect, info.total);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn detects_bit_flip_in_data() {
+        let p = tmp("flip");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot(&p, &blocks, bounds).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Flip one bit in the last particle's payload.
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            read_all(&p),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            verify(&p),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let p = tmp("trunc");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot(&p, &blocks, bounds).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        // Drop the last 16 bytes of particle data: read_all hits EOF, which
+        // surfaces as Io — still a typed failure, never garbage particles.
+        std::fs::write(&p, &bytes[..bytes.len() - 16]).unwrap();
+        match read_all(&p) {
+            Err(SnapshotError::Io(e)) => {
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+        assert!(verify(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_table() {
+        let p = tmp("table");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot(&p, &blocks, bounds).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Corrupt the first table offset (header is 4 u64 + 6 f64 = 80 B).
+        bytes[80] = 7;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(read_info(&p), Err(SnapshotError::MalformedTable)));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_read() {
+        let p = tmp("v1");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot_v1(&p, &blocks, bounds).unwrap();
+        let info = read_info(&p).unwrap();
+        assert!(info.legacy);
+        assert_eq!(info.checksum, None);
+        let (info2, pts) = read_all(&p).unwrap();
+        assert_eq!(info2.total, 6);
+        assert_eq!(pts, blocks.concat());
+        for (rank, expect) in blocks.iter().enumerate() {
+            assert_eq!(&read_block(&p, &info, rank).unwrap(), expect);
+        }
+        // verify() passes vacuously: there is nothing to check against.
+        assert!(verify(&p).is_ok());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn legacy_reads_bump_warning_counter() {
+        let p = tmp("v1warn");
+        let (blocks, bounds) = sample_blocks();
+        write_snapshot_v1(&p, &blocks, bounds).unwrap();
+        let rec = dtfe_telemetry::Recorder::new("snap-test");
+        {
+            let _g = rec.install();
+            read_info(&p).unwrap();
+            read_info(&p).unwrap();
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.metrics.counter("nbody.legacy_snapshot_reads"), 2);
         std::fs::remove_file(&p).ok();
     }
 }

@@ -1,0 +1,122 @@
+//! Cost-aware admission control.
+//!
+//! Every request is priced in *model seconds* using the paper's workload
+//! model (`framework::model`): a request on a non-resident tile pays the
+//! triangulation term `c·n·log₂n` plus the render term `α·n^β`; a request
+//! on a resident tile pays only the render term. Admission keeps a running
+//! sum of admitted-but-unfinished cost (the *priced backlog*); once it
+//! would exceed the configured budget, the request is shed with a typed
+//! [`ServiceError::Overloaded`] whose `retry_after_ms` estimates how long
+//! the excess takes to drain across the worker pool.
+//!
+//! Pricing is advisory, not a reservation: residency may change between
+//! pricing and serving, which at worst misprices one build. The budget
+//! bounds *expected* queueing delay, which is exactly what an upstream
+//! retry policy needs.
+
+use crate::error::ServiceError;
+use dtfe_framework::WorkloadModel;
+use std::sync::Mutex;
+
+pub struct Admission {
+    budget_s: f64,
+    workers: usize,
+    model: WorkloadModel,
+    backlog_s: Mutex<f64>,
+}
+
+impl Admission {
+    pub fn new(model: WorkloadModel, budget_s: f64, workers: usize) -> Admission {
+        Admission {
+            budget_s,
+            workers: workers.max(1),
+            model,
+            backlog_s: Mutex::new(0.0),
+        }
+    }
+
+    /// Price one request: `n` is the padded particle count of its tile,
+    /// `resident` whether the tile triangulation is (currently) cached.
+    pub fn price(&self, n: usize, resident: bool) -> f64 {
+        let n = n as f64;
+        let tri = if resident {
+            0.0
+        } else {
+            self.model.tri.predict(n)
+        };
+        tri + self.model.interp.predict(n)
+    }
+
+    /// Admit a request of the given priced cost, or shed it.
+    pub fn try_admit(&self, cost_s: f64) -> Result<(), ServiceError> {
+        let mut backlog = self.backlog_s.lock().unwrap();
+        if *backlog + cost_s > self.budget_s {
+            let excess = (*backlog + cost_s - self.budget_s).max(0.0);
+            // The pool drains `workers` priced seconds per wall second;
+            // floor the hint so clients never busy-spin on retries.
+            let retry_after_ms = ((excess / self.workers as f64) * 1e3).ceil().max(10.0) as u64;
+            dtfe_telemetry::counter_add!("service.admission_shed", 1);
+            return Err(ServiceError::Overloaded { retry_after_ms });
+        }
+        *backlog += cost_s;
+        dtfe_telemetry::gauge_set!("service.priced_backlog_ms", (*backlog * 1e3) as i64);
+        Ok(())
+    }
+
+    /// Return a request's cost to the pool once it finishes (served,
+    /// failed, or dropped on deadline).
+    pub fn complete(&self, cost_s: f64) {
+        let mut backlog = self.backlog_s.lock().unwrap();
+        *backlog = (*backlog - cost_s).max(0.0);
+        dtfe_telemetry::gauge_set!("service.priced_backlog_ms", (*backlog * 1e3) as i64);
+    }
+
+    /// Current priced backlog in seconds.
+    pub fn backlog_s(&self) -> f64 {
+        *self.backlog_s.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::default_model;
+
+    #[test]
+    fn resident_tiles_price_cheaper() {
+        let adm = Admission::new(default_model(), 1.0, 2);
+        let cold = adm.price(100_000, false);
+        let warm = adm.price(100_000, true);
+        assert!(cold > warm);
+        assert!(warm > 0.0);
+    }
+
+    #[test]
+    fn sheds_once_backlog_exceeds_budget_and_drains_on_complete() {
+        // Each cold 1M-point request prices ≈ 4.5 s under the default
+        // model; a 10 s budget fits two of them but not three.
+        let adm = Admission::new(default_model(), 10.0, 2);
+        let cost = adm.price(1_000_000, false);
+        assert!(cost > 3.0 && cost < 5.0, "cost {cost}");
+        adm.try_admit(cost).unwrap();
+        adm.try_admit(cost).unwrap();
+        let shed = adm.try_admit(cost).unwrap_err();
+        let ServiceError::Overloaded { retry_after_ms } = shed else {
+            panic!("expected Overloaded, got {shed:?}");
+        };
+        assert!(retry_after_ms >= 10);
+        // Draining one admits the next.
+        adm.complete(cost);
+        adm.try_admit(cost).unwrap();
+        adm.complete(cost);
+        adm.complete(cost);
+        assert!(adm.backlog_s() < cost);
+    }
+
+    #[test]
+    fn backlog_never_goes_negative() {
+        let adm = Admission::new(default_model(), 1.0, 1);
+        adm.complete(5.0);
+        assert_eq!(adm.backlog_s(), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! The request/response types shared by the in-process handle and the wire
+//! protocol.
+
+use dtfe_core::GridSpec2;
+use dtfe_geometry::Vec3;
+
+/// One field-render request: a cube of the service's `field_len` centred on
+/// `center`, rendered to a square `resolution²` grid (paper §IV-C assumes
+/// all fields share size; the per-request knobs are resolution, sampling,
+/// and deadline).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenderRequest {
+    /// Snapshot id — the registry loads `<id>.snap` from its directory.
+    pub snapshot: String,
+    /// Field centre (must lie inside the snapshot bounds).
+    pub center: Vec3,
+    /// Grid resolution per dimension; `0` uses the service default.
+    pub resolution: u32,
+    /// Monte-Carlo samples per cell; `0` uses the service default.
+    pub samples: u32,
+    /// Per-request deadline in milliseconds from submission; `0` uses the
+    /// service default (possibly none).
+    pub deadline_ms: u64,
+}
+
+impl RenderRequest {
+    /// A request with service-default resolution/samples and no deadline.
+    pub fn new(snapshot: impl Into<String>, center: Vec3) -> RenderRequest {
+        RenderRequest {
+            snapshot: snapshot.into(),
+            center,
+            resolution: 0,
+            samples: 0,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// Serving metadata attached to every successful response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Was the tile triangulation resident when this request's batch was
+    /// served? (`false` means this request paid — or waited out — a build.)
+    pub cache_hit: bool,
+    /// How many requests the serving batch coalesced (≥ 1).
+    pub batch_size: u32,
+    /// Microseconds spent queued before the batch was picked up.
+    pub queue_us: u64,
+    /// Microseconds spent marching this request's grid.
+    pub render_us: u64,
+}
+
+/// A rendered surface-density field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenderResponse {
+    /// The grid actually rendered (origin/cell/nx/ny).
+    pub grid: GridSpec2,
+    /// Row-major `ny × nx` surface-density values.
+    pub data: Vec<f64>,
+    pub meta: ResponseMeta,
+}

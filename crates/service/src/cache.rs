@@ -1,0 +1,299 @@
+//! Byte-budgeted tile LRU with single-flight builds.
+//!
+//! Invariants (the root `cache_concurrency` test hammers these):
+//!
+//! 1. **Budget** — the sum of resident entry sizes never exceeds the byte
+//!    budget at any instant the cache lock is released. Insertion and
+//!    eviction happen under one lock hold; an entry bigger than the whole
+//!    budget is returned to its requester but never retained
+//!    ("uncacheable").
+//! 2. **Single-flight** — concurrent requests for an absent key run the
+//!    build closure exactly once; the rest park on a condvar and receive
+//!    the shared result. A failed build unparks everyone and the next
+//!    caller retries.
+//! 3. **LRU** — when over budget, the least-recently-*used* entry is
+//!    evicted first; the entry just inserted is evicted only as a last
+//!    resort (it is, by definition, the most recently used).
+
+use crate::error::ServiceError;
+use crate::tiles::{SharedTile, TileData, TileKey};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+enum Slot {
+    /// A build is in flight on some thread; waiters park on the condvar.
+    Building,
+    Ready {
+        data: SharedTile,
+        last_used: u64,
+    },
+}
+
+struct State {
+    map: HashMap<TileKey, Slot>,
+    /// Bytes held by `Ready` entries. `Building` slots are unsized (their
+    /// cost is charged on insertion).
+    bytes: usize,
+    /// Logical clock for LRU recency (monotonic per state mutation).
+    tick: u64,
+}
+
+/// Always-on counters (telemetry mirrors them when a recorder is
+/// installed; tests read them directly).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub singleflight_parks: AtomicU64,
+    pub evictions: AtomicU64,
+    pub uncacheable: AtomicU64,
+    pub build_failures: AtomicU64,
+}
+
+/// The tile cache. Cheap to share (`Arc` internally is not needed — the
+/// server holds it in an `Arc` itself).
+pub struct TileCache {
+    budget: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    pub stats: CacheStats,
+}
+
+impl TileCache {
+    pub fn new(budget_bytes: usize) -> TileCache {
+        TileCache {
+            budget: budget_bytes,
+            state: Mutex::new(State {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            cv: Condvar::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Byte budget this cache enforces.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently held by resident entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.state.lock().unwrap().bytes
+    }
+
+    /// Number of resident (`Ready`) entries.
+    pub fn resident_entries(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// Is the key resident right now? (Racy by nature — used only for
+    /// admission pricing, where a stale answer merely misprices slightly.)
+    pub fn is_resident(&self, key: &TileKey) -> bool {
+        let st = self.state.lock().unwrap();
+        matches!(st.map.get(key), Some(Slot::Ready { .. }))
+    }
+
+    /// Fetch `key`, running `build` on this thread if it is absent.
+    /// Returns the tile and whether it was a hit (resident before the
+    /// call). Parked waiters that ride on another thread's build report a
+    /// *miss* — their latency includes the build they waited out.
+    pub fn get_or_build<F>(
+        &self,
+        key: &TileKey,
+        build: F,
+    ) -> Result<(SharedTile, bool), ServiceError>
+    where
+        F: FnOnce() -> Result<TileData, ServiceError>,
+    {
+        let mut build = Some(build);
+        let mut parked = false;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let tick = st.tick + 1;
+            match st.map.get_mut(key) {
+                Some(Slot::Ready { data, last_used }) => {
+                    *last_used = tick;
+                    let data = data.clone();
+                    st.tick = tick;
+                    if parked {
+                        // We waited out someone else's build: a miss that
+                        // cost build latency, not a hit.
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        dtfe_telemetry::counter_add!("service.cache_misses", 1);
+                    } else {
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        dtfe_telemetry::counter_add!("service.cache_hits", 1);
+                    }
+                    return Ok((data, !parked));
+                }
+                Some(Slot::Building) => {
+                    parked = true;
+                    self.stats
+                        .singleflight_parks
+                        .fetch_add(1, Ordering::Relaxed);
+                    dtfe_telemetry::counter_add!("service.singleflight_parks", 1);
+                    st = self.cv.wait(st).unwrap();
+                    // Loop: the slot is now Ready (use it), gone (build
+                    // failed — take over the build), or Building again
+                    // (another waiter took over first).
+                }
+                None => {
+                    st.map.insert(key.clone(), Slot::Building);
+                    drop(st);
+                    let built = (build.take().expect(
+                        "build closure consumed twice — \
+                        a vacant slot can only be claimed once per call",
+                    ))();
+                    st = self.state.lock().unwrap();
+                    match built {
+                        Err(e) => {
+                            st.map.remove(key);
+                            self.stats.build_failures.fetch_add(1, Ordering::Relaxed);
+                            self.cv.notify_all();
+                            return Err(e);
+                        }
+                        Ok(data) => {
+                            let data = Arc::new(data);
+                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            dtfe_telemetry::counter_add!("service.cache_misses", 1);
+                            self.insert_and_evict(&mut st, key, data.clone());
+                            dtfe_telemetry::gauge_set!("service.cache_bytes", st.bytes as i64);
+                            self.cv.notify_all();
+                            return Ok((data, false));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert a freshly built entry and evict LRU entries until the budget
+    /// holds again — all under the caller's lock hold, so the invariant
+    /// `bytes ≤ budget` is true whenever the lock is free.
+    fn insert_and_evict(&self, st: &mut State, key: &TileKey, data: SharedTile) {
+        if data.bytes > self.budget {
+            // Larger than the whole cache: hand it to the requester but
+            // do not retain it (retaining would break the invariant, and
+            // evicting the entire cache for one entry would thrash).
+            st.map.remove(key);
+            self.stats.uncacheable.fetch_add(1, Ordering::Relaxed);
+            dtfe_telemetry::counter_add!("service.cache_uncacheable", 1);
+            return;
+        }
+        st.tick += 1;
+        let tick = st.tick;
+        st.bytes += data.bytes;
+        st.map.insert(
+            key.clone(),
+            Slot::Ready {
+                data,
+                last_used: tick,
+            },
+        );
+        while st.bytes > self.budget {
+            // Evict the least-recently-used Ready entry other than the one
+            // just inserted (it holds the max tick, so min-by-tick finds
+            // it last automatically).
+            let victim = st
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } if *last_used != tick => {
+                        Some((*last_used, k.clone()))
+                    }
+                    _ => None,
+                })
+                .min_by_key(|(used, _)| *used)
+                .map(|(_, k)| k);
+            let Some(victim) = victim else {
+                // Only the new entry remains and we are still over budget
+                // — impossible given the uncacheable check above, but stay
+                // defensive rather than spin.
+                break;
+            };
+            if let Some(Slot::Ready { data, .. }) = st.map.remove(&victim) {
+                st.bytes -= data.bytes;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.cache_evictions", 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: usize) -> TileKey {
+        TileKey::new("s", t)
+    }
+
+    fn entry(bytes: usize) -> Result<TileData, ServiceError> {
+        Ok(TileData::synthetic(0, bytes))
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction_order() {
+        let cache = TileCache::new(300);
+        let (_, hit) = cache.get_or_build(&key(0), || entry(100)).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(&key(1), || entry(100)).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(&key(2), || entry(100)).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.resident_bytes(), 300);
+        // Touch 0 so 1 becomes the LRU victim.
+        let (_, hit) = cache.get_or_build(&key(0), || entry(100)).unwrap();
+        assert!(hit);
+        cache.get_or_build(&key(3), || entry(100)).unwrap();
+        assert!(cache.is_resident(&key(0)));
+        assert!(!cache.is_resident(&key(1)), "LRU entry 1 evicted");
+        assert!(cache.is_resident(&key(2)));
+        assert!(cache.is_resident(&key(3)));
+        assert_eq!(cache.resident_bytes(), 300);
+        assert_eq!(cache.stats.evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn oversized_entry_served_but_not_retained() {
+        let cache = TileCache::new(100);
+        let (data, hit) = cache.get_or_build(&key(0), || entry(1000)).unwrap();
+        assert!(!hit);
+        assert_eq!(data.bytes, 1000);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.resident_entries(), 0);
+        assert_eq!(cache.stats.uncacheable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_build_is_not_cached_and_retries() {
+        let cache = TileCache::new(100);
+        let r = cache.get_or_build(&key(0), || {
+            Err::<TileData, _>(ServiceError::Internal("boom".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(cache.stats.build_failures.load(Ordering::Relaxed), 1);
+        // Slot was cleaned up: the next call builds fresh and succeeds.
+        let (_, hit) = cache.get_or_build(&key(0), || entry(10)).unwrap();
+        assert!(!hit);
+        assert!(cache.is_resident(&key(0)));
+    }
+
+    #[test]
+    fn every_fetch_is_counted_exactly_once() {
+        let cache = TileCache::new(250);
+        for t in [0, 1, 2, 0, 1, 3, 0] {
+            cache.get_or_build(&key(t), || entry(100)).unwrap();
+        }
+        let hits = cache.stats.hits.load(Ordering::Relaxed);
+        let misses = cache.stats.misses.load(Ordering::Relaxed);
+        assert_eq!(hits + misses, 7);
+    }
+}

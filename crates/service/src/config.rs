@@ -1,0 +1,176 @@
+//! Service configuration.
+
+use dtfe_framework::{InterpModel, TimingSample, TriModel, WorkloadModel};
+use std::time::Duration;
+
+/// Knobs of the serving layer. Mirrors the batch
+/// [`FrameworkConfig`](dtfe_framework::FrameworkConfig) where the two
+/// overlap (`field_len`, `resolution`, `samples`) so a served render is
+/// comparable to — and with matching settings, bit-identical with — the
+/// offline path.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Physical field side length `l_F`: every request renders a cube of
+    /// this side centred on its `center`.
+    pub field_len: f64,
+    /// Default grid resolution `N_g` (a request may override it, up to
+    /// [`ServiceConfig::MAX_RESOLUTION`]).
+    pub resolution: usize,
+    /// Monte-Carlo samples per grid cell (a request may override it, up to
+    /// [`ServiceConfig::MAX_SAMPLES`]).
+    pub samples: usize,
+    /// Number of spatial tiles the domain is cut into
+    /// ([`Decomposition`](dtfe_framework::Decomposition) factors this into
+    /// a near-cubic grid).
+    pub tiles: usize,
+    /// Tile ghost padding. Must be at least `field_len / 2` so any field
+    /// cube centred inside a tile is covered by the tile's padded particle
+    /// set — the same invariant as the batch framework's ghost margin.
+    pub ghost_margin: f64,
+    /// Byte budget of the tile LRU (estimated resident bytes never exceed
+    /// this).
+    pub cache_budget_bytes: usize,
+    /// Render worker threads.
+    pub workers: usize,
+    /// Admission budget in *priced seconds* of backlog: once the sum of
+    /// model-priced costs of queued requests exceeds this, new requests
+    /// are shed with [`Overloaded`](crate::ServiceError::Overloaded).
+    pub admission_budget_s: f64,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// The cost model used to price requests (triangulation
+    /// `c·n·log₂n` + render `α·n^β`, paper Eq. 15–17). The default
+    /// coefficients are deliberately conservative; fit them from
+    /// measurements with [`WorkloadModel::fit`] for accurate pricing.
+    pub model: WorkloadModel,
+    /// Threads per tile triangulation build. The default `1` matches the
+    /// batch framework's per-item builds (and keeps meshes bit-identical
+    /// with it); raise it on big dedicated machines.
+    pub builder_threads: usize,
+    /// Install a process-global telemetry recorder for the service's
+    /// lifetime, so cache/queue/latency metrics appear in
+    /// [`Service::metrics_json`](crate::Service::metrics_json).
+    pub telemetry: bool,
+}
+
+impl ServiceConfig {
+    /// Hard cap on per-request grid resolution (a 2048² f64 grid is a
+    /// 32 MiB response payload, inside the wire frame limit).
+    pub const MAX_RESOLUTION: usize = 2048;
+    /// Hard cap on per-request Monte-Carlo samples.
+    pub const MAX_SAMPLES: usize = 64;
+
+    /// A config with the given field geometry and serving defaults: 8
+    /// tiles, ghost `l_F/2`, 256 MiB cache, 2 workers, a 30 s admission
+    /// budget, no default deadline.
+    pub fn new(field_len: f64, resolution: usize) -> ServiceConfig {
+        ServiceConfig {
+            field_len,
+            resolution,
+            samples: 1,
+            tiles: 8,
+            ghost_margin: field_len * 0.5,
+            cache_budget_bytes: 256 << 20,
+            workers: 2,
+            admission_budget_s: 30.0,
+            default_deadline: None,
+            model: default_model(),
+            builder_threads: 1,
+            telemetry: false,
+        }
+    }
+
+    /// Validate config invariants (positive geometry, ghost margin deep
+    /// enough for the field size, at least one tile and worker).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.field_len.is_finite() && self.field_len > 0.0) {
+            return Err("field_len must be finite and positive".into());
+        }
+        if self.resolution == 0 || self.resolution > Self::MAX_RESOLUTION {
+            return Err(format!(
+                "resolution must be in 1..={}",
+                Self::MAX_RESOLUTION
+            ));
+        }
+        if self.samples == 0 || self.samples > Self::MAX_SAMPLES {
+            return Err(format!("samples must be in 1..={}", Self::MAX_SAMPLES));
+        }
+        if self.tiles == 0 {
+            return Err("need at least one tile".into());
+        }
+        if self.ghost_margin < self.field_len * 0.5 {
+            return Err("ghost_margin must be at least field_len / 2".into());
+        }
+        if self.workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        if !(self.admission_budget_s.is_finite() && self.admission_budget_s >= 0.0) {
+            return Err("admission_budget_s must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// Conservative default pricing model: coefficients of the right order of
+/// magnitude for a laptop-class core (µs-scale per-point triangulation,
+/// near-linear render). Pricing only has to *rank* requests and track
+/// backlog scale, so order-of-magnitude defaults shed correctly; fit real
+/// samples for tight SLOs.
+pub fn default_model() -> WorkloadModel {
+    WorkloadModel {
+        tri: TriModel { c: 2e-7 },
+        interp: InterpModel {
+            alpha: 5e-7,
+            beta: 1.0,
+        },
+    }
+}
+
+/// Fit the pricing model from measured `(n, t_tri, t_interp)` samples —
+/// re-exported convenience so servers can self-calibrate at startup by
+/// timing one tile build.
+pub fn fit_model(samples: &[TimingSample]) -> WorkloadModel {
+    WorkloadModel::fit(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(ServiceConfig::new(4.0, 64).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = ServiceConfig::new(4.0, 64);
+        c.ghost_margin = 1.0; // < l_F/2
+        assert!(c.validate().is_err());
+        let mut c = ServiceConfig::new(4.0, 64);
+        c.resolution = 0;
+        assert!(c.validate().is_err());
+        let mut c = ServiceConfig::new(4.0, 64);
+        c.resolution = ServiceConfig::MAX_RESOLUTION + 1;
+        assert!(c.validate().is_err());
+        let mut c = ServiceConfig::new(4.0, 64);
+        c.workers = 0;
+        assert!(c.validate().is_err());
+        let mut c = ServiceConfig::new(4.0, 64);
+        c.tiles = 0;
+        assert!(c.validate().is_err());
+        let mut c = ServiceConfig::new(f64::NAN, 64);
+        c.ghost_margin = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_model_prices_triangulation_above_render() {
+        let m = default_model();
+        // The whole point of the cache: for any realistic tile size the
+        // build dominates the render.
+        for n in [1e3, 1e4, 1e5, 1e6] {
+            assert!(m.tri.predict(n) > m.interp.predict(n));
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The in-process service: validation, admission, the batching queue, the
+//! worker pool, and graceful drain.
+//!
+//! ## Request path
+//!
+//! [`Service::render`] validates the request, prices it against the
+//! workload model, admits or sheds it, then enqueues it on its tile's
+//! batch queue and blocks until a worker replies. Workers pop one tile at
+//! a time and take *every* queued request for that tile as a single batch:
+//! the tile triangulation is resolved once (cache hit, or one single-flight
+//! build) and each request's grid is marched against the shared mesh via
+//! [`dtfe_core::surface_density_with_index`] — so the marginal cost of the
+//! 2nd..Nth coalesced request is render-only.
+//!
+//! ## Drain semantics
+//!
+//! [`Service::drain`] flips the queue into draining mode: new submissions
+//! are refused with [`ServiceError::ShuttingDown`], already-admitted
+//! requests are served to completion, and the call returns once every
+//! worker has exited. Dropping the service drains implicitly.
+
+use crate::admission::Admission;
+use crate::api::{RenderRequest, RenderResponse, ResponseMeta};
+use crate::cache::TileCache;
+use crate::config::ServiceConfig;
+use crate::error::ServiceError;
+use crate::registry::SnapshotRegistry;
+use crate::tiles::{TileData, TileKey};
+use dtfe_core::{surface_density_with_index, Field2, GridSpec2, MarchOptions};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Always-on serving counters. `hits + misses == completed` — every served
+/// request is classified by whether its batch found the tile resident.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests that passed validation and admission.
+    pub admitted: AtomicU64,
+    /// Requests shed by admission control (`Overloaded`).
+    pub shed: AtomicU64,
+    /// Requests refused as malformed / unknown-snapshot / shutting-down.
+    pub rejected: AtomicU64,
+    /// Requests served with a field.
+    pub completed: AtomicU64,
+    /// Admitted requests dropped because their deadline expired in queue.
+    pub deadline_dropped: AtomicU64,
+    /// Admitted requests that failed (tile build error and the like).
+    pub failed: AtomicU64,
+    /// Served requests whose tile was resident when the batch ran.
+    pub hits: AtomicU64,
+    /// Served requests that paid (or waited out) a tile build.
+    pub misses: AtomicU64,
+    /// Total requests coalesced into multi-request batches (batch_size − 1
+    /// summed over batches).
+    pub coalesced: AtomicU64,
+}
+
+impl ServiceStats {
+    fn get(a: &AtomicU64) -> u64 {
+        a.load(Ordering::Relaxed)
+    }
+
+    /// Compact JSON object of the counters (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"admitted\":{},\"shed\":{},\"rejected\":{},\"completed\":{},",
+                "\"deadline_dropped\":{},\"failed\":{},\"hits\":{},\"misses\":{},",
+                "\"coalesced\":{}}}"
+            ),
+            Self::get(&self.admitted),
+            Self::get(&self.shed),
+            Self::get(&self.rejected),
+            Self::get(&self.completed),
+            Self::get(&self.deadline_dropped),
+            Self::get(&self.failed),
+            Self::get(&self.hits),
+            Self::get(&self.misses),
+            Self::get(&self.coalesced),
+        )
+    }
+}
+
+/// One admitted request waiting in (or moving through) the queue.
+struct Job {
+    grid: GridSpec2,
+    opts: MarchOptions,
+    cost_s: f64,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<RenderResponse, ServiceError>>,
+}
+
+struct QueueState {
+    /// Pending jobs, batched per tile.
+    per_tile: HashMap<TileKey, VecDeque<Job>>,
+    /// FIFO of tiles with pending jobs (each key appears at most once).
+    order: VecDeque<TileKey>,
+    draining: bool,
+    /// Jobs admitted but not yet replied to (drain waits for zero).
+    in_flight: usize,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    registry: SnapshotRegistry,
+    cache: TileCache,
+    admission: Admission,
+    queue: Mutex<QueueState>,
+    /// Signals workers (new work / drain) and drainers (queue empty).
+    cv: Condvar,
+    stats: ServiceStats,
+}
+
+/// The in-process serving handle. Clone-free: share it behind an `Arc`
+/// (the TCP layer does exactly that).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Keeps the process-global telemetry recorder installed for the
+    /// service's lifetime when `cfg.telemetry` is set.
+    _telemetry: Option<(dtfe_telemetry::Recorder, dtfe_telemetry::GlobalInstallGuard)>,
+}
+
+impl Service {
+    /// Start a service over the snapshot directory. Spawns `cfg.workers`
+    /// render threads.
+    pub fn start(
+        snapshot_dir: impl AsRef<Path>,
+        cfg: ServiceConfig,
+    ) -> Result<Service, ServiceError> {
+        cfg.validate().map_err(ServiceError::InvalidRequest)?;
+        let telemetry = if cfg.telemetry {
+            let rec = dtfe_telemetry::Recorder::new("service");
+            let guard = rec.install_global();
+            Some((rec, guard))
+        } else {
+            None
+        };
+        let inner = Arc::new(Inner {
+            registry: SnapshotRegistry::new(snapshot_dir.as_ref(), &cfg),
+            cache: TileCache::new(cfg.cache_budget_bytes),
+            admission: Admission::new(cfg.model, cfg.admission_budget_s, cfg.workers),
+            queue: Mutex::new(QueueState {
+                per_tile: HashMap::new(),
+                order: VecDeque::new(),
+                draining: false,
+                in_flight: 0,
+            }),
+            cv: Condvar::new(),
+            stats: ServiceStats::default(),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("dtfe-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn render worker")
+            })
+            .collect();
+        Ok(Service {
+            inner,
+            workers: Mutex::new(workers),
+            _telemetry: telemetry,
+        })
+    }
+
+    /// Serving configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+
+    /// Always-on serving counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.inner.stats
+    }
+
+    /// The tile cache (counters and residency, for tests and stats).
+    pub fn cache(&self) -> &TileCache {
+        &self.inner.cache
+    }
+
+    /// Render one request, blocking until it is served, shed, or fails.
+    pub fn render(&self, req: &RenderRequest) -> Result<RenderResponse, ServiceError> {
+        let rx = self.submit(req)?;
+        match rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServiceError::Internal("worker dropped reply".into())),
+        }
+    }
+
+    /// Validate, price, admit, and enqueue a request; the returned channel
+    /// yields the result exactly once. Use [`Service::render`] unless you
+    /// are pipelining submissions yourself.
+    pub fn submit(
+        &self,
+        req: &RenderRequest,
+    ) -> Result<mpsc::Receiver<Result<RenderResponse, ServiceError>>, ServiceError> {
+        let inner = &*self.inner;
+        match self.submit_inner(req) {
+            Ok(rx) => Ok(rx),
+            Err(e) => {
+                match &e {
+                    ServiceError::Overloaded { .. } => {
+                        inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        dtfe_telemetry::counter_add!("service.requests_rejected", 1);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn submit_inner(
+        &self,
+        req: &RenderRequest,
+    ) -> Result<mpsc::Receiver<Result<RenderResponse, ServiceError>>, ServiceError> {
+        let inner = &*self.inner;
+        let cfg = &inner.cfg;
+
+        let resolution = match req.resolution {
+            0 => cfg.resolution,
+            r => r as usize,
+        };
+        if resolution > ServiceConfig::MAX_RESOLUTION {
+            return Err(ServiceError::InvalidRequest(format!(
+                "resolution {resolution} exceeds cap {}",
+                ServiceConfig::MAX_RESOLUTION
+            )));
+        }
+        let samples = match req.samples {
+            0 => cfg.samples,
+            s => s as usize,
+        };
+        if samples > ServiceConfig::MAX_SAMPLES {
+            return Err(ServiceError::InvalidRequest(format!(
+                "samples {samples} exceeds cap {}",
+                ServiceConfig::MAX_SAMPLES
+            )));
+        }
+        if !req.center.is_finite() {
+            return Err(ServiceError::InvalidRequest(
+                "field center must be finite".into(),
+            ));
+        }
+
+        // Loading the snapshot is part of submission: unknown/corrupt ids
+        // fail fast, before admission charges anything.
+        let snap = inner.registry.get(&req.snapshot)?;
+        if !snap.bounds.contains_closed(req.center) {
+            return Err(ServiceError::InvalidRequest(format!(
+                "center {:?} outside snapshot bounds",
+                req.center
+            )));
+        }
+
+        // The exact render geometry the batch framework would use — built
+        // through the validating constructors so degenerate geometry is a
+        // typed error, not a panic in the marching kernel.
+        let grid = GridSpec2::try_square(req.center.xy(), cfg.field_len, resolution)
+            .map_err(|e| ServiceError::InvalidRequest(e.to_string()))?;
+        let opts = MarchOptions::new()
+            .samples(samples)
+            .parallel(false)
+            .z_range(
+                req.center.z - cfg.field_len * 0.5,
+                req.center.z + cfg.field_len * 0.5,
+            );
+        opts.render
+            .validate()
+            .map_err(|e| ServiceError::InvalidRequest(e.to_string()))?;
+
+        let tile = TileKey::new(req.snapshot.clone(), snap.decomp.rank_of(req.center));
+        let n = snap.tile_counts[tile.tile];
+        let cost_s = inner.admission.price(n, inner.cache.is_resident(&tile));
+
+        let deadline = match req.deadline_ms {
+            0 => cfg.default_deadline.map(|d| Instant::now() + d),
+            ms => Some(Instant::now() + Duration::from_millis(ms)),
+        };
+
+        // Admission last, so every earlier error path has nothing to
+        // refund; past this point the job WILL reach `finish_job`.
+        inner.admission.try_admit(cost_s)?;
+
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            grid,
+            opts,
+            cost_s,
+            enqueued: Instant::now(),
+            deadline,
+            reply: tx,
+        };
+        {
+            let mut q = inner.queue.lock().unwrap();
+            if q.draining {
+                inner.admission.complete(cost_s);
+                return Err(ServiceError::ShuttingDown);
+            }
+            if !q.per_tile.contains_key(&tile) {
+                q.order.push_back(tile.clone());
+            }
+            q.per_tile.entry(tile).or_default().push_back(job);
+            q.in_flight += 1;
+            dtfe_telemetry::gauge_set!("service.queue_depth", q.in_flight as i64);
+            inner.cv.notify_all();
+        }
+        inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        dtfe_telemetry::counter_add!("service.requests_admitted", 1);
+        Ok(rx)
+    }
+
+    /// Drain: refuse new work, serve everything already admitted, then
+    /// join the workers. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.draining = true;
+            self.inner.cv.notify_all();
+        }
+        let mut workers = self.workers.lock().unwrap();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+        dtfe_telemetry::counter_add!("service.drains", 1);
+    }
+
+    /// JSON document with the serving counters, cache state, and — when
+    /// the service owns a telemetry recorder — the full metrics snapshot.
+    pub fn metrics_json(&self) -> String {
+        let inner = &*self.inner;
+        let cache = &inner.cache;
+        let mut out = format!(
+            "{{\"stats\":{},\"cache\":{{\"resident_bytes\":{},\"budget_bytes\":{},\
+             \"entries\":{},\"evictions\":{},\"uncacheable\":{},\"singleflight_parks\":{}}}",
+            inner.stats.to_json(),
+            cache.resident_bytes(),
+            cache.budget(),
+            cache.resident_entries(),
+            cache.stats.evictions.load(Ordering::Relaxed),
+            cache.stats.uncacheable.load(Ordering::Relaxed),
+            cache.stats.singleflight_parks.load(Ordering::Relaxed),
+        );
+        if let Some((rec, _)) = &self._telemetry {
+            let snap = rec.snapshot();
+            out.push_str(",\"metrics\":");
+            out.push_str(&dtfe_telemetry::metrics_object(&snap.metrics));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Pop the next tile batch, or `None` when draining and empty.
+fn next_batch(inner: &Inner) -> Option<(TileKey, Vec<Job>)> {
+    let mut q = inner.queue.lock().unwrap();
+    loop {
+        if let Some(tile) = q.order.pop_front() {
+            let jobs = q.per_tile.remove(&tile).map(Vec::from).unwrap_or_default();
+            return Some((tile, jobs));
+        }
+        if q.draining {
+            return None;
+        }
+        q = inner.cv.wait(q).unwrap();
+    }
+}
+
+/// Account a finished job (served, dropped, or failed).
+fn finish_job(inner: &Inner, job: &Job) {
+    inner.admission.complete(job.cost_s);
+    let mut q = inner.queue.lock().unwrap();
+    q.in_flight -= 1;
+    dtfe_telemetry::gauge_set!("service.queue_depth", q.in_flight as i64);
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some((tile, jobs)) = next_batch(inner) {
+        serve_batch(inner, &tile, jobs);
+    }
+}
+
+fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
+    let stats = &inner.stats;
+    if jobs.len() > 1 {
+        stats
+            .coalesced
+            .fetch_add(jobs.len() as u64 - 1, Ordering::Relaxed);
+        dtfe_telemetry::counter_add!("service.requests_coalesced", jobs.len() as u64 - 1);
+    }
+
+    // Drop jobs whose deadline already passed — before paying for a build
+    // they can no longer use.
+    let now = Instant::now();
+    jobs.retain(|job| match job.deadline {
+        Some(d) if d <= now => {
+            stats.deadline_dropped.fetch_add(1, Ordering::Relaxed);
+            dtfe_telemetry::counter_add!("service.deadline_dropped", 1);
+            let _ = job.reply.send(Err(ServiceError::DeadlineExceeded));
+            finish_job(inner, job);
+            false
+        }
+        _ => true,
+    });
+    if jobs.is_empty() {
+        return;
+    }
+
+    let fetched = inner.cache.get_or_build(tile, || {
+        let snap = inner.registry.get(&tile.snapshot)?;
+        Ok(TileData::build(
+            &snap,
+            tile.tile,
+            inner.cfg.ghost_margin,
+            inner.cfg.builder_threads,
+        ))
+    });
+    let (data, cache_hit) = match fetched {
+        Ok(ok) => ok,
+        Err(e) => {
+            for job in &jobs {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(e.clone()));
+                finish_job(inner, job);
+            }
+            return;
+        }
+    };
+
+    let batch_size = jobs.len() as u32;
+    for job in &jobs {
+        // Re-check the deadline after the (possibly long) build.
+        let now = Instant::now();
+        if matches!(job.deadline, Some(d) if d <= now) {
+            stats.deadline_dropped.fetch_add(1, Ordering::Relaxed);
+            dtfe_telemetry::counter_add!("service.deadline_dropped", 1);
+            let _ = job.reply.send(Err(ServiceError::DeadlineExceeded));
+            finish_job(inner, job);
+            continue;
+        }
+        let queue_us = now.duration_since(job.enqueued).as_micros() as u64;
+        let t0 = Instant::now();
+        let sigma = match &data.field {
+            Some((field, index)) => {
+                surface_density_with_index(field, index, &job.grid, &job.opts).0
+            }
+            // Degenerate tile: all-zero field, same as the batch path.
+            None => Field2::zeros(job.grid),
+        };
+        let render_us = t0.elapsed().as_micros() as u64;
+        if cache_hit {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        dtfe_telemetry::counter_add!("service.requests_completed", 1);
+        dtfe_telemetry::hist_record!("service.request_latency_us", queue_us + render_us);
+        dtfe_telemetry::hist_record!("service.render_us", render_us);
+        let _ = job.reply.send(Ok(RenderResponse {
+            grid: sigma.spec,
+            data: sigma.data,
+            meta: ResponseMeta {
+                cache_hit,
+                batch_size,
+                queue_us,
+                render_us,
+            },
+        }));
+        finish_job(inner, job);
+    }
+}

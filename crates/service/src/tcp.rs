@@ -1,0 +1,174 @@
+//! TCP transport: a thread-per-connection server over [`wire`](crate::wire)
+//! and a blocking [`Client`].
+//!
+//! The listener runs nonblocking with a short poll so a wire `Shutdown`
+//! (the SIGTERM-equivalent in tests and CI, where signals are awkward)
+//! can stop the accept loop promptly; the service then drains in-flight
+//! renders before `serve` returns.
+
+use crate::api::RenderRequest;
+use crate::error::ServiceError;
+use crate::server::Service;
+use crate::wire::{read_frame, write_frame, Request, Response, WireError};
+use std::io::{BufReader, BufWriter, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running TCP front-end over a [`Service`].
+pub struct TcpServer {
+    service: Arc<Service>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpServer {
+    /// Bind (port 0 picks an ephemeral port) without accepting yet.
+    pub fn bind(service: Arc<Service>, addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpServer {
+            service,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (tells CI which ephemeral port was chosen).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`TcpServer::serve`] return (used by tests;
+    /// remote peers use the wire `Shutdown` message instead).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Accept and serve connections until a `Shutdown` frame arrives or
+    /// the stop handle is set, then drain the service and return.
+    pub fn serve(&self) {
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = self.service.clone();
+                    let stop = self.stop.clone();
+                    conns.push(std::thread::spawn(move || {
+                        handle_connection(stream, &service, &stop);
+                    }));
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Let connection threads finish writing their replies, then drain
+        // the render queue.
+        for h in conns {
+            let _ = h.join();
+        }
+        self.service.drain();
+        dtfe_telemetry::counter_add!("service.tcp_server_stopped", 1);
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    dtfe_telemetry::counter_add!("service.tcp_connections", 1);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            // Peer closed (or broke framing): either way this connection
+            // is done. Service state is untouched.
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Err(e) => Response::Error(ServiceError::InvalidRequest(format!("bad frame: {e}"))),
+            Ok(Request::Render(req)) => match service.render(&req) {
+                Ok(resp) => Response::Field(resp),
+                Err(e) => Response::Error(e),
+            },
+            Ok(Request::Stats) => Response::Stats(service.metrics_json()),
+            Ok(Request::Shutdown) => {
+                let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Blocking client for the wire protocol (used by `loadgen`, tests, and
+/// the CI smoke run).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and read one response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?;
+        Response::decode(&payload)
+    }
+
+    /// Render, collapsing transport and service failures into one result.
+    pub fn render(
+        &mut self,
+        req: &RenderRequest,
+    ) -> Result<crate::api::RenderResponse, ServiceError> {
+        match self.call(&Request::Render(req.clone())) {
+            Ok(Response::Field(resp)) => Ok(resp),
+            Ok(Response::Error(e)) => Err(e),
+            Ok(other) => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+            Err(e) => Err(ServiceError::Internal(format!("wire: {e}"))),
+        }
+    }
+
+    /// Fetch the server's metrics JSON.
+    pub fn stats(&mut self) -> Result<String, ServiceError> {
+        match self.call(&Request::Stats) {
+            Ok(Response::Stats(json)) => Ok(json),
+            Ok(other) => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+            Err(e) => Err(ServiceError::Internal(format!("wire: {e}"))),
+        }
+    }
+
+    /// Ask the server to drain and exit; resolves once the ack arrives.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        match self.call(&Request::Shutdown) {
+            Ok(Response::ShutdownAck) => Ok(()),
+            Ok(other) => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+            Err(e) => Err(ServiceError::Internal(format!("wire: {e}"))),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Tile identity and the cached per-tile artifact.
+//!
+//! A tile is one cell of a snapshot's [`Decomposition`]; the cached
+//! artifact is the DTFE field built over the tile's ghost-padded particle
+//! set plus the 2-D hull index used to locate ray entry points. Building
+//! it is the `c·n·log₂n` cost the cache amortises; rendering against it is
+//! the cheap `α·n^β` tail.
+//!
+//! [`Decomposition`]: dtfe_framework::Decomposition
+
+use crate::registry::SnapshotData;
+use dtfe_core::{DtfeField, HullIndex, Mass};
+use dtfe_delaunay::DelaunayBuilder;
+use std::sync::Arc;
+
+/// Cache key: a tile of a snapshot. All requests whose field centre falls
+/// in the same decomposition cell share one key (and so one build, one
+/// cache entry, and one batch queue).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    pub snapshot: String,
+    pub tile: usize,
+}
+
+impl TileKey {
+    pub fn new(snapshot: impl Into<String>, tile: usize) -> TileKey {
+        TileKey {
+            snapshot: snapshot.into(),
+            tile,
+        }
+    }
+}
+
+impl std::fmt::Display for TileKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.snapshot, self.tile)
+    }
+}
+
+/// A built tile: the reusable triangulation artifact.
+pub struct TileData {
+    /// `None` when the tile's particle set was affinely degenerate (fewer
+    /// than 4 non-coplanar points) — such tiles render as all-zero fields,
+    /// matching the batch framework's degenerate-item behaviour.
+    pub field: Option<(DtfeField, HullIndex)>,
+    /// Ghost-padded particle count the tile was built from (prices renders).
+    pub n_particles: usize,
+    /// Estimated resident bytes, charged against the cache budget.
+    pub bytes: usize,
+}
+
+impl TileData {
+    /// Build the tile artifact from a snapshot's padded particle set.
+    ///
+    /// The builder settings mirror the batch framework's per-item path
+    /// (`threads(builder_threads)`, default 1): given the same particle
+    /// sequence, the mesh — and any field rendered from it — is
+    /// bit-identical with the offline pipeline.
+    pub fn build(snap: &SnapshotData, tile: usize, ghost_margin: f64, threads: usize) -> TileData {
+        let local = snap.tile_particles(tile, ghost_margin);
+        let span = dtfe_telemetry::span!("service.tile_build", tile = tile, n = local.len());
+        let field = match DelaunayBuilder::new().threads(threads).build(&local) {
+            Ok(del) => {
+                let f = DtfeField::from_delaunay_for_inputs(del, local.len(), Mass::Uniform(1.0));
+                let idx = HullIndex::build(&f);
+                Some((f, idx))
+            }
+            Err(_) => None,
+        };
+        drop(span);
+        let mut td = TileData {
+            field,
+            n_particles: local.len(),
+            bytes: 0,
+        };
+        td.bytes = td.estimate_bytes();
+        td
+    }
+
+    /// A synthetic entry of a given claimed size — cache tests use this to
+    /// exercise budget/eviction logic without paying for triangulations.
+    pub fn synthetic(n_particles: usize, bytes: usize) -> TileData {
+        TileData {
+            field: None,
+            n_particles,
+            bytes,
+        }
+    }
+
+    fn estimate_bytes(&self) -> usize {
+        match &self.field {
+            None => 64,
+            Some((f, _)) => {
+                let del = f.delaunay();
+                // Per-vertex: position + density + adjacency bookkeeping;
+                // per-tet slot: 4 vertex ids, 4 neighbours, the gradient
+                // interpolant (4 f64) and geometry scratch. The constants
+                // are deliberately generous — the budget must bound true
+                // RSS, so overestimating is the safe direction.
+                let verts = del.num_vertices() * 96;
+                let tets = (del.num_tets() + del.num_ghosts()) * 160;
+                64 + verts + tets
+            }
+        }
+    }
+}
+
+/// Convenience alias used throughout the server.
+pub type SharedTile = Arc<TileData>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtfe_framework::Decomposition;
+    use dtfe_geometry::{Aabb3, Vec3};
+
+    fn snap_from(points: Vec<Vec3>, bounds: Aabb3, tiles: usize, ghost: f64) -> SnapshotData {
+        let decomp = Decomposition::new(bounds, tiles);
+        let tile_counts = (0..decomp.num_ranks())
+            .map(|t| {
+                let bx = decomp.rank_box(t).inflated(ghost);
+                points.iter().filter(|&&p| bx.contains_closed(p)).count()
+            })
+            .collect();
+        SnapshotData {
+            id: "test".into(),
+            bounds,
+            particles: points,
+            decomp,
+            tile_counts,
+        }
+    }
+
+    #[test]
+    fn build_produces_field_and_size_estimate() {
+        let mut s = 42u64;
+        let mut r = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Vec3> = (0..400)
+            .map(|_| Vec3::new(r() * 4.0, r() * 4.0, r() * 4.0))
+            .collect();
+        let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(4.0));
+        let snap = snap_from(pts, bounds, 1, 0.5);
+        let tile = TileData::build(&snap, 0, 0.5, 1);
+        let (field, _) = tile.field.as_ref().expect("400 random points triangulate");
+        assert_eq!(tile.n_particles, 400);
+        assert!(field.delaunay().num_tets() > 0);
+        // The estimate must at least cover the raw vertex positions.
+        assert!(tile.bytes >= field.delaunay().num_vertices() * 24);
+    }
+
+    #[test]
+    fn degenerate_tile_builds_as_empty() {
+        // All points coplanar: no 3D triangulation exists.
+        let pts: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::new(i as f64 * 0.1, (i % 5) as f64 * 0.2, 1.0))
+            .collect();
+        let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(2.0));
+        let snap = snap_from(pts, bounds, 1, 0.5);
+        let tile = TileData::build(&snap, 0, 0.5, 1);
+        assert!(tile.field.is_none());
+        assert_eq!(tile.n_particles, 20);
+        assert!(tile.bytes > 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Frames are `u32-LE length ‖ payload`; the length covers the payload
+//! only and is capped at [`MAX_FRAME`] — a reader rejects oversized
+//! lengths *before* allocating, so a hostile or corrupt peer cannot make
+//! the server reserve gigabytes. Payloads are tag-prefixed little-endian
+//! structs; decoding demands exact consumption (trailing bytes are an
+//! error, catching framing bugs early).
+//!
+//! The protocol is deliberately version-free and tiny: three request
+//! kinds, four response kinds, no negotiation. `Shutdown` is the
+//! SIGTERM-equivalent — the server acks, drains, and exits its accept
+//! loop.
+
+use crate::api::{RenderRequest, RenderResponse, ResponseMeta};
+use crate::error::ServiceError;
+use dtfe_core::GridSpec2;
+use dtfe_geometry::{Vec2, Vec3};
+use std::io::{Read as IoRead, Write as IoWrite};
+
+/// Maximum frame payload size: 64 MiB. A 2048² f64 grid response is
+/// 32 MiB, comfortably inside; anything larger is a protocol violation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A client→server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Render(RenderRequest),
+    /// Ask for the server's metrics JSON document.
+    Stats,
+    /// Graceful shutdown: the server acks, drains in-flight work, and
+    /// stops accepting connections.
+    Shutdown,
+}
+
+/// A server→client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Field(RenderResponse),
+    Error(ServiceError),
+    Stats(String),
+    ShutdownAck,
+}
+
+/// Wire-level failure (transport or encoding). Service-level failures
+/// travel *inside* the protocol as [`Response::Error`].
+#[derive(Debug)]
+pub enum WireError {
+    Io(std::io::Error),
+    /// Peer announced a frame longer than [`MAX_FRAME`].
+    FrameTooLarge {
+        len: usize,
+    },
+    /// Payload ended mid-field.
+    Truncated,
+    /// Unknown message/variant tag.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Payload decoded fine but bytes were left over.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds cap of {MAX_FRAME}")
+            }
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t:#x}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl IoWrite, payload: &[u8]) -> Result<(), WireError> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, rejecting oversized announcements before allocating.
+pub fn read_frame(r: &mut impl IoRead) -> Result<Vec<u8>, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// --------------------------------------------------------------- encoding
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        debug_assert!(bytes.len() <= u16::MAX as usize);
+        self.0
+            .extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        self.0.extend_from_slice(bytes);
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.at + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+const REQ_RENDER: u8 = 1;
+const REQ_STATS: u8 = 2;
+const REQ_SHUTDOWN: u8 = 3;
+
+const RESP_FIELD: u8 = 1;
+const RESP_ERROR: u8 = 2;
+const RESP_STATS: u8 = 3;
+const RESP_SHUTDOWN_ACK: u8 = 4;
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        match self {
+            Request::Render(r) => {
+                e.u8(REQ_RENDER);
+                e.str(&r.snapshot);
+                e.f64(r.center.x);
+                e.f64(r.center.y);
+                e.f64(r.center.z);
+                e.u32(r.resolution);
+                e.u32(r.samples);
+                e.u64(r.deadline_ms);
+            }
+            Request::Stats => e.u8(REQ_STATS),
+            Request::Shutdown => e.u8(REQ_SHUTDOWN),
+        }
+        e.0
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        let mut d = Dec { buf, at: 0 };
+        let req = match d.u8()? {
+            REQ_RENDER => Request::Render(RenderRequest {
+                snapshot: d.str()?,
+                center: Vec3::new(d.f64()?, d.f64()?, d.f64()?),
+                resolution: d.u32()?,
+                samples: d.u32()?,
+                deadline_ms: d.u64()?,
+            }),
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+const ERR_OVERLOADED: u8 = 1;
+const ERR_DEADLINE: u8 = 2;
+const ERR_UNKNOWN_SNAPSHOT: u8 = 3;
+const ERR_INVALID_REQUEST: u8 = 4;
+const ERR_CORRUPT_SNAPSHOT: u8 = 5;
+const ERR_SHUTTING_DOWN: u8 = 6;
+const ERR_INTERNAL: u8 = 7;
+
+fn encode_error(e: &mut Enc, err: &ServiceError) {
+    match err {
+        ServiceError::Overloaded { retry_after_ms } => {
+            e.u8(ERR_OVERLOADED);
+            e.u64(*retry_after_ms);
+        }
+        ServiceError::DeadlineExceeded => e.u8(ERR_DEADLINE),
+        ServiceError::UnknownSnapshot(s) => {
+            e.u8(ERR_UNKNOWN_SNAPSHOT);
+            e.str(s);
+        }
+        ServiceError::InvalidRequest(s) => {
+            e.u8(ERR_INVALID_REQUEST);
+            e.str(s);
+        }
+        ServiceError::CorruptSnapshot(s) => {
+            e.u8(ERR_CORRUPT_SNAPSHOT);
+            e.str(s);
+        }
+        ServiceError::ShuttingDown => e.u8(ERR_SHUTTING_DOWN),
+        ServiceError::Internal(s) => {
+            e.u8(ERR_INTERNAL);
+            e.str(s);
+        }
+    }
+}
+
+fn decode_error(d: &mut Dec) -> Result<ServiceError, WireError> {
+    Ok(match d.u8()? {
+        ERR_OVERLOADED => ServiceError::Overloaded {
+            retry_after_ms: d.u64()?,
+        },
+        ERR_DEADLINE => ServiceError::DeadlineExceeded,
+        ERR_UNKNOWN_SNAPSHOT => ServiceError::UnknownSnapshot(d.str()?),
+        ERR_INVALID_REQUEST => ServiceError::InvalidRequest(d.str()?),
+        ERR_CORRUPT_SNAPSHOT => ServiceError::CorruptSnapshot(d.str()?),
+        ERR_SHUTTING_DOWN => ServiceError::ShuttingDown,
+        ERR_INTERNAL => ServiceError::Internal(d.str()?),
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        match self {
+            Response::Field(resp) => {
+                e.u8(RESP_FIELD);
+                e.f64(resp.grid.origin.x);
+                e.f64(resp.grid.origin.y);
+                e.f64(resp.grid.cell.x);
+                e.f64(resp.grid.cell.y);
+                e.u32(resp.grid.nx as u32);
+                e.u32(resp.grid.ny as u32);
+                e.u8(resp.meta.cache_hit as u8);
+                e.u32(resp.meta.batch_size);
+                e.u64(resp.meta.queue_us);
+                e.u64(resp.meta.render_us);
+                e.u64(resp.data.len() as u64);
+                for &v in &resp.data {
+                    e.f64(v);
+                }
+            }
+            Response::Error(err) => {
+                e.u8(RESP_ERROR);
+                encode_error(&mut e, err);
+            }
+            Response::Stats(json) => {
+                e.u8(RESP_STATS);
+                // Stats documents can exceed u16; length-prefix with u32.
+                e.u32(json.len() as u32);
+                e.0.extend_from_slice(json.as_bytes());
+            }
+            Response::ShutdownAck => e.u8(RESP_SHUTDOWN_ACK),
+        }
+        e.0
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        let mut d = Dec { buf, at: 0 };
+        let resp = match d.u8()? {
+            RESP_FIELD => {
+                let origin = Vec2::new(d.f64()?, d.f64()?);
+                let cell = Vec2::new(d.f64()?, d.f64()?);
+                let nx = d.u32()? as usize;
+                let ny = d.u32()? as usize;
+                let cache_hit = match d.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(WireError::BadTag(t)),
+                };
+                let batch_size = d.u32()?;
+                let queue_us = d.u64()?;
+                let render_us = d.u64()?;
+                let n = d.u64()? as usize;
+                // `n` is bounded by the frame cap; still cross-check against
+                // the remaining payload before reserving.
+                if n.checked_mul(8).is_none_or(|b| d.buf.len() - d.at < b) {
+                    return Err(WireError::Truncated);
+                }
+                let mut data = Vec::with_capacity(n);
+                for _ in 0..n {
+                    data.push(d.f64()?);
+                }
+                Response::Field(RenderResponse {
+                    grid: GridSpec2 {
+                        origin,
+                        cell,
+                        nx,
+                        ny,
+                    },
+                    data,
+                    meta: ResponseMeta {
+                        cache_hit,
+                        batch_size,
+                        queue_us,
+                        render_us,
+                    },
+                })
+            }
+            RESP_ERROR => Response::Error(decode_error(&mut d)?),
+            RESP_STATS => {
+                let n = d.u32()? as usize;
+                let bytes = d.take(n)?;
+                Response::Stats(String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)?)
+            }
+            RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            t => return Err(WireError::BadTag(t)),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Render(RenderRequest {
+                snapshot: "demo".into(),
+                center: Vec3::new(1.5, -2.25, 3.0),
+                resolution: 128,
+                samples: 4,
+                deadline_ms: 250,
+            }),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let bytes = r.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = Request::Stats.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn truncated_field_payload_is_an_error() {
+        let resp = Response::Field(RenderResponse {
+            grid: GridSpec2 {
+                origin: Vec2::new(0.0, 0.0),
+                cell: Vec2::new(1.0, 1.0),
+                nx: 2,
+                ny: 2,
+            },
+            data: vec![1.0, 2.0, 3.0, 4.0],
+            meta: ResponseMeta::default(),
+        });
+        let bytes = resp.encode();
+        for cut in [bytes.len() - 1, bytes.len() - 9, 10, 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

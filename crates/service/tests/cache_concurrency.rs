@@ -1,0 +1,161 @@
+//! Concurrency properties of the tile cache: single-flight build dedup
+//! and the byte-budget invariant under multithreaded churn.
+
+use dtfe_service::{ServiceError, TileCache, TileData, TileKey};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn key(s: &str, t: usize) -> TileKey {
+    TileKey::new(s, t)
+}
+
+/// 8 threads rush the same cold tile at once: exactly one build runs, all
+/// threads get the same Arc, and everyone but the builder parks.
+#[test]
+fn cold_tile_is_built_exactly_once_under_contention() {
+    const THREADS: usize = 8;
+    let cache = Arc::new(TileCache::new(1 << 20));
+    let builds = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = cache.clone();
+            let builds = builds.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (data, _hit) = cache
+                    .get_or_build(&key("s", 0), || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Hold the build long enough that every other
+                        // thread must hit the Building slot.
+                        std::thread::sleep(Duration::from_millis(50));
+                        Ok(TileData::synthetic(100, 1000))
+                    })
+                    .unwrap();
+                Arc::as_ptr(&data) as usize
+            })
+        })
+        .collect();
+    let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "double build");
+    assert!(
+        ptrs.windows(2).all(|w| w[0] == w[1]),
+        "threads saw different tile instances"
+    );
+    assert_eq!(
+        cache.stats.singleflight_parks.load(Ordering::Relaxed),
+        (THREADS - 1) as u64
+    );
+    // One miss for the builder; the 7 waiters also rode the build (they
+    // are misses, not hits): every fetch is accounted.
+    let hits = cache.stats.hits.load(Ordering::Relaxed);
+    let misses = cache.stats.misses.load(Ordering::Relaxed);
+    assert_eq!(hits + misses, THREADS as u64);
+    assert_eq!(misses, THREADS as u64);
+}
+
+/// A failed build must unpark waiters and let one of them retry — no
+/// poisoned slot, no thread stuck forever.
+#[test]
+fn failed_build_unparks_waiters_who_retry() {
+    const THREADS: usize = 6;
+    let cache = Arc::new(TileCache::new(1 << 20));
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = cache.clone();
+            let attempts = attempts.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_build(&key("s", 0), || {
+                    // First attempt fails after a delay (so others park);
+                    // any retry succeeds.
+                    if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        std::thread::sleep(Duration::from_millis(30));
+                        Err(ServiceError::Internal("flaky".into()))
+                    } else {
+                        Ok(TileData::synthetic(1, 10))
+                    }
+                })
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(failures, 1, "exactly the first builder fails");
+    assert!(cache.is_resident(&key("s", 0)));
+}
+
+/// 8 threads churn through a keyspace 4× the cache capacity while a
+/// watcher samples resident bytes: the budget must hold at every sample,
+/// and at rest.
+#[test]
+fn byte_budget_never_exceeded_under_churn() {
+    const THREADS: usize = 8;
+    const BUDGET: usize = 10_000;
+    const ENTRY: usize = 1_000; // 10 entries fit
+    const KEYS: usize = 40;
+    const OPS: usize = 300;
+    let cache = Arc::new(TileCache::new(BUDGET));
+    let peak = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicUsize::new(0));
+
+    let watcher = {
+        let cache = cache.clone();
+        let peak = peak.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            while done.load(Ordering::SeqCst) < THREADS {
+                peak.fetch_max(cache.resident_bytes() as u64, Ordering::SeqCst);
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = cache.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut s = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                for _ in 0..OPS {
+                    s ^= s >> 12;
+                    s ^= s << 25;
+                    s ^= s >> 27;
+                    let k = (s.wrapping_mul(0x2545F4914F6CDD1D) % KEYS as u64) as usize;
+                    // Entry sizes vary (some oversized — never retained).
+                    let bytes = if k == 0 { BUDGET + 1 } else { ENTRY };
+                    let (data, _) = cache
+                        .get_or_build(&key("churn", k), || Ok(TileData::synthetic(k, bytes)))
+                        .unwrap();
+                    assert_eq!(data.n_particles, k, "wrong entry under churn");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join().unwrap();
+    }
+    watcher.join().unwrap();
+
+    let observed_peak = peak.load(Ordering::SeqCst) as usize;
+    assert!(
+        observed_peak <= BUDGET,
+        "resident bytes peaked at {observed_peak} > budget {BUDGET}"
+    );
+    assert!(cache.resident_bytes() <= BUDGET);
+    // The keyspace (40 × 1000 B) is 4× the budget, so churn must have
+    // evicted; and oversized key 0 must never be resident.
+    assert!(cache.stats.evictions.load(Ordering::Relaxed) > 0);
+    assert!(!cache.is_resident(&key("churn", 0)));
+    assert!(cache.stats.uncacheable.load(Ordering::Relaxed) > 0);
+    // Accounting: every one of the 8×300 fetches is a hit or a miss.
+    let hits = cache.stats.hits.load(Ordering::Relaxed);
+    let misses = cache.stats.misses.load(Ordering::Relaxed);
+    assert_eq!(hits + misses, (THREADS * OPS) as u64);
+}

@@ -46,7 +46,8 @@ pub mod stats;
 pub use export::{chrome_trace, merged_metrics, metrics_json, metrics_object, Summary};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use recorder::{
-    is_enabled, InstallGuard, Recorder, SpanEvent, SpanGuard, SpanTimes, TelemetrySnapshot,
+    is_enabled, GlobalInstallGuard, InstallGuard, Recorder, SpanEvent, SpanGuard, SpanTimes,
+    TelemetrySnapshot,
 };
 pub use stats::{normalized_std, LoadSummary};
 

@@ -10,6 +10,7 @@ pub use dtfe_framework as framework;
 pub use dtfe_geometry as geometry;
 pub use dtfe_lensing as lensing;
 pub use dtfe_nbody as nbody;
+pub use dtfe_service as service;
 pub use dtfe_simcluster as simcluster;
 pub use dtfe_telemetry as telemetry;
 pub use dtfe_tess as tess;

@@ -1,0 +1,240 @@
+//! End-to-end tests of the serving layer against the batch pipeline.
+//!
+//! The load-bearing property: a field served by `dtfe-service` is
+//! **bit-identical** to the same request rendered through the offline
+//! paths — the distributed batch framework (single-tile config, where the
+//! request cube equals the domain and both paths see the same particle
+//! sequence) and the core render over a tile's padded particle set
+//! (multi-tile config). Cold (triangulation built on demand) and warm
+//! (tile LRU hit) responses must match exactly too.
+
+use dtfe_repro::core::{
+    surface_density_with_index, DtfeField, GridSpec2, HullIndex, MarchOptions, Mass,
+};
+use dtfe_repro::delaunay::DelaunayBuilder;
+use dtfe_repro::framework::{run_distributed_snapshot, FieldRequest, FrameworkConfig};
+use dtfe_repro::geometry::{Aabb3, Vec3};
+use dtfe_repro::nbody::snapshot::write_snapshot;
+use dtfe_repro::service::{
+    Client, RenderRequest, Request, Response, Service, ServiceConfig, ServiceError, TcpServer,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("dtfe_service_e2e_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn cloud(n: usize, side: f64, seed: u64) -> Vec<Vec3> {
+    let mut s = seed;
+    let mut r = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Vec3::new(r() * side, r() * side, r() * side))
+        .collect()
+}
+
+fn assert_bits_equal(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: cell {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// Single-tile service vs the distributed batch framework: the request
+/// cube is the whole domain, so both paths triangulate the identical
+/// particle sequence — the grids must match bit for bit, cold and warm.
+#[test]
+fn service_matches_batch_framework_bit_for_bit() {
+    let dir = tmpdir("batch");
+    let side = 8.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(side));
+    let pts = cloud(2_500, side, 20260805);
+    let path = dir.join("box.snap");
+    write_snapshot(&path, &[pts], bounds).unwrap();
+
+    let resolution = 48;
+    let samples = 2;
+    let center = bounds.center();
+
+    // Offline reference: the batch framework on 1 rank with the field
+    // cube equal to the domain.
+    let mut fw = FrameworkConfig::new(side, resolution);
+    fw.samples = samples;
+    fw.keep_fields = true;
+    let report =
+        run_distributed_snapshot(1, &path, &[FieldRequest { center }], &fw).expect("batch run");
+    let (_, reference) = report.ranks[0]
+        .fields
+        .first()
+        .expect("batch path rendered the field");
+
+    // The service with one whole-domain tile and matching options.
+    let mut cfg = ServiceConfig::new(side, resolution);
+    cfg.tiles = 1;
+    cfg.samples = samples;
+    let service = Service::start(&dir, cfg).unwrap();
+    let mut req = RenderRequest::new("box", center);
+    req.samples = samples as u32;
+
+    let cold = service.render(&req).expect("cold render");
+    assert!(!cold.meta.cache_hit, "first request must be a miss");
+    assert_eq!((cold.grid.nx, cold.grid.ny), (resolution, resolution));
+    assert_bits_equal(&cold.data, &reference.data, "cold vs batch framework");
+
+    let warm = service.render(&req).expect("warm render");
+    assert!(warm.meta.cache_hit, "second request must hit the tile LRU");
+    assert_bits_equal(&warm.data, &cold.data, "warm vs cold");
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.hits.load(std::sync::atomic::Ordering::Relaxed)
+            + stats.misses.load(std::sync::atomic::Ordering::Relaxed),
+        stats.completed.load(std::sync::atomic::Ordering::Relaxed),
+        "hit/miss accounting"
+    );
+    service.drain();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Multi-tile service vs an offline core-path render over the same tile
+/// mesh: the serving machinery (queueing, batching, cache) must not
+/// perturb a single bit of the output.
+#[test]
+fn multi_tile_service_matches_offline_tile_render() {
+    let dir = tmpdir("tiles");
+    let side = 16.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(side));
+    let pts = cloud(4_000, side, 7_654_321);
+    write_snapshot(&dir.join("t.snap"), std::slice::from_ref(&pts), bounds).unwrap();
+
+    let field_len = 4.0;
+    let resolution = 40;
+    let mut cfg = ServiceConfig::new(field_len, resolution);
+    cfg.tiles = 8;
+    let service = Service::start(&dir, cfg.clone()).unwrap();
+
+    // A centre well inside one of the 8 octant tiles.
+    let center = Vec3::new(3.9, 4.1, 3.7);
+    let resp = service
+        .render(&RenderRequest::new("t", center))
+        .expect("served render");
+
+    // Offline: rebuild exactly what the tile cache should have built —
+    // the ghost-padded tile particle set in file order — and render with
+    // the same options.
+    let decomp = dtfe_repro::framework::Decomposition::new(bounds, cfg.tiles);
+    let tile_box = decomp
+        .rank_box(decomp.rank_of(center))
+        .inflated(cfg.ghost_margin);
+    let local: Vec<Vec3> = pts
+        .iter()
+        .copied()
+        .filter(|&p| tile_box.contains_closed(p))
+        .collect();
+    let del = DelaunayBuilder::new().threads(1).build(&local).unwrap();
+    let field = DtfeField::from_delaunay_for_inputs(del, local.len(), Mass::Uniform(1.0));
+    let index = HullIndex::build(&field);
+    let grid = GridSpec2::try_square(center.xy(), field_len, resolution).unwrap();
+    let opts = MarchOptions::new()
+        .samples(1)
+        .parallel(false)
+        .z_range(center.z - field_len * 0.5, center.z + field_len * 0.5);
+    let (reference, _) = surface_density_with_index(&field, &index, &grid, &opts);
+
+    assert_bits_equal(&resp.data, &reference.data, "served vs offline tile render");
+    service.drain();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The TCP transport returns byte-identical fields to the in-process
+/// handle, reports typed errors, serves stats, and drains on Shutdown.
+#[test]
+fn tcp_transport_round_trip_errors_and_shutdown() {
+    let dir = tmpdir("tcp");
+    let side = 8.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(side));
+    write_snapshot(&dir.join("net.snap"), &[cloud(1_500, side, 99)], bounds).unwrap();
+
+    let mut cfg = ServiceConfig::new(side, 32);
+    cfg.tiles = 1;
+    let service = Arc::new(Service::start(&dir, cfg).unwrap());
+    let server = TcpServer::bind(service.clone(), ("127.0.0.1", 0)).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+
+    let mut client = Client::connect(addr).unwrap();
+    let req = RenderRequest::new("net", bounds.center());
+    let over_wire = client.render(&req).expect("tcp render");
+    let in_proc = service.render(&req).expect("in-process render");
+    assert_bits_equal(&over_wire.data, &in_proc.data, "tcp vs in-process");
+
+    // Typed errors survive the wire.
+    let err = client
+        .render(&RenderRequest::new("no-such-snapshot", bounds.center()))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ServiceError::UnknownSnapshot("no-such-snapshot".into())
+    );
+    let err = client
+        .render(&RenderRequest::new("net", Vec3::new(-100.0, 0.0, 0.0)))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::InvalidRequest(_)), "{err:?}");
+
+    // Stats is a JSON document with the serving counters.
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"hits\""), "{stats}");
+
+    // Shutdown acks, the accept loop exits, and renders after drain are
+    // refused.
+    assert_eq!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShutdownAck
+    );
+    serve.join().expect("serve loop exits after Shutdown");
+    let err = service.render(&req).unwrap_err();
+    assert_eq!(err, ServiceError::ShuttingDown);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Admission control sheds with a typed `Overloaded` carrying a usable
+/// retry hint once the priced backlog exceeds the budget.
+#[test]
+fn admission_sheds_with_retry_hint_when_budget_is_zero() {
+    let dir = tmpdir("shed");
+    let side = 8.0;
+    let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(side));
+    write_snapshot(&dir.join("s.snap"), &[cloud(800, side, 5)], bounds).unwrap();
+
+    let mut cfg = ServiceConfig::new(side, 32);
+    cfg.tiles = 1;
+    cfg.admission_budget_s = 0.0;
+    let service = Service::start(&dir, cfg).unwrap();
+    let err = service
+        .render(&RenderRequest::new("s", bounds.center()))
+        .unwrap_err();
+    let ServiceError::Overloaded { retry_after_ms } = err else {
+        panic!("expected Overloaded, got {err:?}");
+    };
+    assert!(retry_after_ms >= 10);
+    assert_eq!(
+        service
+            .stats()
+            .shed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    service.drain();
+    std::fs::remove_dir_all(&dir).ok();
+}
