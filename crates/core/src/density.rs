@@ -1,10 +1,12 @@
 //! The DTFE estimator: per-vertex densities and the piecewise-linear
 //! interpolant (paper §III-A).
 
+use crate::marching::MarchCache;
 use dtfe_delaunay::{BuildError, Delaunay, DelaunayBuilder, Located, TetId};
 use dtfe_geometry::tetra::{linear_gradient, volume};
 use dtfe_geometry::{Vec2, Vec3};
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
 /// Particle masses for the density estimate.
 #[derive(Clone, Debug)]
@@ -17,7 +19,7 @@ pub enum Mass {
 
 /// Per-tetrahedron interpolation cache: the linear field inside tetrahedron
 /// `t` is `ρ(x) = rho0 + grad · (x - v0)` (Eq. 1, with `x0 = v0`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TetInterp {
     pub v0: Vec3,
     pub rho0: f64,
@@ -36,6 +38,9 @@ pub struct DtfeField {
     vertex_density: Vec<f64>,
     /// Indexed by tetrahedron slot id; ghost/freed slots hold zeros.
     interp: Vec<TetInterp>,
+    /// Pre-normalized per-slot tetrahedra for the coherent marching kernel,
+    /// built on first render so non-marching users pay nothing.
+    march: OnceLock<MarchCache>,
 }
 
 impl DtfeField {
@@ -56,7 +61,41 @@ impl DtfeField {
     /// Use an existing triangulation built from `n_input` input points
     /// (duplicates may have merged; masses accumulate via
     /// [`Delaunay::vertex_of_input`]).
+    ///
+    /// The triangulation's tetrahedron slots are renumbered into
+    /// cache-coherent BFS order ([`Delaunay::compact_reorder`]) so marching
+    /// rays touch mostly-contiguous memory. Density estimation runs on the
+    /// *original* slot order and the per-tet interpolants are then permuted
+    /// along with the slots, so every density, gradient, and rendered field
+    /// is bit-identical to the unordered construction — the reorder is pure
+    /// data movement. `TetId`s obtained from this field's
+    /// [`DtfeField::delaunay`] are consistent with every accessor; only
+    /// ids retained from `del` *before* this call go stale — use
+    /// [`DtfeField::from_delaunay_unordered`] if you need those to survive.
     pub fn from_delaunay_for_inputs(del: Delaunay, n_input: usize, mass: Mass) -> DtfeField {
+        let mut field = Self::from_delaunay_unordered(del, n_input, mass);
+        let remap = field.del.compact_reorder();
+        let mut interp = vec![
+            TetInterp {
+                v0: Vec3::ZERO,
+                rho0: 0.0,
+                grad: Vec3::ZERO,
+            };
+            field.del.num_slots()
+        ];
+        for (old, &new) in remap.iter().enumerate() {
+            if new != dtfe_delaunay::NONE {
+                interp[new as usize] = field.interp[old];
+            }
+        }
+        field.interp = interp;
+        field
+    }
+
+    /// As [`DtfeField::from_delaunay_for_inputs`] but keeping `del`'s slot
+    /// numbering (no cache reordering pass), so `TetId`s held by the caller
+    /// stay valid.
+    pub fn from_delaunay_unordered(del: Delaunay, n_input: usize, mass: Mass) -> DtfeField {
         // Vertex masses: merged duplicates accumulate.
         let mut vmass = vec![0.0f64; del.num_vertices()];
         match &mass {
@@ -123,6 +162,7 @@ impl DtfeField {
             del,
             vertex_density,
             interp,
+            march: OnceLock::new(),
         }
     }
 
@@ -130,6 +170,13 @@ impl DtfeField {
     #[inline]
     pub fn delaunay(&self) -> &Delaunay {
         &self.del
+    }
+
+    /// The marching kernel's pre-normalized tetrahedron cache, built on
+    /// first use (one parallel pass over the slots).
+    #[inline]
+    pub fn march_cache(&self) -> &MarchCache {
+        self.march.get_or_init(|| MarchCache::build(&self.del))
     }
 
     /// Vertex densities `ρ̂(x_i)` (Eq. 2), indexed by `VertexId`.
@@ -321,6 +368,35 @@ mod tests {
         let rho = field.density_in_tet(t, Vec3::new(0.2, 0.2, 0.2));
         assert!((rho - 24.0).abs() < 1e-9, "rho = {rho}");
         assert!((field.integrated_mass() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reorder_preserves_interpolants() {
+        // The cache reorder permutes slots only: every tetrahedron's
+        // interpolant (v0, rho0, grad) must be carried over bit-for-bit,
+        // since the marching integral is computed from exactly these.
+        use dtfe_delaunay::DelaunayBuilder;
+        let pts = jittered_cloud(5, 21);
+        // Three identical deterministic builds: one kept unordered, one
+        // reordered standalone to learn the (deterministic) remap, one run
+        // through the reordering constructor.
+        let d1 = DelaunayBuilder::new().build(&pts).unwrap();
+        let mut d2 = DelaunayBuilder::new().build(&pts).unwrap();
+        let d3 = DelaunayBuilder::new().build(&pts).unwrap();
+        let remap = d2.compact_reorder();
+        let fa = DtfeField::from_delaunay_unordered(d1, pts.len(), Mass::Uniform(1.0));
+        let fb = DtfeField::from_delaunay_for_inputs(d3, pts.len(), Mass::Uniform(1.0));
+        // Densities are estimated before the reorder, so they are bitwise
+        // equal, and the interpolants are merely permuted by the remap.
+        assert_eq!(fa.vertex_densities(), fb.vertex_densities());
+        let mut compared = 0usize;
+        for (old, &new) in remap.iter().enumerate() {
+            if new != u32::MAX && !fa.delaunay().tet(old as u32).is_ghost() {
+                assert_eq!(fa.tet_interp(old as u32), fb.tet_interp(new), "slot {old}");
+                compared += 1;
+            }
+        }
+        assert_eq!(compared, fa.delaunay().num_tets());
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub mod walking;
 
 pub use density::{DtfeField, Mass};
 pub use grid::{Field2, Field3, GridError, GridSpec2, GridSpec3};
-pub use marching::{surface_density, surface_density_with_index, HullIndex, MarchOptions};
+pub use marching::{
+    surface_density, surface_density_reference, surface_density_with_index, HullIndex, MarchOptions,
+};
 pub use render::{RenderOptions, RenderOptionsError};
 pub use walking::{surface_density_walking, WalkOptions};

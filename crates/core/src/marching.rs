@@ -22,14 +22,36 @@
 //! (through a vertex, edge, or coplanar face) are resolved by the paper's
 //! `Perturb` routine (Fig. 2): nudge `ℓ` by at most `ε` toward a randomly
 //! chosen vertex of the offending tetrahedron and re-march.
+//!
+//! # Coherence (DESIGN.md §4f)
+//!
+//! The production path exploits three forms of coherence while staying
+//! **bit-identical** to the straightforward kernel (kept as
+//! [`surface_density_reference`], the equivalence oracle):
+//!
+//! * **Shared-edge Plücker traversal** — each step reuses the
+//!   direction-matched edge side-products of the face the ray just exited
+//!   through ([`dtfe_geometry::plucker::ray_tetra_seeded`]), and the
+//!   per-step orientation normalization and vertex gathers are hoisted into
+//!   a per-field [`MarchCache`].
+//! * **Neighbor-seeded entry** — consecutive cells seed the hull-entry
+//!   search from the previous cell's entry facet, walking the projected
+//!   hull triangulation ([`HullIndex`] adjacency) instead of paying a
+//!   binned query per cell; exact-arithmetic ties bail to the binned query
+//!   so the entry facet never differs.
+//! * **Tiled parallelism** — workers render square 2D tiles
+//!   ([`RenderOptions::tile`]) instead of whole rows. Each row's RNG stream
+//!   is fast-forwarded into the tile; rows where any tile saw a
+//!   perturbation (extra draws) are recomputed with the sequential stream,
+//!   so the output matches the serial kernel draw for draw.
 
 use crate::density::{DtfeField, EntryFacet};
 use crate::grid::{Field2, GridSpec2};
 use crate::render::RenderOptions;
-use dtfe_delaunay::TetId;
-use dtfe_geometry::plucker::{ray_tetra, Plucker, Ray};
+use dtfe_delaunay::{Delaunay, TetId};
+use dtfe_geometry::plucker::{normalize_tet, ray_tetra, ray_tetra_seeded, FaceSeed, Plucker, Ray};
 use dtfe_geometry::predicates::{orient2d, Orientation};
-use dtfe_geometry::{Aabb2, Vec2};
+use dtfe_geometry::{Aabb2, Vec2, Vec3};
 use rayon::prelude::*;
 
 /// Options for the marching kernel: the shared [`RenderOptions`] knobs plus
@@ -96,6 +118,12 @@ impl MarchOptions {
         self
     }
 
+    /// Forwards to [`RenderOptions::tile`].
+    pub fn tile(mut self, n: usize) -> MarchOptions {
+        self.render = self.render.tile(n);
+        self
+    }
+
     /// Set the relative perturbation magnitude `ε`.
     pub fn epsilon(mut self, e: f64) -> MarchOptions {
         self.epsilon = e;
@@ -109,8 +137,92 @@ impl MarchOptions {
     }
 }
 
+/// Default tile edge when [`RenderOptions::tile`] is 0.
+const DEFAULT_TILE: usize = 64;
+
+/// Sentinel facet index for "no entry hint".
+const NO_FACET: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Per-field traversal cache.
+
+/// One pre-normalized tetrahedron: positions with the [`ray_tetra`]
+/// orientation swap already applied, vertex ids in the same order (the
+/// labels the shared-edge reuse keys on), and the neighbor slots copied
+/// verbatim so a traversal step reads exactly one 128-byte record.
+#[derive(Clone, Copy)]
+#[repr(align(128))] // exactly two cache lines per record, never three
+struct CachedTet {
+    pts: [Vec3; 4],
+    ids: [u32; 4],
+    neighbors: [u32; 4],
+}
+
+/// Pre-normalized per-slot tetrahedra for the coherent marching kernel:
+/// one contiguous array so the hot loop does neither the `orient3d_det`
+/// sign test nor the four indirect vertex gathers per traversal step.
+/// Built lazily by [`DtfeField::march_cache`].
+pub struct MarchCache {
+    tets: Vec<CachedTet>,
+}
+
+impl MarchCache {
+    /// One parallel pass over the slots of `del` (ghost and freed slots
+    /// hold inert zeros; the kernel never reads them).
+    pub fn build(del: &Delaunay) -> MarchCache {
+        let _span = dtfe_telemetry::span!("core.march_cache_build", slots = del.num_slots());
+        let tets: Vec<CachedTet> = (0..del.num_slots() as u32)
+            .into_par_iter()
+            .map(|t| {
+                let tet = del.tet_slot(t);
+                if !tet.is_live() || tet.is_ghost() {
+                    // `ids[3] == u32::MAX` doubles as the hot loop's
+                    // "stepped out of the hull" test (a finite vertex id is
+                    // never the reserved MAX).
+                    return CachedTet {
+                        pts: [Vec3::ZERO; 4],
+                        ids: [u32::MAX; 4],
+                        neighbors: [u32::MAX; 4],
+                    };
+                }
+                let mut pts = [
+                    del.vertex(tet.verts[0]),
+                    del.vertex(tet.verts[1]),
+                    del.vertex(tet.verts[2]),
+                    del.vertex(tet.verts[3]),
+                ];
+                let mut ids = tet.verts;
+                if normalize_tet(&mut pts) {
+                    ids.swap(2, 3);
+                }
+                CachedTet {
+                    pts,
+                    ids,
+                    neighbors: tet.neighbors,
+                }
+            })
+            .collect();
+        MarchCache { tets }
+    }
+
+    #[inline]
+    fn tet(&self, t: TetId) -> &CachedTet {
+        &self.tets[t as usize]
+    }
+
+    /// Resident bytes (the service layer's budget accounting).
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of::<MarchCache>() + self.tets.len() * std::mem::size_of::<CachedTet>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hull entry: binned index + hinted walk.
+
 /// Spatially-binned index over the projected downward hull facets — the 2D
 /// point-location structure for Eq. 14. Build once per field, query per ray.
+/// Facet adjacency is indexed too, so consecutive queries can walk from a
+/// hint instead of rescanning a bin ([`MarchStats::entry_hint_hits`]).
 pub struct HullIndex {
     facets: Vec<EntryFacet>,
     bounds: Aabb2,
@@ -121,6 +233,22 @@ pub struct HullIndex {
     /// `b`.
     off: Vec<u32>,
     items: Vec<u32>,
+    /// `adj[f][e]` is the facet across edge `e` of facet `f` (edges in
+    /// `(a,b), (b,c), (c,a)` order); `u32::MAX` on the hull silhouette.
+    adj: Vec<[u32; 3]>,
+}
+
+/// Outcome of [`HullIndex::walk_from`].
+enum EntryWalk {
+    /// `q` is strictly inside this facet (the unique containing facet, so
+    /// the binned query would return the same ghost).
+    Found(u32),
+    /// `q` is strictly beyond a silhouette edge: outside the hull footprint
+    /// (the binned query would return `None`).
+    Outside,
+    /// An exact-arithmetic tie or a degenerate facet: fall back to the
+    /// binned query so boundary cells keep its first-in-bin-order answer.
+    Bail,
 }
 
 impl HullIndex {
@@ -189,6 +317,37 @@ impl HullIndex {
                 }
             }
         }
+
+        // Facet adjacency for the hinted walk: two facets sharing an edge
+        // share its endpoint *coordinates* exactly (both copied from the
+        // same vertices), so the edge key is the bit pattern of the sorted
+        // endpoint pair. Downward facets of a convex hull share each edge
+        // at most twice.
+        let mut adj = vec![[NO_FACET; 3]; facets.len()];
+        let mut edge_map: std::collections::HashMap<[u64; 4], (u32, u8)> =
+            std::collections::HashMap::with_capacity(facets.len() * 2);
+        for (fi, f) in facets.iter().enumerate() {
+            for (e, (p, q)) in [(f.a, f.b), (f.b, f.c), (f.c, f.a)].into_iter().enumerate() {
+                let pk = [p.x.to_bits(), p.y.to_bits()];
+                let qk = [q.x.to_bits(), q.y.to_bits()];
+                let key = if pk <= qk {
+                    [pk[0], pk[1], qk[0], qk[1]]
+                } else {
+                    [qk[0], qk[1], pk[0], pk[1]]
+                };
+                match edge_map.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        let (fj, ej) = *o.get();
+                        adj[fi][e] = fj;
+                        adj[fj as usize][ej as usize] = fi as u32;
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert((fi as u32, e as u8));
+                    }
+                }
+            }
+        }
+
         HullIndex {
             facets,
             bounds,
@@ -197,12 +356,19 @@ impl HullIndex {
             inv_cell,
             off,
             items,
+            adj,
         }
     }
 
     /// The ghost tetrahedron whose projected hull facet contains `q`
     /// (boundary inclusive); `None` when `q` is outside the hull footprint.
     pub fn query(&self, q: Vec2) -> Option<TetId> {
+        self.query_with_facet(q).map(|(g, _)| g)
+    }
+
+    /// As [`HullIndex::query`], also returning the facet index (the next
+    /// cell's walk hint).
+    fn query_with_facet(&self, q: Vec2) -> Option<(TetId, u32)> {
         if q.x < self.bounds.lo.x
             || q.y < self.bounds.lo.y
             || q.x > self.bounds.hi.x
@@ -216,10 +382,56 @@ impl HullIndex {
         for &fi in &self.items[self.off[b] as usize..self.off[b + 1] as usize] {
             let f = &self.facets[fi as usize];
             if triangle_contains(f.a, f.b, f.c, q) {
-                return Some(f.ghost);
+                return Some((f.ghost, fi));
             }
         }
         None
+    }
+
+    /// Straight-walk point location over the facet adjacency, seeded at
+    /// facet `start`. Conservative by construction: any exact-arithmetic
+    /// tie (query on an edge, degenerate facet) bails to the binned query,
+    /// so a `Found`/`Outside` verdict is always the verdict
+    /// [`HullIndex::query`] would reach — entry facets, and therefore
+    /// rendered fields, are bit-identical with hints on or off.
+    fn walk_from(&self, start: u32, q: Vec2) -> EntryWalk {
+        let mut fi = start as usize;
+        if fi >= self.facets.len() {
+            return EntryWalk::Bail;
+        }
+        // A visibility walk over a projected hull terminates in practice,
+        // but cap it defensively; the fallback is merely a binned query.
+        for _ in 0..=self.facets.len() {
+            let f = &self.facets[fi];
+            let s = orient2d(f.a, f.b, f.c);
+            if s == Orientation::Zero {
+                return EntryWalk::Bail;
+            }
+            let mut cross = None;
+            for (e, (p0, p1)) in [(f.a, f.b), (f.b, f.c), (f.c, f.a)].into_iter().enumerate() {
+                let o = orient2d(p0, p1, q);
+                if o == Orientation::Zero {
+                    return EntryWalk::Bail;
+                }
+                if o != s {
+                    cross = Some(e);
+                    break;
+                }
+            }
+            match cross {
+                None => return EntryWalk::Found(fi as u32),
+                Some(e) => {
+                    let n = self.adj[fi][e];
+                    if n == NO_FACET {
+                        // Strictly beyond a silhouette edge of the convex
+                        // footprint: outside every facet.
+                        return EntryWalk::Outside;
+                    }
+                    fi = n as usize;
+                }
+            }
+        }
+        EntryWalk::Bail
     }
 
     /// Number of indexed entry facets.
@@ -239,6 +451,9 @@ fn triangle_contains(a: Vec2, b: Vec2, c: Vec2, q: Vec2) -> bool {
     ok(orient2d(a, b, q)) && ok(orient2d(b, c, q)) && ok(orient2d(c, a, q))
 }
 
+// ---------------------------------------------------------------------------
+// Stats and RNG.
+
 /// Outcome counters for a march (exposed so experiments can report
 /// degeneracy rates, which drive the paper's Fig. 13 discussion).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -249,6 +464,16 @@ pub struct MarchStats {
     pub failures: u64,
     /// Total tetrahedron crossings.
     pub crossings: u64,
+    /// Entry searches resolved by walking from the previous cell's facet
+    /// (`core.entry_hint_hit`).
+    pub entry_hint_hits: u64,
+    /// Entry searches that fell back to the binned hull query
+    /// (`core.entry_hint_miss`).
+    pub entry_hint_misses: u64,
+    /// Plücker edge side-products evaluated (`core.plucker_edge_evals`);
+    /// the reference kernel pays 6 per ray–tetrahedron test, the coherent
+    /// kernel fewer.
+    pub edge_evals: u64,
 }
 
 impl MarchStats {
@@ -256,6 +481,9 @@ impl MarchStats {
         self.perturbations += o.perturbations;
         self.failures += o.failures;
         self.crossings += o.crossings;
+        self.entry_hint_hits += o.entry_hint_hits;
+        self.entry_hint_misses += o.entry_hint_misses;
+        self.edge_evals += o.edge_evals;
     }
 }
 
@@ -274,6 +502,77 @@ fn rand_unit(seed: &mut u64) -> f64 {
     (next_rand(seed) >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// The deterministic per-row RNG seed every renderer derives its draws from.
+#[inline]
+fn row_seed(j: usize) -> u64 {
+    0x9E3779B97F4A7C15u64 ^ ((j as u64) << 32) ^ 0xD1B54A32D192ED03
+}
+
+// ---------------------------------------------------------------------------
+// The coherent kernel.
+
+/// Loop-invariant state of one render, hoisted out of the per-cell restart
+/// loop: the mesh handles, the traversal cache, the step bound, and the
+/// integration window.
+struct MarchCtx<'a> {
+    field: &'a DtfeField,
+    del: &'a Delaunay,
+    cache: &'a MarchCache,
+    index: &'a HullIndex,
+    z_range: Option<(f64, f64)>,
+    eps: f64,
+    max_perturb: usize,
+    max_steps: usize,
+}
+
+impl<'a> MarchCtx<'a> {
+    fn new(
+        field: &'a DtfeField,
+        index: &'a HullIndex,
+        z_range: Option<(f64, f64)>,
+        eps: f64,
+        max_perturb: usize,
+    ) -> MarchCtx<'a> {
+        let del = field.delaunay();
+        MarchCtx {
+            field,
+            del,
+            cache: field.march_cache(),
+            index,
+            z_range,
+            eps,
+            max_perturb,
+            max_steps: del.num_tets() + del.num_ghosts() + 16,
+        }
+    }
+}
+
+/// One degeneracy event (the paper's Fig. 2 policy, in exactly one place):
+/// count it, spend a restart attempt, and return the perturbed `ξ` — or
+/// `None` when the budget is exhausted and the caller keeps the cell's
+/// best-effort value. Both the step-count bailout and the
+/// degenerate-crossing bailout of both kernels funnel through here.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn perturb_or_fail(
+    del: &Delaunay,
+    t: TetId,
+    xi: Vec2,
+    eps: f64,
+    max_perturb: usize,
+    seed: &mut u64,
+    attempts: &mut usize,
+    stats: &mut MarchStats,
+) -> Option<Vec2> {
+    stats.perturbations += 1;
+    *attempts += 1;
+    if *attempts > max_perturb {
+        stats.failures += 1;
+        return None;
+    }
+    Some(perturb(del, t, xi, eps, seed))
+}
+
 /// Integrate the DTFE field along the vertical line of sight through `xi`
 /// (paper Fig. 3, one iteration of the kernel loop).
 ///
@@ -290,66 +589,137 @@ pub fn march_cell(
     seed: &mut u64,
     stats: &mut MarchStats,
 ) -> f64 {
+    let ctx = MarchCtx::new(field, index, z_range, eps, max_perturb);
+    let mut hint = NO_FACET;
+    march_one(&ctx, xi, seed, stats, &mut hint)
+}
+
+/// [`march_cell`] with the render-invariant state and the entry hint
+/// threaded through (the renderers' inner call).
+fn march_one(
+    ctx: &MarchCtx<'_>,
+    xi: Vec2,
+    seed: &mut u64,
+    stats: &mut MarchStats,
+    hint: &mut u32,
+) -> f64 {
     let crossings_before = stats.crossings;
-    let v = march_cell_inner(field, index, xi, z_range, eps, max_perturb, seed, stats);
+    let v = march_cell_inner(ctx, xi, seed, stats, hint);
     // Per-LOS traversal depth distribution; free when telemetry is off and
     // invisible on rayon workers unless a global recorder is installed.
     dtfe_telemetry::hist_record!("core.tets_per_los", stats.crossings - crossings_before);
     v
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Locate the entry ghost for `xi`: walk from the hinted facet when one is
+/// set, fall back to the binned query on a tie or a cold hint. Either way
+/// the hint is left on the found facet for the next cell.
+fn entry_lookup(
+    ctx: &MarchCtx<'_>,
+    q: Vec2,
+    hint: &mut u32,
+    stats: &mut MarchStats,
+) -> Option<TetId> {
+    if *hint != NO_FACET {
+        match ctx.index.walk_from(*hint, q) {
+            EntryWalk::Found(fi) => {
+                stats.entry_hint_hits += 1;
+                *hint = fi;
+                return Some(ctx.index.facets[fi as usize].ghost);
+            }
+            EntryWalk::Outside => {
+                stats.entry_hint_hits += 1;
+                return None;
+            }
+            EntryWalk::Bail => stats.entry_hint_misses += 1,
+        }
+    } else {
+        stats.entry_hint_misses += 1;
+    }
+    let (g, fi) = ctx.index.query_with_facet(q)?;
+    *hint = fi;
+    Some(g)
+}
+
 fn march_cell_inner(
-    field: &DtfeField,
-    index: &HullIndex,
+    ctx: &MarchCtx<'_>,
     xi: Vec2,
-    z_range: Option<(f64, f64)>,
-    eps: f64,
-    max_perturb: usize,
     seed: &mut u64,
     stats: &mut MarchStats,
+    hint: &mut u32,
 ) -> f64 {
-    let del = field.delaunay();
     let mut xi_cur = xi;
     let mut attempts = 0usize;
-    let max_steps = del.num_tets() + del.num_ghosts() + 16;
     // Unlike the paper's Fig. 3 (which keeps partial sums across a
     // perturbation), we restart the whole ray after Perturb so every
     // contribution comes from one consistent line; the difference is O(ε).
     'restart: loop {
-        let Some(ghost) = index.query(xi_cur) else {
+        let Some(ghost) = entry_lookup(ctx, xi_cur, hint, stats) else {
             return 0.0;
         };
-        let mut t = del.tet(ghost).neighbors[3];
+        let mut t = ctx.del.tet(ghost).neighbors[3];
         let ray = Ray::vertical(xi_cur.x, xi_cur.y);
         let pl = Plucker::from_ray(&ray);
         let mut total = 0.0;
         let mut steps = 0usize;
+        // Exit-face side-products carried across the shared face, together
+        // with the receiving tetrahedron's local entry face (the slot whose
+        // neighbor is the tetrahedron just exited) so the seed match checks
+        // only that face's edges. Never carried over a restart (a perturbed
+        // line is a new ray).
+        let mut carry: Option<(FaceSeed, Option<usize>)> = None;
         loop {
             steps += 1;
-            if steps > max_steps {
+            if steps > ctx.max_steps {
                 // Structurally impossible on a valid triangulation; treat as
                 // a degeneracy and perturb.
-                stats.perturbations += 1;
-                attempts += 1;
-                if attempts > max_perturb {
-                    stats.failures += 1;
-                    return total;
+                match perturb_or_fail(
+                    ctx.del,
+                    t,
+                    xi_cur,
+                    ctx.eps,
+                    ctx.max_perturb,
+                    seed,
+                    &mut attempts,
+                    stats,
+                ) {
+                    Some(x) => {
+                        xi_cur = x;
+                        continue 'restart;
+                    }
+                    None => return total,
                 }
-                xi_cur = perturb(del, t, xi_cur, eps, seed);
-                continue 'restart;
             }
-            let verts = del.tet_points(t);
-            let hit = ray_tetra(&pl, &verts);
+            let ct = ctx.cache.tet(t);
+            let (entry, entry_face) = match carry.as_ref() {
+                Some((s, f)) => (Some(s), *f),
+                None => (None, None),
+            };
+            let (hit, exit_seed) = ray_tetra_seeded(
+                &pl,
+                &ct.pts,
+                &ct.ids,
+                entry,
+                entry_face,
+                &mut stats.edge_evals,
+            );
             if hit.degenerate || !hit.is_through() {
-                stats.perturbations += 1;
-                attempts += 1;
-                if attempts > max_perturb {
-                    stats.failures += 1;
-                    return total;
+                match perturb_or_fail(
+                    ctx.del,
+                    t,
+                    xi_cur,
+                    ctx.eps,
+                    ctx.max_perturb,
+                    seed,
+                    &mut attempts,
+                    stats,
+                ) {
+                    Some(x) => {
+                        xi_cur = x;
+                        continue 'restart;
+                    }
+                    None => return total,
                 }
-                xi_cur = perturb(del, t, xi_cur, eps, seed);
-                continue 'restart;
             }
             let (_, p_in) = hit.enter.unwrap();
             let (exit_face, p_out) = hit.exit.unwrap();
@@ -359,27 +729,31 @@ fn march_cell_inner(
             if b < a {
                 (a, b) = (b, a);
             }
-            if let Some((zlo, zhi)) = z_range {
+            if let Some((zlo, zhi)) = ctx.z_range {
                 a = a.max(zlo);
                 b = b.min(zhi);
             }
             if b > a {
                 // Eq. 12: exact integral via the interval midpoint.
-                let ti = field.tet_interp(t);
-                let mid = dtfe_geometry::Vec3::new(xi_cur.x, xi_cur.y, 0.5 * (a + b));
+                let ti = ctx.field.tet_interp(t);
+                let mid = Vec3::new(xi_cur.x, xi_cur.y, 0.5 * (a + b));
                 let rho_mid = ti.rho0 + ti.grad.dot(mid - ti.v0);
                 total += rho_mid * (b - a);
             }
-            if let Some((_, zhi)) = z_range {
+            if let Some((_, zhi)) = ctx.z_range {
                 if p_out.z >= zhi {
                     return total; // monotone in z: nothing further contributes
                 }
             }
 
-            let next = del.tet(t).neighbors[exit_face];
-            if del.tet(next).is_ghost() {
+            let next = ct.neighbors[exit_face];
+            let nt = ctx.cache.tet(next);
+            if nt.ids[3] == u32::MAX {
                 return total; // left the hull (a convex body is exited once)
             }
+            // The face of `next` we enter through is the one sharing the
+            // exit face, i.e. whose neighbor slot points back at `t`.
+            carry = Some((exit_seed, nt.neighbors.iter().position(|&n| n == t)));
             t = next;
         }
     }
@@ -387,7 +761,7 @@ fn march_cell_inner(
 
 /// The paper's `Perturb` (Fig. 2): move `ξ` by at most `eps` toward the
 /// projection of a randomly chosen vertex of the offending tetrahedron.
-fn perturb(del: &dtfe_delaunay::Delaunay, t: TetId, xi: Vec2, eps: f64, seed: &mut u64) -> Vec2 {
+fn perturb(del: &Delaunay, t: TetId, xi: Vec2, eps: f64, seed: &mut u64) -> Vec2 {
     let tet = del.tet(t);
     for _ in 0..4 {
         let v = tet.verts[(next_rand(seed) % 4) as usize];
@@ -411,6 +785,9 @@ fn perturb(del: &dtfe_delaunay::Delaunay, t: TetId, xi: Vec2, eps: f64, seed: &m
     let ang = rand_unit(seed) * std::f64::consts::TAU;
     xi + Vec2::new(ang.cos(), ang.sin()) * eps
 }
+
+// ---------------------------------------------------------------------------
+// Renderers.
 
 /// Render the full surface-density grid with the marching kernel
 /// (paper Fig. 3 with the grid-cell loop parallelized as in §V).
@@ -441,10 +818,254 @@ pub fn surface_density_with_index(
 ) -> (Field2, MarchStats) {
     let span = dtfe_telemetry::span!("core.march_render", nx = grid.nx, ny = grid.ny);
     let eps = opts.epsilon * grid.cell.norm();
+    let ctx = MarchCtx::new(field, index, opts.render.z_range, eps, opts.max_perturb);
+    let samples = opts.render.samples;
+    let mut out = Field2::zeros(*grid);
+    let mut stats = MarchStats::default();
+    if opts.render.parallel {
+        let tile = if opts.render.tile > 0 {
+            opts.render.tile
+        } else {
+            DEFAULT_TILE
+        };
+        render_tiled(&ctx, grid, samples, tile, &mut out, &mut stats);
+    } else {
+        for (j, chunk) in out.data.chunks_mut(grid.nx).enumerate() {
+            let mut seed = row_seed(j);
+            let mut hint = NO_FACET;
+            render_row_segment(
+                &ctx, grid, samples, j, 0, &mut seed, &mut stats, &mut hint, chunk,
+            );
+        }
+    }
+    // Bridge the kernel-local counters into the registry from this thread,
+    // which covers the parallel path too (workers only merged into `stats`).
+    dtfe_telemetry::counter_add!("core.los_marched", (grid.nx * grid.ny) as u64);
+    dtfe_telemetry::counter_add!("core.tets_crossed", stats.crossings);
+    dtfe_telemetry::counter_add!("core.degenerate_restarts", stats.perturbations);
+    dtfe_telemetry::counter_add!("core.march_failures", stats.failures);
+    dtfe_telemetry::counter_add!("core.entry_hint_hit", stats.entry_hint_hits);
+    dtfe_telemetry::counter_add!("core.entry_hint_miss", stats.entry_hint_misses);
+    dtfe_telemetry::counter_add!("core.plucker_edge_evals", stats.edge_evals);
+    drop(span);
+    (out, stats)
+}
+
+/// Render cells `i0..i0+out.len()` of row `j` into `out`, threading the RNG
+/// stream, stats, and the entry hint left to right.
+#[allow(clippy::too_many_arguments)]
+fn render_row_segment(
+    ctx: &MarchCtx<'_>,
+    grid: &GridSpec2,
+    samples: usize,
+    j: usize,
+    i0: usize,
+    seed: &mut u64,
+    stats: &mut MarchStats,
+    hint: &mut u32,
+    out: &mut [f64],
+) {
+    for (k, slot) in out.iter_mut().enumerate() {
+        *slot = cell_value_inner(ctx, grid, samples, i0 + k, j, seed, stats, hint);
+    }
+}
+
+/// 2D-tiled parallel render. Each worker owns a square tile so consecutive
+/// cells keep mesh locality in x *and* y. Bit-identity with the serial
+/// kernel rests on deterministic RNG accounting: a cell consumes exactly
+/// `2·samples` draws when `samples > 1` and none otherwise — unless it
+/// perturbs. Tiles fast-forward each row's seed past the cells to their
+/// left; any row where some tile perturbed is recomputed afterwards with
+/// the true sequential stream.
+fn render_tiled(
+    ctx: &MarchCtx<'_>,
+    grid: &GridSpec2,
+    samples: usize,
+    tile: usize,
+    out: &mut Field2,
+    stats: &mut MarchStats,
+) {
+    let (nx, ny) = (grid.nx, grid.ny);
+    if nx == 0 || ny == 0 {
+        return;
+    }
+    let tile = tile.max(1);
+    let tx = nx.div_ceil(tile);
+    let ty = ny.div_ceil(tile);
+    let draws_per_cell: u64 = if samples > 1 { 2 * samples as u64 } else { 0 };
+
+    struct TileOut {
+        i0: usize,
+        i1: usize,
+        j0: usize,
+        values: Vec<f64>,
+        /// Per-row (stats, perturbed?) for the rows this tile covers.
+        rows: Vec<(MarchStats, bool)>,
+    }
+
+    let tiles: Vec<TileOut> = (0..tx * ty)
+        .into_par_iter()
+        .map(|ti| {
+            let (tj, tix) = (ti / tx, ti % tx);
+            let (i0, j0) = (tix * tile, tj * tile);
+            let (i1, j1) = ((i0 + tile).min(nx), (j0 + tile).min(ny));
+            let w = i1 - i0;
+            let mut values = vec![0.0; w * (j1 - j0)];
+            let mut rows = Vec::with_capacity(j1 - j0);
+            let mut hint = NO_FACET;
+            for j in j0..j1 {
+                let mut seed = row_seed(j);
+                for _ in 0..draws_per_cell * i0 as u64 {
+                    next_rand(&mut seed);
+                }
+                let mut s = MarchStats::default();
+                let off = (j - j0) * w;
+                render_row_segment(
+                    ctx,
+                    grid,
+                    samples,
+                    j,
+                    i0,
+                    &mut seed,
+                    &mut s,
+                    &mut hint,
+                    &mut values[off..off + w],
+                );
+                let tainted = s.perturbations > 0;
+                rows.push((s, tainted));
+            }
+            TileOut {
+                i0,
+                i1,
+                j0,
+                values,
+                rows,
+            }
+        })
+        .collect();
+
+    // A perturbation anywhere in a row shifted the RNG stream for every
+    // cell to its right (possibly in another tile), so the whole row is
+    // recomputed sequentially; its speculative segments and their stats are
+    // discarded wholesale.
+    let mut tainted = vec![false; ny];
+    for t in &tiles {
+        for (r, &(_, tn)) in t.rows.iter().enumerate() {
+            if tn {
+                tainted[t.j0 + r] = true;
+            }
+        }
+    }
+    for t in &tiles {
+        let w = t.i1 - t.i0;
+        for (r, (s, _)) in t.rows.iter().enumerate() {
+            let j = t.j0 + r;
+            if tainted[j] {
+                continue;
+            }
+            out.data[j * nx + t.i0..j * nx + t.i1].copy_from_slice(&t.values[r * w..(r + 1) * w]);
+            stats.merge(s);
+        }
+    }
+    if tainted.iter().any(|&t| t) {
+        let redone: Vec<MarchStats> = out
+            .data
+            .par_chunks_mut(nx)
+            .enumerate()
+            .map(|(j, chunk)| {
+                let mut s = MarchStats::default();
+                if tainted[j] {
+                    let mut seed = row_seed(j);
+                    let mut hint = NO_FACET;
+                    render_row_segment(
+                        ctx, grid, samples, j, 0, &mut seed, &mut s, &mut hint, chunk,
+                    );
+                }
+                s
+            })
+            .collect();
+        for s in &redone {
+            stats.merge(s);
+        }
+    }
+}
+
+/// One cell's value: centre sample or the jittered Monte-Carlo mean.
+#[allow(clippy::too_many_arguments)]
+pub fn cell_value(
+    field: &DtfeField,
+    index: &HullIndex,
+    grid: &GridSpec2,
+    i: usize,
+    j: usize,
+    eps: f64,
+    opts: &MarchOptions,
+    seed: &mut u64,
+    stats: &mut MarchStats,
+) -> f64 {
+    let ctx = MarchCtx::new(field, index, opts.render.z_range, eps, opts.max_perturb);
+    let mut hint = NO_FACET;
+    cell_value_inner(
+        &ctx,
+        grid,
+        opts.render.samples,
+        i,
+        j,
+        seed,
+        stats,
+        &mut hint,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cell_value_inner(
+    ctx: &MarchCtx<'_>,
+    grid: &GridSpec2,
+    samples: usize,
+    i: usize,
+    j: usize,
+    seed: &mut u64,
+    stats: &mut MarchStats,
+    hint: &mut u32,
+) -> f64 {
+    if samples <= 1 {
+        let xi = grid.center(i, j);
+        return march_one(ctx, xi, seed, stats, hint);
+    }
+    let base = Vec2::new(
+        grid.origin.x + i as f64 * grid.cell.x,
+        grid.origin.y + j as f64 * grid.cell.y,
+    );
+    let mut acc = 0.0;
+    for _ in 0..samples {
+        let xi = base + Vec2::new(rand_unit(seed) * grid.cell.x, rand_unit(seed) * grid.cell.y);
+        acc += march_one(ctx, xi, seed, stats, hint);
+    }
+    acc / samples as f64
+}
+
+// ---------------------------------------------------------------------------
+// The reference kernel (the equivalence oracle).
+
+/// The pre-coherence marching kernel, kept verbatim: per-cell binned hull
+/// queries (each tallied as an entry-hint miss), per-step [`ray_tetra`]
+/// with no cross-face reuse (6 edge evaluations per test), row-parallel
+/// scheduling. The rendered field and the
+/// crossings/perturbations/failures counters are bit-identical to
+/// [`surface_density_with_index`] on the same field and grid — the
+/// equivalence proptests and CI's march-bench smoke step assert exactly
+/// that, and the bench bin reports the speedup against this path.
+pub fn surface_density_reference(
+    field: &DtfeField,
+    index: &HullIndex,
+    grid: &GridSpec2,
+    opts: &MarchOptions,
+) -> (Field2, MarchStats) {
+    let eps = opts.epsilon * grid.cell.norm();
     let row = |j: usize, out: &mut [f64], stats: &mut MarchStats| {
-        let mut seed = 0x9E3779B97F4A7C15u64 ^ ((j as u64) << 32) ^ 0xD1B54A32D192ED03;
+        let mut seed = row_seed(j);
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = cell_value(field, index, grid, i, j, eps, opts, &mut seed, stats);
+            *slot = reference_cell_value(field, index, grid, i, j, eps, opts, &mut seed, stats);
         }
     };
     let mut out = Field2::zeros(*grid);
@@ -468,19 +1089,11 @@ pub fn surface_density_with_index(
             row(j, chunk, &mut stats);
         }
     }
-    // Bridge the kernel-local counters into the registry from this thread,
-    // which covers the parallel path too (workers only merged into `stats`).
-    dtfe_telemetry::counter_add!("core.los_marched", (grid.nx * grid.ny) as u64);
-    dtfe_telemetry::counter_add!("core.tets_crossed", stats.crossings);
-    dtfe_telemetry::counter_add!("core.degenerate_restarts", stats.perturbations);
-    dtfe_telemetry::counter_add!("core.march_failures", stats.failures);
-    drop(span);
     (out, stats)
 }
 
-/// One cell's value: centre sample or the jittered Monte-Carlo mean.
 #[allow(clippy::too_many_arguments)]
-pub fn cell_value(
+fn reference_cell_value(
     field: &DtfeField,
     index: &HullIndex,
     grid: &GridSpec2,
@@ -492,17 +1105,7 @@ pub fn cell_value(
     stats: &mut MarchStats,
 ) -> f64 {
     if opts.render.samples <= 1 {
-        let xi = grid.center(i, j);
-        return march_cell(
-            field,
-            index,
-            xi,
-            opts.render.z_range,
-            eps,
-            opts.max_perturb,
-            seed,
-            stats,
-        );
+        return reference_march_one(field, index, grid.center(i, j), eps, opts, seed, stats);
     }
     let base = Vec2::new(
         grid.origin.x + i as f64 * grid.cell.x,
@@ -511,18 +1114,116 @@ pub fn cell_value(
     let mut acc = 0.0;
     for _ in 0..opts.render.samples {
         let xi = base + Vec2::new(rand_unit(seed) * grid.cell.x, rand_unit(seed) * grid.cell.y);
-        acc += march_cell(
-            field,
-            index,
-            xi,
-            opts.render.z_range,
-            eps,
-            opts.max_perturb,
-            seed,
-            stats,
-        );
+        acc += reference_march_one(field, index, xi, eps, opts, seed, stats);
     }
     acc / opts.render.samples as f64
+}
+
+fn reference_march_one(
+    field: &DtfeField,
+    index: &HullIndex,
+    xi: Vec2,
+    eps: f64,
+    opts: &MarchOptions,
+    seed: &mut u64,
+    stats: &mut MarchStats,
+) -> f64 {
+    let crossings_before = stats.crossings;
+    let v = reference_march_cell_inner(
+        field,
+        index,
+        xi,
+        opts.render.z_range,
+        eps,
+        opts.max_perturb,
+        seed,
+        stats,
+    );
+    dtfe_telemetry::hist_record!("core.tets_per_los", stats.crossings - crossings_before);
+    v
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reference_march_cell_inner(
+    field: &DtfeField,
+    index: &HullIndex,
+    xi: Vec2,
+    z_range: Option<(f64, f64)>,
+    eps: f64,
+    max_perturb: usize,
+    seed: &mut u64,
+    stats: &mut MarchStats,
+) -> f64 {
+    let del = field.delaunay();
+    let mut xi_cur = xi;
+    let mut attempts = 0usize;
+    let max_steps = del.num_tets() + del.num_ghosts() + 16;
+    'restart: loop {
+        stats.entry_hint_misses += 1;
+        let Some(ghost) = index.query(xi_cur) else {
+            return 0.0;
+        };
+        let mut t = del.tet(ghost).neighbors[3];
+        let ray = Ray::vertical(xi_cur.x, xi_cur.y);
+        let pl = Plucker::from_ray(&ray);
+        let mut total = 0.0;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > max_steps {
+                match perturb_or_fail(del, t, xi_cur, eps, max_perturb, seed, &mut attempts, stats)
+                {
+                    Some(x) => {
+                        xi_cur = x;
+                        continue 'restart;
+                    }
+                    None => return total,
+                }
+            }
+            let verts = del.tet_points(t);
+            let hit = ray_tetra(&pl, &verts);
+            stats.edge_evals += 6;
+            if hit.degenerate || !hit.is_through() {
+                match perturb_or_fail(del, t, xi_cur, eps, max_perturb, seed, &mut attempts, stats)
+                {
+                    Some(x) => {
+                        xi_cur = x;
+                        continue 'restart;
+                    }
+                    None => return total,
+                }
+            }
+            let (_, p_in) = hit.enter.unwrap();
+            let (exit_face, p_out) = hit.exit.unwrap();
+            stats.crossings += 1;
+
+            let (mut a, mut b) = (p_in.z, p_out.z);
+            if b < a {
+                (a, b) = (b, a);
+            }
+            if let Some((zlo, zhi)) = z_range {
+                a = a.max(zlo);
+                b = b.min(zhi);
+            }
+            if b > a {
+                let ti = field.tet_interp(t);
+                let mid = Vec3::new(xi_cur.x, xi_cur.y, 0.5 * (a + b));
+                let rho_mid = ti.rho0 + ti.grad.dot(mid - ti.v0);
+                total += rho_mid * (b - a);
+            }
+            if let Some((_, zhi)) = z_range {
+                if p_out.z >= zhi {
+                    return total;
+                }
+            }
+
+            let next = del.tet(t).neighbors[exit_face];
+            if del.tet(next).is_ghost() {
+                return total;
+            }
+            t = next;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -707,6 +1408,145 @@ mod tests {
         let ser = surface_density(&field, &grid, &MarchOptions::new().parallel(false));
         // Deterministic per-row seeding makes these bit-identical.
         assert_eq!(par.data, ser.data);
+    }
+
+    #[test]
+    fn any_tile_size_is_bit_identical() {
+        let pts = jittered_cloud(4, 43);
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let grid = GridSpec2::covering(Vec2::new(0.0, 0.0), Vec2::new(3.5, 3.5), 23, 19);
+        for samples in [1usize, 3] {
+            let base = surface_density(
+                &field,
+                &grid,
+                &MarchOptions::new().samples(samples).parallel(false),
+            );
+            for tile in [1usize, 5, 16, 1024] {
+                let tiled = surface_density(
+                    &field,
+                    &grid,
+                    &MarchOptions::new()
+                        .samples(samples)
+                        .parallel(true)
+                        .tile(tile),
+                );
+                assert_eq!(base.data, tiled.data, "tile {tile} samples {samples}");
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_equals_reference_kernel() {
+        let pts = jittered_cloud(5, 59);
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let index = HullIndex::build(&field);
+        let grid = GridSpec2::covering(Vec2::new(-0.3, -0.1), Vec2::new(4.6, 4.7), 31, 29);
+        for opts in [
+            MarchOptions::new().parallel(false),
+            MarchOptions::new().samples(2).parallel(false),
+            MarchOptions::new().z_range(0.5, 3.5).parallel(false),
+            MarchOptions::new().parallel(true).tile(8),
+        ] {
+            let (a, sa) = surface_density_reference(&field, &index, &grid, &opts);
+            let (b, sb) = surface_density_with_index(&field, &index, &grid, &opts);
+            assert_eq!(a.data, b.data);
+            assert_eq!(sa.crossings, sb.crossings);
+            assert_eq!(sa.perturbations, sb.perturbations);
+            assert_eq!(sa.failures, sb.failures);
+        }
+    }
+
+    #[test]
+    fn tiled_render_identical_on_degenerate_lattice() {
+        // A vertex-aligned grid over an exact lattice maximizes
+        // perturbations: the taint-and-recompute path must reproduce the
+        // serial stream exactly, including the perturbation count.
+        let pts: Vec<Vec3> = (0..4)
+            .flat_map(|i| {
+                (0..4)
+                    .flat_map(move |j| (0..4).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
+            })
+            .collect();
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let index = HullIndex::build(&field);
+        // Grid whose cell centres land exactly on lattice vertices and edges.
+        let grid = GridSpec2::covering(Vec2::new(-0.5, -0.5), Vec2::new(3.5, 3.5), 8, 8);
+        let opts_ser = MarchOptions::new().parallel(false);
+        let (ser, ss) = surface_density_with_index(&field, &index, &grid, &opts_ser);
+        assert!(ss.perturbations > 0, "scene not degenerate enough");
+        for tile in [1usize, 3, 64] {
+            let opts_par = MarchOptions::new().parallel(true).tile(tile);
+            let (par, sp) = surface_density_with_index(&field, &index, &grid, &opts_par);
+            assert_eq!(ser.data, par.data, "tile {tile}");
+            assert_eq!(ss.perturbations, sp.perturbations, "tile {tile}");
+            assert_eq!(ss.crossings, sp.crossings, "tile {tile}");
+        }
+        // And the reference kernel agrees too.
+        let (reference, sr) = surface_density_reference(&field, &index, &grid, &opts_ser);
+        assert_eq!(reference.data, ser.data);
+        assert_eq!(sr.perturbations, ss.perturbations);
+    }
+
+    #[test]
+    fn coherent_kernel_saves_edge_evals_and_queries() {
+        // The observability acceptance: on a fixed scene the coherent
+        // kernel must evaluate strictly fewer Plücker edge products than
+        // the reference kernel's 6-per-test, and resolve most entries from
+        // the hint.
+        let pts = jittered_cloud(6, 71);
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let index = HullIndex::build(&field);
+        let grid = GridSpec2::covering(Vec2::new(0.2, 0.2), Vec2::new(5.2, 5.2), 48, 48);
+        let opts = MarchOptions::new().parallel(false);
+        let (a, sr) = surface_density_reference(&field, &index, &grid, &opts);
+        let (b, sc) = surface_density_with_index(&field, &index, &grid, &opts);
+        assert_eq!(a.data, b.data);
+        assert_eq!(
+            sr.edge_evals,
+            6 * sr.crossings + 6 * sr.perturbations,
+            "reference accounting drifted"
+        );
+        assert!(
+            sc.edge_evals < sr.edge_evals,
+            "coherent {} !< reference {}",
+            sc.edge_evals,
+            sr.edge_evals
+        );
+        assert!(
+            sc.entry_hint_hits > sc.entry_hint_misses,
+            "hints mostly missed: {} hits vs {} misses",
+            sc.entry_hint_hits,
+            sc.entry_hint_misses
+        );
+    }
+
+    #[test]
+    fn hinted_walk_agrees_with_binned_query() {
+        let pts = jittered_cloud(5, 83);
+        let field = DtfeField::build(&pts, Mass::Uniform(1.0)).unwrap();
+        let index = HullIndex::build(&field);
+        // Seed a hint anywhere, then walk to scattered targets: every
+        // strict verdict must match the binned query.
+        let mut s = 0xABCDEFu64;
+        let mut r = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut hint = 0u32;
+        for _ in 0..200 {
+            let q = Vec2::new(r() * 6.0 - 0.5, r() * 6.0 - 0.5);
+            let binned = index.query(q);
+            match index.walk_from(hint, q) {
+                EntryWalk::Found(fi) => {
+                    assert_eq!(binned, Some(index.facets[fi as usize].ghost), "at {q:?}");
+                    hint = fi;
+                }
+                EntryWalk::Outside => assert_eq!(binned, None, "at {q:?}"),
+                EntryWalk::Bail => {} // ties defer to the binned query
+            }
+        }
     }
 
     #[test]

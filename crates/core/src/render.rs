@@ -20,9 +20,9 @@
 /// assert_eq!(opts.z_range, Some((0.0, 10.0)));
 /// assert!(!opts.parallel);
 ///
-/// // Defaults: one centre sample, full hull depth, parallel on.
+/// // Defaults: one centre sample, full hull depth, parallel on, auto tile.
 /// let d = RenderOptions::default();
-/// assert_eq!((d.samples, d.z_range, d.parallel), (1, None, true));
+/// assert_eq!((d.samples, d.z_range, d.parallel, d.tile), (1, None, true, 0));
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RenderOptions {
@@ -37,6 +37,11 @@ pub struct RenderOptions {
     /// Parallelize over grid rows/columns with Rayon (the paper's OpenMP
     /// loop).
     pub parallel: bool,
+    /// Square tile edge (in cells) for the marching kernel's parallel
+    /// scheduler: workers render 2D tiles instead of whole rows, so
+    /// consecutive cells reuse mesh locality in both directions. `0` picks
+    /// a default. The rendered field is bit-identical for every tile size.
+    pub tile: usize,
 }
 
 impl Default for RenderOptions {
@@ -45,6 +50,7 @@ impl Default for RenderOptions {
             samples: 1,
             z_range: None,
             parallel: true,
+            tile: 0,
         }
     }
 }
@@ -76,6 +82,12 @@ impl RenderOptions {
     /// Switch row/column parallelism on or off.
     pub fn parallel(mut self, yes: bool) -> RenderOptions {
         self.parallel = yes;
+        self
+    }
+
+    /// Tile edge for the parallel marching scheduler (`0` = auto).
+    pub fn tile(mut self, n: usize) -> RenderOptions {
+        self.tile = n;
         self
     }
 

@@ -3,7 +3,8 @@
 use dtfe_core::density::{DtfeField, Mass};
 use dtfe_core::grid::GridSpec2;
 use dtfe_core::marching::{
-    march_cell, surface_density_with_stats, HullIndex, MarchOptions, MarchStats,
+    march_cell, surface_density_reference, surface_density_with_index, surface_density_with_stats,
+    HullIndex, MarchOptions, MarchStats,
 };
 use dtfe_geometry::{Vec2, Vec3};
 use proptest::prelude::*;
@@ -85,6 +86,83 @@ proptest! {
         let lo = run(Some((-1.0, zcut)));
         let hi = run(Some((zcut, 9.0)));
         prop_assert!((lo + hi - full).abs() < 1e-6 * (1.0 + full), "{} + {} != {}", lo, hi, full);
+    }
+
+    #[test]
+    fn render_bit_identical_across_threads_and_tiles(
+        pts in cloud_strategy(16, 100),
+        tile in 1usize..40,
+        zwin in (0.5f64..4.0, 4.5f64..7.5, 0usize..2),
+        samples in 1usize..3,
+    ) {
+        // The coherent kernel's contract: the reference kernel, the serial
+        // coherent kernel, and the tiled parallel kernel at any tile size
+        // and worker count produce bit-identical fields.
+        let Ok(field) = DtfeField::build(&pts, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        let index = HullIndex::build(&field);
+        let grid = GridSpec2::covering(Vec2::new(-0.5, -0.5), Vec2::new(8.5, 8.5), 19, 17);
+        let mut opts = MarchOptions::new().samples(samples).parallel(false);
+        if zwin.2 == 1 {
+            opts = opts.z_range(zwin.0, zwin.1);
+        }
+        let (reference, sr) = surface_density_reference(&field, &index, &grid, &opts);
+        let (serial, ss) = surface_density_with_index(&field, &index, &grid, &opts);
+        prop_assert_eq!(&reference.data, &serial.data);
+        prop_assert_eq!(sr.crossings, ss.crossings);
+        prop_assert_eq!(sr.perturbations, ss.perturbations);
+        prop_assert_eq!(sr.failures, ss.failures);
+        prop_assert!(ss.edge_evals <= sr.edge_evals);
+        let par_opts = opts.parallel(true).tile(tile);
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (par, sp) =
+                pool.install(|| surface_density_with_index(&field, &index, &grid, &par_opts));
+            prop_assert_eq!(&serial.data, &par.data, "threads {} tile {}", threads, tile);
+            prop_assert_eq!(ss.crossings, sp.crossings);
+            prop_assert_eq!(ss.perturbations, sp.perturbations);
+        }
+    }
+
+    #[test]
+    fn degenerate_vertex_aligned_grids_bit_identical(n in 3usize..6, tile in 1usize..10) {
+        // Exact lattice with grid cell centres landing exactly on lattice
+        // vertices: every line of sight is maximally degenerate, so the
+        // tiled scheduler's taint-and-recompute path is fully exercised.
+        let pts: Vec<Vec3> = (0..n)
+            .flat_map(|i| {
+                (0..n).flat_map(move |j| {
+                    (0..n).map(move |k| Vec3::new(i as f64, j as f64, k as f64))
+                })
+            })
+            .collect();
+        let Ok(field) = DtfeField::build(&pts, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        let index = HullIndex::build(&field);
+        let hi = n as f64 - 0.5;
+        let grid = GridSpec2::covering(Vec2::new(-0.5, -0.5), Vec2::new(hi, hi), n, n);
+        let opts = MarchOptions::new().parallel(false);
+        let (serial, ss) = surface_density_with_index(&field, &index, &grid, &opts);
+        let (reference, sr) = surface_density_reference(&field, &index, &grid, &opts);
+        prop_assert_eq!(&reference.data, &serial.data);
+        prop_assert_eq!(sr.perturbations, ss.perturbations);
+        let par_opts = MarchOptions::new().parallel(true).tile(tile);
+        for threads in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (par, sp) =
+                pool.install(|| surface_density_with_index(&field, &index, &grid, &par_opts));
+            prop_assert_eq!(&serial.data, &par.data, "threads {} tile {}", threads, tile);
+            prop_assert_eq!(ss.perturbations, sp.perturbations);
+            prop_assert_eq!(ss.crossings, sp.crossings);
+        }
     }
 
     #[test]

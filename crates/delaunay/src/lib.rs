@@ -64,6 +64,7 @@ mod mesh;
 mod morton;
 mod parallel;
 mod queries;
+mod reorder;
 pub mod validate;
 
 pub use builder::{BuildError, DelaunayBuilder, Triangulation};

@@ -1,0 +1,185 @@
+//! Cache-coherent slot renumbering for render-time traversal.
+//!
+//! The marching kernel steps from tetrahedron to tetrahedron through the
+//! `neighbors[]` adjacency; after incremental construction, adjacent
+//! tetrahedra sit in essentially random slots, so every step is a cache
+//! miss. A breadth-first renumbering over facet adjacency puts neighbors in
+//! nearby slots, which makes a marching ray touch mostly-contiguous memory
+//! (the locality observation behind the DTFE public software's kernel).
+
+use crate::mesh::{TetId, NONE};
+use crate::Delaunay;
+
+impl Delaunay {
+    /// Renumber tetrahedron slots into breadth-first order over facet
+    /// adjacency, starting from a hull (ghost) tetrahedron, and drop freed
+    /// slots so the slot array becomes dense.
+    ///
+    /// Only slot *numbers* change: every `Tet`'s vertex array — and
+    /// therefore every geometric predicate, Plücker product, and marching
+    /// integral computed from it — is untouched, so renders on the
+    /// reordered mesh are bit-identical to renders on the original.
+    ///
+    /// Returns the remap `old slot → new slot` (`NONE` for freed slots) so
+    /// callers holding `TetId`s can translate them. The triangulation
+    /// remains fully functional afterwards (insertion scratch state is
+    /// reset consistently).
+    pub fn compact_reorder(&mut self) -> Vec<TetId> {
+        let n = self.tets.len();
+        let live = self.n_finite + self.n_ghost;
+        let mut remap = vec![NONE; n];
+        let mut order: Vec<TetId> = Vec::with_capacity(live);
+        // Marching enters through the hull, so seeding the BFS from a ghost
+        // makes slot order roughly track traversal depth along lines of
+        // sight. Fall back to any live slot (no ghosts only happens on
+        // meshes that failed construction).
+        let start = (0..n as TetId)
+            .find(|&t| self.tets[t as usize].is_live() && self.tets[t as usize].is_ghost())
+            .or_else(|| (0..n as TetId).find(|&t| self.tets[t as usize].is_live()));
+        let mut head = 0usize;
+        if let Some(s) = start {
+            remap[s as usize] = 0;
+            order.push(s);
+        }
+        while head < order.len() {
+            let t = order[head];
+            head += 1;
+            for &nb in &self.tets[t as usize].neighbors {
+                if nb != NONE && self.tets[nb as usize].is_live() && remap[nb as usize] == NONE {
+                    remap[nb as usize] = order.len() as TetId;
+                    order.push(nb);
+                }
+            }
+        }
+        // The adjacency graph of a valid triangulation is connected, but
+        // sweep for stragglers so the remap is total even on a mesh some
+        // invariant check would reject.
+        for t in 0..n as TetId {
+            if self.tets[t as usize].is_live() && remap[t as usize] == NONE {
+                remap[t as usize] = order.len() as TetId;
+                order.push(t);
+            }
+        }
+
+        let mut tets = Vec::with_capacity(order.len());
+        for &old in &order {
+            let mut tet = self.tets[old as usize];
+            for nb in &mut tet.neighbors {
+                if *nb != NONE {
+                    *nb = remap[*nb as usize];
+                }
+            }
+            tets.push(tet);
+        }
+        self.tets = tets;
+        self.free.clear();
+        // Epoch marks only need `mark[t] != 2*epoch` for unvisited slots;
+        // zeroing both keeps the invariant (insertion bumps epoch first).
+        self.mark = vec![0; order.len()];
+        self.epoch = 0;
+        self.hint = if order.is_empty() { NONE } else { 0 };
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelaunayBuilder;
+    use dtfe_geometry::Vec3;
+
+    fn jittered_cloud(n_side: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut r = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    pts.push(Vec3::new(
+                        i as f64 + 0.6 * r(),
+                        j as f64 + 0.6 * r(),
+                        k as f64 + 0.6 * r(),
+                    ));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn reorder_preserves_mesh() {
+        let pts = jittered_cloud(5, 77);
+        let mut a = DelaunayBuilder::new().build(&pts).unwrap();
+        let b = DelaunayBuilder::new().build(&pts).unwrap(); // identical build
+        let remap = a.compact_reorder();
+
+        // Dense, valid, same counts, all invariants intact.
+        assert_eq!(a.num_slots(), a.num_tets() + a.num_ghosts());
+        assert_eq!(a.num_tets(), b.num_tets());
+        assert_eq!(a.num_ghosts(), b.num_ghosts());
+        a.validate().unwrap();
+        a.validate_delaunay_global().unwrap();
+
+        // The remap is a bijection from live old slots onto 0..len.
+        let mut seen = vec![false; a.num_slots()];
+        for (old, &new) in remap.iter().enumerate() {
+            let live = b.tet_slot(old as TetId).is_live();
+            assert_eq!(new != NONE, live, "slot {old}");
+            if new != NONE {
+                assert!(!seen[new as usize], "slot {new} mapped twice");
+                seen[new as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+
+        // Every tetrahedron's vertex array is carried over verbatim.
+        for (old, &new) in remap.iter().enumerate() {
+            if new != NONE {
+                assert_eq!(b.tet_slot(old as TetId).verts, a.tet(new).verts);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_neighbors_are_nearby() {
+        // The point of the pass: after BFS renumbering the mean slot
+        // distance to a neighbor must be far below the random-order mean
+        // (~n/3 for n slots).
+        let pts = jittered_cloud(8, 3);
+        let mut d = DelaunayBuilder::new().build(&pts).unwrap();
+        d.compact_reorder();
+        let n = d.num_slots();
+        let mut dist = 0u64;
+        let mut edges = 0u64;
+        for t in 0..n as TetId {
+            for &nb in &d.tet(t).neighbors {
+                dist += (nb as i64 - t as i64).unsigned_abs();
+                edges += 1;
+            }
+        }
+        let mean = dist as f64 / edges as f64;
+        assert!(
+            mean < n as f64 / 8.0,
+            "mean neighbor slot distance {mean:.1} of {n} slots"
+        );
+    }
+
+    #[test]
+    fn reorder_then_insert_still_works() {
+        // The reorder resets free-list/mark/epoch/hint; later insertions
+        // must keep functioning on the compacted arrays.
+        let pts = jittered_cloud(3, 11);
+        let mut d = DelaunayBuilder::new().build(&pts).unwrap();
+        d.compact_reorder();
+        let extra = jittered_cloud(3, 13);
+        for p in &extra {
+            d.insert_point(*p + Vec3::splat(0.25));
+        }
+        d.validate().unwrap();
+    }
+}

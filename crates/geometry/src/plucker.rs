@@ -189,6 +189,21 @@ impl RayTetraHit {
     }
 }
 
+/// Normalize a tetrahedron's vertex order to positive orientation, exactly
+/// as [`ray_tetra`] does internally: swap vertices 2 and 3 when the
+/// floating-point `orient3d_det` is negative. Returns `true` if a swap
+/// happened. Callers that cache pre-normalized tetrahedra (the marching
+/// kernel's per-slot cache) use this so the hot loop skips the determinant.
+#[inline]
+pub fn normalize_tet(v: &mut [Vec3; 4]) -> bool {
+    if orient3d_det(v[0], v[1], v[2], v[3]) < 0.0 {
+        v.swap(2, 3);
+        true
+    } else {
+        false
+    }
+}
+
 /// Intersect a line with the tetrahedron `verts`. The vertex order may be
 /// either orientation; it is normalized internally.
 ///
@@ -196,9 +211,7 @@ impl RayTetraHit {
 /// twelve), as the paper notes ("shared edge calculations can be reused").
 pub fn ray_tetra(r: &Plucker, verts: &[Vec3; 4]) -> RayTetraHit {
     let mut v = *verts;
-    if orient3d_det(v[0], v[1], v[2], v[3]) < 0.0 {
-        v.swap(2, 3);
-    }
+    normalize_tet(&mut v);
     // The six directed edges i -> j for i < j.
     let edge = |i: usize, j: usize| Plucker::from_edge(v[i], v[j]);
     let s01 = r.side(&edge(0, 1));
@@ -241,6 +254,185 @@ pub fn ray_tetra(r: &Plucker, verts: &[Vec3; 4]) -> RayTetraHit {
     // A line through the interior must cross exactly two faces; anything else
     // with a zero product is already flagged degenerate above.
     hit
+}
+
+/// The six canonical directed edges `i → j` (`i < j`) of a tetrahedron, in
+/// the order `[01, 02, 03, 12, 13, 23]` — the order [`ray_tetra`] computes
+/// its `s01..s23` products in.
+pub const TET_EDGES: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+
+/// Each face of [`TET_FACES`] as three (index into [`TET_EDGES`], reversed?)
+/// pairs; a reversed edge enters the face's directed-edge product negated.
+/// This is the same sign table `ray_tetra` writes out literally.
+const FACE_EDGES: [[(usize, bool); 3]; 4] = [
+    [(4, false), (5, true), (3, true)],  // (1,3,2): s13, -s23, -s12
+    [(1, false), (5, false), (2, true)], // (0,2,3): s02, s23, -s03
+    [(2, false), (4, true), (0, true)],  // (0,3,1): s03, -s13, -s01
+    [(0, false), (3, false), (1, true)], // (0,1,2): s01, s12, -s02
+];
+
+/// The three canonical edge side-products of the face a marching ray just
+/// exited through, keyed by the *directed* global-vertex-id pair each product
+/// was computed for.
+///
+/// The next tetrahedron along the ray shares this face, so any of its
+/// canonical edges matching one of these directed pairs reuses the value —
+/// bitwise exactly, because [`Plucker::from_edge`] depends only on the two
+/// endpoint positions and the ray is fixed. (A *reversed* edge cannot be
+/// reused: `l × p0` and `-l × p1` round differently, so only
+/// direction-matched pairs preserve bit-identity.)
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaceSeed {
+    /// Directed global-vertex-id pairs, in the exit face's [`FACE_EDGES`]
+    /// order.
+    pub edges: [(u32, u32); 3],
+    /// The canonical (unsigned, `i < j` direction) side-products.
+    pub s: [f64; 3],
+}
+
+impl FaceSeed {
+    /// A seed that matches no edge (the id pairs use the reserved
+    /// `u32::MAX`, which never names a finite vertex).
+    pub const EMPTY: FaceSeed = FaceSeed {
+        edges: [(u32::MAX, u32::MAX); 3],
+        s: [0.0; 3],
+    };
+}
+
+/// [`Plucker::side`] against the directed edge `p0 → p1`, specialized for a
+/// ray whose direction part is exactly `(0, 0, 1)` — every marching line of
+/// sight ([`Ray::vertical`]). The generic permuted product is
+/// `u_r · v_e + u_e · v_r`; with `u_r = (0,0,1)` the first dot collapses to
+/// the edge moment's z-component, which `Vec3::cross` forms as
+/// `l.x*p0.y - l.y*p0.x` — the exact two products and subtraction evaluated
+/// here. The second dot is evaluated literally. The only way this can differ
+/// from the generic path is in the *sign* of an exactly-zero product (the
+/// generic path folds statically-zero `0 * e` terms into the sum), and
+/// [`classify_face`] cannot observe a zero's sign: a zero product routes to
+/// `Miss` or `Degenerate`, never into barycentric weights, and exit-face
+/// seeds only ever carry strictly-signed products.
+#[inline]
+fn side_vertical(rv: Vec3, p0: Vec3, p1: Vec3) -> f64 {
+    let lx = p1.x - p0.x;
+    let ly = p1.y - p0.y;
+    let lz = p1.z - p0.z;
+    (lx * p0.y - ly * p0.x) + (lx * rv.x + ly * rv.y + lz * rv.z)
+}
+
+/// [`ray_tetra`] for the marching kernel's coherent traversal: takes a
+/// tetrahedron whose vertex order is already normalized (see
+/// [`normalize_tet`]) together with vertex labels in the same order, and
+/// optionally the [`FaceSeed`] of the face the ray entered through.
+///
+/// Direction-matched edge products are copied from the seed instead of being
+/// recomputed; `evals` counts the products actually evaluated (the
+/// `core.plucker_edge_evals` telemetry counter). `entry_face` optionally
+/// names the local face the line entered through (the slot whose neighbor is
+/// the previous tetrahedron), confining the seed match to that face's three
+/// edges — the only ones that can match. All four faces are still
+/// classified — the plain kernel's degeneracy flag inspects every face, so
+/// skipping the entry face would change perturbation decisions and break
+/// bit-identity. The returned hit is bit-for-bit what [`ray_tetra`] returns
+/// on the same tetrahedron; the returned seed carries the exit face's
+/// products for the next step (it is [`FaceSeed::EMPTY`] when the line does
+/// not exit).
+pub fn ray_tetra_seeded(
+    r: &Plucker,
+    verts: &[Vec3; 4],
+    ids: &[u32; 4],
+    entry: Option<&FaceSeed>,
+    entry_face: Option<usize>,
+    evals: &mut u64,
+) -> (RayTetraHit, FaceSeed) {
+    // Pack each directed id pair into one u64 so a seed match is one
+    // integer compare, no tuple/branch overhead.
+    let key = |i: u32, j: u32| ((i as u64) << 32) | j as u64;
+    let vertical = r.u.x == 0.0 && r.u.y == 0.0 && r.u.z == 1.0;
+    let mut s = [0.0f64; 6];
+    let mut todo = [true; 6];
+    if let Some(seed) = entry {
+        let seed_keys = [
+            key(seed.edges[0].0, seed.edges[0].1),
+            key(seed.edges[1].0, seed.edges[1].1),
+            key(seed.edges[2].0, seed.edges[2].1),
+        ];
+        // Only the edges of the face the line entered through can name the
+        // same geometric (hence directed-id) edge as the seed, so when the
+        // caller knows that face, matching is confined to its three edges;
+        // every other edge goes straight to evaluation. With no face hint
+        // all six edges are tried — the outcome is identical either way,
+        // since a non-shared edge's id pair can never equal a seed pair.
+        let candidates = entry_face.map_or([0usize, 1, 2, 3, 4, 5], |f| {
+            let fe = FACE_EDGES[f];
+            [
+                fe[0].0,
+                fe[1].0,
+                fe[2].0,
+                usize::MAX,
+                usize::MAX,
+                usize::MAX,
+            ]
+        });
+        for &e in candidates.iter().take_while(|&&e| e != usize::MAX) {
+            let (i, j) = TET_EDGES[e];
+            let k = key(ids[i], ids[j]);
+            for (&sk, &sv) in seed_keys.iter().zip(seed.s.iter()) {
+                if k == sk {
+                    s[e] = sv;
+                    todo[e] = false;
+                    break;
+                }
+            }
+        }
+    }
+    for (e, &(i, j)) in TET_EDGES.iter().enumerate() {
+        if todo[e] {
+            *evals += 1;
+            s[e] = if vertical {
+                side_vertical(r.v, verts[i], verts[j])
+            } else {
+                r.side(&Plucker::from_edge(verts[i], verts[j]))
+            };
+        }
+    }
+
+    let mut hit = RayTetraHit::MISS;
+    let mut exit_face = None;
+    for (fi, fe) in FACE_EDGES.iter().enumerate() {
+        let p = |k: usize| {
+            let (e, rev) = fe[k];
+            if rev {
+                -s[e]
+            } else {
+                s[e]
+            }
+        };
+        match classify_face(p(0), p(1), p(2)) {
+            FaceCrossing::Miss => {}
+            FaceCrossing::Degenerate => {
+                hit.degenerate = true;
+            }
+            FaceCrossing::Enter(w) => {
+                let [i, j, k] = TET_FACES[fi];
+                hit.enter = Some((fi, face_point(verts[i], verts[j], verts[k], w)));
+            }
+            FaceCrossing::Exit(w) => {
+                let [i, j, k] = TET_FACES[fi];
+                hit.exit = Some((fi, face_point(verts[i], verts[j], verts[k], w)));
+                exit_face = Some(fi);
+            }
+        }
+    }
+
+    let mut seed_out = FaceSeed::EMPTY;
+    if let Some(fi) = exit_face {
+        for (k, &(e, _)) in FACE_EDGES[fi].iter().enumerate() {
+            let (i, j) = TET_EDGES[e];
+            seed_out.edges[k] = (ids[i], ids[j]);
+            seed_out.s[k] = s[e];
+        }
+    }
+    (hit, seed_out)
 }
 
 #[cfg(test)]
@@ -370,6 +562,110 @@ mod tests {
         let (_, p_in) = hit.enter.unwrap();
         let (_, p_out) = hit.exit.unwrap();
         assert!(ray.param_of(p_in) < ray.param_of(p_out));
+    }
+
+    fn rand_unit(s: &mut u64) -> f64 {
+        *s ^= *s >> 12;
+        *s ^= *s << 25;
+        *s ^= *s >> 27;
+        (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn seeded_matches_plain_on_random_tetra() {
+        // Unseeded: bit-identical to ray_tetra on normalized vertices, six
+        // evaluations. Seeded with the previous tetrahedron's exit face:
+        // still bit-identical, strictly fewer evaluations when a direction
+        // matches.
+        let mut st = 0xC0FFEEu64;
+        for _ in 0..500 {
+            let mut v = [Vec3::ZERO; 4];
+            for p in &mut v {
+                *p = Vec3::new(rand_unit(&mut st), rand_unit(&mut st), rand_unit(&mut st));
+            }
+            let r = Plucker::from_ray(&Ray::vertical(rand_unit(&mut st), rand_unit(&mut st)));
+            let plain = ray_tetra(&r, &v);
+            let mut vn = v;
+            let mut ids = [7u32, 11, 13, 17];
+            if normalize_tet(&mut vn) {
+                ids.swap(2, 3);
+            }
+            let mut evals = 0u64;
+            let (seeded, seed_out) = ray_tetra_seeded(&r, &vn, &ids, None, None, &mut evals);
+            assert_eq!(plain, seeded);
+            assert_eq!(evals, 6);
+            if let Some((fi, _)) = seeded.exit {
+                // Feed the exit seed back into the *same* tetrahedron: the
+                // three exit-face edges must be reused (all directions
+                // match), leaving exactly 3 fresh evaluations.
+                let mut evals2 = 0u64;
+                let (again, _) =
+                    ray_tetra_seeded(&r, &vn, &ids, Some(&seed_out), None, &mut evals2);
+                assert_eq!(again, seeded);
+                assert_eq!(evals2, 3, "exit face {fi} edges not reused");
+            } else {
+                assert_eq!(seed_out, FaceSeed::EMPTY);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_reuse_across_shared_face() {
+        // Two tetrahedra sharing face (A, B, C): marching from the lower one
+        // into the upper one through the shared face must give the upper
+        // tetrahedron's plain ray_tetra hit bitwise, with fewer evaluations
+        // whenever a canonical direction matches.
+        let apex_lo = Vec3::new(0.3, 0.2, -1.0);
+        let apex_hi = Vec3::new(0.25, 0.3, 1.0);
+        let lower = [A, B, C, apex_lo];
+        let upper = [B, A, C, apex_hi]; // different local order on purpose
+        let r = Plucker::from_ray(&Ray::vertical(0.2, 0.25));
+
+        let mut lo = lower;
+        let mut lo_ids = [0u32, 1, 2, 3];
+        if normalize_tet(&mut lo) {
+            lo_ids.swap(2, 3);
+        }
+        let mut evals = 0u64;
+        let (lo_hit, seed) = ray_tetra_seeded(&r, &lo, &lo_ids, None, None, &mut evals);
+        assert!(lo_hit.is_through());
+
+        let mut up = upper;
+        let mut up_ids = [1u32, 0, 2, 4];
+        if normalize_tet(&mut up) {
+            up_ids.swap(2, 3);
+        }
+        let mut seeded_evals = 0u64;
+        let (up_hit, _) = ray_tetra_seeded(&r, &up, &up_ids, Some(&seed), None, &mut seeded_evals);
+        assert_eq!(up_hit, ray_tetra(&r, &upper));
+        assert!(up_hit.is_through());
+        assert!(seeded_evals < 6, "no shared-face reuse happened");
+    }
+
+    #[test]
+    fn face_edges_table_matches_ray_tetra_products() {
+        // The FACE_EDGES sign table must reproduce ray_tetra's literal
+        // per-face products for every face.
+        let v = [A, B, C, Vec3::new(0.1, 0.2, 1.0)];
+        let r = Plucker::from_ray(&Ray::vertical(0.21, 0.17));
+        let s: Vec<f64> = TET_EDGES
+            .iter()
+            .map(|&(i, j)| r.side(&Plucker::from_edge(v[i], v[j])))
+            .collect();
+        let (s01, s02, s03, s12, s13, s23) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+        let expect: [[f64; 3]; 4] = [
+            [s13, -s23, -s12],
+            [s02, s23, -s03],
+            [s03, -s13, -s01],
+            [s01, s12, -s02],
+        ];
+        for (fi, fe) in FACE_EDGES.iter().enumerate() {
+            for k in 0..3 {
+                let (e, rev) = fe[k];
+                let got = if rev { -s[e] } else { s[e] };
+                assert_eq!(got.to_bits(), expect[fi][k].to_bits(), "face {fi} slot {k}");
+            }
+        }
     }
 
     #[test]

@@ -94,11 +94,13 @@ impl TileData {
                 let del = f.delaunay();
                 // Per-vertex: position + density + adjacency bookkeeping;
                 // per-tet slot: 4 vertex ids, 4 neighbours, the gradient
-                // interpolant (4 f64) and geometry scratch. The constants
-                // are deliberately generous — the budget must bound true
-                // RSS, so overestimating is the safe direction.
+                // interpolant (4 f64), geometry scratch, and the marching
+                // kernel's lazily-built traversal cache (4 pre-normalized
+                // positions + ids + neighbors = 128 B/slot). The constants are
+                // deliberately generous — the budget must bound true RSS,
+                // so overestimating is the safe direction.
                 let verts = del.num_vertices() * 96;
-                let tets = (del.num_tets() + del.num_ghosts()) * 160;
+                let tets = (del.num_tets() + del.num_ghosts()) * 280;
                 64 + verts + tets
             }
         }
