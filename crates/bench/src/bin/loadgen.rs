@@ -22,6 +22,7 @@
 //! cargo run --release -p dtfe-bench --bin loadgen -- --addr 127.0.0.1:7433
 //! ```
 
+use dtfe_core::EstimatorKind;
 use dtfe_framework::Decomposition;
 use dtfe_geometry::{Aabb3, Vec3};
 use dtfe_nbody::halos::{clustered_box, ClusteredBoxSpec};
@@ -48,6 +49,11 @@ struct Args {
     particles: usize,
     senders: usize,
     seed: u64,
+    /// Estimator mix: requests cycle through these backends
+    /// deterministically (request `i` uses `estimators[i % len]`), so a
+    /// `dtfe,psdtfe` mix exercises two cache-key populations at a fixed
+    /// 50/50 ratio regardless of seed.
+    estimators: Vec<EstimatorKind>,
     /// After the run, send the wire `Shutdown` to a `--addr` server (the
     /// SIGTERM-equivalent) and wait for its ack — the CI smoke run uses
     /// this to assert clean drain.
@@ -58,7 +64,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--snapshots DIR] [--snapshot ID] [--requests N] \
          [--rate R] [--zipf S] [--tiles N] [--box-len L] [--field-len L] [--resolution N] \
-         [--particles N] [--senders N] [--seed N] [--shutdown]"
+         [--particles N] [--senders N] [--seed N] [--estimators dtfe,psdtfe,...] [--shutdown]"
     );
     std::process::exit(2)
 }
@@ -78,6 +84,7 @@ fn parse_args() -> Args {
         particles: 120_000,
         senders: 8,
         seed: 42,
+        estimators: vec![EstimatorKind::Dtfe],
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +104,15 @@ fn parse_args() -> Args {
             "--particles" => args.particles = val().parse().unwrap_or_else(|_| usage()),
             "--senders" => args.senders = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--estimators" => {
+                args.estimators = val()
+                    .split(',')
+                    .map(|s| EstimatorKind::parse_label(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+                if args.estimators.is_empty() {
+                    usage();
+                }
+            }
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -234,20 +250,23 @@ fn main() -> ExitCode {
     let mut errors: Vec<String> = Vec::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
+    let est_counts: Vec<AtomicU64> = args.estimators.iter().map(|_| AtomicU64::new(0)).collect();
     let t_cold = Instant::now();
     for tile in 0..tiles {
-        let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng));
+        let est = args.estimators[tile % args.estimators.len()];
+        let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng)).estimator(est);
         let t0 = Instant::now();
         match conn.render(&req) {
             Ok(hit) => {
                 cold_us.push(t0.elapsed().as_micros() as u64);
+                est_counts[tile % args.estimators.len()].fetch_add(1, Ordering::Relaxed);
                 if hit {
                     hits += 1;
                 } else {
                     misses += 1;
                 }
             }
-            Err(e) => errors.push(format!("cold tile {tile}: {e}")),
+            Err(e) => errors.push(format!("cold tile {tile} ({}): {e}", est.label())),
         }
     }
     let cold_wall = t_cold.elapsed().as_secs_f64();
@@ -259,7 +278,7 @@ fn main() -> ExitCode {
 
     // ---- Phase 2: warm open-loop at fixed rate with zipf popularity.
     let zipf = Zipf::new(tiles, args.zipf);
-    let schedule: Vec<(Duration, Vec3)> = {
+    let schedule: Vec<(Duration, Vec3, EstimatorKind)> = {
         let mut rng = Xorshift(args.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
         (0..args.requests)
             .map(|i| {
@@ -267,6 +286,7 @@ fn main() -> ExitCode {
                 (
                     Duration::from_secs_f64(i as f64 / args.rate),
                     center_of(tile, &mut rng),
+                    args.estimators[i % args.estimators.len()],
                 )
             })
             .collect()
@@ -276,17 +296,20 @@ fn main() -> ExitCode {
     let tally = Arc::new(Mutex::new(Tally::default()));
     let lag_us = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
+    let est_counts = Arc::new(est_counts);
+    let n_estimators = args.estimators.len();
     let senders: Vec<_> = (0..args.senders.max(1))
         .map(|_| {
             let schedule = schedule.clone();
             let next = next.clone();
             let tally = tally.clone();
             let lag_us = lag_us.clone();
+            let est_counts = est_counts.clone();
             let snapshot_id = args.snapshot_id.clone();
             let mut conn = connect();
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((at, center)) = schedule.get(i).copied() else {
+                let Some((at, center, est)) = schedule.get(i).copied() else {
                     return;
                 };
                 // Open loop: wait for the scheduled arrival, then record
@@ -298,14 +321,19 @@ fn main() -> ExitCode {
                 } else {
                     lag_us.fetch_add((now - at).as_micros() as u64, Ordering::Relaxed);
                 }
-                let req = RenderRequest::new(&snapshot_id, center);
+                let req = RenderRequest::new(&snapshot_id, center).estimator(est);
                 let t0 = Instant::now();
                 let result = conn.render(&req);
                 let us = t0.elapsed().as_micros() as u64;
                 let mut t = tally.lock().unwrap();
                 match result {
-                    Ok(hit) => t.done.push((hit, us)),
-                    Err(e) => t.errors.push(format!("warm req {i}: {e}")),
+                    Ok(hit) => {
+                        t.done.push((hit, us));
+                        est_counts[i % n_estimators].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => t
+                        .errors
+                        .push(format!("warm req {i} ({}): {e}", est.label())),
                 }
             })
         })
@@ -363,10 +391,18 @@ fn main() -> ExitCode {
         (None, None) => unreachable!(),
     };
 
+    let est_json = args
+        .estimators
+        .iter()
+        .zip(est_counts.iter())
+        .map(|(e, c)| format!("\"{e}\":{}", c.load(Ordering::Relaxed)))
+        .collect::<Vec<_>>()
+        .join(",");
     let out = format!(
         "{{\"bench\":\"service\",\"mode\":\"{}\",\"tiles\":{tiles},\"requests\":{},\
          \"rate\":{},\"zipf\":{},\"completed\":{completed},\"errors\":{},\
          \"hits\":{hits},\"misses\":{misses},\"accounted\":{accounted},\
+         \"estimators\":{{{est_json}}},\
          \"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
          \"cold_p50_ms\":{},\"warm_p50_ms\":{},\"mean_lag_ms\":{},\"server\":{stats_json}}}\n",
         if args.addr.is_some() { "tcp" } else { "inproc" },

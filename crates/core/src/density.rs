@@ -1,6 +1,7 @@
 //! The DTFE estimator: per-vertex densities and the piecewise-linear
 //! interpolant (paper §III-A).
 
+use crate::estimator::{entry_facets_of, FieldEstimator};
 use crate::marching::MarchCache;
 use dtfe_delaunay::{BuildError, Delaunay, DelaunayBuilder, Located, TetId};
 use dtfe_geometry::tetra::{linear_gradient, volume};
@@ -149,6 +150,10 @@ impl DtfeField {
                     vertex_density[tet.verts[2] as usize],
                     vertex_density[tet.verts[3] as usize],
                 ];
+                // Degenerate (coplanar) tetrahedra carry zero volume, so a
+                // zero gradient is the documented density policy — their
+                // contribution to any line-of-sight integral is negligible.
+                // See `estimator::DegeneratePolicy::ZeroGradient`.
                 let grad = linear_gradient(&v, &f).unwrap_or(Vec3::ZERO);
                 TetInterp {
                     v0: v[0],
@@ -244,21 +249,28 @@ impl DtfeField {
     /// direction (`n_hull · ẑ < 0`, Eq. 14): the candidate entry facets for
     /// upward lines of sight, projected to 2D.
     pub fn entry_facets(&self) -> Vec<EntryFacet> {
-        let mut out = Vec::new();
-        for g in self.del.ghost_tets() {
-            let [a, b, c] = self.del.hull_facet(g);
-            let (pa, pb, pc) = (self.del.vertex(a), self.del.vertex(b), self.del.vertex(c));
-            let n = (pb - pa).cross(pc - pa);
-            if n.z < 0.0 {
-                out.push(EntryFacet {
-                    ghost: g,
-                    a: pa.xy(),
-                    b: pb.xy(),
-                    c: pc.xy(),
-                });
-            }
-        }
-        out
+        entry_facets_of(&self.del)
+    }
+}
+
+/// `DtfeField` is the canonical estimator: the trait methods are the same
+/// accessors the marching kernel called before the [`FieldEstimator`] seam
+/// existed, so rendering through the trait is bit-identical to the
+/// pre-trait kernel (asserted by the conformance suite).
+impl FieldEstimator for DtfeField {
+    #[inline]
+    fn delaunay(&self) -> &Delaunay {
+        &self.del
+    }
+
+    #[inline]
+    fn march_cache(&self) -> &MarchCache {
+        DtfeField::march_cache(self)
+    }
+
+    #[inline]
+    fn tet_interp(&self, t: TetId) -> &TetInterp {
+        &self.interp[t as usize]
     }
 }
 

@@ -3,66 +3,70 @@
 //! The DTFE construction is not density-specific: the paper's Eq. 1 is
 //! stated for a general function `f`, and the method was introduced by
 //! Bernardeau & van de Weygaert for **volume-weighted velocity fields**
-//! (paper ref. \[1\]). This module provides the piecewise-linear interpolant
-//! and its exact line-of-sight integral for any per-vertex scalar — e.g.
-//! velocity components, temperatures, or the densities `DtfeField` special
-//! cases.
+//! (paper ref. \[1\]). [`ScalarField`] is the [`FieldEstimator`] backend for
+//! any per-vertex scalar — velocity components, temperatures, or the
+//! densities [`DtfeField`] special cases — rendering through the same
+//! marching kernel as every other backend.
 
 use crate::density::{DtfeField, TetInterp};
+use crate::estimator::{vertex_interp, DegeneratePolicy, DegenerateTetError, FieldEstimator};
 use crate::grid::{Field2, GridSpec2};
-use crate::marching::{HullIndex, MarchStats};
+use crate::marching::{HullIndex, MarchCache, MarchStats};
 use dtfe_delaunay::{Delaunay, Located, TetId};
 use dtfe_geometry::plucker::{ray_tetra, Plucker, Ray};
-use dtfe_geometry::tetra::linear_gradient;
 use dtfe_geometry::{Vec2, Vec3};
+use std::sync::OnceLock;
 
 /// A piecewise-linear field over an existing triangulation: one value per
 /// vertex, constant gradient per tetrahedron (paper Eq. 1).
-pub struct VertexField<'a> {
+pub struct ScalarField<'a> {
     del: &'a Delaunay,
     values: Vec<f64>,
     interp: Vec<TetInterp>,
+    /// Marching traversal cache, built on first render through the
+    /// [`FieldEstimator`] seam.
+    march: OnceLock<MarchCache>,
 }
 
-impl<'a> VertexField<'a> {
+/// Pre-trait name of [`ScalarField`].
+#[deprecated(since = "0.6.0", note = "renamed to `ScalarField`")]
+pub type VertexField<'a> = ScalarField<'a>;
+
+impl<'a> ScalarField<'a> {
     /// Build from per-vertex `values` (indexed by `VertexId`).
-    pub fn new(del: &'a Delaunay, values: Vec<f64>) -> VertexField<'a> {
+    ///
+    /// Degenerate (coplanar) tetrahedra get a zero gradient
+    /// ([`DegeneratePolicy::ZeroGradient`]): they carry zero volume, so the
+    /// fallback cannot bias any line-of-sight integral, and occurrences are
+    /// counted on the `core.degenerate_tet_zero_grad` telemetry counter.
+    /// Use [`ScalarField::try_new`] where a silent zero gradient is not
+    /// acceptable (e.g. velocity fields feeding gradient estimates).
+    pub fn new(del: &'a Delaunay, values: Vec<f64>) -> ScalarField<'a> {
         assert_eq!(values.len(), del.num_vertices(), "one value per vertex");
-        let interp = (0..del.num_slots() as u32)
-            .map(|t| {
-                let tet = del.tet_slot(t);
-                if !tet.is_live() || tet.is_ghost() {
-                    return TetInterp {
-                        v0: Vec3::ZERO,
-                        rho0: 0.0,
-                        grad: Vec3::ZERO,
-                    };
-                }
-                let v = [
-                    del.vertex(tet.verts[0]),
-                    del.vertex(tet.verts[1]),
-                    del.vertex(tet.verts[2]),
-                    del.vertex(tet.verts[3]),
-                ];
-                let f = [
-                    values[tet.verts[0] as usize],
-                    values[tet.verts[1] as usize],
-                    values[tet.verts[2] as usize],
-                    values[tet.verts[3] as usize],
-                ];
-                let grad = linear_gradient(&v, &f).unwrap_or(Vec3::ZERO);
-                TetInterp {
-                    v0: v[0],
-                    rho0: f[0],
-                    grad,
-                }
-            })
-            .collect();
-        VertexField {
+        let interp = vertex_interp(del, &values, DegeneratePolicy::ZeroGradient)
+            .expect("ZeroGradient policy is infallible");
+        ScalarField {
             del,
             values,
             interp,
+            march: OnceLock::new(),
         }
+    }
+
+    /// As [`ScalarField::new`], but a degenerate tetrahedron is a typed
+    /// error instead of a silent zero gradient.
+    pub fn try_new(
+        del: &'a Delaunay,
+        values: Vec<f64>,
+    ) -> Result<ScalarField<'a>, DegenerateTetError> {
+        assert_eq!(values.len(), del.num_vertices(), "one value per vertex");
+        let interp = vertex_interp(del, &values, DegeneratePolicy::Error)?;
+        Ok(ScalarField {
+            del,
+            values,
+            interp,
+            march: OnceLock::new(),
+        })
     }
 
     /// The underlying triangulation.
@@ -140,11 +144,16 @@ impl<'a> VertexField<'a> {
         total
     }
 
-    /// Project the field integral onto a 2D grid (serial; for the
-    /// production density path use `marching::surface_density`).
+    /// Project the field integral onto a 2D grid (serial, no degeneracy
+    /// perturbation).
+    #[deprecated(
+        since = "0.6.0",
+        note = "render through the estimator seam instead: \
+                `marching::surface_density(&field, grid, &opts)` — same \
+                integral, with perturbation handling and parallelism"
+    )]
     pub fn project(&self, grid: &GridSpec2, z_range: Option<(f64, f64)>) -> Field2 {
-        let density_view = DtfeFieldView(self);
-        let index = HullIndex::build_from_entry_facets(density_view.entry_facets());
+        let index = HullIndex::build(self);
         let mut out = Field2::zeros(*grid);
         let mut stats = MarchStats::default();
         for j in 0..grid.ny {
@@ -157,34 +166,28 @@ impl<'a> VertexField<'a> {
     }
 }
 
-/// Adapter so `VertexField` can reuse the hull entry machinery built for
-/// [`DtfeField`].
-struct DtfeFieldView<'a, 'b>(&'b VertexField<'a>);
+/// `ScalarField` renders through the shared marching kernel like every
+/// other backend.
+impl FieldEstimator for ScalarField<'_> {
+    #[inline]
+    fn delaunay(&self) -> &Delaunay {
+        self.del
+    }
 
-impl DtfeFieldView<'_, '_> {
-    fn entry_facets(&self) -> Vec<crate::density::EntryFacet> {
-        let del = self.0.del;
-        let mut out = Vec::new();
-        for g in del.ghost_tets() {
-            let [a, b, c] = del.hull_facet(g);
-            let (pa, pb, pc) = (del.vertex(a), del.vertex(b), del.vertex(c));
-            let n = (pb - pa).cross(pc - pa);
-            if n.z < 0.0 {
-                out.push(crate::density::EntryFacet {
-                    ghost: g,
-                    a: pa.xy(),
-                    b: pb.xy(),
-                    c: pc.xy(),
-                });
-            }
-        }
-        out
+    #[inline]
+    fn march_cache(&self) -> &MarchCache {
+        self.march.get_or_init(|| MarchCache::build(self.del))
+    }
+
+    #[inline]
+    fn tet_interp(&self, t: TetId) -> &TetInterp {
+        &self.interp[t as usize]
     }
 }
 
 /// Volume-weighted mean of the field over the hull:
 /// `∫ f dV / ∫ dV` (tetrahedron-wise exact).
-pub fn volume_weighted_mean(field: &VertexField<'_>) -> f64 {
+pub fn volume_weighted_mean(field: &ScalarField<'_>) -> f64 {
     let del = field.delaunay();
     let mut num = 0.0;
     let mut den = 0.0;
@@ -208,10 +211,14 @@ pub fn volume_weighted_mean(field: &VertexField<'_>) -> f64 {
     }
 }
 
-/// Convenience: the density field's values as a `VertexField` (for code
-/// that treats all quantities uniformly).
-pub fn density_as_vertex_field(field: &DtfeField) -> VertexField<'_> {
-    VertexField::new(field.delaunay(), field.vertex_densities().to_vec())
+/// Convenience: the density field's values as a `ScalarField`.
+#[deprecated(
+    since = "0.6.0",
+    note = "`DtfeField` implements `FieldEstimator` directly; code that \
+            treats all quantities uniformly can take `&dyn FieldEstimator`"
+)]
+pub fn density_as_vertex_field(field: &DtfeField) -> ScalarField<'_> {
+    ScalarField::new(field.delaunay(), field.vertex_densities().to_vec())
 }
 
 #[cfg(test)]
@@ -249,7 +256,7 @@ mod tests {
         let g = Vec3::new(1.5, -2.0, 0.5);
         let f = |p: Vec3| 3.0 + g.dot(p);
         let values: Vec<f64> = del.vertices().iter().map(|&p| f(p)).collect();
-        let field = VertexField::new(&del, values);
+        let field = ScalarField::new(&del, values);
         let mut seed = 1;
         for q in [Vec3::new(1.2, 1.7, 2.1), Vec3::new(0.4, 2.6, 1.0)] {
             let v = field.value_at(q, &mut seed).unwrap();
@@ -268,14 +275,29 @@ mod tests {
     }
 
     #[test]
+    fn try_new_matches_new_on_healthy_meshes() {
+        let pts = jittered_cloud(3, 5);
+        let del = DelaunayBuilder::new().build(&pts).unwrap();
+        let values: Vec<f64> = del.vertices().iter().map(|p| p.x + 2.0 * p.y).collect();
+        let strict = ScalarField::try_new(&del, values.clone()).expect("no degenerate tets");
+        let lax = ScalarField::new(&del, values);
+        for t in del.finite_tets() {
+            assert_eq!(
+                FieldEstimator::tet_interp(&strict, t),
+                FieldEstimator::tet_interp(&lax, t)
+            );
+        }
+    }
+
+    #[test]
     fn los_integral_of_linear_field() {
         let pts = jittered_cloud(4, 7);
         let del = DelaunayBuilder::new().build(&pts).unwrap();
         // f = z: ∫ f dz over [a, b] = (b²−a²)/2 where a, b are the hull
         // entry/exit heights along the line.
         let values: Vec<f64> = del.vertices().iter().map(|p| p.z).collect();
-        let field = VertexField::new(&del, values);
-        let index = HullIndex::build_from_entry_facets(DtfeFieldView(&field).entry_facets());
+        let field = ScalarField::new(&del, values);
+        let index = HullIndex::build(&field);
         let xi = Vec2::new(1.7, 1.4);
         let mut stats = MarchStats::default();
         let got = field.integrate_los(&index, xi, None, &mut stats);
@@ -283,7 +305,7 @@ mod tests {
         // Find a, b by marching the density-agnostic way: reuse the crossing
         // machinery through a constant-1 field to get the chord length and
         // first/last z.
-        let ones = VertexField::new(&del, vec![1.0; del.num_vertices()]);
+        let ones = ScalarField::new(&del, vec![1.0; del.num_vertices()]);
         let chord = ones.integrate_los(&index, xi, None, &mut MarchStats::default());
         // For f = z: integral = chord * midpoint_z; reconstruct midpoint by
         // f = z integral / chord and verify against a numeric scan.
@@ -308,10 +330,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn project_constant_field_gives_chords() {
         let pts = jittered_cloud(4, 11);
         let del = DelaunayBuilder::new().build(&pts).unwrap();
-        let field = VertexField::new(&del, vec![2.0; del.num_vertices()]);
+        let field = ScalarField::new(&del, vec![2.0; del.num_vertices()]);
         let grid = GridSpec2::covering(Vec2::new(1.0, 1.0), Vec2::new(2.5, 2.5), 6, 6);
         let proj = field.project(&grid, None);
         // Constant 2 × chord length: all positive, bounded by 2 × hull z-extent.
@@ -326,6 +349,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn density_view_matches_dtfe() {
         use crate::density::{DtfeField, Mass};
         let pts = jittered_cloud(3, 17);

@@ -20,6 +20,15 @@
 //!   (Eq. 4–5). This mimics the DTFE public software's kernel and is what
 //!   the Fig. 6 experiment reproduces.
 //! * [`grid`] — 2D/3D grid specifications and the field containers.
+//! * [`estimator`] — the [`FieldEstimator`] trait: the seam between "a
+//!   mesh with a per-tetrahedron linear interpolant" and the renderers.
+//!   Every render entry point is generic over it, so one kernel serves
+//!   DTFE density, arbitrary vertex scalars ([`fields::ScalarField`]),
+//!   phase-space estimates ([`psdtfe::PsDtfeField`] and its velocity
+//!   divergence), and smoothed stochastic reconstructions
+//!   ([`stochastic::StochasticField`]). [`EstimatorKind`] names a backend
+//!   at the request level (render options, service cache keys, the wire
+//!   protocol).
 //!
 //! Parallelism follows the paper: the loop over grid cells is
 //! data-parallel (Rayon here, OpenMP in the paper). Per-cell entry points
@@ -55,19 +64,26 @@
 
 pub mod adaptive;
 pub mod density;
+pub mod estimator;
 pub mod fields;
 pub mod grid;
 pub mod io;
 pub mod marching;
 pub mod oriented;
 pub mod periodic;
+pub mod psdtfe;
 pub mod render;
+pub mod stochastic;
 pub mod walking;
 
 pub use density::{DtfeField, Mass};
+pub use estimator::{DegenerateTetError, EstimatorKind, FieldEstimator};
+pub use fields::ScalarField;
 pub use grid::{Field2, Field3, GridError, GridSpec2, GridSpec3};
 pub use marching::{
     surface_density, surface_density_reference, surface_density_with_index, HullIndex, MarchOptions,
 };
+pub use psdtfe::{PsDtfeDivergence, PsDtfeField, StreamField};
 pub use render::{RenderOptions, RenderOptionsError};
+pub use stochastic::{StochasticField, StochasticOptions};
 pub use walking::{surface_density_walking, WalkOptions};

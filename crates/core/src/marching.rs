@@ -45,7 +45,8 @@
 //!   perturbation (extra draws) are recomputed with the sequential stream,
 //!   so the output matches the serial kernel draw for draw.
 
-use crate::density::{DtfeField, EntryFacet};
+use crate::density::EntryFacet;
+use crate::estimator::FieldEstimator;
 use crate::grid::{Field2, GridSpec2};
 use crate::render::RenderOptions;
 use dtfe_delaunay::{Delaunay, TetId};
@@ -93,35 +94,15 @@ impl Default for MarchOptions {
     }
 }
 
+// Deref to the embedded `RenderOptions` plus the shared forwarding builder
+// setters (samples, z_range, full_depth, parallel, tile, estimator).
+crate::forward_render_options!(MarchOptions);
+
 impl MarchOptions {
     /// Default options (see [`RenderOptions::default`]; `epsilon = 1e-7`,
     /// `max_perturb = 64`).
     pub fn new() -> MarchOptions {
         MarchOptions::default()
-    }
-
-    /// Forwards to [`RenderOptions::samples`].
-    pub fn samples(mut self, n: usize) -> MarchOptions {
-        self.render = self.render.samples(n);
-        self
-    }
-
-    /// Forwards to [`RenderOptions::z_range`].
-    pub fn z_range(mut self, lo: f64, hi: f64) -> MarchOptions {
-        self.render = self.render.z_range(lo, hi);
-        self
-    }
-
-    /// Forwards to [`RenderOptions::parallel`].
-    pub fn parallel(mut self, yes: bool) -> MarchOptions {
-        self.render = self.render.parallel(yes);
-        self
-    }
-
-    /// Forwards to [`RenderOptions::tile`].
-    pub fn tile(mut self, n: usize) -> MarchOptions {
-        self.render = self.render.tile(n);
-        self
     }
 
     /// Set the relative perturbation magnitude `ε`.
@@ -252,13 +233,14 @@ enum EntryWalk {
 }
 
 impl HullIndex {
-    /// Index all downward-facing hull facets of `field`.
-    pub fn build(field: &DtfeField) -> HullIndex {
+    /// Index all downward-facing hull facets of `field` — any
+    /// [`FieldEstimator`] backend.
+    pub fn build<E: FieldEstimator + ?Sized>(field: &E) -> HullIndex {
         Self::build_from_entry_facets(field.entry_facets())
     }
 
-    /// Index a caller-supplied facet list (used by
-    /// [`crate::fields::VertexField`], which shares the hull machinery).
+    /// Index a caller-supplied facet list (for callers that already hold
+    /// the facets; [`HullIndex::build`] derives them from any estimator).
     pub fn build_from_entry_facets(facets: Vec<EntryFacet>) -> HullIndex {
         let _span = dtfe_telemetry::span!("core.hull_index_build", facets = facets.len());
         assert!(
@@ -513,9 +495,11 @@ fn row_seed(j: usize) -> u64 {
 
 /// Loop-invariant state of one render, hoisted out of the per-cell restart
 /// loop: the mesh handles, the traversal cache, the step bound, and the
-/// integration window.
-struct MarchCtx<'a> {
-    field: &'a DtfeField,
+/// integration window. Generic over the estimator backend; with
+/// `E = DtfeField` this monomorphizes to exactly the pre-trait kernel, and
+/// `E = dyn FieldEstimator` serves runtime-selected backends.
+struct MarchCtx<'a, E: ?Sized> {
+    field: &'a E,
     del: &'a Delaunay,
     cache: &'a MarchCache,
     index: &'a HullIndex,
@@ -525,14 +509,14 @@ struct MarchCtx<'a> {
     max_steps: usize,
 }
 
-impl<'a> MarchCtx<'a> {
+impl<'a, E: FieldEstimator + ?Sized> MarchCtx<'a, E> {
     fn new(
-        field: &'a DtfeField,
+        field: &'a E,
         index: &'a HullIndex,
         z_range: Option<(f64, f64)>,
         eps: f64,
         max_perturb: usize,
-    ) -> MarchCtx<'a> {
+    ) -> MarchCtx<'a, E> {
         let del = field.delaunay();
         MarchCtx {
             field,
@@ -573,14 +557,14 @@ fn perturb_or_fail(
     Some(perturb(del, t, xi, eps, seed))
 }
 
-/// Integrate the DTFE field along the vertical line of sight through `xi`
-/// (paper Fig. 3, one iteration of the kernel loop).
+/// Integrate the estimator's field along the vertical line of sight through
+/// `xi` (paper Fig. 3, one iteration of the kernel loop).
 ///
-/// `eps` is the *absolute* perturbation magnitude. Returns the surface
-/// density and updates `stats`.
+/// `eps` is the *absolute* perturbation magnitude. Returns the integral
+/// and updates `stats`.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's kernel signature
-pub fn march_cell(
-    field: &DtfeField,
+pub fn march_cell<E: FieldEstimator + ?Sized>(
+    field: &E,
     index: &HullIndex,
     xi: Vec2,
     z_range: Option<(f64, f64)>,
@@ -596,8 +580,8 @@ pub fn march_cell(
 
 /// [`march_cell`] with the render-invariant state and the entry hint
 /// threaded through (the renderers' inner call).
-fn march_one(
-    ctx: &MarchCtx<'_>,
+fn march_one<E: FieldEstimator + ?Sized>(
+    ctx: &MarchCtx<'_, E>,
     xi: Vec2,
     seed: &mut u64,
     stats: &mut MarchStats,
@@ -614,8 +598,8 @@ fn march_one(
 /// Locate the entry ghost for `xi`: walk from the hinted facet when one is
 /// set, fall back to the binned query on a tie or a cold hint. Either way
 /// the hint is left on the found facet for the next cell.
-fn entry_lookup(
-    ctx: &MarchCtx<'_>,
+fn entry_lookup<E: FieldEstimator + ?Sized>(
+    ctx: &MarchCtx<'_, E>,
     q: Vec2,
     hint: &mut u32,
     stats: &mut MarchStats,
@@ -641,8 +625,8 @@ fn entry_lookup(
     Some(g)
 }
 
-fn march_cell_inner(
-    ctx: &MarchCtx<'_>,
+fn march_cell_inner<E: FieldEstimator + ?Sized>(
+    ctx: &MarchCtx<'_, E>,
     xi: Vec2,
     seed: &mut u64,
     stats: &mut MarchStats,
@@ -790,14 +774,20 @@ fn perturb(del: &Delaunay, t: TetId, xi: Vec2, eps: f64, seed: &mut u64) -> Vec2
 // Renderers.
 
 /// Render the full surface-density grid with the marching kernel
-/// (paper Fig. 3 with the grid-cell loop parallelized as in §V).
-pub fn surface_density(field: &DtfeField, grid: &GridSpec2, opts: &MarchOptions) -> Field2 {
+/// (paper Fig. 3 with the grid-cell loop parallelized as in §V). Generic
+/// over the estimator backend: `∫ f dz` for whatever `f` the backend
+/// interpolates.
+pub fn surface_density<E: FieldEstimator + ?Sized>(
+    field: &E,
+    grid: &GridSpec2,
+    opts: &MarchOptions,
+) -> Field2 {
     surface_density_with_stats(field, grid, opts).0
 }
 
 /// As [`surface_density`], also returning march statistics.
-pub fn surface_density_with_stats(
-    field: &DtfeField,
+pub fn surface_density_with_stats<E: FieldEstimator + ?Sized>(
+    field: &E,
     grid: &GridSpec2,
     opts: &MarchOptions,
 ) -> (Field2, MarchStats) {
@@ -810,8 +800,8 @@ pub fn surface_density_with_stats(
 /// callers rendering *several* grids against the same triangulation (the
 /// serving layer's batched tile renders) build it once and amortize it; the
 /// output is bit-identical to [`surface_density`] on the same grid.
-pub fn surface_density_with_index(
-    field: &DtfeField,
+pub fn surface_density_with_index<E: FieldEstimator + ?Sized>(
+    field: &E,
     index: &HullIndex,
     grid: &GridSpec2,
     opts: &MarchOptions,
@@ -854,8 +844,8 @@ pub fn surface_density_with_index(
 /// Render cells `i0..i0+out.len()` of row `j` into `out`, threading the RNG
 /// stream, stats, and the entry hint left to right.
 #[allow(clippy::too_many_arguments)]
-fn render_row_segment(
-    ctx: &MarchCtx<'_>,
+fn render_row_segment<E: FieldEstimator + ?Sized>(
+    ctx: &MarchCtx<'_, E>,
     grid: &GridSpec2,
     samples: usize,
     j: usize,
@@ -877,8 +867,8 @@ fn render_row_segment(
 /// perturbs. Tiles fast-forward each row's seed past the cells to their
 /// left; any row where some tile perturbed is recomputed afterwards with
 /// the true sequential stream.
-fn render_tiled(
-    ctx: &MarchCtx<'_>,
+fn render_tiled<E: FieldEstimator + ?Sized>(
+    ctx: &MarchCtx<'_, E>,
     grid: &GridSpec2,
     samples: usize,
     tile: usize,
@@ -992,8 +982,8 @@ fn render_tiled(
 
 /// One cell's value: centre sample or the jittered Monte-Carlo mean.
 #[allow(clippy::too_many_arguments)]
-pub fn cell_value(
-    field: &DtfeField,
+pub fn cell_value<E: FieldEstimator + ?Sized>(
+    field: &E,
     index: &HullIndex,
     grid: &GridSpec2,
     i: usize,
@@ -1018,8 +1008,8 @@ pub fn cell_value(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn cell_value_inner(
-    ctx: &MarchCtx<'_>,
+fn cell_value_inner<E: FieldEstimator + ?Sized>(
+    ctx: &MarchCtx<'_, E>,
     grid: &GridSpec2,
     samples: usize,
     i: usize,
@@ -1055,8 +1045,8 @@ fn cell_value_inner(
 /// [`surface_density_with_index`] on the same field and grid — the
 /// equivalence proptests and CI's march-bench smoke step assert exactly
 /// that, and the bench bin reports the speedup against this path.
-pub fn surface_density_reference(
-    field: &DtfeField,
+pub fn surface_density_reference<E: FieldEstimator + ?Sized>(
+    field: &E,
     index: &HullIndex,
     grid: &GridSpec2,
     opts: &MarchOptions,
@@ -1093,8 +1083,8 @@ pub fn surface_density_reference(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn reference_cell_value(
-    field: &DtfeField,
+fn reference_cell_value<E: FieldEstimator + ?Sized>(
+    field: &E,
     index: &HullIndex,
     grid: &GridSpec2,
     i: usize,
@@ -1119,8 +1109,8 @@ fn reference_cell_value(
     acc / opts.render.samples as f64
 }
 
-fn reference_march_one(
-    field: &DtfeField,
+fn reference_march_one<E: FieldEstimator + ?Sized>(
+    field: &E,
     index: &HullIndex,
     xi: Vec2,
     eps: f64,
@@ -1144,8 +1134,8 @@ fn reference_march_one(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn reference_march_cell_inner(
-    field: &DtfeField,
+fn reference_march_cell_inner<E: FieldEstimator + ?Sized>(
+    field: &E,
     index: &HullIndex,
     xi: Vec2,
     z_range: Option<(f64, f64)>,
@@ -1229,7 +1219,7 @@ fn reference_march_cell_inner(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::density::Mass;
+    use crate::density::{DtfeField, Mass};
     use dtfe_geometry::Vec3;
 
     fn jittered_cloud(n_side: usize, seed: u64) -> Vec<Vec3> {

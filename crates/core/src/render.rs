@@ -2,11 +2,15 @@
 //!
 //! The marching kernel ([`crate::marching::MarchOptions`]) and the walking
 //! 3D-grid baseline ([`crate::walking::WalkOptions`]) historically duplicated
-//! the same three knobs — per-cell sample count, line-of-sight integration
-//! bounds, and the parallel switch. [`RenderOptions`] is the single shared
-//! home for them; the kernel-specific option structs embed it as their
-//! `render` field and forward builder-style setters so call sites read the
-//! same either way.
+//! the same builder boilerplate — per-cell sample count, line-of-sight
+//! integration bounds, the parallel switch, and now the estimator selector.
+//! [`RenderOptions`] is the single shared home for them; the kernel-specific
+//! option structs embed it as their `render` field, `Deref` to it for reads,
+//! and generate the forwarding builder setters with
+//! [`forward_render_options!`] so call sites read the same either way and new
+//! shared knobs are added in exactly one place.
+
+use crate::estimator::EstimatorKind;
 
 /// Knobs common to every line-of-sight surface-density renderer.
 ///
@@ -20,9 +24,11 @@
 /// assert_eq!(opts.z_range, Some((0.0, 10.0)));
 /// assert!(!opts.parallel);
 ///
-/// // Defaults: one centre sample, full hull depth, parallel on, auto tile.
+/// // Defaults: one centre sample, full hull depth, parallel on, auto tile,
+/// // canonical DTFE estimator.
 /// let d = RenderOptions::default();
 /// assert_eq!((d.samples, d.z_range, d.parallel, d.tile), (1, None, true, 0));
+/// assert_eq!(d.estimator, dtfe_core::EstimatorKind::Dtfe);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RenderOptions {
@@ -42,6 +48,11 @@ pub struct RenderOptions {
     /// consecutive cells reuse mesh locality in both directions. `0` picks
     /// a default. The rendered field is bit-identical for every tile size.
     pub tile: usize,
+    /// Which estimator backend a request-driven renderer should integrate.
+    /// The in-process render entry points are generic over
+    /// [`crate::FieldEstimator`] and ignore this; the serving layer uses it
+    /// to pick the backend, key its tile cache, and price admission.
+    pub estimator: EstimatorKind,
 }
 
 impl Default for RenderOptions {
@@ -51,12 +62,13 @@ impl Default for RenderOptions {
             z_range: None,
             parallel: true,
             tile: 0,
+            estimator: EstimatorKind::Dtfe,
         }
     }
 }
 
 impl RenderOptions {
-    /// Default options: one centre sample, full depth, parallel on.
+    /// Default options: one centre sample, full depth, parallel on, DTFE.
     pub fn new() -> RenderOptions {
         RenderOptions::default()
     }
@@ -91,11 +103,18 @@ impl RenderOptions {
         self
     }
 
+    /// Select the estimator backend for request-driven rendering.
+    pub fn estimator(mut self, kind: EstimatorKind) -> RenderOptions {
+        self.estimator = kind;
+        self
+    }
+
     /// Check the options for values the kernels would silently turn into
     /// garbage (NaN integration bounds, inverted z-windows, a zero sample
-    /// count). The builder setters cannot construct most of these, but
-    /// options deserialized from a wire request can — the serving layer
-    /// calls this before admitting a request.
+    /// count, a zero-realization stochastic estimator). The builder setters
+    /// cannot construct most of these, but options deserialized from a wire
+    /// request can — the serving layer calls this before admitting a
+    /// request.
     pub fn validate(&self) -> Result<(), RenderOptionsError> {
         if self.samples == 0 {
             return Err(RenderOptionsError::ZeroSamples);
@@ -107,6 +126,9 @@ impl RenderOptions {
             if hi <= lo {
                 return Err(RenderOptionsError::InvertedZRange);
             }
+        }
+        if let EstimatorKind::Stochastic { realizations: 0 } = self.estimator {
+            return Err(RenderOptionsError::ZeroRealizations);
         }
         Ok(())
     }
@@ -122,6 +144,9 @@ pub enum RenderOptionsError {
     NonFiniteZRange,
     /// `z_range.1 <= z_range.0`: the integration window is empty.
     InvertedZRange,
+    /// A stochastic estimator with zero realizations: the mean over an
+    /// empty ensemble is undefined.
+    ZeroRealizations,
 }
 
 impl std::fmt::Display for RenderOptionsError {
@@ -134,11 +159,81 @@ impl std::fmt::Display for RenderOptionsError {
             RenderOptionsError::InvertedZRange => {
                 write!(f, "z-range is inverted or empty (hi <= lo)")
             }
+            RenderOptionsError::ZeroRealizations => {
+                write!(f, "stochastic estimator needs at least 1 realization")
+            }
         }
     }
 }
 
 impl std::error::Error for RenderOptionsError {}
+
+/// Generate the shared [`RenderOptions`] plumbing for a kernel-specific
+/// option struct that embeds one as its `render` field: `Deref`/`DerefMut`
+/// to the embedded options (so `opts.samples`, `opts.z_range`, … read
+/// directly) plus the by-value forwarding builder setters. Kernel-specific
+/// knobs (`epsilon`, `nz`, …) stay as inherent methods on the struct.
+#[macro_export]
+macro_rules! forward_render_options {
+    ($opts:ty) => {
+        impl std::ops::Deref for $opts {
+            type Target = $crate::RenderOptions;
+            fn deref(&self) -> &$crate::RenderOptions {
+                &self.render
+            }
+        }
+
+        impl std::ops::DerefMut for $opts {
+            fn deref_mut(&mut self) -> &mut $crate::RenderOptions {
+                &mut self.render
+            }
+        }
+
+        impl $opts {
+            /// Sample points per cell (clamped to at least 1); forwards to
+            /// `RenderOptions::samples`.
+            pub fn samples(mut self, n: usize) -> Self {
+                self.render = self.render.samples(n);
+                self
+            }
+
+            /// Integrate only over `z ∈ [lo, hi]`; forwards to
+            /// `RenderOptions::z_range`.
+            pub fn z_range(mut self, lo: f64, hi: f64) -> Self {
+                self.render = self.render.z_range(lo, hi);
+                self
+            }
+
+            /// Integrate over the full extent; forwards to
+            /// `RenderOptions::full_depth`.
+            pub fn full_depth(mut self) -> Self {
+                self.render = self.render.full_depth();
+                self
+            }
+
+            /// Switch parallelism on or off; forwards to
+            /// `RenderOptions::parallel`.
+            pub fn parallel(mut self, yes: bool) -> Self {
+                self.render = self.render.parallel(yes);
+                self
+            }
+
+            /// Tile edge for the parallel scheduler (`0` = auto); forwards
+            /// to `RenderOptions::tile`.
+            pub fn tile(mut self, n: usize) -> Self {
+                self.render = self.render.tile(n);
+                self
+            }
+
+            /// Select the estimator backend; forwards to
+            /// `RenderOptions::estimator`.
+            pub fn estimator(mut self, kind: $crate::EstimatorKind) -> Self {
+                self.render = self.render.estimator(kind);
+                self
+            }
+        }
+    };
+}
 
 #[cfg(test)]
 mod tests {
@@ -151,6 +246,12 @@ mod tests {
             RenderOptions::new()
                 .samples(4)
                 .z_range(-1.0, 1.0)
+                .validate(),
+            Ok(())
+        );
+        assert_eq!(
+            RenderOptions::new()
+                .estimator(EstimatorKind::Stochastic { realizations: 3 })
                 .validate(),
             Ok(())
         );
@@ -169,5 +270,7 @@ mod tests {
         assert_eq!(o.validate(), Err(RenderOptionsError::InvertedZRange));
         let o = RenderOptions::new().z_range(3.0, 1.0);
         assert_eq!(o.validate(), Err(RenderOptionsError::InvertedZRange));
+        let o = RenderOptions::new().estimator(EstimatorKind::Stochastic { realizations: 0 });
+        assert_eq!(o.validate(), Err(RenderOptionsError::ZeroRealizations));
     }
 }

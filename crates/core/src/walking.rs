@@ -41,6 +41,11 @@ pub struct WalkOptions {
     pub nz: usize,
 }
 
+// Deref to the embedded `RenderOptions` plus the shared forwarding builder
+// setters (samples, z_range, full_depth, parallel, tile, estimator). `tile`
+// is accepted but inert here: the walking baseline parallelizes whole rows.
+crate::forward_render_options!(WalkOptions);
+
 impl WalkOptions {
     /// Options for an `nz`-deep walk with the [`RenderOptions`] defaults.
     pub fn new(nz: usize) -> WalkOptions {
@@ -48,24 +53,6 @@ impl WalkOptions {
             render: RenderOptions::default(),
             nz,
         }
-    }
-
-    /// Forwards to [`RenderOptions::samples`].
-    pub fn samples(mut self, n: usize) -> WalkOptions {
-        self.render = self.render.samples(n);
-        self
-    }
-
-    /// Forwards to [`RenderOptions::z_range`].
-    pub fn z_range(mut self, lo: f64, hi: f64) -> WalkOptions {
-        self.render = self.render.z_range(lo, hi);
-        self
-    }
-
-    /// Forwards to [`RenderOptions::parallel`].
-    pub fn parallel(mut self, yes: bool) -> WalkOptions {
-        self.render = self.render.parallel(yes);
-        self
     }
 
     /// The integration bounds actually used for `field`: the explicit

@@ -15,6 +15,7 @@
 //! retry policy needs.
 
 use crate::error::ServiceError;
+use dtfe_core::EstimatorKind;
 use dtfe_framework::WorkloadModel;
 use std::sync::Mutex;
 
@@ -36,13 +37,17 @@ impl Admission {
     }
 
     /// Price one request: `n` is the padded particle count of its tile,
-    /// `resident` whether the tile triangulation is (currently) cached.
-    pub fn price(&self, n: usize, resident: bool) -> f64 {
+    /// `resident` whether the tile triangulation is (currently) cached,
+    /// `kind` the estimator backend. Non-DTFE builds cost more than one
+    /// triangulation (PS-DTFE adds gradient solves; stochastic pays `k+1`
+    /// triangulations), so the build term is scaled by
+    /// [`EstimatorKind::build_cost_factor`].
+    pub fn price(&self, n: usize, resident: bool, kind: EstimatorKind) -> f64 {
         let n = n as f64;
         let tri = if resident {
             0.0
         } else {
-            self.model.tri.predict(n)
+            self.model.tri.predict(n) * kind.build_cost_factor()
         };
         tri + self.model.interp.predict(n)
     }
@@ -85,10 +90,29 @@ mod tests {
     #[test]
     fn resident_tiles_price_cheaper() {
         let adm = Admission::new(default_model(), 1.0, 2);
-        let cold = adm.price(100_000, false);
-        let warm = adm.price(100_000, true);
+        let cold = adm.price(100_000, false, EstimatorKind::Dtfe);
+        let warm = adm.price(100_000, true, EstimatorKind::Dtfe);
         assert!(cold > warm);
         assert!(warm > 0.0);
+    }
+
+    #[test]
+    fn expensive_estimators_price_higher_builds() {
+        let adm = Admission::new(default_model(), 1.0, 2);
+        let dtfe = adm.price(100_000, false, EstimatorKind::Dtfe);
+        let ps = adm.price(100_000, false, EstimatorKind::PsDtfe);
+        let stoch = adm.price(
+            100_000,
+            false,
+            EstimatorKind::Stochastic { realizations: 4 },
+        );
+        assert!(ps > dtfe);
+        assert!(stoch > ps);
+        // Residency erases the build term regardless of estimator.
+        assert_eq!(
+            adm.price(100_000, true, EstimatorKind::Stochastic { realizations: 4 }),
+            adm.price(100_000, true, EstimatorKind::Dtfe)
+        );
     }
 
     #[test]
@@ -96,7 +120,7 @@ mod tests {
         // Each cold 1M-point request prices ≈ 4.5 s under the default
         // model; a 10 s budget fits two of them but not three.
         let adm = Admission::new(default_model(), 10.0, 2);
-        let cost = adm.price(1_000_000, false);
+        let cost = adm.price(1_000_000, false, EstimatorKind::Dtfe);
         assert!(cost > 3.0 && cost < 5.0, "cost {cost}");
         adm.try_admit(cost).unwrap();
         adm.try_admit(cost).unwrap();

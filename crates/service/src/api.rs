@@ -1,7 +1,7 @@
 //! The request/response types shared by the in-process handle and the wire
 //! protocol.
 
-use dtfe_core::GridSpec2;
+use dtfe_core::{EstimatorKind, GridSpec2};
 use dtfe_geometry::Vec3;
 
 /// One field-render request: a cube of the service's `field_len` centred on
@@ -21,10 +21,15 @@ pub struct RenderRequest {
     /// Per-request deadline in milliseconds from submission; `0` uses the
     /// service default (possibly none).
     pub deadline_ms: u64,
+    /// Which field estimator renders the cutout. Defaults to classic DTFE
+    /// surface density; see [`EstimatorKind`] for the alternatives
+    /// (PS-DTFE density, velocity divergence, stochastic averaging).
+    pub estimator: EstimatorKind,
 }
 
 impl RenderRequest {
-    /// A request with service-default resolution/samples and no deadline.
+    /// A request with service-default resolution/samples, no deadline, and
+    /// the default DTFE estimator.
     pub fn new(snapshot: impl Into<String>, center: Vec3) -> RenderRequest {
         RenderRequest {
             snapshot: snapshot.into(),
@@ -32,7 +37,14 @@ impl RenderRequest {
             resolution: 0,
             samples: 0,
             deadline_ms: 0,
+            estimator: EstimatorKind::Dtfe,
         }
+    }
+
+    /// Select the estimator backend for this request.
+    pub fn estimator(mut self, kind: EstimatorKind) -> RenderRequest {
+        self.estimator = kind;
+        self
     }
 }
 

@@ -232,7 +232,7 @@ mod tests {
     use super::*;
 
     fn key(t: usize) -> TileKey {
-        TileKey::new("s", t)
+        TileKey::new("s", t, dtfe_core::EstimatorKind::Dtfe)
     }
 
     fn entry(bytes: usize) -> Result<TileData, ServiceError> {

@@ -59,6 +59,10 @@ impl ServiceConfig {
     pub const MAX_RESOLUTION: usize = 2048;
     /// Hard cap on per-request Monte-Carlo samples.
     pub const MAX_SAMPLES: usize = 64;
+    /// Hard cap on stochastic-estimator realizations per request — each
+    /// realization is a full re-triangulation of the tile, so this bounds
+    /// the worst-case build amplification a single request can demand.
+    pub const MAX_REALIZATIONS: u16 = 8;
 
     /// A config with the given field geometry and serving defaults: 8
     /// tiles, ghost `l_F/2`, 256 MiB cache, 2 workers, a 30 s admission

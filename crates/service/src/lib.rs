@@ -60,9 +60,10 @@ pub use admission::Admission;
 pub use api::{RenderRequest, RenderResponse, ResponseMeta};
 pub use cache::TileCache;
 pub use config::ServiceConfig;
+pub use dtfe_core::EstimatorKind;
 pub use error::ServiceError;
 pub use registry::{SnapshotData, SnapshotRegistry};
 pub use server::{Service, ServiceStats};
 pub use tcp::{Client, TcpServer};
-pub use tiles::{TileData, TileKey};
+pub use tiles::{TileData, TileField, TileKey};
 pub use wire::{Request, Response, WireError, MAX_FRAME};

@@ -26,7 +26,7 @@ use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use crate::registry::SnapshotRegistry;
 use crate::tiles::{TileData, TileKey};
-use dtfe_core::{surface_density_with_index, Field2, GridSpec2, MarchOptions};
+use dtfe_core::{EstimatorKind, Field2, GridSpec2, MarchOptions};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -252,6 +252,23 @@ impl Service {
                 "field center must be finite".into(),
             ));
         }
+        // Normalise the estimator: an unspecified stochastic realization
+        // count (0) takes the default; past the cap each realization is a
+        // full rebuild, so it is a typed refusal, not a silent clamp.
+        let estimator = match req.estimator {
+            EstimatorKind::Stochastic { realizations: 0 } => EstimatorKind::Stochastic {
+                realizations: EstimatorKind::DEFAULT_REALIZATIONS,
+            },
+            EstimatorKind::Stochastic { realizations }
+                if realizations > ServiceConfig::MAX_REALIZATIONS =>
+            {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "stochastic realizations {realizations} exceeds cap {}",
+                    ServiceConfig::MAX_REALIZATIONS
+                )));
+            }
+            k => k,
+        };
 
         // Loading the snapshot is part of submission: unknown/corrupt ids
         // fail fast, before admission charges anything.
@@ -271,6 +288,7 @@ impl Service {
         let opts = MarchOptions::new()
             .samples(samples)
             .parallel(false)
+            .estimator(estimator)
             .z_range(
                 req.center.z - cfg.field_len * 0.5,
                 req.center.z + cfg.field_len * 0.5,
@@ -279,9 +297,15 @@ impl Service {
             .validate()
             .map_err(|e| ServiceError::InvalidRequest(e.to_string()))?;
 
-        let tile = TileKey::new(req.snapshot.clone(), snap.decomp.rank_of(req.center));
+        let tile = TileKey::new(
+            req.snapshot.clone(),
+            snap.decomp.rank_of(req.center),
+            estimator,
+        );
         let n = snap.tile_counts[tile.tile];
-        let cost_s = inner.admission.price(n, inner.cache.is_resident(&tile));
+        let cost_s = inner
+            .admission
+            .price(n, inner.cache.is_resident(&tile), tile.estimator);
 
         let deadline = match req.deadline_ms {
             0 => cfg.default_deadline.map(|d| Instant::now() + d),
@@ -427,6 +451,7 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
         Ok(TileData::build(
             &snap,
             tile.tile,
+            tile.estimator,
             inner.cfg.ghost_margin,
             inner.cfg.builder_threads,
         ))
@@ -457,9 +482,7 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
         let queue_us = now.duration_since(job.enqueued).as_micros() as u64;
         let t0 = Instant::now();
         let sigma = match &data.field {
-            Some((field, index)) => {
-                surface_density_with_index(field, index, &job.grid, &job.opts).0
-            }
+            Some(tf) => tf.render(&job.grid, &job.opts),
             // Degenerate tile: all-zero field, same as the batch path.
             None => Field2::zeros(job.grid),
         };

@@ -7,14 +7,21 @@
 //! structs; decoding demands exact consumption (trailing bytes are an
 //! error, catching framing bugs early).
 //!
-//! The protocol is deliberately version-free and tiny: three request
-//! kinds, four response kinds, no negotiation. `Shutdown` is the
+//! The protocol is tiny — a handful of request kinds, four response
+//! kinds, no negotiation — and versioned per message rather than per
+//! connection. Render requests come in two generations (mirroring the
+//! snapshot format's v1/v2 precedent): the legacy v1 frame
+//! ([`REQ_RENDER`]) carries no estimator and decodes as classic DTFE,
+//! while the v2 frame ([`REQ_RENDER_V2`]) appends an estimator tag +
+//! parameter. Writers always emit v2; readers accept both, counting v1
+//! frames on the `service.wire_legacy_requests` telemetry counter so
+//! operators can watch old clients age out. `Shutdown` is the
 //! SIGTERM-equivalent — the server acks, drains, and exits its accept
 //! loop.
 
 use crate::api::{RenderRequest, RenderResponse, ResponseMeta};
 use crate::error::ServiceError;
-use dtfe_core::GridSpec2;
+use dtfe_core::{EstimatorKind, GridSpec2};
 use dtfe_geometry::{Vec2, Vec3};
 use std::io::{Read as IoRead, Write as IoWrite};
 
@@ -116,6 +123,9 @@ impl Enc {
     fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
     fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
@@ -177,9 +187,12 @@ impl<'a> Dec<'a> {
     }
 }
 
+/// Legacy v1 render frame: no estimator field, decodes as DTFE.
 const REQ_RENDER: u8 = 1;
 const REQ_STATS: u8 = 2;
 const REQ_SHUTDOWN: u8 = 3;
+/// v2 render frame: v1 layout plus `u8` estimator tag + `u16` parameter.
+const REQ_RENDER_V2: u8 = 4;
 
 const RESP_FIELD: u8 = 1;
 const RESP_ERROR: u8 = 2;
@@ -191,7 +204,7 @@ impl Request {
         let mut e = Enc(Vec::new());
         match self {
             Request::Render(r) => {
-                e.u8(REQ_RENDER);
+                e.u8(REQ_RENDER_V2);
                 e.str(&r.snapshot);
                 e.f64(r.center.x);
                 e.f64(r.center.y);
@@ -199,6 +212,9 @@ impl Request {
                 e.u32(r.resolution);
                 e.u32(r.samples);
                 e.u64(r.deadline_ms);
+                let (tag, param) = r.estimator.wire_code();
+                e.u8(tag);
+                e.u16(param);
             }
             Request::Stats => e.u8(REQ_STATS),
             Request::Shutdown => e.u8(REQ_SHUTDOWN),
@@ -209,13 +225,36 @@ impl Request {
     pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
         let mut d = Dec { buf, at: 0 };
         let req = match d.u8()? {
-            REQ_RENDER => Request::Render(RenderRequest {
-                snapshot: d.str()?,
-                center: Vec3::new(d.f64()?, d.f64()?, d.f64()?),
-                resolution: d.u32()?,
-                samples: d.u32()?,
-                deadline_ms: d.u64()?,
-            }),
+            REQ_RENDER => {
+                // Legacy v1 frame: pre-estimator clients mean classic DTFE.
+                dtfe_telemetry::counter_add!("service.wire_legacy_requests", 1);
+                Request::Render(RenderRequest {
+                    snapshot: d.str()?,
+                    center: Vec3::new(d.f64()?, d.f64()?, d.f64()?),
+                    resolution: d.u32()?,
+                    samples: d.u32()?,
+                    deadline_ms: d.u64()?,
+                    estimator: EstimatorKind::Dtfe,
+                })
+            }
+            REQ_RENDER_V2 => {
+                let snapshot = d.str()?;
+                let center = Vec3::new(d.f64()?, d.f64()?, d.f64()?);
+                let resolution = d.u32()?;
+                let samples = d.u32()?;
+                let deadline_ms = d.u64()?;
+                let (tag, param) = (d.u8()?, d.u16()?);
+                let estimator =
+                    EstimatorKind::from_wire_code(tag, param).ok_or(WireError::BadTag(tag))?;
+                Request::Render(RenderRequest {
+                    snapshot,
+                    center,
+                    resolution,
+                    samples,
+                    deadline_ms,
+                    estimator,
+                })
+            }
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
             t => return Err(WireError::BadTag(t)),
@@ -373,21 +412,66 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let reqs = [
-            Request::Render(RenderRequest {
+        let estimators = [
+            EstimatorKind::Dtfe,
+            EstimatorKind::PsDtfe,
+            EstimatorKind::VelocityDivergence,
+            EstimatorKind::Stochastic { realizations: 7 },
+        ];
+        let mut reqs = vec![Request::Stats, Request::Shutdown];
+        for est in estimators {
+            reqs.push(Request::Render(RenderRequest {
                 snapshot: "demo".into(),
                 center: Vec3::new(1.5, -2.25, 3.0),
                 resolution: 128,
                 samples: 4,
                 deadline_ms: 250,
-            }),
-            Request::Stats,
-            Request::Shutdown,
-        ];
+                estimator: est,
+            }));
+        }
         for r in reqs {
             let bytes = r.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn legacy_v1_render_decodes_as_dtfe() {
+        // Hand-crafted v1 frame: tag 1, then the pre-estimator layout.
+        let mut e = Enc(Vec::new());
+        e.u8(REQ_RENDER);
+        e.str("old");
+        e.f64(0.5);
+        e.f64(1.5);
+        e.f64(2.5);
+        e.u32(64);
+        e.u32(2);
+        e.u64(100);
+        let req = Request::decode(&e.0).unwrap();
+        assert_eq!(
+            req,
+            Request::Render(RenderRequest {
+                snapshot: "old".into(),
+                center: Vec3::new(0.5, 1.5, 2.5),
+                resolution: 64,
+                samples: 2,
+                deadline_ms: 100,
+                estimator: EstimatorKind::Dtfe,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_estimator_tag_is_rejected() {
+        let req = Request::Render(RenderRequest::new("x", Vec3::ZERO));
+        let mut bytes = req.encode();
+        // The estimator tag is the 3rd-from-last byte (tag u8 + param u16).
+        let at = bytes.len() - 3;
+        bytes[at] = 0xEE;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::BadTag(0xEE))
+        ));
     }
 
     #[test]

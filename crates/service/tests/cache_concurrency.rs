@@ -7,7 +7,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 fn key(s: &str, t: usize) -> TileKey {
-    TileKey::new(s, t)
+    TileKey::new(s, t, dtfe_core::EstimatorKind::Dtfe)
 }
 
 /// 8 threads rush the same cold tile at once: exactly one build runs, all

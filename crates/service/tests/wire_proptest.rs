@@ -3,7 +3,7 @@
 //! frames (oversized announcements, truncations, trailing bytes, bad
 //! tags) are rejected with typed errors instead of panics or garbage.
 
-use dtfe_core::GridSpec2;
+use dtfe_core::{EstimatorKind, GridSpec2};
 use dtfe_geometry::{Vec2, Vec3};
 use dtfe_service::{
     wire::{read_frame, write_frame},
@@ -46,13 +46,22 @@ proptest! {
         resolution in 0u32..4096,
         samples in 0u32..256,
         deadline_ms in 0u64..1_000_000,
+        est_sel in 0u8..4,
+        realizations in 1u16..64,
     ) {
+        let estimator = match est_sel {
+            0 => EstimatorKind::Dtfe,
+            1 => EstimatorKind::PsDtfe,
+            2 => EstimatorKind::VelocityDivergence,
+            _ => EstimatorKind::Stochastic { realizations },
+        };
         let req = Request::Render(RenderRequest {
             snapshot: id_from(id_bytes),
             center: Vec3::new(x, y, z),
             resolution,
             samples,
             deadline_ms,
+            estimator,
         });
         let bytes = req.encode();
         prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
@@ -137,6 +146,7 @@ proptest! {
             resolution: 64,
             samples: 2,
             deadline_ms: 99,
+            estimator: EstimatorKind::Stochastic { realizations: 3 },
         });
         let bytes = req.encode();
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
@@ -179,6 +189,38 @@ proptest! {
         write_frame(&mut stream, &payload).unwrap();
         let mut cursor = std::io::Cursor::new(stream);
         prop_assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+    }
+
+    #[test]
+    fn legacy_v1_render_frames_decode_as_dtfe(
+        id_bytes in prop::collection::vec(0u8..255, 0..40),
+        x in -1e9f64..1e9,
+        y in -1e9f64..1e9,
+        z in -1e9f64..1e9,
+        resolution in 0u32..4096,
+        samples in 0u32..256,
+        deadline_ms in 0u64..1_000_000,
+    ) {
+        // Hand-encode the pre-estimator v1 layout (tag 1).
+        let snapshot = id_from(id_bytes);
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&(snapshot.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(snapshot.as_bytes());
+        for v in [x, y, z] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&resolution.to_le_bytes());
+        bytes.extend_from_slice(&samples.to_le_bytes());
+        bytes.extend_from_slice(&deadline_ms.to_le_bytes());
+        let expected = Request::Render(RenderRequest {
+            snapshot,
+            center: Vec3::new(x, y, z),
+            resolution,
+            samples,
+            deadline_ms,
+            estimator: EstimatorKind::Dtfe,
+        });
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), expected);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!    spectrum.
 
 use dtfe_repro::core::density::{DtfeField, Mass};
-use dtfe_repro::core::fields::{volume_weighted_mean, VertexField};
+use dtfe_repro::core::fields::{volume_weighted_mean, ScalarField};
 use dtfe_repro::core::grid::GridSpec2;
 use dtfe_repro::core::marching::MarchOptions;
 use dtfe_repro::core::oriented::OrientedField;
@@ -57,7 +57,7 @@ fn main() {
             *v /= c as f64;
         }
     }
-    let vfield = VertexField::new(del, vz);
+    let vfield = ScalarField::new(del, vz);
     println!(
         "volume-weighted <v_z> = {:.3e} (mass-weighted mean is 0 by momentum conservation)",
         volume_weighted_mean(&vfield)
