@@ -12,14 +12,26 @@
 //!    the arrival process), spread over enough sender threads that the
 //!    schedule never starves.
 //!
-//! Modes: in-process (default; self-seeds a demo snapshot) or `--addr
-//! HOST:PORT` against a running `dtfe-served` (the CI smoke run). Exits
-//! nonzero if any request fails or the hit/miss counters fail to account
-//! for every completed request.
+//! Modes: in-process (default; self-seeds a demo snapshot), `--addr
+//! HOST:PORT` against a running `dtfe-served` (the CI smoke run), or
+//! `--chaos SEED` — spin up a local TCP server behind a seeded
+//! [`ChaosProxy`] and drive all traffic through the injected faults.
+//! Exits nonzero if any request fails (faults-off modes), if the
+//! hit/miss counters fail to account for every completed request, or —
+//! chaos mode's reason to exist — if a client ever **accepts a corrupt
+//! payload** (responses are checked bit-for-bit against unjittered
+//! per-tile references) or the battered server fails its clean drain.
+//!
+//! `--client retry|naive` selects the wire client for `--addr`/`--chaos`
+//! runs: the naive [`Client`] fails a request on the first transport
+//! error (reconnecting for the next one), the [`ResilientClient`]
+//! retries with jittered backoff — run both under the same `--chaos`
+//! seed to compare tail latency and error rates.
 //!
 //! ```text
 //! cargo run --release -p dtfe-bench --bin loadgen [-- --requests 400 --rate 100]
 //! cargo run --release -p dtfe-bench --bin loadgen -- --addr 127.0.0.1:7433
+//! cargo run --release -p dtfe-bench --bin loadgen -- --chaos 42 --client retry
 //! ```
 
 use dtfe_core::EstimatorKind;
@@ -27,8 +39,12 @@ use dtfe_framework::Decomposition;
 use dtfe_geometry::{Aabb3, Vec3};
 use dtfe_nbody::halos::{clustered_box, ClusteredBoxSpec};
 use dtfe_nbody::snapshot::write_snapshot;
-use dtfe_service::{Client, RenderRequest, Service, ServiceConfig};
+use dtfe_service::{
+    ChaosProxy, Client, ClientConfig, RenderRequest, RenderResponse, ResilientClient, Service,
+    ServiceConfig, SocketFaultPlan, SocketFaultRule, TcpServer,
+};
 use dtfe_telemetry::json::number;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -58,13 +74,36 @@ struct Args {
     /// SIGTERM-equivalent) and wait for its ack — the CI smoke run uses
     /// this to assert clean drain.
     shutdown: bool,
+    /// Chaos mode: start a local TCP server behind a fault-injecting
+    /// proxy seeded with this value and route all traffic through it.
+    chaos: Option<u64>,
+    /// Wire client for `--addr`/`--chaos` runs.
+    client: ClientKind,
+    /// Report path override (default `target/experiments/BENCH_service.json`).
+    out: Option<PathBuf>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ClientKind {
+    Naive,
+    Retry,
+}
+
+impl ClientKind {
+    fn label(self) -> &'static str {
+        match self {
+            ClientKind::Naive => "naive",
+            ClientKind::Retry => "retry",
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--snapshots DIR] [--snapshot ID] [--requests N] \
          [--rate R] [--zipf S] [--tiles N] [--box-len L] [--field-len L] [--resolution N] \
-         [--particles N] [--senders N] [--seed N] [--estimators dtfe,psdtfe,...] [--shutdown]"
+         [--particles N] [--senders N] [--seed N] [--estimators dtfe,psdtfe,...] [--shutdown] \
+         [--chaos SEED] [--client naive|retry] [--out FILE]"
     );
     std::process::exit(2)
 }
@@ -86,6 +125,9 @@ fn parse_args() -> Args {
         seed: 42,
         estimators: vec![EstimatorKind::Dtfe],
         shutdown: false,
+        chaos: None,
+        client: ClientKind::Naive,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,6 +156,15 @@ fn parse_args() -> Args {
                 }
             }
             "--shutdown" => args.shutdown = true,
+            "--chaos" => args.chaos = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--client" => {
+                args.client = match val().as_str() {
+                    "naive" => ClientKind::Naive,
+                    "retry" => ClientKind::Retry,
+                    _ => usage(),
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(val())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -160,23 +211,65 @@ impl Zipf {
     }
 }
 
-/// Either transport, one per sender thread.
+/// Either transport, one per sender thread. The naive TCP variant
+/// reconnects lazily after a failed request (one error per fault, no
+/// retries); the resilient variant carries its own retry discipline.
 enum Conn {
     InProc(Arc<Service>),
-    Tcp(Client),
+    Tcp {
+        client: Option<Client>,
+        addr: String,
+    },
+    Resilient(Box<ResilientClient>),
 }
 
 impl Conn {
-    fn render(&mut self, req: &RenderRequest) -> Result<bool, String> {
-        let resp = match self {
-            Conn::InProc(svc) => svc.render(req),
-            Conn::Tcp(client) => client.render(req),
-        };
-        match resp {
-            Ok(r) => Ok(r.meta.cache_hit),
-            Err(e) => Err(e.to_string()),
+    fn render(&mut self, req: &RenderRequest) -> Result<RenderResponse, String> {
+        match self {
+            Conn::InProc(svc) => svc.render(req).map_err(|e| e.to_string()),
+            Conn::Tcp { client, addr } => {
+                if client.is_none() {
+                    *client =
+                        Some(Client::connect(addr.as_str()).map_err(|e| format!("connect: {e}"))?);
+                }
+                let result = client.as_mut().unwrap().render(req);
+                if result.is_err() {
+                    // The connection may be mid-frame garbage now; a naive
+                    // client's only move is to throw it away.
+                    *client = None;
+                }
+                result.map_err(|e| e.to_string())
+            }
+            Conn::Resilient(client) => client.render(req).map_err(|e| e.to_string()),
         }
     }
+
+    /// `(retries, hedges, reconnects, giveups)` for the report.
+    fn client_stats(&self) -> (u64, u64, u64, u64) {
+        match self {
+            Conn::Resilient(client) => (
+                client.stats.retries.load(Ordering::Relaxed),
+                client.stats.hedges.load(Ordering::Relaxed),
+                client.stats.reconnects.load(Ordering::Relaxed),
+                client.stats.giveups.load(Ordering::Relaxed),
+            ),
+            _ => (0, 0, 0, 0),
+        }
+    }
+}
+
+/// The all-kinds fault mix for `--chaos` runs: every injector fires with
+/// equal probability, totalling 0.35 per frame, so a bounded-retry client
+/// usually gets through while every failure mode is exercised.
+fn chaos_rule() -> SocketFaultRule {
+    SocketFaultRule::all()
+        .drop(0.05)
+        .delay(0.05, Duration::from_millis(5))
+        .truncate(0.05)
+        .split(0.05)
+        .stall(0.05, Duration::from_millis(30))
+        .reset(0.05)
+        .bitflip(0.05)
 }
 
 #[derive(Default)]
@@ -196,6 +289,10 @@ fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.chaos.is_some() && args.addr.is_some() {
+        eprintln!("--chaos starts its own local server; it conflicts with --addr");
+        return ExitCode::from(2);
+    }
     let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(args.box_len));
     let decomp = Decomposition::new(bounds, args.tiles);
     let tiles = decomp.num_ranks();
@@ -215,24 +312,74 @@ fn main() -> ExitCode {
         let mut cfg = ServiceConfig::new(args.field_len, args.resolution);
         cfg.tiles = args.tiles;
         cfg.telemetry = true;
+        if args.chaos.is_some() {
+            // Chaos-severed connections must not pin handler threads for
+            // the default 10s when the run tears down.
+            cfg.read_timeout = Some(Duration::from_millis(500));
+            cfg.write_timeout = Some(Duration::from_millis(500));
+        }
         Some(Arc::new(
             Service::start(&args.snapshots, cfg).expect("start service"),
         ))
     };
+    // Chaos topology: in-proc service → local TCP server → fault proxy;
+    // every client connects through the proxy, the clean-drain Shutdown
+    // at the end goes to the server directly.
+    let mut chaos_ctx: Option<(
+        ChaosProxy,
+        std::net::SocketAddr,
+        std::thread::JoinHandle<()>,
+    )> = None;
+    let wire_addr: Option<String> = if let Some(chaos_seed) = args.chaos {
+        let svc = service.clone().expect("chaos mode is in-proc");
+        let server = TcpServer::bind(svc, ("127.0.0.1", 0)).expect("bind chaos server");
+        let server_addr = server.local_addr().expect("server addr");
+        let serve = std::thread::spawn(move || server.serve());
+        let plan = SocketFaultPlan::seeded(chaos_seed).rule(chaos_rule());
+        let proxy = ChaosProxy::start(plan, server_addr).expect("start chaos proxy");
+        let addr = proxy.addr().to_string();
+        chaos_ctx = Some((proxy, server_addr, serve));
+        Some(addr)
+    } else {
+        args.addr.clone()
+    };
+    let retry_cfg = ClientConfig {
+        connect_timeout: Duration::from_secs(1),
+        read_timeout: Some(Duration::from_secs(5)),
+        write_timeout: Some(Duration::from_secs(5)),
+        max_retries: 5,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(200),
+        hedge_after: None,
+        seed: args.seed ^ args.chaos.unwrap_or(0).rotate_left(17),
+    };
     let connect = || -> Conn {
-        match (&service, &args.addr) {
-            (Some(svc), _) => Conn::InProc(svc.clone()),
-            (None, Some(addr)) => Conn::Tcp(Client::connect(addr).expect("connect")),
+        match (&wire_addr, &service) {
+            (Some(addr), _) => match args.client {
+                ClientKind::Naive => Conn::Tcp {
+                    client: None,
+                    addr: addr.clone(),
+                },
+                ClientKind::Retry => Conn::Resilient(Box::new(
+                    ResilientClient::new(addr.as_str(), retry_cfg).expect("resolve addr"),
+                )),
+            },
+            (None, Some(svc)) => Conn::InProc(svc.clone()),
             (None, None) => unreachable!(),
         }
     };
 
     // Request centres: the tile centre, nudged inward so jitter never
-    // leaves the tile (tile popularity stays exactly zipf).
+    // leaves the tile (tile popularity stays exactly zipf). Chaos mode
+    // drops the jitter entirely — each (tile, estimator) pair then maps
+    // to one exact request, so every response can be checked bit-for-bit
+    // against a reference map. The rng draws are consumed either way to
+    // keep schedules identical across modes at the same seed.
+    let chaos_jitter = if args.chaos.is_some() { 0.0 } else { 0.25 };
     let center_of = |tile: usize, rng: &mut Xorshift| -> Vec3 {
         let bx = decomp.rank_box(tile);
         let c = bx.center();
-        let jitter = 0.25
+        let jitter = chaos_jitter
             * (bx.hi.x - bx.lo.x)
                 .min(bx.hi.y - bx.lo.y)
                 .min(bx.hi.z - bx.lo.z);
@@ -241,6 +388,47 @@ fn main() -> ExitCode {
             c.y + (rng.next_f64() - 0.5) * jitter,
             c.z + (rng.next_f64() - 0.5) * jitter,
         )
+    };
+
+    // Chaos reference map: every (tile, estimator) request rendered once
+    // in-process (no network in the loop). Any wire response that
+    // disagrees with its reference is a *silently accepted corruption* —
+    // the one outcome chaos mode exists to rule out.
+    let references: Arc<HashMap<String, Vec<u64>>> = Arc::new(if args.chaos.is_some() {
+        let svc = service.as_ref().unwrap();
+        let mut rng = Xorshift(args.seed | 1);
+        let mut map = HashMap::new();
+        for tile in 0..tiles {
+            for est in &args.estimators {
+                let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng))
+                    .estimator(*est);
+                let resp = svc.render(&req).expect("reference render");
+                map.insert(
+                    format!("{tile}:{}", est.label()),
+                    resp.data.iter().map(|v| v.to_bits()).collect(),
+                );
+            }
+        }
+        map
+    } else {
+        HashMap::new()
+    });
+    let corrupt = Arc::new(AtomicU64::new(0));
+    let degraded_served = Arc::new(AtomicU64::new(0));
+    // True when the response matches its reference (or there is none).
+    let verify = |tile: usize, est: EstimatorKind, resp: &RenderResponse| -> bool {
+        let Some(expect) = references.get(&format!("{tile}:{}", est.label())) else {
+            return true;
+        };
+        if resp.meta.degraded {
+            return true; // flagged stale data is honest, not corrupt
+        }
+        resp.data.len() == expect.len()
+            && resp
+                .data
+                .iter()
+                .zip(expect)
+                .all(|(v, &bits)| v.to_bits() == bits)
     };
 
     // ---- Phase 1: cold sweep, one request per tile, serial.
@@ -257,19 +445,31 @@ fn main() -> ExitCode {
         let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng)).estimator(est);
         let t0 = Instant::now();
         match conn.render(&req) {
-            Ok(hit) => {
+            Ok(resp) => {
                 cold_us.push(t0.elapsed().as_micros() as u64);
                 est_counts[tile % args.estimators.len()].fetch_add(1, Ordering::Relaxed);
-                if hit {
+                if resp.meta.cache_hit {
                     hits += 1;
                 } else {
                     misses += 1;
+                }
+                if resp.meta.degraded {
+                    degraded_served.fetch_add(1, Ordering::Relaxed);
+                }
+                if !verify(tile, est, &resp) {
+                    corrupt.fetch_add(1, Ordering::Relaxed);
+                    errors.push(format!(
+                        "cold tile {tile} ({}): CORRUPT payload",
+                        est.label()
+                    ));
                 }
             }
             Err(e) => errors.push(format!("cold tile {tile} ({}): {e}", est.label())),
         }
     }
     let cold_wall = t_cold.elapsed().as_secs_f64();
+    let cold_client_stats = conn.client_stats();
+    drop(conn); // close the cold connection before teardown accounting
     eprintln!(
         "# cold sweep: {tiles} tiles in {cold_wall:.2}s ({} ok, {} errors)",
         cold_us.len(),
@@ -278,13 +478,14 @@ fn main() -> ExitCode {
 
     // ---- Phase 2: warm open-loop at fixed rate with zipf popularity.
     let zipf = Zipf::new(tiles, args.zipf);
-    let schedule: Vec<(Duration, Vec3, EstimatorKind)> = {
+    let schedule: Vec<(Duration, usize, Vec3, EstimatorKind)> = {
         let mut rng = Xorshift(args.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
         (0..args.requests)
             .map(|i| {
                 let tile = zipf.sample(&mut rng);
                 (
                     Duration::from_secs_f64(i as f64 / args.rate),
+                    tile,
                     center_of(tile, &mut rng),
                     args.estimators[i % args.estimators.len()],
                 )
@@ -298,6 +499,7 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let est_counts = Arc::new(est_counts);
     let n_estimators = args.estimators.len();
+    let retry_totals = Arc::new([(); 4].map(|_| AtomicU64::new(0)));
     let senders: Vec<_> = (0..args.senders.max(1))
         .map(|_| {
             let schedule = schedule.clone();
@@ -306,34 +508,64 @@ fn main() -> ExitCode {
             let lag_us = lag_us.clone();
             let est_counts = est_counts.clone();
             let snapshot_id = args.snapshot_id.clone();
+            let references = references.clone();
+            let corrupt = corrupt.clone();
+            let degraded_served = degraded_served.clone();
+            let retry_totals = retry_totals.clone();
             let mut conn = connect();
-            std::thread::spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((at, center, est)) = schedule.get(i).copied() else {
-                    return;
-                };
-                // Open loop: wait for the scheduled arrival, then record
-                // how late the send actually is (sender starvation shows
-                // up as lag, not as a silently lowered rate).
-                let now = start.elapsed();
-                if now < at {
-                    std::thread::sleep(at - now);
-                } else {
-                    lag_us.fetch_add((now - at).as_micros() as u64, Ordering::Relaxed);
-                }
-                let req = RenderRequest::new(&snapshot_id, center).estimator(est);
-                let t0 = Instant::now();
-                let result = conn.render(&req);
-                let us = t0.elapsed().as_micros() as u64;
-                let mut t = tally.lock().unwrap();
-                match result {
-                    Ok(hit) => {
-                        t.done.push((hit, us));
-                        est_counts[i % n_estimators].fetch_add(1, Ordering::Relaxed);
+            std::thread::spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((at, tile, center, est)) = schedule.get(i).copied() else {
+                        break;
+                    };
+                    // Open loop: wait for the scheduled arrival, then record
+                    // how late the send actually is (sender starvation shows
+                    // up as lag, not as a silently lowered rate).
+                    let now = start.elapsed();
+                    if now < at {
+                        std::thread::sleep(at - now);
+                    } else {
+                        lag_us.fetch_add((now - at).as_micros() as u64, Ordering::Relaxed);
                     }
-                    Err(e) => t
-                        .errors
-                        .push(format!("warm req {i} ({}): {e}", est.label())),
+                    let req = RenderRequest::new(&snapshot_id, center).estimator(est);
+                    let t0 = Instant::now();
+                    let result = conn.render(&req);
+                    let us = t0.elapsed().as_micros() as u64;
+                    let mut t = tally.lock().unwrap();
+                    match result {
+                        Ok(resp) => {
+                            t.done.push((resp.meta.cache_hit, us));
+                            est_counts[i % n_estimators].fetch_add(1, Ordering::Relaxed);
+                            if resp.meta.degraded {
+                                degraded_served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let expect = references.get(&format!("{tile}:{}", est.label()));
+                            let ok = expect.is_none_or(|bits| {
+                                resp.meta.degraded
+                                    || (resp.data.len() == bits.len()
+                                        && resp
+                                            .data
+                                            .iter()
+                                            .zip(bits)
+                                            .all(|(v, &b)| v.to_bits() == b))
+                            });
+                            if !ok {
+                                corrupt.fetch_add(1, Ordering::Relaxed);
+                                t.errors.push(format!(
+                                    "warm req {i} tile {tile} ({}): CORRUPT payload",
+                                    est.label()
+                                ));
+                            }
+                        }
+                        Err(e) => t
+                            .errors
+                            .push(format!("warm req {i} ({}): {e}", est.label())),
+                    }
+                }
+                let (r, h, c, g) = conn.client_stats();
+                for (slot, v) in retry_totals.iter().zip([r, h, c, g]) {
+                    slot.fetch_add(v, Ordering::Relaxed);
                 }
             })
         })
@@ -382,6 +614,52 @@ fn main() -> ExitCode {
         lag_us.load(Ordering::Relaxed) as f64 / 1e3 / args.requests as f64
     };
 
+    for (slot, v) in retry_totals.iter().zip([
+        cold_client_stats.0,
+        cold_client_stats.1,
+        cold_client_stats.2,
+        cold_client_stats.3,
+    ]) {
+        slot.fetch_add(v, Ordering::Relaxed);
+    }
+
+    // Chaos teardown first: the battered server must still drain cleanly
+    // on a direct (unproxied) Shutdown before the report is written.
+    let mut drain_ok = true;
+    let chaos_json = if let Some((mut proxy, server_addr, serve)) = chaos_ctx {
+        match Client::connect(server_addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.shutdown().map_err(|e| e.to_string()))
+        {
+            Ok(()) => eprintln!("# chaos server acked direct shutdown"),
+            Err(e) => {
+                eprintln!("error: chaos clean drain: {e}");
+                drain_ok = false;
+            }
+        }
+        if serve.join().is_err() {
+            eprintln!("error: serve loop panicked");
+            drain_ok = false;
+        }
+        let s = &proxy.stats;
+        let json = format!(
+            "{{\"forwarded\":{},\"dropped\":{},\"delayed\":{},\"truncated\":{},\
+             \"split\":{},\"stalled\":{},\"reset\":{},\"bitflipped\":{}}}",
+            s.forwarded.load(Ordering::Relaxed),
+            s.dropped.load(Ordering::Relaxed),
+            s.delayed.load(Ordering::Relaxed),
+            s.truncated.load(Ordering::Relaxed),
+            s.split.load(Ordering::Relaxed),
+            s.stalled.load(Ordering::Relaxed),
+            s.reset.load(Ordering::Relaxed),
+            s.bitflipped.load(Ordering::Relaxed),
+        );
+        proxy.stop();
+        json
+    } else {
+        "null".into()
+    };
+
     let stats_json = match (&service, &args.addr) {
         (Some(svc), _) => svc.metrics_json(),
         (None, Some(addr)) => Client::connect(addr)
@@ -398,18 +676,35 @@ fn main() -> ExitCode {
         .map(|(e, c)| format!("\"{e}\":{}", c.load(Ordering::Relaxed)))
         .collect::<Vec<_>>()
         .join(",");
+    let n_corrupt = corrupt.load(Ordering::Relaxed);
+    let n_degraded = degraded_served.load(Ordering::Relaxed);
     let out = format!(
         "{{\"bench\":\"service\",\"mode\":\"{}\",\"tiles\":{tiles},\"requests\":{},\
          \"rate\":{},\"zipf\":{},\"completed\":{completed},\"errors\":{},\
          \"hits\":{hits},\"misses\":{misses},\"accounted\":{accounted},\
          \"estimators\":{{{est_json}}},\
+         \"chaos_seed\":{},\"client\":\"{}\",\"corrupt\":{n_corrupt},\
+         \"degraded\":{n_degraded},\"drain_ok\":{drain_ok},\"chaos\":{chaos_json},\
+         \"client_stats\":{{\"retries\":{},\"hedges\":{},\"reconnects\":{},\"giveups\":{}}},\
          \"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
          \"cold_p50_ms\":{},\"warm_p50_ms\":{},\"mean_lag_ms\":{},\"server\":{stats_json}}}\n",
-        if args.addr.is_some() { "tcp" } else { "inproc" },
+        if args.chaos.is_some() {
+            "chaos"
+        } else if args.addr.is_some() {
+            "tcp"
+        } else {
+            "inproc"
+        },
         args.requests,
         number(args.rate),
         number(args.zipf),
         errors.len(),
+        args.chaos.map_or("null".into(), |s| s.to_string()),
+        args.client.label(),
+        retry_totals[0].load(Ordering::Relaxed),
+        retry_totals[1].load(Ordering::Relaxed),
+        retry_totals[2].load(Ordering::Relaxed),
+        retry_totals[3].load(Ordering::Relaxed),
         number(throughput_rps),
         number(p50_ms),
         number(p99_ms),
@@ -417,9 +712,14 @@ fn main() -> ExitCode {
         number(warm_p50_ms),
         number(mean_lag_ms),
     );
-    let dir = dtfe_core::io::experiments_dir();
-    let path = dir.join("BENCH_service.json");
-    std::fs::write(&path, &out).expect("write BENCH_service.json");
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| dtfe_core::io::experiments_dir().join("BENCH_service.json"));
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &out).expect("write bench report");
     dtfe_telemetry::json::Json::parse(&out).expect("valid bench report JSON");
 
     println!("# service -> {}", path.display());
@@ -430,6 +730,16 @@ fn main() -> ExitCode {
         errors.len(),
         cold_p50_ms / warm_p50_ms.max(1e-9),
     );
+    if let Some(chaos_seed) = args.chaos {
+        println!(
+            "chaos seed={chaos_seed} client={} | corrupt {n_corrupt} | degraded {n_degraded} | \
+             request errors {} | retries {} hedges {} | drain_ok={drain_ok}",
+            args.client.label(),
+            errors.len(),
+            retry_totals[0].load(Ordering::Relaxed),
+            retry_totals[1].load(Ordering::Relaxed),
+        );
+    }
     for e in errors.iter().take(5) {
         eprintln!("error: {e}");
     }
@@ -451,7 +761,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !errors.is_empty() || !accounted {
+    // A silently accepted corrupt payload or a failed clean drain fails
+    // the run in any mode. Request *errors* fail it only when no faults
+    // were being injected — under chaos, typed errors are the contract.
+    if n_corrupt > 0 || !drain_ok {
+        return ExitCode::FAILURE;
+    }
+    if args.chaos.is_none() && (!errors.is_empty() || !accounted) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -17,10 +17,13 @@
 use crate::error::ServiceError;
 use dtfe_core::EstimatorKind;
 use dtfe_framework::WorkloadModel;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 pub struct Admission {
-    budget_s: f64,
+    /// Budget in priced seconds, stored as f64 bits so operators can
+    /// retune it at runtime without contending the backlog lock.
+    budget_bits: AtomicU64,
     workers: usize,
     model: WorkloadModel,
     backlog_s: Mutex<f64>,
@@ -29,11 +32,24 @@ pub struct Admission {
 impl Admission {
     pub fn new(model: WorkloadModel, budget_s: f64, workers: usize) -> Admission {
         Admission {
-            budget_s,
+            budget_bits: AtomicU64::new(budget_s.to_bits()),
             workers: workers.max(1),
             model,
             backlog_s: Mutex::new(0.0),
         }
+    }
+
+    /// Current admission budget in priced seconds.
+    pub fn budget_s(&self) -> f64 {
+        f64::from_bits(self.budget_bits.load(Ordering::Relaxed))
+    }
+
+    /// Retune the admission budget at runtime — an operator control for
+    /// load shedding (`0.0` sheds everything, forcing degraded serving
+    /// where the service allows it).
+    pub fn set_budget(&self, budget_s: f64) {
+        self.budget_bits
+            .store(budget_s.max(0.0).to_bits(), Ordering::Relaxed);
     }
 
     /// Price one request: `n` is the padded particle count of its tile,
@@ -54,9 +70,10 @@ impl Admission {
 
     /// Admit a request of the given priced cost, or shed it.
     pub fn try_admit(&self, cost_s: f64) -> Result<(), ServiceError> {
+        let budget_s = self.budget_s();
         let mut backlog = self.backlog_s.lock().unwrap();
-        if *backlog + cost_s > self.budget_s {
-            let excess = (*backlog + cost_s - self.budget_s).max(0.0);
+        if *backlog + cost_s > budget_s {
+            let excess = (*backlog + cost_s - budget_s).max(0.0);
             // The pool drains `workers` priced seconds per wall second;
             // floor the hint so clients never busy-spin on retries.
             let retry_after_ms = ((excess / self.workers as f64) * 1e3).ceil().max(10.0) as u64;

@@ -60,6 +60,14 @@ pub struct ResponseMeta {
     pub queue_us: u64,
     /// Microseconds spent marching this request's grid.
     pub render_us: u64,
+    /// The response was served from an **evicted-but-retained stale tile**
+    /// because the fresh path was unavailable (admission overload or a
+    /// quarantined build) and the service runs in
+    /// `stale_while_revalidate` mode. The field data is a correct render
+    /// of an older cache generation — bit-identical to what that tile
+    /// served while resident — but callers with freshness requirements
+    /// should treat it as best-effort.
+    pub degraded: bool,
 }
 
 /// A rendered surface-density field.
@@ -70,4 +78,28 @@ pub struct RenderResponse {
     /// Row-major `ny × nx` surface-density values.
     pub data: Vec<f64>,
     pub meta: ResponseMeta,
+}
+
+/// Readiness/liveness snapshot answered by the wire `Health` request —
+/// what a load balancer or orchestrator probe needs to decide whether to
+/// route traffic here, without paying for a full `Stats` JSON document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthStatus {
+    /// Ready for traffic (not draining).
+    pub ok: bool,
+    /// The service has begun its graceful drain; new work is refused.
+    pub draining: bool,
+    /// Resident (fresh) tiles in the cache.
+    pub resident_tiles: u64,
+    /// Bytes held by resident tiles.
+    pub resident_bytes: u64,
+    /// Evicted-but-retained stale tiles available for degraded serving.
+    pub stale_tiles: u64,
+    /// Tile keys currently quarantined by the negative cache.
+    pub quarantined_tiles: u64,
+    /// Admitted-but-unserved requests.
+    pub queue_depth: u64,
+    /// Priced backlog in milliseconds (the admission controller's view of
+    /// queueing delay).
+    pub backlog_ms: u64,
 }

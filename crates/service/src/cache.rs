@@ -1,4 +1,5 @@
-//! Byte-budgeted tile LRU with single-flight builds.
+//! Byte-budgeted tile LRU with single-flight builds, panic isolation,
+//! failure quarantine, and stale retention.
 //!
 //! Invariants (the root `cache_concurrency` test hammers these):
 //!
@@ -14,12 +15,29 @@
 //! 3. **LRU** — when over budget, the least-recently-*used* entry is
 //!    evicted first; the entry just inserted is evicted only as a last
 //!    resort (it is, by definition, the most recently used).
+//! 4. **Panic isolation** — a build closure that panics behaves exactly
+//!    like one that returned an error: the slot is cleaned up, every
+//!    parked waiter is woken, and the panic is converted to a typed
+//!    [`ServiceError::Internal`]. Without this, one panicking estimator
+//!    would leave a permanent `Building` slot and deadlock every future
+//!    request for that key.
+//! 5. **Quarantine** — a per-key negative cache tracks consecutive build
+//!    failures. Past [`QuarantinePolicy::after`] failures the key is
+//!    quarantined with an exponentially growing retry-after window, so a
+//!    sick tile (corrupt snapshot region, panicking estimator) is not
+//!    rebuilt — and does not burn a worker — on every request.
+//! 6. **Stale retention** — with a non-zero stale budget, evicted entries
+//!    are retained in a side map (their own LRU) so the server's
+//!    `stale_while_revalidate` mode can serve a flagged, older render
+//!    when the fresh path is overloaded or quarantined.
 
 use crate::error::ServiceError;
 use crate::tiles::{SharedTile, TileData, TileKey};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 enum Slot {
     /// A build is in flight on some thread; waiters park on the condvar.
@@ -30,11 +48,64 @@ enum Slot {
     },
 }
 
+/// An evicted-but-retained entry, eligible for degraded serving.
+struct StaleEntry {
+    data: SharedTile,
+    last_used: u64,
+}
+
+/// Consecutive-failure record in the negative cache.
+struct NegEntry {
+    fails: u32,
+    /// Builds before this instant are refused with `Quarantined`. `None`
+    /// until the failure count crosses the policy threshold.
+    retry_at: Option<Instant>,
+}
+
+/// When and for how long a repeatedly failing tile key is quarantined.
+#[derive(Clone, Copy, Debug)]
+pub struct QuarantinePolicy {
+    /// Consecutive failures before the first quarantine window. Failures
+    /// below the threshold retry immediately — one transient failure
+    /// shouldn't cost a backoff window.
+    pub after: u32,
+    /// First quarantine window; doubles per subsequent failure.
+    pub base: Duration,
+    /// Window cap.
+    pub max: Duration,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> QuarantinePolicy {
+        QuarantinePolicy {
+            after: 2,
+            base: Duration::from_millis(100),
+            max: Duration::from_secs(30),
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Quarantine window after `fails` consecutive failures:
+    /// `base · 2^(fails − after)`, capped at `max`.
+    fn window(&self, fails: u32) -> Duration {
+        let doublings = fails.saturating_sub(self.after).min(32);
+        self.base
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max)
+    }
+}
+
 struct State {
     map: HashMap<TileKey, Slot>,
     /// Bytes held by `Ready` entries. `Building` slots are unsized (their
     /// cost is charged on insertion).
     bytes: usize,
+    /// Evicted-but-retained entries, bounded by `stale_budget`.
+    stale: HashMap<TileKey, StaleEntry>,
+    stale_bytes: usize,
+    /// Negative cache: consecutive build failures per key.
+    neg: HashMap<TileKey, NegEntry>,
     /// Logical clock for LRU recency (monotonic per state mutation).
     tick: u64,
 }
@@ -49,24 +120,48 @@ pub struct CacheStats {
     pub evictions: AtomicU64,
     pub uncacheable: AtomicU64,
     pub build_failures: AtomicU64,
+    /// Builds that panicked (a subset of `build_failures`).
+    pub build_panics: AtomicU64,
+    /// Requests refused because their key was quarantined.
+    pub quarantine_rejects: AtomicU64,
+    /// Stale-map lookups that found a retained entry.
+    pub stale_hits: AtomicU64,
 }
 
 /// The tile cache. Cheap to share (`Arc` internally is not needed — the
 /// server holds it in an `Arc` itself).
 pub struct TileCache {
     budget: usize,
+    stale_budget: usize,
+    policy: QuarantinePolicy,
     state: Mutex<State>,
     cv: Condvar,
     pub stats: CacheStats,
 }
 
 impl TileCache {
+    /// A cache with no stale retention and the default quarantine policy.
     pub fn new(budget_bytes: usize) -> TileCache {
+        TileCache::with_policy(budget_bytes, 0, QuarantinePolicy::default())
+    }
+
+    /// A cache with an explicit stale-retention budget and quarantine
+    /// policy.
+    pub fn with_policy(
+        budget_bytes: usize,
+        stale_budget_bytes: usize,
+        policy: QuarantinePolicy,
+    ) -> TileCache {
         TileCache {
             budget: budget_bytes,
+            stale_budget: stale_budget_bytes,
+            policy,
             state: Mutex::new(State {
                 map: HashMap::new(),
                 bytes: 0,
+                stale: HashMap::new(),
+                stale_bytes: 0,
+                neg: HashMap::new(),
                 tick: 0,
             }),
             cv: Condvar::new(),
@@ -93,6 +188,21 @@ impl TileCache {
             .count()
     }
 
+    /// Number of retained stale entries.
+    pub fn stale_entries(&self) -> usize {
+        self.state.lock().unwrap().stale.len()
+    }
+
+    /// Number of keys currently inside a quarantine window.
+    pub fn quarantined_entries(&self) -> usize {
+        let now = Instant::now();
+        let st = self.state.lock().unwrap();
+        st.neg
+            .values()
+            .filter(|n| n.retry_at.is_some_and(|at| at > now))
+            .count()
+    }
+
     /// Is the key resident right now? (Racy by nature — used only for
     /// admission pricing, where a stale answer merely misprices slightly.)
     pub fn is_resident(&self, key: &TileKey) -> bool {
@@ -100,10 +210,32 @@ impl TileCache {
         matches!(st.map.get(key), Some(Slot::Ready { .. }))
     }
 
+    /// Look up an evicted-but-retained stale copy of `key`. Never builds;
+    /// never touches the fresh map. The caller is responsible for flagging
+    /// the response degraded.
+    pub fn get_stale(&self, key: &TileKey) -> Option<SharedTile> {
+        let mut st = self.state.lock().unwrap();
+        st.tick += 1;
+        let tick = st.tick;
+        let entry = st.stale.get_mut(key)?;
+        entry.last_used = tick;
+        self.stats.stale_hits.fetch_add(1, Ordering::Relaxed);
+        dtfe_telemetry::counter_add!("service.cache_stale_hits", 1);
+        Some(entry.data.clone())
+    }
+
     /// Fetch `key`, running `build` on this thread if it is absent.
     /// Returns the tile and whether it was a hit (resident before the
     /// call). Parked waiters that ride on another thread's build report a
     /// *miss* — their latency includes the build they waited out.
+    ///
+    /// A `build` that panics is isolated: the panic is caught, waiters are
+    /// woken, and the caller receives a typed
+    /// [`ServiceError::Internal`]. Repeated failures (panic or error
+    /// alike) quarantine the key per the cache's [`QuarantinePolicy`],
+    /// after which callers receive
+    /// [`ServiceError::Quarantined`](crate::ServiceError::Quarantined)
+    /// without running `build` at all.
     pub fn get_or_build<F>(
         &self,
         key: &TileKey,
@@ -145,17 +277,44 @@ impl TileCache {
                     // (another waiter took over first).
                 }
                 None => {
+                    // Quarantine gate: a key that keeps failing is refused
+                    // here, before any build is claimed.
+                    if let Some(neg) = st.neg.get(key) {
+                        if let Some(at) = neg.retry_at {
+                            let now = Instant::now();
+                            if at > now {
+                                self.stats
+                                    .quarantine_rejects
+                                    .fetch_add(1, Ordering::Relaxed);
+                                dtfe_telemetry::counter_add!("service.quarantine_rejects", 1);
+                                let ms = (at - now).as_millis().max(1) as u64;
+                                return Err(ServiceError::Quarantined { retry_after_ms: ms });
+                            }
+                        }
+                    }
                     st.map.insert(key.clone(), Slot::Building);
                     drop(st);
-                    let built = (build.take().expect(
+                    let build_fn = build.take().expect(
                         "build closure consumed twice — \
                         a vacant slot can only be claimed once per call",
-                    ))();
+                    );
+                    // The closure owns its captures and the cache lock is
+                    // released, so a panic cannot leave shared state
+                    // half-mutated: unwind safety holds by construction.
+                    let built = catch_unwind(AssertUnwindSafe(build_fn)).unwrap_or_else(|p| {
+                        self.stats.build_panics.fetch_add(1, Ordering::Relaxed);
+                        dtfe_telemetry::counter_add!("service.build_panics", 1);
+                        Err(ServiceError::Internal(format!(
+                            "tile build panicked: {}",
+                            panic_message(p.as_ref())
+                        )))
+                    });
                     st = self.state.lock().unwrap();
                     match built {
                         Err(e) => {
                             st.map.remove(key);
                             self.stats.build_failures.fetch_add(1, Ordering::Relaxed);
+                            self.record_failure(&mut st, key);
                             self.cv.notify_all();
                             return Err(e);
                         }
@@ -163,6 +322,11 @@ impl TileCache {
                             let data = Arc::new(data);
                             self.stats.misses.fetch_add(1, Ordering::Relaxed);
                             dtfe_telemetry::counter_add!("service.cache_misses", 1);
+                            st.neg.remove(key);
+                            // A fresh build supersedes any stale copy.
+                            if let Some(old) = st.stale.remove(key) {
+                                st.stale_bytes -= old.data.bytes;
+                            }
                             self.insert_and_evict(&mut st, key, data.clone());
                             dtfe_telemetry::gauge_set!("service.cache_bytes", st.bytes as i64);
                             self.cv.notify_all();
@@ -171,6 +335,21 @@ impl TileCache {
                     }
                 }
             }
+        }
+    }
+
+    /// Bump the key's consecutive-failure count and (past the policy
+    /// threshold) arm its quarantine window.
+    fn record_failure(&self, st: &mut State, key: &TileKey) {
+        let neg = st.neg.entry(key.clone()).or_insert(NegEntry {
+            fails: 0,
+            retry_at: None,
+        });
+        neg.fails = neg.fails.saturating_add(1);
+        if neg.fails >= self.policy.after {
+            let window = self.policy.window(neg.fails);
+            neg.retry_at = Some(Instant::now() + window);
+            dtfe_telemetry::counter_add!("service.quarantined_tiles", 1);
         }
     }
 
@@ -218,12 +397,47 @@ impl TileCache {
                 // defensive rather than spin.
                 break;
             };
-            if let Some(Slot::Ready { data, .. }) = st.map.remove(&victim) {
+            if let Some(Slot::Ready { data, last_used }) = st.map.remove(&victim) {
                 st.bytes -= data.bytes;
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                 dtfe_telemetry::counter_add!("service.cache_evictions", 1);
+                self.retain_stale(st, victim, data, last_used);
             }
         }
+    }
+
+    /// Move an evicted entry into the stale map, evicting stale-LRU
+    /// entries to hold the stale budget. With a zero budget this is a
+    /// no-op and the entry is dropped.
+    fn retain_stale(&self, st: &mut State, key: TileKey, data: SharedTile, last_used: u64) {
+        if data.bytes > self.stale_budget {
+            return;
+        }
+        st.stale_bytes += data.bytes;
+        st.stale.insert(key, StaleEntry { data, last_used });
+        while st.stale_bytes > self.stale_budget {
+            let victim = st
+                .stale
+                .iter()
+                .map(|(k, e)| (e.last_used, k.clone()))
+                .min_by_key(|(used, _)| *used)
+                .map(|(_, k)| k);
+            let Some(victim) = victim else { break };
+            if let Some(e) = st.stale.remove(&victim) {
+                st.stale_bytes -= e.data.bytes;
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string payload>"
     }
 }
 
@@ -280,10 +494,13 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(cache.stats.build_failures.load(Ordering::Relaxed), 1);
-        // Slot was cleaned up: the next call builds fresh and succeeds.
+        // One failure is below the default quarantine threshold: the next
+        // call builds fresh and succeeds.
         let (_, hit) = cache.get_or_build(&key(0), || entry(10)).unwrap();
         assert!(!hit);
         assert!(cache.is_resident(&key(0)));
+        // Success cleared the failure record.
+        assert_eq!(cache.quarantined_entries(), 0);
     }
 
     #[test]
@@ -295,5 +512,110 @@ mod tests {
         let hits = cache.stats.hits.load(Ordering::Relaxed);
         let misses = cache.stats.misses.load(Ordering::Relaxed);
         assert_eq!(hits + misses, 7);
+    }
+
+    #[test]
+    fn panicking_build_is_isolated_and_typed() {
+        let cache = TileCache::new(100);
+        let r = cache.get_or_build(&key(0), || -> Result<TileData, ServiceError> {
+            panic!("estimator exploded")
+        });
+        match r.err() {
+            Some(ServiceError::Internal(msg)) => assert!(msg.contains("estimator exploded")),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert_eq!(cache.stats.build_panics.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats.build_failures.load(Ordering::Relaxed), 1);
+        // The slot is clean: a later build succeeds.
+        let (_, hit) = cache.get_or_build(&key(0), || entry(10)).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_with_rising_backoff() {
+        let policy = QuarantinePolicy {
+            after: 2,
+            base: Duration::from_millis(40),
+            max: Duration::from_millis(200),
+        };
+        let cache = TileCache::with_policy(100, 0, policy);
+        let fail = || Err::<TileData, _>(ServiceError::Internal("sick".into()));
+
+        // Failure 1: below threshold, immediate retry allowed.
+        assert!(matches!(
+            cache.get_or_build(&key(0), fail),
+            Err(ServiceError::Internal(_))
+        ));
+        assert_eq!(cache.quarantined_entries(), 0);
+
+        // Failure 2: threshold reached — quarantined.
+        assert!(matches!(
+            cache.get_or_build(&key(0), fail),
+            Err(ServiceError::Internal(_))
+        ));
+        assert_eq!(cache.quarantined_entries(), 1);
+
+        // Inside the window the build must NOT run.
+        let ran = std::sync::atomic::AtomicU64::new(0);
+        let r = cache.get_or_build(&key(0), || {
+            ran.fetch_add(1, Ordering::Relaxed);
+            fail()
+        });
+        match r.err() {
+            Some(ServiceError::Quarantined { retry_after_ms }) => {
+                assert!((1..=40).contains(&retry_after_ms));
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert_eq!(cache.stats.quarantine_rejects.load(Ordering::Relaxed), 1);
+
+        // After the window the build runs again; another failure doubles it.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(matches!(
+            cache.get_or_build(&key(0), fail),
+            Err(ServiceError::Internal(_))
+        ));
+        match cache.get_or_build(&key(0), fail).err() {
+            Some(ServiceError::Quarantined { retry_after_ms }) => {
+                assert!(retry_after_ms > 40, "window doubled, got {retry_after_ms}");
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+
+        // Unrelated keys are unaffected.
+        assert!(cache.get_or_build(&key(1), || entry(10)).is_ok());
+
+        // A success after the window clears the record entirely.
+        std::thread::sleep(Duration::from_millis(90));
+        let (_, hit) = cache.get_or_build(&key(0), || entry(10)).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.quarantined_entries(), 0);
+    }
+
+    #[test]
+    fn evicted_entries_are_retained_stale_and_superseded_on_rebuild() {
+        let cache = TileCache::with_policy(200, 150, QuarantinePolicy::default());
+        cache.get_or_build(&key(0), || entry(100)).unwrap();
+        cache.get_or_build(&key(1), || entry(100)).unwrap();
+        assert!(cache.get_stale(&key(0)).is_none(), "still resident");
+        // Insert key 2: key 0 is the LRU victim and lands in the stale map.
+        cache.get_or_build(&key(2), || entry(100)).unwrap();
+        assert!(!cache.is_resident(&key(0)));
+        let stale = cache.get_stale(&key(0)).expect("retained after eviction");
+        assert_eq!(stale.bytes, 100);
+        assert_eq!(cache.stale_entries(), 1);
+        assert_eq!(cache.stats.stale_hits.load(Ordering::Relaxed), 1);
+        // Rebuilding key 0 evicts key 1; the fresh copy supersedes any
+        // stale copy of key 0.
+        cache.get_or_build(&key(0), || entry(100)).unwrap();
+        assert!(cache.get_stale(&key(0)).is_none(), "superseded by rebuild");
+        assert!(cache.get_stale(&key(1)).is_some(), "newly evicted entry");
+        // The stale map honors its own budget: entries above it are
+        // dropped, not retained.
+        let zero = TileCache::with_policy(200, 0, QuarantinePolicy::default());
+        zero.get_or_build(&key(0), || entry(150)).unwrap();
+        zero.get_or_build(&key(1), || entry(150)).unwrap();
+        assert_eq!(zero.stale_entries(), 0);
     }
 }

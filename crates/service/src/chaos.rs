@@ -1,0 +1,836 @@
+//! Seeded, deterministic socket-level fault injection.
+//!
+//! Two interposers over the same rule vocabulary:
+//!
+//! - [`FaultyStream`] wraps any `Read + Write` transport and injects
+//!   faults on the *write* path at frame granularity (a frame is
+//!   everything buffered between flushes — exactly what
+//!   [`wire::write_frame`](crate::wire::write_frame) produces). Cheap,
+//!   in-process, no threads; unit tests wrap a client's stream in it.
+//! - [`ChaosProxy`] is an in-process TCP proxy that sits between a real
+//!   client and a real server, parses the wire framing, and decides each
+//!   forwarded frame's fate. `loadgen --chaos <seed>` and the chaos
+//!   conformance suite drive traffic through it.
+//!
+//! Decisions reuse the deterministic draw primitive from
+//! [`dtfe_simcluster::faults`]: each frame's fate depends only on
+//! `(seed, connection, direction, frame sequence)`, never on wall-clock
+//! or thread interleaving, so a chaos run is replayable from its seed.
+//! Rules follow the simcluster convention: the **first** matching rule
+//! decides, probabilities within a rule are evaluated against a single
+//! draw in a fixed order (drop → delay → truncate → split → stall →
+//! reset → bit-flip), so their sum must stay ≤ 1.
+//!
+//! ## Fault kinds
+//!
+//! | kind      | wire effect                                            |
+//! |-----------|--------------------------------------------------------|
+//! | drop      | frame swallowed, connection closed (a TCP stream that  |
+//! |           | loses bytes is a broken stream, not a lossy one)       |
+//! | delay     | frame delivered intact after a fixed latency           |
+//! | truncate  | frame's first half delivered, then connection closed   |
+//! | split     | frame delivered intact in two writes with a pause —    |
+//! |           | exercises partial-read handling, must stay correct     |
+//! | stall     | nothing delivered for the stall duration, then the     |
+//! |           | connection closes (slow-loris from the peer's view)    |
+//! | reset     | connection closed abruptly, frame never delivered      |
+//! | bit-flip  | one payload bit flipped, original checksum kept — the  |
+//! |           | receiver MUST reject it (`ChecksumMismatch`), never    |
+//! |           | accept a silently corrupt field                        |
+
+use crate::wire::FRAME_HEADER;
+use dtfe_simcluster::faults::{checked_p, unit_draw};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which way a frame is travelling through the proxy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server (requests).
+    ToServer,
+    /// Server → client (responses).
+    ToClient,
+}
+
+impl Direction {
+    fn as_u64(self) -> u64 {
+        match self {
+            Direction::ToServer => 0,
+            Direction::ToClient => 1,
+        }
+    }
+}
+
+/// What the injector decided for one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketAction {
+    Deliver,
+    Drop,
+    Delay(Duration),
+    Truncate,
+    Split,
+    Stall(Duration),
+    Reset,
+    BitFlip,
+}
+
+/// One injection rule: an optional `(connection, direction)` scope plus
+/// per-frame fault probabilities. Built fluently like
+/// [`dtfe_simcluster::faults::FaultRule`].
+#[derive(Clone, Debug)]
+pub struct SocketFaultRule {
+    conn: Option<u64>,
+    direction: Option<Direction>,
+    drop_p: f64,
+    delay_p: f64,
+    delay_for: Duration,
+    truncate_p: f64,
+    split_p: f64,
+    stall_p: f64,
+    stall_for: Duration,
+    reset_p: f64,
+    bitflip_p: f64,
+}
+
+impl SocketFaultRule {
+    /// A rule matching every frame on every connection, with no faults.
+    pub fn all() -> SocketFaultRule {
+        SocketFaultRule {
+            conn: None,
+            direction: None,
+            drop_p: 0.0,
+            delay_p: 0.0,
+            delay_for: Duration::from_millis(5),
+            truncate_p: 0.0,
+            split_p: 0.0,
+            stall_p: 0.0,
+            stall_for: Duration::from_millis(50),
+            reset_p: 0.0,
+            bitflip_p: 0.0,
+        }
+    }
+
+    /// Restrict the rule to one proxy connection (ids count from 0 in
+    /// accept order).
+    pub fn on_conn(mut self, conn: u64) -> SocketFaultRule {
+        self.conn = Some(conn);
+        self
+    }
+
+    /// Restrict the rule to one direction.
+    pub fn direction(mut self, d: Direction) -> SocketFaultRule {
+        self.direction = Some(d);
+        self
+    }
+
+    /// Swallow the frame and close the connection with probability `p`.
+    pub fn drop(mut self, p: f64) -> SocketFaultRule {
+        self.drop_p = checked_p(p);
+        self
+    }
+
+    /// Delay the frame by `by` with probability `p`.
+    pub fn delay(mut self, p: f64, by: Duration) -> SocketFaultRule {
+        self.delay_p = checked_p(p);
+        self.delay_for = by;
+        self
+    }
+
+    /// Deliver only the frame's first half, then close, with
+    /// probability `p`.
+    pub fn truncate(mut self, p: f64) -> SocketFaultRule {
+        self.truncate_p = checked_p(p);
+        self
+    }
+
+    /// Deliver the frame in two writes with a pause between, with
+    /// probability `p` (content stays intact).
+    pub fn split(mut self, p: f64) -> SocketFaultRule {
+        self.split_p = checked_p(p);
+        self
+    }
+
+    /// Deliver nothing for `for_` then close, with probability `p`.
+    pub fn stall(mut self, p: f64, for_: Duration) -> SocketFaultRule {
+        self.stall_p = checked_p(p);
+        self.stall_for = for_;
+        self
+    }
+
+    /// Close the connection abruptly with probability `p`.
+    pub fn reset(mut self, p: f64) -> SocketFaultRule {
+        self.reset_p = checked_p(p);
+        self
+    }
+
+    /// Flip one payload bit (keeping the original checksum) with
+    /// probability `p`.
+    pub fn bitflip(mut self, p: f64) -> SocketFaultRule {
+        self.bitflip_p = checked_p(p);
+        self
+    }
+
+    fn matches(&self, conn: u64, dir: Direction) -> bool {
+        self.conn.is_none_or(|c| c == conn) && self.direction.is_none_or(|d| d == dir)
+    }
+
+    fn is_inert(&self) -> bool {
+        self.drop_p == 0.0
+            && self.delay_p == 0.0
+            && self.truncate_p == 0.0
+            && self.split_p == 0.0
+            && self.stall_p == 0.0
+            && self.reset_p == 0.0
+            && self.bitflip_p == 0.0
+    }
+}
+
+/// A seeded, reproducible socket fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct SocketFaultPlan {
+    seed: u64,
+    rules: Vec<SocketFaultRule>,
+}
+
+impl SocketFaultPlan {
+    /// The empty plan: every frame is delivered intact.
+    pub fn none() -> SocketFaultPlan {
+        SocketFaultPlan::default()
+    }
+
+    /// An empty plan with a seed; add [`rule`](SocketFaultPlan::rule)s.
+    pub fn seeded(seed: u64) -> SocketFaultPlan {
+        SocketFaultPlan {
+            seed,
+            ..SocketFaultPlan::default()
+        }
+    }
+
+    /// Add an injection rule. The **first** matching rule decides each
+    /// frame's fate.
+    pub fn rule(mut self, rule: SocketFaultRule) -> SocketFaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.rules.iter().all(SocketFaultRule::is_inert)
+    }
+
+    /// Decide the fate of frame number `seq` on `(conn, dir)`. Pure:
+    /// identical inputs give identical decisions on every platform.
+    pub fn decide(&self, conn: u64, dir: Direction, seq: u64) -> SocketAction {
+        let Some(rule) = self.rules.iter().find(|r| r.matches(conn, dir)) else {
+            return SocketAction::Deliver;
+        };
+        let u = unit_draw(self.seed, conn, dir.as_u64(), 0, seq);
+        let mut acc = rule.drop_p;
+        if u < acc {
+            return SocketAction::Drop;
+        }
+        acc += rule.delay_p;
+        if u < acc {
+            return SocketAction::Delay(rule.delay_for);
+        }
+        acc += rule.truncate_p;
+        if u < acc {
+            return SocketAction::Truncate;
+        }
+        acc += rule.split_p;
+        if u < acc {
+            return SocketAction::Split;
+        }
+        acc += rule.stall_p;
+        if u < acc {
+            return SocketAction::Stall(rule.stall_for);
+        }
+        acc += rule.reset_p;
+        if u < acc {
+            return SocketAction::Reset;
+        }
+        acc += rule.bitflip_p;
+        if u < acc {
+            return SocketAction::BitFlip;
+        }
+        SocketAction::Deliver
+    }
+}
+
+/// Counters of injected events, shared by [`ChaosProxy`] and
+/// [`FaultyStream`].
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    pub forwarded: AtomicU64,
+    pub dropped: AtomicU64,
+    pub delayed: AtomicU64,
+    pub truncated: AtomicU64,
+    pub split: AtomicU64,
+    pub stalled: AtomicU64,
+    pub reset: AtomicU64,
+    pub bitflipped: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Total injected fault events (delivered-intact frames excluded;
+    /// split and delay count — they are injected behavior even though the
+    /// bytes arrive correct).
+    pub fn total_injected(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+            + self.delayed.load(Ordering::Relaxed)
+            + self.truncated.load(Ordering::Relaxed)
+            + self.split.load(Ordering::Relaxed)
+            + self.stalled.load(Ordering::Relaxed)
+            + self.reset.load(Ordering::Relaxed)
+            + self.bitflipped.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, action: SocketAction) {
+        match action {
+            SocketAction::Deliver => {
+                self.forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+            SocketAction::Drop => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.chaos_drops", 1);
+            }
+            SocketAction::Delay(_) => {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.chaos_delays", 1);
+            }
+            SocketAction::Truncate => {
+                self.truncated.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.chaos_truncates", 1);
+            }
+            SocketAction::Split => {
+                self.split.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.chaos_splits", 1);
+            }
+            SocketAction::Stall(_) => {
+                self.stalled.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.chaos_stalls", 1);
+            }
+            SocketAction::Reset => {
+                self.reset.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.chaos_resets", 1);
+            }
+            SocketAction::BitFlip => {
+                self.bitflipped.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("service.chaos_bitflips", 1);
+            }
+        }
+    }
+}
+
+/// Flip one deterministically chosen payload bit (seeded by the frame
+/// identity), leaving the 8-byte header — and thus the now-wrong
+/// checksum — intact.
+fn flip_payload_bit(frame: &mut [u8], seed: u64, conn: u64, dir: Direction, seq: u64) {
+    if frame.len() <= FRAME_HEADER {
+        return; // empty payload: nothing to corrupt
+    }
+    let span = frame.len() - FRAME_HEADER;
+    let draw = unit_draw(seed, conn, dir.as_u64(), 1, seq);
+    let bit_index = (draw * (span * 8) as f64) as usize;
+    let at = FRAME_HEADER + (bit_index / 8).min(span - 1);
+    frame[at] ^= 1 << (bit_index % 8);
+}
+
+// ------------------------------------------------------------ FaultyStream
+
+/// A `Read + Write` wrapper that injects the plan's faults on the write
+/// path, treating everything buffered between flushes as one frame
+/// (matching [`wire::write_frame`](crate::wire::write_frame)'s
+/// write-write-write-flush shape).
+///
+/// Fault semantics over a wrapped stream: `Drop` discards the frame
+/// silently (a byte blackhole — pair with a read timeout on the other
+/// side), `Truncate` forwards the first half then errors, `Stall` sleeps
+/// then errors, `Reset` errors immediately, `Delay`/`Split`/`BitFlip`
+/// behave like the proxy. Reads pass through untouched.
+pub struct FaultyStream<S: Read + Write> {
+    inner: S,
+    plan: Arc<SocketFaultPlan>,
+    conn: u64,
+    direction: Direction,
+    seq: u64,
+    buf: Vec<u8>,
+    pub stats: Arc<ChaosStats>,
+}
+
+impl<S: Read + Write> FaultyStream<S> {
+    /// Wrap `inner`, attributing frames to connection `conn` in
+    /// `direction` under `plan`.
+    pub fn new(inner: S, plan: Arc<SocketFaultPlan>, conn: u64, direction: Direction) -> Self {
+        FaultyStream {
+            inner,
+            plan,
+            conn,
+            direction,
+            seq: 0,
+            buf: Vec::new(),
+            stats: Arc::new(ChaosStats::default()),
+        }
+    }
+
+    /// The wrapped stream (for shutdown calls and the like).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap, discarding any unflushed buffered frame.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Read + Write> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Read + Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let mut frame = std::mem::take(&mut self.buf);
+        if frame.is_empty() {
+            return self.inner.flush();
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let action = self.plan.decide(self.conn, self.direction, seq);
+        self.stats.record(action);
+        match action {
+            SocketAction::Deliver => {
+                self.inner.write_all(&frame)?;
+                self.inner.flush()
+            }
+            SocketAction::Drop => Ok(()), // swallowed: blackhole
+            SocketAction::Delay(by) => {
+                std::thread::sleep(by);
+                self.inner.write_all(&frame)?;
+                self.inner.flush()
+            }
+            SocketAction::Truncate => {
+                self.inner.write_all(&frame[..frame.len() / 2])?;
+                let _ = self.inner.flush();
+                Err(std::io::Error::new(
+                    ErrorKind::ConnectionAborted,
+                    "chaos: frame truncated",
+                ))
+            }
+            SocketAction::Split => {
+                let mid = frame.len() / 2;
+                self.inner.write_all(&frame[..mid])?;
+                self.inner.flush()?;
+                std::thread::sleep(Duration::from_millis(1));
+                self.inner.write_all(&frame[mid..])?;
+                self.inner.flush()
+            }
+            SocketAction::Stall(for_) => {
+                std::thread::sleep(for_);
+                Err(std::io::Error::new(
+                    ErrorKind::ConnectionAborted,
+                    "chaos: stalled connection",
+                ))
+            }
+            SocketAction::Reset => Err(std::io::Error::new(
+                ErrorKind::ConnectionReset,
+                "chaos: connection reset",
+            )),
+            SocketAction::BitFlip => {
+                flip_payload_bit(&mut frame, self.plan.seed, self.conn, self.direction, seq);
+                self.inner.write_all(&frame)?;
+                self.inner.flush()
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- ChaosProxy
+
+/// An in-process, frame-aware TCP chaos proxy.
+///
+/// Listens on an ephemeral local port and forwards each accepted
+/// connection to the target server, applying the plan per frame and
+/// direction. Connections are numbered in accept order; frame sequence
+/// numbers count per connection-direction — the triple
+/// `(connection, direction, seq)` plus the seed fully determines every
+/// decision, so a chaos run replays exactly.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    pub stats: Arc<ChaosStats>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy in front of `target` with the given plan.
+    pub fn start(plan: SocketFaultPlan, target: impl ToSocketAddrs) -> std::io::Result<ChaosProxy> {
+        let target = target
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no target addr"))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ChaosStats::default());
+        let plan = Arc::new(plan);
+        let accept_stop = stop.clone();
+        let accept_stats = stats.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("chaos-proxy-accept".into())
+            .spawn(move || {
+                let mut conn_id = 0u64;
+                let mut relays: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !accept_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            match TcpStream::connect(target) {
+                                Ok(server) => {
+                                    relays.extend(spawn_relays(
+                                        client,
+                                        server,
+                                        conn_id,
+                                        plan.clone(),
+                                        accept_stats.clone(),
+                                        accept_stop.clone(),
+                                    ));
+                                }
+                                Err(_) => {
+                                    let _ = client.shutdown(Shutdown::Both);
+                                }
+                            }
+                            conn_id += 1;
+                            relays.retain(|h| !h.is_finished());
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+                for h in relays {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn chaos proxy accept thread");
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            stats,
+        })
+    }
+
+    /// The proxy's listening address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and tear down relay threads. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawn the two relay threads for one proxied connection.
+fn spawn_relays(
+    client: TcpStream,
+    server: TcpStream,
+    conn_id: u64,
+    plan: Arc<SocketFaultPlan>,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // Short poll so relays notice `stop` and peer teardown promptly.
+    let _ = client.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = server.set_read_timeout(Some(Duration::from_millis(50)));
+    let (c2, s2) = match (client.try_clone(), server.try_clone()) {
+        (Ok(c), Ok(s)) => (c, s),
+        _ => {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return Vec::new();
+        }
+    };
+    let up = {
+        let plan = plan.clone();
+        let stats = stats.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            relay(
+                client,
+                server,
+                conn_id,
+                Direction::ToServer,
+                plan,
+                stats,
+                stop,
+            );
+        })
+    };
+    let down = std::thread::spawn(move || {
+        relay(s2, c2, conn_id, Direction::ToClient, plan, stats, stop);
+    });
+    vec![up, down]
+}
+
+/// Forward frames from `src` to `dst`, applying the plan. Terminal
+/// actions (drop/truncate/stall/reset) shut down both sockets so the
+/// paired relay exits too.
+fn relay(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    conn_id: u64,
+    dir: Direction,
+    plan: Arc<SocketFaultPlan>,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut seq = 0u64;
+    let close_both = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    loop {
+        let frame = match read_raw_frame(&mut src, &stop) {
+            Ok(Some(f)) => f,
+            // Clean close, stop signal, or broken framing: mirror the
+            // close to the other side and exit.
+            Ok(None) | Err(_) => {
+                close_both(&src, &dst);
+                return;
+            }
+        };
+        let action = plan.decide(conn_id, dir, seq);
+        stats.record(action);
+        seq += 1;
+        let forward = |dst: &mut TcpStream, bytes: &[u8]| -> std::io::Result<()> {
+            dst.write_all(bytes)?;
+            dst.flush()
+        };
+        let ok = match action {
+            SocketAction::Deliver => forward(&mut dst, &frame).is_ok(),
+            SocketAction::Drop => {
+                close_both(&src, &dst);
+                return;
+            }
+            SocketAction::Delay(by) => {
+                std::thread::sleep(by);
+                forward(&mut dst, &frame).is_ok()
+            }
+            SocketAction::Truncate => {
+                let _ = forward(&mut dst, &frame[..frame.len() / 2]);
+                close_both(&src, &dst);
+                return;
+            }
+            SocketAction::Split => {
+                let mid = frame.len() / 2;
+                let first = forward(&mut dst, &frame[..mid]);
+                std::thread::sleep(Duration::from_millis(1));
+                first.is_ok() && forward(&mut dst, &frame[mid..]).is_ok()
+            }
+            SocketAction::Stall(for_) => {
+                std::thread::sleep(for_);
+                close_both(&src, &dst);
+                return;
+            }
+            SocketAction::Reset => {
+                close_both(&src, &dst);
+                return;
+            }
+            SocketAction::BitFlip => {
+                let mut corrupt = frame.clone();
+                flip_payload_bit(&mut corrupt, plan.seed, conn_id, dir, seq - 1);
+                forward(&mut dst, &corrupt).is_ok()
+            }
+        };
+        if !ok {
+            close_both(&src, &dst);
+            return;
+        }
+    }
+}
+
+/// Read one raw frame (header + payload) without validating its
+/// checksum — the proxy forwards bytes, it doesn't interpret them.
+/// Returns `Ok(None)` on clean EOF before a frame starts or when the
+/// stop flag is raised between frames.
+fn read_raw_frame(src: &mut TcpStream, stop: &AtomicBool) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER];
+    let mut got = 0usize;
+    while got < FRAME_HEADER {
+        match src.read(&mut header[got..]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::SeqCst) && got == 0 {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    if len > crate::wire::MAX_FRAME {
+        // Not our protocol: refuse to buffer it.
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            "oversized frame through proxy",
+        ));
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER + len);
+    frame.extend_from_slice(&header);
+    frame.resize(FRAME_HEADER + len, 0);
+    let mut got = FRAME_HEADER;
+    while got < frame.len() {
+        match src.read(&mut frame[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Mid-frame: keep waiting (the stop flag still breaks the
+                // outer accept loop; a half-read frame just dies with the
+                // socket when both ends shut down).
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_exhaustive() {
+        let plan = SocketFaultPlan::seeded(7).rule(
+            SocketFaultRule::all()
+                .drop(0.1)
+                .delay(0.1, Duration::from_millis(1))
+                .truncate(0.1)
+                .split(0.1)
+                .stall(0.1, Duration::from_millis(1))
+                .reset(0.1)
+                .bitflip(0.1),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for conn in 0..4u64 {
+            for seq in 0..200u64 {
+                let a = plan.decide(conn, Direction::ToServer, seq);
+                let b = plan.decide(conn, Direction::ToServer, seq);
+                assert_eq!(a, b, "decision must be pure");
+                seen.insert(std::mem::discriminant(&a));
+            }
+        }
+        // With 800 draws at 10% per kind, every kind (plus Deliver)
+        // appears — this is deterministic, not flaky: same seed, same
+        // draws, every run.
+        assert_eq!(seen.len(), 8, "all eight outcomes exercised");
+    }
+
+    #[test]
+    fn first_matching_rule_wins_and_scoping_works() {
+        let plan = SocketFaultPlan::seeded(3)
+            .rule(SocketFaultRule::all().on_conn(1).reset(1.0))
+            .rule(
+                SocketFaultRule::all()
+                    .direction(Direction::ToClient)
+                    .drop(1.0),
+            );
+        assert_eq!(plan.decide(1, Direction::ToServer, 0), SocketAction::Reset);
+        assert_eq!(plan.decide(0, Direction::ToClient, 0), SocketAction::Drop);
+        assert_eq!(
+            plan.decide(0, Direction::ToServer, 0),
+            SocketAction::Deliver
+        );
+        assert!(SocketFaultPlan::none().is_noop());
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_payload_bit() {
+        let payload = vec![0xAAu8; 64];
+        let mut frame = Vec::new();
+        crate::wire::write_frame(&mut frame, &payload).unwrap();
+        let mut flipped = frame.clone();
+        flip_payload_bit(&mut flipped, 9, 0, Direction::ToClient, 5);
+        assert_eq!(
+            &flipped[..FRAME_HEADER],
+            &frame[..FRAME_HEADER],
+            "header intact"
+        );
+        let diff_bits: u32 = frame
+            .iter()
+            .zip(&flipped)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn faulty_stream_bitflip_is_rejected_by_the_reader() {
+        let plan = Arc::new(SocketFaultPlan::seeded(1).rule(SocketFaultRule::all().bitflip(1.0)));
+        let mut s = FaultyStream::new(
+            std::io::Cursor::new(Vec::new()),
+            plan,
+            0,
+            Direction::ToServer,
+        );
+        crate::wire::write_frame(&mut s, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(s.stats.bitflipped.load(Ordering::Relaxed), 1);
+        let mut cursor = std::io::Cursor::new(s.into_inner().into_inner());
+        assert!(matches!(
+            crate::wire::read_frame(&mut cursor),
+            Err(crate::wire::WireError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn faulty_stream_split_and_deliver_stay_intact() {
+        let plan = Arc::new(SocketFaultPlan::seeded(2).rule(SocketFaultRule::all().split(1.0)));
+        let mut s = FaultyStream::new(
+            std::io::Cursor::new(Vec::new()),
+            plan,
+            0,
+            Direction::ToServer,
+        );
+        crate::wire::write_frame(&mut s, b"split me carefully").unwrap();
+        let mut cursor = std::io::Cursor::new(s.into_inner().into_inner());
+        assert_eq!(
+            crate::wire::read_frame(&mut cursor).unwrap(),
+            b"split me carefully"
+        );
+    }
+}

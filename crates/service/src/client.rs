@@ -1,0 +1,401 @@
+//! The resilient wire client: timeouts, retries, backoff, and hedging.
+//!
+//! [`Client`](crate::Client) trusts the network; this one doesn't. Every
+//! attempt runs with connect/read/write timeouts; failures are classified
+//! and handled per class:
+//!
+//! - **Back-pressure** (`Overloaded`, `Quarantined`): wait out the
+//!   server's `retry_after_ms` hint (jittered, so a shed burst of clients
+//!   doesn't return as a synchronized thundering herd), then retry.
+//! - **Transport** (reset, timeout, EOF, checksum/framing corruption):
+//!   drop the connection, reconnect, and re-send. Render requests are
+//!   idempotent — the tile cache makes a repeated render of the same
+//!   request cheap and bit-identical — so blind re-send is safe.
+//! - **Typed service errors** (bad request, unknown snapshot, …):
+//!   returned immediately; retrying a malformed request is pointless.
+//!
+//! Retries are bounded by [`ClientConfig::max_retries`] with exponential,
+//! seeded-jittered backoff between transport failures. Optionally, a
+//! **bounded hedged attempt** ([`ClientConfig::hedge_after`]) races a
+//! second connection once the first attempt is slower than the threshold
+//! — at most one hedge per logical request, so worst-case load
+//! amplification is 2×.
+//!
+//! Telemetry: `client.retries`, `client.hedges`, `client.reconnects`,
+//! `client.giveups`.
+
+use crate::api::{HealthStatus, RenderRequest, RenderResponse};
+use crate::error::ServiceError;
+use crate::wire::{read_frame, write_frame, Request, Response, WireError};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Retry/timeout policy for [`ResilientClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Socket read timeout per attempt (an unanswered request is a
+    /// transport failure, not a hang).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout per attempt.
+    pub write_timeout: Option<Duration>,
+    /// Retries after the initial attempt (so `max_retries = 4` allows 5
+    /// attempts total).
+    pub max_retries: u32,
+    /// First retry backoff; doubles per transport failure.
+    pub backoff_base: Duration,
+    /// Backoff cap (also caps how long an `Overloaded` hint is honored).
+    pub backoff_max: Duration,
+    /// Race a second, fresh-connection attempt once the current one has
+    /// been in flight this long. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Seed for backoff jitter — fixed seed, replayable schedule.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_retries: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            hedge_after: None,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Always-on counters (telemetry mirrors them when a recorder is
+/// installed).
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Re-sent attempts after a transport failure or back-pressure wait.
+    pub retries: AtomicU64,
+    /// Hedged second attempts launched.
+    pub hedges: AtomicU64,
+    /// Fresh connections established (first connect included).
+    pub reconnects: AtomicU64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub giveups: AtomicU64,
+}
+
+/// How one attempt failed, and what to do about it.
+enum AttemptError {
+    /// Server said try later (`Overloaded` / `Quarantined`).
+    RetryAfter(Duration, ServiceError),
+    /// The connection is unusable; reconnect and re-send.
+    Transport(String),
+    /// A typed failure retrying cannot fix.
+    Fatal(ServiceError),
+}
+
+/// A blocking wire client that survives a hostile network. Not `Sync` —
+/// one instance per thread, like [`Client`](crate::Client).
+pub struct ResilientClient {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
+    rng: u64,
+    pub stats: Arc<ClientStats>,
+}
+
+impl ResilientClient {
+    /// Create a client for `addr`. No connection is made until the first
+    /// call (so constructing against a not-yet-started server is fine).
+    pub fn new(addr: impl ToSocketAddrs, cfg: ClientConfig) -> std::io::Result<ResilientClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addr"))?;
+        Ok(ResilientClient {
+            addr,
+            cfg,
+            conn: None,
+            rng: cfg.seed.max(1),
+            stats: Arc::new(ClientStats::default()),
+        })
+    }
+
+    /// Render with the full retry/hedge discipline.
+    pub fn render(&mut self, req: &RenderRequest) -> Result<RenderResponse, ServiceError> {
+        match self.call(&Request::Render(req.clone()))? {
+            Response::Field(resp) => Ok(resp),
+            Response::Error(e) => Err(e),
+            other => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Readiness probe with the retry discipline.
+    pub fn health(&mut self) -> Result<HealthStatus, ServiceError> {
+        match self.call(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            Response::Error(e) => Err(e),
+            other => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics JSON with the retry discipline.
+    pub fn stats_json(&mut self) -> Result<String, ServiceError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            Response::Error(e) => Err(e),
+            other => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain and exit. Not retried past transport
+    /// failures that may mean "the server already shut down".
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        match self.attempt(&Request::Shutdown) {
+            Ok(Response::ShutdownAck) => Ok(()),
+            Ok(other) => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+            Err(AttemptError::Fatal(e)) | Err(AttemptError::RetryAfter(_, e)) => Err(e),
+            Err(AttemptError::Transport(msg)) => Err(ServiceError::Internal(format!(
+                "transport during shutdown: {msg}"
+            ))),
+        }
+    }
+
+    /// One request through the full discipline: bounded retries with
+    /// jittered backoff, back-pressure waits, and (if configured) one
+    /// hedged attempt per call.
+    fn call(&mut self, req: &Request) -> Result<Response, ServiceError> {
+        let mut last: Option<ServiceError> = None;
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                dtfe_telemetry::counter_add!("client.retries", 1);
+            }
+            let outcome = if self.cfg.hedge_after.is_some() {
+                self.attempt_hedged(req)
+            } else {
+                self.attempt(req)
+            };
+            match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::RetryAfter(hint, e)) => {
+                    let wait = self.jitter(hint.min(self.cfg.backoff_max));
+                    std::thread::sleep(wait);
+                    last = Some(e);
+                }
+                Err(AttemptError::Transport(msg)) => {
+                    self.conn = None;
+                    let backoff = self
+                        .cfg
+                        .backoff_base
+                        .saturating_mul(1u32 << attempt.min(16))
+                        .min(self.cfg.backoff_max);
+                    std::thread::sleep(self.jitter(backoff));
+                    last = Some(ServiceError::Internal(format!("transport: {msg}")));
+                }
+            }
+        }
+        self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+        dtfe_telemetry::counter_add!("client.giveups", 1);
+        Err(last.unwrap_or_else(|| ServiceError::Internal("retries exhausted".into())))
+    }
+
+    /// One attempt on the cached connection (reconnecting if absent).
+    fn attempt(&mut self, req: &Request) -> Result<Response, AttemptError> {
+        if self.conn.is_none() {
+            self.conn = Some(self.connect()?);
+        }
+        let (reader, writer) = self.conn.as_mut().unwrap();
+        let result = exchange(reader, writer, req);
+        if matches!(result, Err(AttemptError::Transport(_))) {
+            self.conn = None;
+        }
+        classify_response(result)
+    }
+
+    /// One attempt raced against a hedged second attempt. Both attempts
+    /// use fresh connections (a hedge against a sick *connection* must
+    /// not share it); whichever answers first wins, the loser's thread
+    /// dies with its socket when it finishes.
+    fn attempt_hedged(&mut self, req: &Request) -> Result<Response, AttemptError> {
+        let hedge_after = self.cfg.hedge_after.expect("caller checked");
+        let (tx, rx) = mpsc::channel();
+        let spawn_attempt = |tx: mpsc::Sender<Result<Response, AttemptError>>,
+                             addr: SocketAddr,
+                             cfg: ClientConfig,
+                             req: Request,
+                             stats: Arc<ClientStats>| {
+            std::thread::spawn(move || {
+                let result = connect_raw(addr, &cfg, &stats)
+                    .and_then(|(mut r, mut w)| classify_response(exchange(&mut r, &mut w, &req)));
+                let _ = tx.send(result);
+            })
+        };
+        let started = Instant::now();
+        let _primary = spawn_attempt(
+            tx.clone(),
+            self.addr,
+            self.cfg,
+            req.clone(),
+            self.stats.clone(),
+        );
+        let mut hedged = false;
+        loop {
+            let elapsed = started.elapsed();
+            let wait = if hedged {
+                // Both attempts in flight: block until one reports.
+                None
+            } else {
+                Some(hedge_after.saturating_sub(elapsed))
+            };
+            let received = match wait {
+                Some(w) => rx.recv_timeout(w),
+                None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+            };
+            match received {
+                Ok(result) => return result,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    hedged = true;
+                    self.stats.hedges.fetch_add(1, Ordering::Relaxed);
+                    dtfe_telemetry::counter_add!("client.hedges", 1);
+                    let _ = spawn_attempt(
+                        tx.clone(),
+                        self.addr,
+                        self.cfg,
+                        req.clone(),
+                        self.stats.clone(),
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(AttemptError::Transport("all attempts died".into()))
+                }
+            }
+        }
+    }
+
+    fn connect(&mut self) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), AttemptError> {
+        connect_raw(self.addr, &self.cfg, &self.stats)
+    }
+
+    /// Deterministic jitter in `[0.5, 1.5)` of the base wait — breaks up
+    /// synchronized retry herds without giving up replayability.
+    fn jitter(&mut self, base: Duration) -> Duration {
+        // xorshift64
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let f = 0.5 + (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        base.mul_f64(f)
+    }
+}
+
+fn connect_raw(
+    addr: SocketAddr,
+    cfg: &ClientConfig,
+    stats: &ClientStats,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), AttemptError> {
+    let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)
+        .map_err(|e| AttemptError::Transport(format!("connect: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(cfg.read_timeout);
+    let _ = stream.set_write_timeout(cfg.write_timeout);
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| AttemptError::Transport(format!("clone: {e}")))?,
+    );
+    stats.reconnects.fetch_add(1, Ordering::Relaxed);
+    dtfe_telemetry::counter_add!("client.reconnects", 1);
+    Ok((reader, BufWriter::new(stream)))
+}
+
+/// Write one request, read one response. Every wire-level failure —
+/// including a checksum-rejected corrupt frame — is a transport error:
+/// the bytes on this connection can no longer be trusted.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    req: &Request,
+) -> Result<Response, AttemptError> {
+    write_frame(writer, &req.encode())
+        .map_err(|e| AttemptError::Transport(format!("send: {e}")))?;
+    let payload = read_frame(reader).map_err(|e| match e {
+        WireError::ChecksumMismatch => {
+            AttemptError::Transport("corrupt frame (checksum)".to_string())
+        }
+        other => AttemptError::Transport(format!("recv: {other}")),
+    })?;
+    Response::decode(&payload).map_err(|e| AttemptError::Transport(format!("decode: {e}")))
+}
+
+/// Split a successful exchange into retry classes: back-pressure errors
+/// become `RetryAfter`, other service errors are fatal, everything else
+/// passes through.
+fn classify_response(result: Result<Response, AttemptError>) -> Result<Response, AttemptError> {
+    match result {
+        Ok(Response::Error(ServiceError::Overloaded { retry_after_ms })) => {
+            Err(AttemptError::RetryAfter(
+                Duration::from_millis(retry_after_ms.max(1)),
+                ServiceError::Overloaded { retry_after_ms },
+            ))
+        }
+        Ok(Response::Error(ServiceError::Quarantined { retry_after_ms })) => {
+            Err(AttemptError::RetryAfter(
+                Duration::from_millis(retry_after_ms.max(1)),
+                ServiceError::Quarantined { retry_after_ms },
+            ))
+        }
+        Ok(Response::Error(e)) => Err(AttemptError::Fatal(e)),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut a = ResilientClient::new("127.0.0.1:1", ClientConfig::default()).unwrap();
+        let mut b = ResilientClient::new("127.0.0.1:1", ClientConfig::default()).unwrap();
+        for _ in 0..100 {
+            let base = Duration::from_millis(100);
+            let ja = a.jitter(base);
+            assert_eq!(ja, b.jitter(base), "same seed, same schedule");
+            assert!(ja >= base / 2 && ja < base * 3 / 2, "jitter {ja:?}");
+        }
+    }
+
+    #[test]
+    fn connect_failure_is_a_bounded_typed_error() {
+        // Nothing listens on this port; every attempt fails fast and the
+        // client gives up with a typed error instead of hanging.
+        let cfg = ClientConfig {
+            connect_timeout: Duration::from_millis(100),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        let mut c = ResilientClient::new("127.0.0.1:1", cfg).unwrap();
+        let req = RenderRequest::new("s", dtfe_geometry::Vec3::ZERO);
+        match c.render(&req) {
+            Err(ServiceError::Internal(msg)) => assert!(msg.contains("transport")),
+            other => panic!("expected transport giveup, got {other:?}"),
+        }
+        assert_eq!(c.stats.retries.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats.giveups.load(Ordering::Relaxed), 1);
+    }
+}

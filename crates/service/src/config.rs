@@ -51,6 +51,37 @@ pub struct ServiceConfig {
     /// lifetime, so cache/queue/latency metrics appear in
     /// [`Service::metrics_json`](crate::Service::metrics_json).
     pub telemetry: bool,
+    /// Socket read timeout applied to every accepted connection (slow-loris
+    /// defense: a peer that connects and goes silent is disconnected, not
+    /// parked forever). `None` disables the timeout.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout applied to every accepted connection — a peer
+    /// that stops draining its receive buffer cannot pin a handler.
+    pub write_timeout: Option<Duration>,
+    /// Maximum simultaneously-served connections; connection `n+1` is
+    /// refused with a typed `Overloaded` error before its request is read.
+    pub max_connections: usize,
+    /// Pipelining depth per connection: at most this many requests may be
+    /// in flight (read but not yet answered) on one socket.
+    pub max_inflight_per_conn: usize,
+    /// Serve an evicted-but-retained *stale* tile (flagged
+    /// [`degraded`](crate::ResponseMeta::degraded)) when the fresh path is
+    /// unavailable — admission overload, or a quarantined tile build —
+    /// instead of a bare error. Off by default: freshness over
+    /// availability unless the operator opts in.
+    pub stale_while_revalidate: bool,
+    /// Byte budget for retained stale tiles (beyond the fresh-cache
+    /// budget). `0` retains nothing even when `stale_while_revalidate` is
+    /// on.
+    pub stale_budget_bytes: usize,
+    /// Consecutive build failures of one tile key before the negative
+    /// cache quarantines it (earlier failures retry immediately — a single
+    /// transient failure shouldn't cost a backoff window).
+    pub quarantine_after: u32,
+    /// Initial quarantine window; doubles per subsequent failure.
+    pub quarantine_base: Duration,
+    /// Quarantine window cap.
+    pub quarantine_max: Duration,
 }
 
 impl ServiceConfig {
@@ -81,6 +112,15 @@ impl ServiceConfig {
             model: default_model(),
             builder_threads: 1,
             telemetry: false,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 256,
+            max_inflight_per_conn: 32,
+            stale_while_revalidate: false,
+            stale_budget_bytes: 0,
+            quarantine_after: 2,
+            quarantine_base: Duration::from_millis(100),
+            quarantine_max: Duration::from_secs(30),
         }
     }
 
@@ -110,6 +150,24 @@ impl ServiceConfig {
         }
         if !(self.admission_budget_s.is_finite() && self.admission_budget_s >= 0.0) {
             return Err("admission_budget_s must be finite and non-negative".into());
+        }
+        if self.max_connections == 0 {
+            return Err("max_connections must be at least 1".into());
+        }
+        if self.max_inflight_per_conn == 0 {
+            return Err("max_inflight_per_conn must be at least 1".into());
+        }
+        if self.read_timeout.is_some_and(|t| t.is_zero()) {
+            return Err("read_timeout must be positive (use None to disable)".into());
+        }
+        if self.write_timeout.is_some_and(|t| t.is_zero()) {
+            return Err("write_timeout must be positive (use None to disable)".into());
+        }
+        if self.quarantine_after == 0 {
+            return Err("quarantine_after must be at least 1".into());
+        }
+        if self.quarantine_base.is_zero() || self.quarantine_max < self.quarantine_base {
+            return Err("quarantine windows must satisfy 0 < base <= max".into());
         }
         Ok(())
     }

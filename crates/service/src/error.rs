@@ -20,6 +20,11 @@ pub enum ServiceError {
     /// The snapshot file exists but failed integrity verification
     /// (checksum mismatch, truncation, bad magic).
     CorruptSnapshot(String),
+    /// The requested tile's build has failed repeatedly and is quarantined
+    /// by the negative cache: retrying before `retry_after_ms` would only
+    /// repeat the failure. Distinct from [`Overloaded`](Self::Overloaded) —
+    /// the server has capacity, this *tile* is sick.
+    Quarantined { retry_after_ms: u64 },
     /// The server is draining and accepts no new work.
     ShuttingDown,
     /// Unexpected internal failure (worker died, transport error).
@@ -36,6 +41,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownSnapshot(id) => write!(f, "unknown snapshot {id:?}"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            ServiceError::Quarantined { retry_after_ms } => {
+                write!(f, "tile quarantined, retry after {retry_after_ms} ms")
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

@@ -37,6 +37,15 @@
 //! ([`wire`]) on `std::net::TcpListener` ([`tcp`], the `dtfe-served`
 //! binary). Everything is std-only, like the rest of the workspace.
 //!
+//! The serving tier assumes a **hostile network and fallible builds**:
+//! frames carry checksums so corruption is rejected, not served; sockets
+//! get read/write timeouts and per-connection in-flight caps; tile builds
+//! run under panic isolation with a failure-quarantine negative cache;
+//! an optional `stale_while_revalidate` mode serves flagged degraded
+//! responses from evicted tiles under overload; and the seeded [`chaos`]
+//! injector plus the retrying/hedging [`ResilientClient`] make all of it
+//! testable deterministically (see `DESIGN.md` §4h).
+//!
 //! Rendering semantics match the batch framework path bit-for-bit: a tile
 //! build uses the same builder settings as the framework's per-item path
 //! (`threads(1)`) and renders with the same
@@ -48,6 +57,8 @@
 pub mod admission;
 pub mod api;
 pub mod cache;
+pub mod chaos;
+pub mod client;
 pub mod config;
 pub mod error;
 pub mod registry;
@@ -57,8 +68,12 @@ pub mod tiles;
 pub mod wire;
 
 pub use admission::Admission;
-pub use api::{RenderRequest, RenderResponse, ResponseMeta};
-pub use cache::TileCache;
+pub use api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta};
+pub use cache::{QuarantinePolicy, TileCache};
+pub use chaos::{
+    ChaosProxy, ChaosStats, Direction, FaultyStream, SocketFaultPlan, SocketFaultRule,
+};
+pub use client::{ClientConfig, ClientStats, ResilientClient};
 pub use config::ServiceConfig;
 pub use dtfe_core::EstimatorKind;
 pub use error::ServiceError;

@@ -20,8 +20,8 @@
 //! worker has exited. Dropping the service drains implicitly.
 
 use crate::admission::Admission;
-use crate::api::{RenderRequest, RenderResponse, ResponseMeta};
-use crate::cache::TileCache;
+use crate::api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta};
+use crate::cache::{QuarantinePolicy, TileCache};
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use crate::registry::SnapshotRegistry;
@@ -57,6 +57,10 @@ pub struct ServiceStats {
     /// Total requests coalesced into multi-request batches (batch_size − 1
     /// summed over batches).
     pub coalesced: AtomicU64,
+    /// Requests served from an evicted-but-retained stale tile (flagged
+    /// `degraded`; counted inside `completed` and `hits`, so the
+    /// `hits + misses == completed` invariant still holds).
+    pub stale_served: AtomicU64,
 }
 
 impl ServiceStats {
@@ -70,7 +74,7 @@ impl ServiceStats {
             concat!(
                 "{{\"admitted\":{},\"shed\":{},\"rejected\":{},\"completed\":{},",
                 "\"deadline_dropped\":{},\"failed\":{},\"hits\":{},\"misses\":{},",
-                "\"coalesced\":{}}}"
+                "\"coalesced\":{},\"stale_served\":{}}}"
             ),
             Self::get(&self.admitted),
             Self::get(&self.shed),
@@ -81,6 +85,7 @@ impl ServiceStats {
             Self::get(&self.hits),
             Self::get(&self.misses),
             Self::get(&self.coalesced),
+            Self::get(&self.stale_served),
         )
     }
 }
@@ -143,7 +148,21 @@ impl Service {
         };
         let inner = Arc::new(Inner {
             registry: SnapshotRegistry::new(snapshot_dir.as_ref(), &cfg),
-            cache: TileCache::new(cfg.cache_budget_bytes),
+            cache: TileCache::with_policy(
+                cfg.cache_budget_bytes,
+                // Stale retention costs memory; pay it only when degraded
+                // serving is actually enabled.
+                if cfg.stale_while_revalidate {
+                    cfg.stale_budget_bytes
+                } else {
+                    0
+                },
+                QuarantinePolicy {
+                    after: cfg.quarantine_after,
+                    base: cfg.quarantine_base,
+                    max: cfg.quarantine_max,
+                },
+            ),
             admission: Admission::new(cfg.model, cfg.admission_budget_s, cfg.workers),
             queue: Mutex::new(QueueState {
                 per_tile: HashMap::new(),
@@ -314,7 +333,20 @@ impl Service {
 
         // Admission last, so every earlier error path has nothing to
         // refund; past this point the job WILL reach `finish_job`.
-        inner.admission.try_admit(cost_s)?;
+        if let Err(shed) = inner.admission.try_admit(cost_s) {
+            // Degraded fallback: under overload, a retained stale copy of
+            // the tile beats a bare `Overloaded` — render it inline on the
+            // caller's thread (no queue slot, no admission charge) with
+            // the response flagged.
+            if cfg.stale_while_revalidate {
+                if let Some(resp) = render_stale(inner, &tile, &grid, &opts, Instant::now()) {
+                    let (tx, rx) = mpsc::channel();
+                    let _ = tx.send(Ok(resp));
+                    return Ok(rx);
+                }
+            }
+            return Err(shed);
+        }
 
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -344,6 +376,33 @@ impl Service {
         Ok(rx)
     }
 
+    /// Readiness snapshot for probes: answers from counters and brief
+    /// lock holds, never from the render path.
+    pub fn health(&self) -> HealthStatus {
+        let inner = &*self.inner;
+        let (draining, queue_depth) = {
+            let q = inner.queue.lock().unwrap();
+            (q.draining, q.in_flight as u64)
+        };
+        HealthStatus {
+            ok: !draining,
+            draining,
+            resident_tiles: inner.cache.resident_entries() as u64,
+            resident_bytes: inner.cache.resident_bytes() as u64,
+            stale_tiles: inner.cache.stale_entries() as u64,
+            quarantined_tiles: inner.cache.quarantined_entries() as u64,
+            queue_depth,
+            backlog_ms: (inner.admission.backlog_s() * 1e3) as u64,
+        }
+    }
+
+    /// Retune the admission budget at runtime (operator load-shedding
+    /// control; `0.0` sheds all new work, forcing stale serving where
+    /// enabled).
+    pub fn set_admission_budget(&self, budget_s: f64) {
+        self.inner.admission.set_budget(budget_s);
+    }
+
     /// Drain: refuse new work, serve everything already admitted, then
     /// join the workers. Idempotent.
     pub fn drain(&self) {
@@ -366,7 +425,8 @@ impl Service {
         let cache = &inner.cache;
         let mut out = format!(
             "{{\"stats\":{},\"cache\":{{\"resident_bytes\":{},\"budget_bytes\":{},\
-             \"entries\":{},\"evictions\":{},\"uncacheable\":{},\"singleflight_parks\":{}}}",
+             \"entries\":{},\"evictions\":{},\"uncacheable\":{},\"singleflight_parks\":{},\
+             \"stale_entries\":{},\"quarantined\":{},\"build_panics\":{}}}",
             inner.stats.to_json(),
             cache.resident_bytes(),
             cache.budget(),
@@ -374,6 +434,9 @@ impl Service {
             cache.stats.evictions.load(Ordering::Relaxed),
             cache.stats.uncacheable.load(Ordering::Relaxed),
             cache.stats.singleflight_parks.load(Ordering::Relaxed),
+            cache.stale_entries(),
+            cache.quarantined_entries(),
+            cache.stats.build_panics.load(Ordering::Relaxed),
         );
         if let Some((rec, _)) = &self._telemetry {
             let snap = rec.snapshot();
@@ -459,7 +522,22 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
     let (data, cache_hit) = match fetched {
         Ok(ok) => ok,
         Err(e) => {
+            // Degraded fallback: a quarantined tile with a retained stale
+            // copy is served flagged instead of failed — the tile is sick,
+            // but an older render beats no render when the operator opted
+            // into stale_while_revalidate.
+            let allow_stale =
+                inner.cfg.stale_while_revalidate && matches!(e, ServiceError::Quarantined { .. });
             for job in &jobs {
+                if allow_stale {
+                    if let Some(resp) =
+                        render_stale(inner, tile, &job.grid, &job.opts, job.enqueued)
+                    {
+                        let _ = job.reply.send(Ok(resp));
+                        finish_job(inner, job);
+                        continue;
+                    }
+                }
                 stats.failed.fetch_add(1, Ordering::Relaxed);
                 let _ = job.reply.send(Err(e.clone()));
                 finish_job(inner, job);
@@ -504,8 +582,47 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
                 batch_size,
                 queue_us,
                 render_us,
+                degraded: false,
             },
         }));
         finish_job(inner, job);
     }
+}
+
+/// Render a request from an evicted-but-retained stale tile, if one
+/// exists. Counted as a completed hit plus `stale_served`, so the
+/// `hits + misses == completed` invariant holds for degraded responses
+/// too.
+fn render_stale(
+    inner: &Inner,
+    tile: &TileKey,
+    grid: &GridSpec2,
+    opts: &MarchOptions,
+    enqueued: Instant,
+) -> Option<RenderResponse> {
+    let data = inner.cache.get_stale(tile)?;
+    let queue_us = enqueued.elapsed().as_micros() as u64;
+    let t0 = Instant::now();
+    let sigma = match &data.field {
+        Some(tf) => tf.render(grid, opts),
+        None => Field2::zeros(*grid),
+    };
+    let render_us = t0.elapsed().as_micros() as u64;
+    let stats = &inner.stats;
+    stats.hits.fetch_add(1, Ordering::Relaxed);
+    stats.completed.fetch_add(1, Ordering::Relaxed);
+    stats.stale_served.fetch_add(1, Ordering::Relaxed);
+    dtfe_telemetry::counter_add!("service.requests_completed", 1);
+    dtfe_telemetry::counter_add!("service.stale_served", 1);
+    Some(RenderResponse {
+        grid: sigma.spec,
+        data: sigma.data,
+        meta: ResponseMeta {
+            cache_hit: true,
+            batch_size: 1,
+            queue_us,
+            render_us,
+            degraded: true,
+        },
+    })
 }

@@ -5,6 +5,19 @@
 //! (the SIGTERM-equivalent in tests and CI, where signals are awkward)
 //! can stop the accept loop promptly; the service then drains in-flight
 //! renders before `serve` returns.
+//!
+//! ## Hostile-network posture
+//!
+//! Every accepted socket gets the config's read/write timeouts — a peer
+//! that connects and goes silent (slow-loris) or stops draining its
+//! receive buffer is disconnected, not parked forever. Connections above
+//! `max_connections` are refused with a typed `Overloaded` error before
+//! any request is read. Each connection is served by a reader/writer
+//! thread pair joined by a bounded channel of `max_inflight_per_conn`
+//! slots: requests pipeline (the reader submits render jobs without
+//! waiting for earlier responses) but responses are written strictly in
+//! request order, and a peer that floods requests blocks at the channel
+//! bound instead of growing an unbounded queue.
 
 use crate::api::RenderRequest;
 use crate::error::ServiceError;
@@ -12,8 +25,8 @@ use crate::server::Service;
 use crate::wire::{read_frame, write_frame, Request, Response, WireError};
 use std::io::{BufReader, BufWriter, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// A running TCP front-end over a [`Service`].
@@ -21,6 +34,7 @@ pub struct TcpServer {
     service: Arc<Service>,
     listener: TcpListener,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
 }
 
 impl TcpServer {
@@ -32,6 +46,7 @@ impl TcpServer {
             service,
             listener,
             stop: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -50,13 +65,29 @@ impl TcpServer {
     /// the stop handle is set, then drain the service and return.
     pub fn serve(&self) {
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let max_conns = self.service.config().max_connections;
         while !self.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    if self.active.load(Ordering::SeqCst) >= max_conns {
+                        // Refuse with a typed error, never a silent close:
+                        // the client learns to back off instead of
+                        // retrying into the same wall.
+                        dtfe_telemetry::counter_add!("service.tcp_conn_refused", 1);
+                        let mut w = BufWriter::new(stream);
+                        let resp = Response::Error(ServiceError::Overloaded {
+                            retry_after_ms: 100,
+                        });
+                        let _ = write_frame(&mut w, &resp.encode());
+                        continue;
+                    }
+                    self.active.fetch_add(1, Ordering::SeqCst);
                     let service = self.service.clone();
                     let stop = self.stop.clone();
+                    let active = self.active.clone();
                     conns.push(std::thread::spawn(move || {
                         handle_connection(stream, &service, &stop);
+                        active.fetch_sub(1, Ordering::SeqCst);
                     }));
                     conns.retain(|h| !h.is_finished());
                 }
@@ -76,42 +107,107 @@ impl TcpServer {
     }
 }
 
+/// One slot in the per-connection response pipeline: either a response
+/// already known when the request was read, or a pending render whose
+/// result a worker will deliver. The writer resolves slots in request
+/// order, so pipelined responses are never reordered.
+enum Pipelined {
+    Ready(Response),
+    Pending(mpsc::Receiver<Result<crate::api::RenderResponse, ServiceError>>),
+}
+
 fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
+    let cfg = service.config();
     let _ = stream.set_nodelay(true);
+    // Slow-loris defense: a peer that goes silent mid-frame (or stops
+    // draining responses) hits these timeouts and is disconnected.
+    let _ = stream.set_read_timeout(cfg.read_timeout);
+    let _ = stream.set_write_timeout(cfg.write_timeout);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
     dtfe_telemetry::counter_add!("service.tcp_connections", 1);
+
+    // Bounded pipeline: the reader blocks once `max_inflight_per_conn`
+    // responses are outstanding, so one connection cannot queue unbounded
+    // work.
+    let (tx, rx) = mpsc::sync_channel::<Pipelined>(cfg.max_inflight_per_conn);
+    let writer_thread = std::thread::spawn(move || {
+        while let Ok(slot) = rx.recv() {
+            let response = match slot {
+                Pipelined::Ready(r) => r,
+                Pipelined::Pending(reply) => match reply.recv() {
+                    Ok(Ok(resp)) => Response::Field(resp),
+                    Ok(Err(e)) => Response::Error(e),
+                    Err(_) => {
+                        Response::Error(ServiceError::Internal("worker dropped reply".into()))
+                    }
+                },
+            };
+            if write_frame(&mut writer, &response.encode()).is_err() {
+                dtfe_telemetry::counter_add!("service.tcp_write_failures", 1);
+                // Keep draining pending receivers so in-flight jobs are
+                // accounted, but stop writing to the dead socket.
+                for slot in rx.iter() {
+                    if let Pipelined::Pending(reply) = slot {
+                        let _ = reply.recv();
+                    }
+                }
+                return;
+            }
+        }
+    });
+
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(p) => p,
-            // Peer closed (or broke framing): either way this connection
-            // is done. Service state is untouched.
-            Err(_) => return,
+            // Peer closed, timed out, or broke framing: either way this
+            // connection is done. Service state is untouched; pending
+            // responses still drain through the writer.
+            Err(e) => {
+                if let WireError::Io(io) = &e {
+                    if matches!(io.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                        dtfe_telemetry::counter_add!("service.tcp_read_timeouts", 1);
+                    }
+                }
+                break;
+            }
         };
-        let response = match Request::decode(&payload) {
-            Err(e) => Response::Error(ServiceError::InvalidRequest(format!("bad frame: {e}"))),
-            Ok(Request::Render(req)) => match service.render(&req) {
-                Ok(resp) => Response::Field(resp),
-                Err(e) => Response::Error(e),
+        let slot = match Request::decode(&payload) {
+            Err(e) => Pipelined::Ready(Response::Error(ServiceError::InvalidRequest(format!(
+                "bad frame: {e}"
+            )))),
+            Ok(Request::Render(req)) => match service.submit(&req) {
+                Ok(reply) => Pipelined::Pending(reply),
+                Err(e) => Pipelined::Ready(Response::Error(e)),
             },
-            Ok(Request::Stats) => Response::Stats(service.metrics_json()),
+            Ok(Request::Stats) => Pipelined::Ready(Response::Stats(service.metrics_json())),
+            Ok(Request::Health) => Pipelined::Ready(Response::Health(service.health())),
             Ok(Request::Shutdown) => {
-                let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
+                let _ = tx.send(Pipelined::Ready(Response::ShutdownAck));
+                drop(tx);
+                let _ = writer_thread.join();
                 stop.store(true, Ordering::SeqCst);
                 return;
             }
         };
-        if write_frame(&mut writer, &response.encode()).is_err() {
-            return;
+        if tx.send(slot).is_err() {
+            break; // writer died (socket gone)
         }
     }
+    drop(tx);
+    let _ = writer_thread.join();
 }
 
 /// Blocking client for the wire protocol (used by `loadgen`, tests, and
 /// the CI smoke run).
+///
+/// This is the *naive* client: no timeouts, no retries, no hedging — it
+/// trusts the network. Use [`ResilientClient`](crate::ResilientClient)
+/// anywhere the network might misbehave; `loadgen --client naive` keeps
+/// this one around as the comparison baseline.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -154,6 +250,17 @@ impl Client {
     pub fn stats(&mut self) -> Result<String, ServiceError> {
         match self.call(&Request::Stats) {
             Ok(Response::Stats(json)) => Ok(json),
+            Ok(other) => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+            Err(e) => Err(ServiceError::Internal(format!("wire: {e}"))),
+        }
+    }
+
+    /// Cheap readiness probe.
+    pub fn health(&mut self) -> Result<crate::api::HealthStatus, ServiceError> {
+        match self.call(&Request::Health) {
+            Ok(Response::Health(h)) => Ok(h),
             Ok(other) => Err(ServiceError::Internal(format!(
                 "unexpected response {other:?}"
             ))),

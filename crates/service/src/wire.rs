@@ -1,25 +1,33 @@
-//! The length-prefixed binary wire protocol.
+//! The length-prefixed, checksummed binary wire protocol.
 //!
-//! Frames are `u32-LE length ‖ payload`; the length covers the payload
-//! only and is capped at [`MAX_FRAME`] — a reader rejects oversized
-//! lengths *before* allocating, so a hostile or corrupt peer cannot make
-//! the server reserve gigabytes. Payloads are tag-prefixed little-endian
-//! structs; decoding demands exact consumption (trailing bytes are an
-//! error, catching framing bugs early).
+//! Frames are `u32-LE length ‖ u32-LE FNV-1a(payload) ‖ payload`; the
+//! length covers the payload only and is capped at [`MAX_FRAME`] — a
+//! reader rejects oversized lengths *before* allocating, so a hostile or
+//! corrupt peer cannot make the server reserve gigabytes. The checksum
+//! word makes payload corruption (a flipped bit on a bad link — the chaos
+//! proxy injects exactly this) a typed [`WireError::ChecksumMismatch`]
+//! instead of a silently wrong field: a payload is either delivered
+//! bit-exact or rejected. Payloads are tag-prefixed little-endian structs;
+//! decoding demands exact consumption (trailing bytes are an error,
+//! catching framing bugs early).
 //!
-//! The protocol is tiny — a handful of request kinds, four response
+//! The protocol is tiny — a handful of request kinds, six response
 //! kinds, no negotiation — and versioned per message rather than per
 //! connection. Render requests come in two generations (mirroring the
 //! snapshot format's v1/v2 precedent): the legacy v1 frame
 //! ([`REQ_RENDER`]) carries no estimator and decodes as classic DTFE,
 //! while the v2 frame ([`REQ_RENDER_V2`]) appends an estimator tag +
-//! parameter. Writers always emit v2; readers accept both, counting v1
-//! frames on the `service.wire_legacy_requests` telemetry counter so
-//! operators can watch old clients age out. `Shutdown` is the
+//! parameter. Field responses likewise: the v3 frame ([`RESP_FIELD_V3`])
+//! appends the `degraded` stale-serving flag, while legacy [`RESP_FIELD`]
+//! frames decode with `degraded = false`. Writers always emit the newest
+//! generation; readers accept both, counting v1 request frames on the
+//! `service.wire_legacy_requests` telemetry counter so operators can
+//! watch old clients age out. `Health` answers readiness probes without
+//! the cost of a full `Stats` document. `Shutdown` is the
 //! SIGTERM-equivalent — the server acks, drains, and exits its accept
 //! loop.
 
-use crate::api::{RenderRequest, RenderResponse, ResponseMeta};
+use crate::api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta};
 use crate::error::ServiceError;
 use dtfe_core::{EstimatorKind, GridSpec2};
 use dtfe_geometry::{Vec2, Vec3};
@@ -35,6 +43,8 @@ pub enum Request {
     Render(RenderRequest),
     /// Ask for the server's metrics JSON document.
     Stats,
+    /// Cheap readiness probe: answers a fixed-size [`HealthStatus`].
+    Health,
     /// Graceful shutdown: the server acks, drains in-flight work, and
     /// stops accepting connections.
     Shutdown,
@@ -46,6 +56,7 @@ pub enum Response {
     Field(RenderResponse),
     Error(ServiceError),
     Stats(String),
+    Health(HealthStatus),
     ShutdownAck,
 }
 
@@ -66,6 +77,10 @@ pub enum WireError {
     BadUtf8,
     /// Payload decoded fine but bytes were left over.
     TrailingBytes,
+    /// The payload's FNV-1a checksum did not match the frame header: the
+    /// bytes were corrupted in flight. The payload is rejected whole — a
+    /// corrupt field can never be silently accepted.
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for WireError {
@@ -79,6 +94,7 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown tag {t:#x}"),
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            WireError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
         }
     }
 }
@@ -93,25 +109,47 @@ impl From<std::io::Error> for WireError {
 
 // ---------------------------------------------------------------- framing
 
-/// Write one frame (length prefix + payload).
+/// Bytes of frame header: `u32` payload length + `u32` payload checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// FNV-1a over the payload — the frame integrity word. Cheap enough to
+/// run on every frame, and one flipped payload bit flips the hash with
+/// probability ~1 (the chaos suite asserts corrupt frames are rejected).
+pub fn payload_checksum(payload: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in payload {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Write one frame (length prefix + checksum + payload).
 pub fn write_frame(w: &mut impl IoWrite, payload: &[u8]) -> Result<(), WireError> {
     debug_assert!(payload.len() <= MAX_FRAME);
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload_checksum(payload).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
 }
 
-/// Read one frame, rejecting oversized announcements before allocating.
+/// Read one frame, rejecting oversized announcements before allocating
+/// and corrupt payloads after reading.
 pub fn read_frame(r: &mut impl IoRead) -> Result<Vec<u8>, WireError> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
+    let mut header = [0u8; FRAME_HEADER];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let checksum = u32::from_le_bytes(header[4..].try_into().unwrap());
     if len > MAX_FRAME {
         return Err(WireError::FrameTooLarge { len });
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    if payload_checksum(&payload) != checksum {
+        dtfe_telemetry::counter_add!("service.wire_checksum_rejects", 1);
+        return Err(WireError::ChecksumMismatch);
+    }
     Ok(payload)
 }
 
@@ -193,11 +231,16 @@ const REQ_STATS: u8 = 2;
 const REQ_SHUTDOWN: u8 = 3;
 /// v2 render frame: v1 layout plus `u8` estimator tag + `u16` parameter.
 const REQ_RENDER_V2: u8 = 4;
+const REQ_HEALTH: u8 = 5;
 
+/// Legacy field frame: no `degraded` flag (decodes as `degraded=false`).
 const RESP_FIELD: u8 = 1;
 const RESP_ERROR: u8 = 2;
 const RESP_STATS: u8 = 3;
 const RESP_SHUTDOWN_ACK: u8 = 4;
+/// v3 field frame: v1 layout plus the `u8` `degraded` flag.
+const RESP_FIELD_V3: u8 = 5;
+const RESP_HEALTH: u8 = 6;
 
 impl Request {
     pub fn encode(&self) -> Vec<u8> {
@@ -217,6 +260,7 @@ impl Request {
                 e.u16(param);
             }
             Request::Stats => e.u8(REQ_STATS),
+            Request::Health => e.u8(REQ_HEALTH),
             Request::Shutdown => e.u8(REQ_SHUTDOWN),
         }
         e.0
@@ -256,6 +300,7 @@ impl Request {
                 })
             }
             REQ_STATS => Request::Stats,
+            REQ_HEALTH => Request::Health,
             REQ_SHUTDOWN => Request::Shutdown,
             t => return Err(WireError::BadTag(t)),
         };
@@ -271,6 +316,7 @@ const ERR_INVALID_REQUEST: u8 = 4;
 const ERR_CORRUPT_SNAPSHOT: u8 = 5;
 const ERR_SHUTTING_DOWN: u8 = 6;
 const ERR_INTERNAL: u8 = 7;
+const ERR_QUARANTINED: u8 = 8;
 
 fn encode_error(e: &mut Enc, err: &ServiceError) {
     match err {
@@ -296,6 +342,10 @@ fn encode_error(e: &mut Enc, err: &ServiceError) {
             e.u8(ERR_INTERNAL);
             e.str(s);
         }
+        ServiceError::Quarantined { retry_after_ms } => {
+            e.u8(ERR_QUARANTINED);
+            e.u64(*retry_after_ms);
+        }
     }
 }
 
@@ -310,6 +360,9 @@ fn decode_error(d: &mut Dec) -> Result<ServiceError, WireError> {
         ERR_CORRUPT_SNAPSHOT => ServiceError::CorruptSnapshot(d.str()?),
         ERR_SHUTTING_DOWN => ServiceError::ShuttingDown,
         ERR_INTERNAL => ServiceError::Internal(d.str()?),
+        ERR_QUARANTINED => ServiceError::Quarantined {
+            retry_after_ms: d.u64()?,
+        },
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -319,7 +372,7 @@ impl Response {
         let mut e = Enc(Vec::new());
         match self {
             Response::Field(resp) => {
-                e.u8(RESP_FIELD);
+                e.u8(RESP_FIELD_V3);
                 e.f64(resp.grid.origin.x);
                 e.f64(resp.grid.origin.y);
                 e.f64(resp.grid.cell.x);
@@ -330,6 +383,7 @@ impl Response {
                 e.u32(resp.meta.batch_size);
                 e.u64(resp.meta.queue_us);
                 e.u64(resp.meta.render_us);
+                e.u8(resp.meta.degraded as u8);
                 e.u64(resp.data.len() as u64);
                 for &v in &resp.data {
                     e.f64(v);
@@ -345,6 +399,17 @@ impl Response {
                 e.u32(json.len() as u32);
                 e.0.extend_from_slice(json.as_bytes());
             }
+            Response::Health(h) => {
+                e.u8(RESP_HEALTH);
+                e.u8(h.ok as u8);
+                e.u8(h.draining as u8);
+                e.u64(h.resident_tiles);
+                e.u64(h.resident_bytes);
+                e.u64(h.stale_tiles);
+                e.u64(h.quarantined_tiles);
+                e.u64(h.queue_depth);
+                e.u64(h.backlog_ms);
+            }
             Response::ShutdownAck => e.u8(RESP_SHUTDOWN_ACK),
         }
         e.0
@@ -353,7 +418,9 @@ impl Response {
     pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
         let mut d = Dec { buf, at: 0 };
         let resp = match d.u8()? {
-            RESP_FIELD => {
+            // Legacy v2 frame (no `degraded` flag) and current v3 frame
+            // share the layout up to the flag byte.
+            tag @ (RESP_FIELD | RESP_FIELD_V3) => {
                 let origin = Vec2::new(d.f64()?, d.f64()?);
                 let cell = Vec2::new(d.f64()?, d.f64()?);
                 let nx = d.u32()? as usize;
@@ -366,6 +433,15 @@ impl Response {
                 let batch_size = d.u32()?;
                 let queue_us = d.u64()?;
                 let render_us = d.u64()?;
+                let degraded = if tag == RESP_FIELD_V3 {
+                    match d.u8()? {
+                        0 => false,
+                        1 => true,
+                        t => return Err(WireError::BadTag(t)),
+                    }
+                } else {
+                    false
+                };
                 let n = d.u64()? as usize;
                 // `n` is bounded by the frame cap; still cross-check against
                 // the remaining payload before reserving.
@@ -389,6 +465,7 @@ impl Response {
                         batch_size,
                         queue_us,
                         render_us,
+                        degraded,
                     },
                 })
             }
@@ -397,6 +474,25 @@ impl Response {
                 let n = d.u32()? as usize;
                 let bytes = d.take(n)?;
                 Response::Stats(String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)?)
+            }
+            RESP_HEALTH => {
+                let flag = |d: &mut Dec| -> Result<bool, WireError> {
+                    match d.u8()? {
+                        0 => Ok(false),
+                        1 => Ok(true),
+                        t => Err(WireError::BadTag(t)),
+                    }
+                };
+                Response::Health(HealthStatus {
+                    ok: flag(&mut d)?,
+                    draining: flag(&mut d)?,
+                    resident_tiles: d.u64()?,
+                    resident_bytes: d.u64()?,
+                    stale_tiles: d.u64()?,
+                    quarantined_tiles: d.u64()?,
+                    queue_depth: d.u64()?,
+                    backlog_ms: d.u64()?,
+                })
             }
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             t => return Err(WireError::BadTag(t)),
@@ -478,11 +574,104 @@ mod tests {
     fn oversized_frame_is_rejected_without_allocating() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // checksum word
         let mut cursor = std::io::Cursor::new(buf);
         assert!(matches!(
             read_frame(&mut cursor),
             Err(WireError::FrameTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_checksum_rejection() {
+        let payload =
+            Request::Render(RenderRequest::new("demo", Vec3::new(1.0, 2.0, 3.0))).encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(buf.len(), FRAME_HEADER + payload.len());
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+
+        // Flip one payload bit: the frame must be rejected whole, for every
+        // bit position.
+        for bit in 0..8 {
+            let mut corrupt = buf.clone();
+            let at = FRAME_HEADER + (bit * 3) % payload.len();
+            corrupt[at] ^= 1 << bit;
+            let mut cursor = std::io::Cursor::new(corrupt);
+            assert!(matches!(
+                read_frame(&mut cursor),
+                Err(WireError::ChecksumMismatch)
+            ));
+        }
+    }
+
+    #[test]
+    fn health_roundtrip() {
+        for resp in [
+            Response::Health(HealthStatus::default()),
+            Response::Health(HealthStatus {
+                ok: true,
+                draining: false,
+                resident_tiles: 12,
+                resident_bytes: 1 << 20,
+                stale_tiles: 3,
+                quarantined_tiles: 1,
+                queue_depth: 7,
+                backlog_ms: 450,
+            }),
+        ] {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+        let bytes = Request::Health.encode();
+        assert_eq!(Request::decode(&bytes).unwrap(), Request::Health);
+    }
+
+    #[test]
+    fn legacy_field_frame_decodes_with_degraded_false() {
+        // A v3 encode with the tag rewritten to the legacy RESP_FIELD and
+        // the `degraded` byte removed is exactly what an old server emits.
+        let resp = RenderResponse {
+            grid: GridSpec2 {
+                origin: Vec2::new(0.0, 0.0),
+                cell: Vec2::new(1.0, 1.0),
+                nx: 2,
+                ny: 1,
+            },
+            data: vec![5.0, 6.0],
+            meta: ResponseMeta {
+                cache_hit: true,
+                batch_size: 2,
+                queue_us: 10,
+                render_us: 20,
+                degraded: true, // stripped below — legacy frames can't carry it
+            },
+        };
+        let mut bytes = Response::Field(resp.clone()).encode();
+        bytes[0] = RESP_FIELD;
+        // Layout: tag(1) + grid(4*8+2*4) + cache_hit(1) + batch(4) +
+        // queue(8) + render(8) = 62 bytes before the degraded flag.
+        let degraded_at = 1 + 4 * 8 + 2 * 4 + 1 + 4 + 8 + 8;
+        assert_eq!(bytes[degraded_at], 1);
+        bytes.remove(degraded_at);
+        match Response::decode(&bytes).unwrap() {
+            Response::Field(got) => {
+                assert_eq!(got.data, resp.data);
+                assert!(!got.meta.degraded);
+                assert!(got.meta.cache_hit);
+            }
+            other => panic!("expected field, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantined_error_roundtrips() {
+        let resp = Response::Error(ServiceError::Quarantined {
+            retry_after_ms: 750,
+        });
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
     }
 
     #[test]

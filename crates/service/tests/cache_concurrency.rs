@@ -90,6 +90,55 @@ fn failed_build_unparks_waiters_who_retry() {
     assert!(cache.is_resident(&key("s", 0)));
 }
 
+/// A build that *panics* (not just errors) must also unpark waiters:
+/// without `catch_unwind` around the build closure, the Building slot is
+/// abandoned and every parked thread hangs forever. Waiters must come
+/// back with a typed error or a successful retry — never deadlock.
+#[test]
+fn panicking_build_unparks_waiters_instead_of_deadlocking() {
+    const THREADS: usize = 6;
+    let cache = Arc::new(TileCache::new(1 << 20));
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = cache.clone();
+            let attempts = attempts.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_build(&key("s", 0), || {
+                    // First attempt panics after a delay (so others park);
+                    // any retry succeeds.
+                    if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        std::thread::sleep(Duration::from_millis(30));
+                        panic!("estimator exploded mid-build");
+                    }
+                    Ok(TileData::synthetic(1, 10))
+                })
+            })
+        })
+        .collect();
+    // Join with a watchdog: the regression this guards against is a hang,
+    // so a stuck thread must fail the test rather than wedge the harness.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let _ = tx.send(results);
+    });
+    let results = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("waiters deadlocked after a panicking build");
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(failures, 1, "exactly the panicking builder fails");
+    assert!(matches!(
+        results.iter().find_map(|r| r.as_ref().err()),
+        Some(ServiceError::Internal(msg)) if msg.contains("estimator exploded")
+    ));
+    assert!(cache.is_resident(&key("s", 0)));
+    assert_eq!(cache.stats.build_panics.load(Ordering::Relaxed), 1);
+}
+
 /// 8 threads churn through a keyspace 4× the cache capacity while a
 /// watcher samples resident bytes: the budget must hold at every sample,
 /// and at rest.

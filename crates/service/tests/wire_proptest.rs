@@ -23,13 +23,14 @@ fn id_from(bytes: Vec<u8>) -> String {
 }
 
 fn error_from(kind: u8, ms: u64, msg: String) -> ServiceError {
-    match kind % 7 {
+    match kind % 8 {
         0 => ServiceError::Overloaded { retry_after_ms: ms },
         1 => ServiceError::DeadlineExceeded,
         2 => ServiceError::UnknownSnapshot(msg),
         3 => ServiceError::InvalidRequest(msg),
         4 => ServiceError::CorruptSnapshot(msg),
         5 => ServiceError::ShuttingDown,
+        6 => ServiceError::Quarantined { retry_after_ms: ms },
         _ => ServiceError::Internal(msg),
     }
 }
@@ -86,6 +87,7 @@ proptest! {
         nx in 1usize..24,
         ny in 1usize..24,
         cache_hit in 0u8..2,
+        degraded in 0u8..2,
         batch_size in 1u32..64,
         queue_us in 0u64..1_000_000,
         render_us in 0u64..1_000_000,
@@ -114,6 +116,7 @@ proptest! {
                 batch_size,
                 queue_us,
                 render_us,
+                degraded: degraded == 1,
             },
         });
         let bytes = resp.encode();
@@ -123,14 +126,28 @@ proptest! {
     #[test]
     fn stats_and_control_roundtrip(
         msg_bytes in prop::collection::vec(0u8..255, 0..200),
+        resident_tiles in 0u64..u64::MAX,
+        queue_depth in 0u64..u64::MAX,
+        flags in 0u8..4,
     ) {
-        for req in [Request::Stats, Request::Shutdown] {
+        for req in [Request::Stats, Request::Health, Request::Shutdown] {
             let bytes = req.encode();
             prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
         }
         let resp = Response::Stats(id_from(msg_bytes));
         let bytes = resp.encode();
         prop_assert_eq!(Response::decode(&bytes).unwrap(), resp.clone());
+        let health = Response::Health(dtfe_service::HealthStatus {
+            ok: flags & 1 == 1,
+            draining: flags & 2 == 2,
+            resident_tiles,
+            resident_bytes: resident_tiles.wrapping_mul(3),
+            stale_tiles: resident_tiles / 2,
+            quarantined_tiles: resident_tiles % 5,
+            queue_depth,
+            backlog_ms: queue_depth.wrapping_mul(7),
+        });
+        prop_assert_eq!(Response::decode(&health.encode()).unwrap(), health);
         let ack = Response::ShutdownAck;
         prop_assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
     }
@@ -172,6 +189,7 @@ proptest! {
         let announced = MAX_FRAME as u64 + excess;
         let mut framed = Vec::new();
         framed.extend_from_slice(&(announced as u32).to_le_bytes());
+        framed.extend_from_slice(&0u32.to_le_bytes()); // checksum word
         // No payload behind the announcement: if the length check did not
         // fire first, read would block/fail on a huge allocation instead.
         let mut cursor = std::io::Cursor::new(framed);
@@ -189,6 +207,26 @@ proptest! {
         write_frame(&mut stream, &payload).unwrap();
         let mut cursor = std::io::Cursor::new(stream);
         prop_assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+    }
+
+    #[test]
+    fn corrupted_payload_bits_always_rejected(
+        payload in prop::collection::vec(0u8..255, 1..256),
+        flip_at_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        // Any single flipped payload bit must surface as ChecksumMismatch:
+        // this is the property the chaos proxy's bit-flip fault relies on.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        let header = stream.len() - payload.len();
+        let at = header + ((payload.len() - 1) as f64 * flip_at_frac) as usize;
+        stream[at] ^= 1 << bit;
+        let mut cursor = std::io::Cursor::new(stream);
+        prop_assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::ChecksumMismatch)
+        ));
     }
 
     #[test]

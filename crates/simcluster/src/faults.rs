@@ -151,7 +151,10 @@ impl FaultRule {
     }
 }
 
-fn checked_p(p: f64) -> f64 {
+/// Validate a fault probability, panicking on values outside `[0, 1]`.
+/// Shared vocabulary with the socket-level injector in `dtfe-service`'s
+/// `chaos` module, which builds its rules on the same primitive.
+pub fn checked_p(p: f64) -> f64 {
     assert!(
         (0.0..=1.0).contains(&p),
         "fault probability {p} not in [0,1]"
@@ -259,7 +262,7 @@ impl FaultSession {
             self.drop_run[dst] = 0;
             return Action::Deliver;
         };
-        let u = unit_draw(self.plan.seed, src, dst, tag, seq);
+        let u = unit_draw(self.plan.seed, src as u64, dst as u64, tag as u64, seq);
         let action = if u < rule.drop_p {
             if self.drop_run[dst] >= rule.burst {
                 Action::Deliver // burst cap: the link is fair-lossy
@@ -294,13 +297,21 @@ impl FaultSession {
     }
 }
 
-/// One deterministic uniform draw in `[0, 1)` from the message identity
-/// (splitmix64 finalizer over the mixed-in fields).
-fn unit_draw(seed: u64, src: usize, dst: usize, tag: u32, seq: u64) -> f64 {
+/// One deterministic uniform draw in `[0, 1)` from an event identity
+/// (splitmix64 finalizer over the four mixed-in fields).
+///
+/// This is the deterministic heart of every injector in the workspace:
+/// the message-level fault plan here keys it on
+/// `(seed, src, dst, tag, seq)`, and the socket-level chaos proxy in
+/// `dtfe-service::chaos` keys it on
+/// `(seed, connection, direction, kind, frame-seq)`. Identical inputs give
+/// identical draws on every platform, which is what makes fault schedules
+/// replayable from a seed alone.
+pub fn unit_draw(seed: u64, a: u64, b: u64, c: u64, seq: u64) -> f64 {
     let mut z = seed
-        ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (dst as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
-        ^ (tag as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB)
         ^ seq.wrapping_mul(0xD6E8_FEB8_6659_FD93);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
