@@ -28,10 +28,30 @@
 //! retries with jittered backoff — run both under the same `--chaos`
 //! seed to compare tail latency and error rates.
 //!
+//! Observability knobs (PR 8):
+//!
+//! * `--trace` samples every request (deterministic per-request trace
+//!   ids), so server-side per-stage timings come back in `ResponseMeta`
+//!   and sampled requests land in the flight recorder. The report then
+//!   carries per-stage (admission/queue/build/render) latency aggregates.
+//! * `--slo p99=MS,error_rate=FRAC` turns the run into a gate: the
+//!   process exits nonzero if overall p99 exceeds `MS` milliseconds or
+//!   the request error rate exceeds `FRAC`. Either key may be omitted.
+//! * `--dump-out FILE` / `--stats-out FILE` fetch the server's flight
+//!   recorder dump (Chrome-trace JSON) and stats document after the run
+//!   (directly, bypassing the fault proxy in chaos mode) — CI feeds
+//!   these to `trace_check`.
+//! * `--ab-telemetry` runs a closed-loop in-process A/B leg before the
+//!   main phases: the same warm render timed with telemetry disabled vs
+//!   enabled. The delta lands in the report and the run fails if the
+//!   enabled path costs more than 50% extra — the "disabled telemetry
+//!   is (near) free, enabled telemetry is cheap" claim, enforced.
+//!
 //! ```text
 //! cargo run --release -p dtfe-bench --bin loadgen [-- --requests 400 --rate 100]
 //! cargo run --release -p dtfe-bench --bin loadgen -- --addr 127.0.0.1:7433
 //! cargo run --release -p dtfe-bench --bin loadgen -- --chaos 42 --client retry
+//! cargo run --release -p dtfe-bench --bin loadgen -- --trace --slo p99=500,error_rate=0.01
 //! ```
 
 use dtfe_core::EstimatorKind;
@@ -41,7 +61,7 @@ use dtfe_nbody::halos::{clustered_box, ClusteredBoxSpec};
 use dtfe_nbody::snapshot::write_snapshot;
 use dtfe_service::{
     ChaosProxy, Client, ClientConfig, RenderRequest, RenderResponse, ResilientClient, Service,
-    ServiceConfig, SocketFaultPlan, SocketFaultRule, TcpServer,
+    ServiceConfig, SocketFaultPlan, SocketFaultRule, TcpServer, TraceContext,
 };
 use dtfe_telemetry::json::number;
 use std::collections::HashMap;
@@ -81,6 +101,43 @@ struct Args {
     client: ClientKind,
     /// Report path override (default `target/experiments/BENCH_service.json`).
     out: Option<PathBuf>,
+    /// Sample a trace on every request (per-stage breakdowns + flight
+    /// recorder entries on the server).
+    trace: bool,
+    /// SLO gate: exit nonzero when breached.
+    slo: Option<Slo>,
+    /// Write the server's flight-recorder dump (Chrome-trace JSON) here.
+    dump_out: Option<PathBuf>,
+    /// Write the server's stats document JSON here.
+    stats_out: Option<PathBuf>,
+    /// Run the telemetry-off vs telemetry-on A/B leg.
+    ab_telemetry: bool,
+}
+
+/// `--slo p99=MS,error_rate=FRAC`; either key may be omitted.
+#[derive(Clone, Copy, Default)]
+struct Slo {
+    p99_ms: Option<f64>,
+    error_rate: Option<f64>,
+}
+
+impl Slo {
+    fn parse(spec: &str) -> Option<Slo> {
+        let mut slo = Slo::default();
+        for part in spec.split(',') {
+            let (key, value) = part.split_once('=')?;
+            let value: f64 = value.trim().parse().ok()?;
+            if !value.is_finite() || value < 0.0 {
+                return None;
+            }
+            match key.trim() {
+                "p99" => slo.p99_ms = Some(value),
+                "error_rate" => slo.error_rate = Some(value),
+                _ => return None,
+            }
+        }
+        (slo.p99_ms.is_some() || slo.error_rate.is_some()).then_some(slo)
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -103,7 +160,8 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--snapshots DIR] [--snapshot ID] [--requests N] \
          [--rate R] [--zipf S] [--tiles N] [--box-len L] [--field-len L] [--resolution N] \
          [--particles N] [--senders N] [--seed N] [--estimators dtfe,psdtfe,...] [--shutdown] \
-         [--chaos SEED] [--client naive|retry] [--out FILE]"
+         [--chaos SEED] [--client naive|retry] [--out FILE] [--trace] \
+         [--slo p99=MS,error_rate=FRAC] [--dump-out FILE] [--stats-out FILE] [--ab-telemetry]"
     );
     std::process::exit(2)
 }
@@ -128,6 +186,11 @@ fn parse_args() -> Args {
         chaos: None,
         client: ClientKind::Naive,
         out: None,
+        trace: false,
+        slo: None,
+        dump_out: None,
+        stats_out: None,
+        ab_telemetry: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -165,6 +228,11 @@ fn parse_args() -> Args {
                 }
             }
             "--out" => args.out = Some(PathBuf::from(val())),
+            "--trace" => args.trace = true,
+            "--slo" => args.slo = Some(Slo::parse(&val()).unwrap_or_else(|| usage())),
+            "--dump-out" => args.dump_out = Some(PathBuf::from(val())),
+            "--stats-out" => args.stats_out = Some(PathBuf::from(val())),
+            "--ab-telemetry" => args.ab_telemetry = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -276,7 +344,53 @@ fn chaos_rule() -> SocketFaultRule {
 struct Tally {
     /// `(was_hit, latency_us)` per completed request.
     done: Vec<(bool, u64)>,
+    /// `[admission, queue, build, render]` µs per completed request
+    /// (server-reported, nonzero breakdowns only arrive on v4 traced
+    /// responses but the fields default to 0 either way).
+    stages: Vec<[u64; 4]>,
     errors: Vec<String>,
+}
+
+const STAGE_NAMES: [&str; 4] = ["admission", "queue", "build", "render"];
+
+fn stage_row(resp: &RenderResponse) -> [u64; 4] {
+    let m = &resp.meta;
+    [m.admission_us, m.queue_us, m.build_us, m.render_us]
+}
+
+/// Per-stage aggregate JSON: `{"admission":{"mean_ms":..,"p50_ms":..,
+/// "p99_ms":..},...}` over every completed request.
+fn stages_json(rows: &[[u64; 4]]) -> String {
+    let fields = STAGE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(s, name)| {
+            let mut us: Vec<u64> = rows.iter().map(|r| r[s]).collect();
+            us.sort_unstable();
+            let mean_ms = if us.is_empty() {
+                0.0
+            } else {
+                us.iter().sum::<u64>() as f64 / 1e3 / us.len() as f64
+            };
+            format!(
+                "\"{name}\":{{\"mean_ms\":{},\"p50_ms\":{},\"p99_ms\":{}}}",
+                number(mean_ms),
+                number(percentile_ms(&us, 0.50)),
+                number(percentile_ms(&us, 0.99)),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{fields}}}")
+}
+
+/// Deterministic sampled trace id for request `i` of a run (phase 0 =
+/// cold, 1 = warm), so reruns at the same seed produce identical ids.
+fn trace_for(seed: u64, phase: u64, i: u64) -> TraceContext {
+    let mut id = [0u8; 16];
+    id[..8].copy_from_slice(&(seed ^ phase.rotate_left(32)).to_le_bytes());
+    id[8..].copy_from_slice(&i.wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes());
+    TraceContext::sampled(id)
 }
 
 fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
@@ -285,6 +399,35 @@ fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
     }
     let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
     sorted_us[idx] as f64 / 1e3
+}
+
+/// The `--ab-telemetry` leg: the same warm (cache-hit) render timed
+/// closed-loop against two fresh in-process services, telemetry disabled
+/// vs enabled. Runs before the main service exists so the "off" leg truly
+/// exercises the disabled-recorder fast path (no global recorder
+/// installed). Returns `(off_ms, on_ms)` mean per-render latency.
+fn telemetry_ab_leg(args: &Args, bounds: Aabb3) -> (f64, f64) {
+    let leg = |telemetry: bool| -> f64 {
+        let mut cfg = ServiceConfig::new(args.field_len, args.resolution);
+        cfg.tiles = args.tiles;
+        cfg.telemetry = telemetry;
+        let svc = Service::start(&args.snapshots, cfg).expect("start A/B service");
+        let req = RenderRequest::new(&args.snapshot_id, bounds.center());
+        svc.render(&req).expect("A/B warm render");
+        let iters = 50;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            svc.render(&req).expect("A/B render");
+        }
+        let mean_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        svc.drain();
+        mean_ms
+    };
+    // Off first: the on-leg's recorder uninstalls on drop either way, but
+    // this order never even transiently installs one before the off leg.
+    let off_ms = leg(false);
+    let on_ms = leg(true);
+    (off_ms, on_ms)
 }
 
 fn main() -> ExitCode {
@@ -297,11 +440,8 @@ fn main() -> ExitCode {
     let decomp = Decomposition::new(bounds, args.tiles);
     let tiles = decomp.num_ranks();
 
-    // The service under test: remote, or started in-process over a
-    // self-seeded demo snapshot.
-    let service: Option<Arc<Service>> = if args.addr.is_some() {
-        None
-    } else {
+    // Self-seed the demo snapshot for any mode that runs a local service.
+    if args.addr.is_none() || args.ab_telemetry {
         std::fs::create_dir_all(&args.snapshots).expect("create snapshot dir");
         let path = args.snapshots.join(format!("{}.snap", args.snapshot_id));
         if !path.is_file() {
@@ -309,6 +449,25 @@ fn main() -> ExitCode {
                 clustered_box(&ClusteredBoxSpec::new(bounds, args.particles, 24, 1234));
             write_snapshot(&path, &[points], bounds).expect("write demo snapshot");
         }
+    }
+
+    // A/B leg first: it must run while no global telemetry recorder is
+    // installed, which stops being true once the main in-process service
+    // starts.
+    let ab = args.ab_telemetry.then(|| telemetry_ab_leg(&args, bounds));
+    if let Some((off_ms, on_ms)) = ab {
+        eprintln!(
+            "# ab-telemetry: warm render off {off_ms:.3} ms, on {on_ms:.3} ms \
+             ({:+.1}%)",
+            (on_ms / off_ms.max(1e-9) - 1.0) * 100.0
+        );
+    }
+
+    // The service under test: remote, or started in-process over the
+    // seeded demo snapshot.
+    let service: Option<Arc<Service>> = if args.addr.is_some() {
+        None
+    } else {
         let mut cfg = ServiceConfig::new(args.field_len, args.resolution);
         cfg.tiles = args.tiles;
         cfg.telemetry = true;
@@ -352,6 +511,7 @@ fn main() -> ExitCode {
         backoff_max: Duration::from_millis(200),
         hedge_after: None,
         seed: args.seed ^ args.chaos.unwrap_or(0).rotate_left(17),
+        sample_traces: args.trace,
     };
     let connect = || -> Conn {
         match (&wire_addr, &service) {
@@ -435,6 +595,7 @@ fn main() -> ExitCode {
     let mut rng = Xorshift(args.seed | 1);
     let mut conn = connect();
     let mut cold_us = Vec::with_capacity(tiles);
+    let mut cold_stages: Vec<[u64; 4]> = Vec::with_capacity(tiles);
     let mut errors: Vec<String> = Vec::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -442,11 +603,16 @@ fn main() -> ExitCode {
     let t_cold = Instant::now();
     for tile in 0..tiles {
         let est = args.estimators[tile % args.estimators.len()];
-        let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng)).estimator(est);
+        let mut req =
+            RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng)).estimator(est);
+        if args.trace {
+            req = req.traced(trace_for(args.seed, 0, tile as u64));
+        }
         let t0 = Instant::now();
         match conn.render(&req) {
             Ok(resp) => {
                 cold_us.push(t0.elapsed().as_micros() as u64);
+                cold_stages.push(stage_row(&resp));
                 est_counts[tile % args.estimators.len()].fetch_add(1, Ordering::Relaxed);
                 if resp.meta.cache_hit {
                     hits += 1;
@@ -499,6 +665,7 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let est_counts = Arc::new(est_counts);
     let n_estimators = args.estimators.len();
+    let (trace, seed) = (args.trace, args.seed);
     let retry_totals = Arc::new([(); 4].map(|_| AtomicU64::new(0)));
     let senders: Vec<_> = (0..args.senders.max(1))
         .map(|_| {
@@ -528,7 +695,10 @@ fn main() -> ExitCode {
                     } else {
                         lag_us.fetch_add((now - at).as_micros() as u64, Ordering::Relaxed);
                     }
-                    let req = RenderRequest::new(&snapshot_id, center).estimator(est);
+                    let mut req = RenderRequest::new(&snapshot_id, center).estimator(est);
+                    if trace {
+                        req = req.traced(trace_for(seed, 1, i as u64));
+                    }
                     let t0 = Instant::now();
                     let result = conn.render(&req);
                     let us = t0.elapsed().as_micros() as u64;
@@ -536,6 +706,7 @@ fn main() -> ExitCode {
                     match result {
                         Ok(resp) => {
                             t.done.push((resp.meta.cache_hit, us));
+                            t.stages.push(stage_row(&resp));
                             est_counts[i % n_estimators].fetch_add(1, Ordering::Relaxed);
                             if resp.meta.degraded {
                                 degraded_served.fetch_add(1, Ordering::Relaxed);
@@ -623,6 +794,53 @@ fn main() -> ExitCode {
         slot.fetch_add(v, Ordering::Relaxed);
     }
 
+    // Observability artifacts, fetched before teardown. In chaos mode the
+    // fetch goes directly to the server (not through the fault proxy):
+    // the artifacts document the chaos run, they should not ride through
+    // it.
+    if args.dump_out.is_some() || args.stats_out.is_some() {
+        let direct_addr: Option<String> = chaos_ctx
+            .as_ref()
+            .map(|(_, server_addr, _)| server_addr.to_string())
+            .or_else(|| args.addr.clone());
+        let fetch = |what: &str, f: &dyn Fn() -> Option<String>, out: &Option<PathBuf>| {
+            let Some(path) = out else { return };
+            match f() {
+                Some(json) => {
+                    if let Some(parent) = path.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    std::fs::write(path, json).expect("write artifact");
+                    eprintln!("# {what} -> {}", path.display());
+                }
+                None => eprintln!("error: failed to fetch {what}"),
+            }
+        };
+        fetch(
+            "flight dump",
+            &|| match (&service, &direct_addr) {
+                (Some(svc), None) => Some(svc.dump_trace()),
+                (_, Some(addr)) => Client::connect(addr.as_str())
+                    .ok()
+                    .and_then(|mut c| c.dump().ok()),
+                (None, None) => None,
+            },
+            &args.dump_out,
+        );
+        fetch(
+            "stats document",
+            &|| match (&service, &direct_addr) {
+                (Some(svc), None) => Some(svc.metrics_json()),
+                (_, Some(addr)) => Client::connect(addr.as_str())
+                    .ok()
+                    .and_then(|mut c| c.stats().ok())
+                    .map(|doc| doc.to_json()),
+                (None, None) => None,
+            },
+            &args.stats_out,
+        );
+    }
+
     // Chaos teardown first: the battered server must still drain cleanly
     // on a direct (unproxied) Shutdown before the report is written.
     let mut drain_ok = true;
@@ -665,6 +883,7 @@ fn main() -> ExitCode {
         (None, Some(addr)) => Client::connect(addr)
             .ok()
             .and_then(|mut c| c.stats().ok())
+            .map(|doc| doc.to_json())
             .unwrap_or_else(|| "null".into()),
         (None, None) => unreachable!(),
     };
@@ -678,6 +897,58 @@ fn main() -> ExitCode {
         .join(",");
     let n_corrupt = corrupt.load(Ordering::Relaxed);
     let n_degraded = degraded_served.load(Ordering::Relaxed);
+
+    // Per-stage breakdowns over every completed request (cold + warm).
+    let all_stages: Vec<[u64; 4]> = cold_stages
+        .iter()
+        .chain(tally.stages.iter())
+        .copied()
+        .collect();
+    let stages_json = stages_json(&all_stages);
+
+    // SLO gate: overall p99 and request error rate against the target.
+    let attempts = completed + errors.len();
+    let error_rate = if attempts == 0 {
+        0.0
+    } else {
+        errors.len() as f64 / attempts as f64
+    };
+    let mut slo_breaches: Vec<String> = Vec::new();
+    if let Some(slo) = args.slo {
+        if let Some(target) = slo.p99_ms {
+            if p99_ms > target {
+                slo_breaches.push(format!("p99 {p99_ms:.2} ms > target {target} ms"));
+            }
+        }
+        if let Some(target) = slo.error_rate {
+            if error_rate > target {
+                slo_breaches.push(format!("error rate {error_rate:.4} > target {target}"));
+            }
+        }
+    }
+    let slo_json = match args.slo {
+        None => "null".to_string(),
+        Some(slo) => format!(
+            "{{\"p99_ms\":{},\"error_rate\":{},\"breached\":{}}}",
+            slo.p99_ms.map_or("null".into(), number),
+            slo.error_rate.map_or("null".into(), number),
+            !slo_breaches.is_empty(),
+        ),
+    };
+
+    // A/B telemetry overhead: generous 50% bound on the *enabled* path
+    // for a warm (microsecond-scale) render; the disabled path is the
+    // baseline by construction.
+    let ab_breached = ab.map(|(off_ms, on_ms)| on_ms > off_ms * 1.5) == Some(true);
+    let ab_json = match ab {
+        None => "null".to_string(),
+        Some((off_ms, on_ms)) => format!(
+            "{{\"off_ms\":{},\"on_ms\":{},\"delta_frac\":{}}}",
+            number(off_ms),
+            number(on_ms),
+            number(on_ms / off_ms.max(1e-9) - 1.0),
+        ),
+    };
     let out = format!(
         "{{\"bench\":\"service\",\"mode\":\"{}\",\"tiles\":{tiles},\"requests\":{},\
          \"rate\":{},\"zipf\":{},\"completed\":{completed},\"errors\":{},\
@@ -687,7 +958,9 @@ fn main() -> ExitCode {
          \"degraded\":{n_degraded},\"drain_ok\":{drain_ok},\"chaos\":{chaos_json},\
          \"client_stats\":{{\"retries\":{},\"hedges\":{},\"reconnects\":{},\"giveups\":{}}},\
          \"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
-         \"cold_p50_ms\":{},\"warm_p50_ms\":{},\"mean_lag_ms\":{},\"server\":{stats_json}}}\n",
+         \"cold_p50_ms\":{},\"warm_p50_ms\":{},\"mean_lag_ms\":{},\
+         \"trace\":{},\"stages\":{stages_json},\"error_rate\":{},\"slo\":{slo_json},\
+         \"ab_telemetry\":{ab_json},\"server\":{stats_json}}}\n",
         if args.chaos.is_some() {
             "chaos"
         } else if args.addr.is_some() {
@@ -711,6 +984,8 @@ fn main() -> ExitCode {
         number(cold_p50_ms),
         number(warm_p50_ms),
         number(mean_lag_ms),
+        args.trace,
+        number(error_rate),
     );
     let path = args
         .out
@@ -738,6 +1013,28 @@ fn main() -> ExitCode {
             errors.len(),
             retry_totals[0].load(Ordering::Relaxed),
             retry_totals[1].load(Ordering::Relaxed),
+        );
+    }
+    if args.trace && !all_stages.is_empty() {
+        let mean = |s: usize| {
+            all_stages.iter().map(|r| r[s]).sum::<u64>() as f64 / 1e3 / all_stages.len() as f64
+        };
+        println!(
+            "stages (mean ms): admission {:.3} queue {:.3} build {:.3} render {:.3}",
+            mean(0),
+            mean(1),
+            mean(2),
+            mean(3),
+        );
+    }
+    for b in &slo_breaches {
+        eprintln!("error: SLO breached: {b}");
+    }
+    if ab_breached {
+        let (off_ms, on_ms) = ab.unwrap();
+        eprintln!(
+            "error: telemetry overhead: warm render {on_ms:.3} ms enabled vs \
+             {off_ms:.3} ms disabled exceeds the 50% bound"
         );
     }
     for e in errors.iter().take(5) {
@@ -768,6 +1065,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if args.chaos.is_none() && (!errors.is_empty() || !accounted) {
+        return ExitCode::FAILURE;
+    }
+    if !slo_breaches.is_empty() || ab_breached {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -4,6 +4,65 @@
 use dtfe_core::{EstimatorKind, GridSpec2};
 use dtfe_geometry::Vec3;
 
+/// A request-scoped trace context: a 16-byte id plus a sampling decision.
+///
+/// Clients mint one per logical request (preserved across retries and
+/// hedges, so all server-side records of the same request correlate); the
+/// server threads it through every serving stage. Only **sampled** ids are
+/// recorded in the server's flight recorder unconditionally — unsampled
+/// ids still flow through responses for client-side correlation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id (big-endian hex in human-readable output).
+    pub id: [u8; 16],
+    /// Record this request's span tree server-side regardless of latency.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A sampled context with the given id bytes.
+    pub fn sampled(id: [u8; 16]) -> TraceContext {
+        TraceContext { id, sampled: true }
+    }
+
+    /// Lower-case hex rendering of the id (32 chars).
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.id {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+/// The serving stages a request passes through, in order. Stage timings in
+/// [`ResponseMeta`] cover disjoint intervals, so their sum never exceeds
+/// the request's wall time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Validation + admission pricing, up to enqueue.
+    Admission,
+    /// Enqueued, waiting for a worker to pick the batch up.
+    Queue,
+    /// Tile triangulation build (shared across the batch; zero on a hit).
+    Build,
+    /// Marching this request's grid.
+    Render,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 4] = [Stage::Admission, Stage::Queue, Stage::Build, Stage::Render];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Admission => "admission",
+            Stage::Queue => "queue",
+            Stage::Build => "build",
+            Stage::Render => "render",
+        }
+    }
+}
+
 /// One field-render request: a cube of the service's `field_len` centred on
 /// `center`, rendered to a square `resolution²` grid (paper §IV-C assumes
 /// all fields share size; the per-request knobs are resolution, sampling,
@@ -25,6 +84,9 @@ pub struct RenderRequest {
     /// surface density; see [`EstimatorKind`] for the alternatives
     /// (PS-DTFE density, velocity divergence, stochastic averaging).
     pub estimator: EstimatorKind,
+    /// Request-scoped trace context; `None` means untraced (the resilient
+    /// client mints one automatically so retries share an id).
+    pub trace: Option<TraceContext>,
 }
 
 impl RenderRequest {
@@ -38,12 +100,19 @@ impl RenderRequest {
             samples: 0,
             deadline_ms: 0,
             estimator: EstimatorKind::Dtfe,
+            trace: None,
         }
     }
 
     /// Select the estimator backend for this request.
     pub fn estimator(mut self, kind: EstimatorKind) -> RenderRequest {
         self.estimator = kind;
+        self
+    }
+
+    /// Attach a trace context to this request.
+    pub fn traced(mut self, trace: TraceContext) -> RenderRequest {
+        self.trace = Some(trace);
         self
     }
 }
@@ -56,10 +125,17 @@ pub struct ResponseMeta {
     pub cache_hit: bool,
     /// How many requests the serving batch coalesced (≥ 1).
     pub batch_size: u32,
+    /// Microseconds from submission to enqueue (validation + admission).
+    pub admission_us: u64,
     /// Microseconds spent queued before the batch was picked up.
     pub queue_us: u64,
+    /// Microseconds the batch spent building the tile triangulation
+    /// (0 on a cache hit; shared across the batch's requests).
+    pub build_us: u64,
     /// Microseconds spent marching this request's grid.
     pub render_us: u64,
+    /// The trace context the request carried, echoed back.
+    pub trace: Option<TraceContext>,
     /// The response was served from an **evicted-but-retained stale tile**
     /// because the fresh path was unavailable (admission overload or a
     /// quarantined build) and the service runs in
@@ -68,6 +144,24 @@ pub struct ResponseMeta {
     /// served while resident — but callers with freshness requirements
     /// should treat it as best-effort.
     pub degraded: bool,
+}
+
+impl ResponseMeta {
+    /// Microseconds this response spent in `stage`.
+    pub fn stage_us(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Admission => self.admission_us,
+            Stage::Queue => self.queue_us,
+            Stage::Build => self.build_us,
+            Stage::Render => self.render_us,
+        }
+    }
+
+    /// Total microseconds across all stages. The stages cover disjoint
+    /// intervals, so this never exceeds the request's wall time.
+    pub fn stage_sum_us(&self) -> u64 {
+        Stage::ALL.iter().map(|s| self.stage_us(*s)).sum()
+    }
 }
 
 /// A rendered surface-density field.

@@ -88,7 +88,7 @@ impl Default for QuarantinePolicy {
 impl QuarantinePolicy {
     /// Quarantine window after `fails` consecutive failures:
     /// `base · 2^(fails − after)`, capped at `max`.
-    fn window(&self, fails: u32) -> Duration {
+    pub(crate) fn window(&self, fails: u32) -> Duration {
         let doublings = fails.saturating_sub(self.after).min(32);
         self.base
             .saturating_mul(1u32 << doublings.min(31))

@@ -24,8 +24,9 @@
 //! Telemetry: `client.retries`, `client.hedges`, `client.reconnects`,
 //! `client.giveups`.
 
-use crate::api::{HealthStatus, RenderRequest, RenderResponse};
+use crate::api::{HealthStatus, RenderRequest, RenderResponse, TraceContext};
 use crate::error::ServiceError;
+use crate::stats_doc::StatsDocument;
 use crate::wire::{read_frame, write_frame, Request, Response, WireError};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -53,6 +54,9 @@ pub struct ClientConfig {
     /// Race a second, fresh-connection attempt once the current one has
     /// been in flight this long. `None` disables hedging.
     pub hedge_after: Option<Duration>,
+    /// Mark minted trace ids as **sampled**, so the server records every
+    /// request's span tree in its flight recorder (not just slow ones).
+    pub sample_traces: bool,
     /// Seed for backoff jitter — fixed seed, replayable schedule.
     pub seed: u64,
 }
@@ -67,6 +71,7 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(50),
             backoff_max: Duration::from_secs(2),
             hedge_after: None,
+            sample_traces: false,
             seed: 0x5EED,
         }
     }
@@ -123,9 +128,19 @@ impl ResilientClient {
         })
     }
 
-    /// Render with the full retry/hedge discipline.
+    /// Render with the full retry/hedge discipline. Requests without a
+    /// trace context get one minted here — *before* the retry loop — so
+    /// every retry and hedge of this logical request carries the same
+    /// trace id and the server can correlate them.
     pub fn render(&mut self, req: &RenderRequest) -> Result<RenderResponse, ServiceError> {
-        match self.call(&Request::Render(req.clone()))? {
+        let mut req = req.clone();
+        if req.trace.is_none() {
+            req.trace = Some(TraceContext {
+                id: self.mint_trace_id(),
+                sampled: self.cfg.sample_traces,
+            });
+        }
+        match self.call(&Request::Render(req))? {
             Response::Field(resp) => Ok(resp),
             Response::Error(e) => Err(e),
             other => Err(ServiceError::Internal(format!(
@@ -145,10 +160,28 @@ impl ResilientClient {
         }
     }
 
-    /// Fetch the server's metrics JSON with the retry discipline.
-    pub fn stats_json(&mut self) -> Result<String, ServiceError> {
+    /// Fetch the server's typed stats document with the retry discipline.
+    pub fn stats(&mut self) -> Result<StatsDocument, ServiceError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(json) => Ok(json),
+            Response::Stats(doc) => Ok(doc),
+            Response::Error(e) => Err(e),
+            other => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's stats document as JSON text (the wire payload,
+    /// re-rendered; what CI artifacts store).
+    pub fn stats_json(&mut self) -> Result<String, ServiceError> {
+        self.stats().map(|doc| doc.to_json())
+    }
+
+    /// Fetch the server's flight-recorder dump (Chrome-trace JSON) with
+    /// the retry discipline.
+    pub fn dump(&mut self) -> Result<String, ServiceError> {
+        match self.call(&Request::Dump)? {
+            Response::Dump(json) => Ok(json),
             Response::Error(e) => Err(e),
             other => Err(ServiceError::Internal(format!(
                 "unexpected response {other:?}"
@@ -291,14 +324,28 @@ impl ResilientClient {
     /// Deterministic jitter in `[0.5, 1.5)` of the base wait — breaks up
     /// synchronized retry herds without giving up replayability.
     fn jitter(&mut self, base: Duration) -> Duration {
+        let x = self.next_rand();
+        let f = 0.5 + (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        base.mul_f64(f)
+    }
+
+    fn next_rand(&mut self) -> u64 {
         // xorshift64
         let mut x = self.rng;
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
         self.rng = x;
-        let f = 0.5 + (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        base.mul_f64(f)
+        x
+    }
+
+    /// A fresh 16-byte trace id off the client's seeded generator —
+    /// deterministic per client instance, unique across its requests.
+    fn mint_trace_id(&mut self) -> [u8; 16] {
+        let mut id = [0u8; 16];
+        id[..8].copy_from_slice(&self.next_rand().to_le_bytes());
+        id[8..].copy_from_slice(&self.next_rand().to_le_bytes());
+        id
     }
 }
 

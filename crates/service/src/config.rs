@@ -82,6 +82,18 @@ pub struct ServiceConfig {
     pub quarantine_base: Duration,
     /// Quarantine window cap.
     pub quarantine_max: Duration,
+    /// Flight-recorder retention: how many recent request traces (sampled,
+    /// slow, quarantined, panicked) the wire `Dump` request can replay.
+    pub flight_capacity: usize,
+    /// Completed requests slower than this are recorded in the flight
+    /// recorder even untraced; `None` disables slow-request capture.
+    pub slow_threshold: Option<Duration>,
+    /// Rotating-window buckets for live metrics (the `Stats` windowed
+    /// quantiles cover `window_buckets × window_width`). `0` disables
+    /// windowed metrics.
+    pub window_buckets: usize,
+    /// Width of each rotating-window bucket.
+    pub window_width: Duration,
 }
 
 impl ServiceConfig {
@@ -121,6 +133,10 @@ impl ServiceConfig {
             quarantine_after: 2,
             quarantine_base: Duration::from_millis(100),
             quarantine_max: Duration::from_secs(30),
+            flight_capacity: 64,
+            slow_threshold: Some(Duration::from_millis(500)),
+            window_buckets: 10,
+            window_width: Duration::from_secs(1),
         }
     }
 
@@ -168,6 +184,15 @@ impl ServiceConfig {
         }
         if self.quarantine_base.is_zero() || self.quarantine_max < self.quarantine_base {
             return Err("quarantine windows must satisfy 0 < base <= max".into());
+        }
+        if self.flight_capacity == 0 {
+            return Err("flight_capacity must be at least 1".into());
+        }
+        if self.slow_threshold.is_some_and(|t| t.is_zero()) {
+            return Err("slow_threshold must be positive (use None to disable)".into());
+        }
+        if self.window_buckets > 0 && self.window_width.is_zero() {
+            return Err("window_width must be positive when window_buckets > 0".into());
         }
         Ok(())
     }

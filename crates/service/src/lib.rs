@@ -63,12 +63,13 @@ pub mod config;
 pub mod error;
 pub mod registry;
 pub mod server;
+pub mod stats_doc;
 pub mod tcp;
 pub mod tiles;
 pub mod wire;
 
 pub use admission::Admission;
-pub use api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta};
+pub use api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta, Stage, TraceContext};
 pub use cache::{QuarantinePolicy, TileCache};
 pub use chaos::{
     ChaosProxy, ChaosStats, Direction, FaultyStream, SocketFaultPlan, SocketFaultRule,
@@ -79,6 +80,9 @@ pub use dtfe_core::EstimatorKind;
 pub use error::ServiceError;
 pub use registry::{SnapshotData, SnapshotRegistry};
 pub use server::{Service, ServiceStats};
+pub use stats_doc::{
+    CacheCounters, HistDigest, MetricsDigest, ServingCounters, StatsDocument, STATS_VERSION,
+};
 pub use tcp::{Client, TcpServer};
 pub use tiles::{TileData, TileField, TileKey};
 pub use wire::{Request, Response, WireError, MAX_FRAME};

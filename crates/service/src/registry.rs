@@ -7,7 +7,16 @@
 //! typed [`ServiceError::CorruptSnapshot`] instead of garbage fields — and
 //! caches the particles plus the tile decomposition. Loads are
 //! single-flight: concurrent first requests trigger one read.
+//!
+//! Like tile builds, snapshot loads carry a failure quarantine: a file
+//! that keeps failing verification (corrupt upload, torn write) is
+//! refused with a typed [`ServiceError::Quarantined`] for an
+//! exponentially growing window instead of being re-read and re-hashed on
+//! every request. A missing file ([`ServiceError::UnknownSnapshot`]) is
+//! *not* quarantined — checking for it is one `stat`, and the usual fix
+//! (upload the file) should take effect immediately.
 
+use crate::cache::QuarantinePolicy;
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use dtfe_framework::Decomposition;
@@ -16,6 +25,7 @@ use dtfe_nbody::snapshot::{self, SnapshotError};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// A loaded, checksum-verified snapshot with its tile decomposition.
 #[derive(Debug)]
@@ -54,6 +64,12 @@ enum Slot {
     Ready(Arc<SnapshotData>),
 }
 
+/// Consecutive load-failure record for one snapshot id.
+struct NegEntry {
+    fails: u32,
+    retry_at: Option<Instant>,
+}
+
 /// Directory-backed snapshot store with single-flight loading.
 pub struct SnapshotRegistry {
     dir: PathBuf,
@@ -61,6 +77,9 @@ pub struct SnapshotRegistry {
     ghost_margin: f64,
     state: Mutex<HashMap<String, Slot>>,
     cv: Condvar,
+    /// Negative cache of failing loads, same policy as tile builds.
+    neg: Mutex<HashMap<String, NegEntry>>,
+    policy: QuarantinePolicy,
 }
 
 /// Snapshot ids are path components; keep them boring so an id can never
@@ -82,6 +101,12 @@ impl SnapshotRegistry {
             ghost_margin: cfg.ghost_margin,
             state: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
+            neg: Mutex::new(HashMap::new()),
+            policy: QuarantinePolicy {
+                after: cfg.quarantine_after,
+                base: cfg.quarantine_base,
+                max: cfg.quarantine_max,
+            },
         }
     }
 
@@ -96,6 +121,22 @@ impl SnapshotRegistry {
             return Err(ServiceError::InvalidRequest(format!(
                 "malformed snapshot id {id:?}"
             )));
+        }
+        // Quarantine gate before any slot is claimed: a file that keeps
+        // failing verification is refused without touching the disk.
+        if let Some(at) = self
+            .neg
+            .lock()
+            .unwrap()
+            .get(id)
+            .and_then(|neg| neg.retry_at)
+        {
+            let now = Instant::now();
+            if at > now {
+                dtfe_telemetry::counter_add!("service.snapshot_quarantine_rejects", 1);
+                let ms = (at - now).as_millis().max(1) as u64;
+                return Err(ServiceError::Quarantined { retry_after_ms: ms });
+            }
         }
         let mut st = self.state.lock().unwrap();
         loop {
@@ -116,17 +157,38 @@ impl SnapshotRegistry {
                         Ok(data) => {
                             let data = Arc::new(data);
                             st.insert(id.to_string(), Slot::Ready(data.clone()));
+                            self.neg.lock().unwrap().remove(id);
                             self.cv.notify_all();
                             return Ok(data);
                         }
                         Err(e) => {
                             st.remove(id);
+                            // Missing files are cheap to re-check and fix;
+                            // only actual load failures quarantine.
+                            if !matches!(e, ServiceError::UnknownSnapshot(_)) {
+                                self.record_failure(id);
+                            }
                             self.cv.notify_all();
                             return Err(e);
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Bump the id's consecutive-failure count and (past the policy
+    /// threshold) arm its quarantine window.
+    fn record_failure(&self, id: &str) {
+        let mut neg = self.neg.lock().unwrap();
+        let entry = neg.entry(id.to_string()).or_insert(NegEntry {
+            fails: 0,
+            retry_at: None,
+        });
+        entry.fails = entry.fails.saturating_add(1);
+        if entry.fails >= self.policy.after {
+            entry.retry_at = Some(Instant::now() + self.policy.window(entry.fails));
+            dtfe_telemetry::counter_add!("service.snapshots_quarantined", 1);
         }
     }
 

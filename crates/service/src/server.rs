@@ -20,13 +20,15 @@
 //! worker has exited. Dropping the service drains implicitly.
 
 use crate::admission::Admission;
-use crate::api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta};
+use crate::api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta, TraceContext};
 use crate::cache::{QuarantinePolicy, TileCache};
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use crate::registry::SnapshotRegistry;
+use crate::stats_doc::{CacheCounters, MetricsDigest, ServingCounters, StatsDocument};
 use crate::tiles::{TileData, TileKey};
 use dtfe_core::{EstimatorKind, Field2, GridSpec2, MarchOptions};
+use dtfe_telemetry::{clock, FlightRecorder, RequestTrace, SpanEvent};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,6 +97,15 @@ struct Job {
     grid: GridSpec2,
     opts: MarchOptions,
     cost_s: f64,
+    /// Trace context the request carried (or `None` for untraced).
+    trace: Option<TraceContext>,
+    /// Submission entry, microseconds on the telemetry clock — the origin
+    /// for flight-recorder span offsets.
+    t0_us: u64,
+    /// Submission entry wall clock (request wall time = elapsed since).
+    submitted: Instant,
+    /// Microseconds from submission to enqueue (validation + admission).
+    admission_us: u64,
     enqueued: Instant,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Result<RenderResponse, ServiceError>>,
@@ -119,6 +130,9 @@ struct Inner {
     /// Signals workers (new work / drain) and drainers (queue empty).
     cv: Condvar,
     stats: ServiceStats,
+    /// Bounded ring of recent interesting request traces (`Dump` replays
+    /// it as Chrome-trace JSON).
+    flight: FlightRecorder,
 }
 
 /// The in-process serving handle. Clone-free: share it behind an `Arc`
@@ -140,7 +154,11 @@ impl Service {
     ) -> Result<Service, ServiceError> {
         cfg.validate().map_err(ServiceError::InvalidRequest)?;
         let telemetry = if cfg.telemetry {
-            let rec = dtfe_telemetry::Recorder::new("service");
+            let rec = dtfe_telemetry::Recorder::with_windows(
+                "service",
+                cfg.window_buckets,
+                cfg.window_width,
+            );
             let guard = rec.install_global();
             Some((rec, guard))
         } else {
@@ -172,6 +190,7 @@ impl Service {
             }),
             cv: Condvar::new(),
             stats: ServiceStats::default(),
+            flight: FlightRecorder::new(cfg.flight_capacity),
             cfg,
         });
         let workers = (0..inner.cfg.workers)
@@ -245,6 +264,10 @@ impl Service {
     ) -> Result<mpsc::Receiver<Result<RenderResponse, ServiceError>>, ServiceError> {
         let inner = &*self.inner;
         let cfg = &inner.cfg;
+        // Stage-timing origin: everything from here to enqueue is the
+        // request's admission stage.
+        let submitted = Instant::now();
+        let t0_us = clock::now_us();
 
         let resolution = match req.resolution {
             0 => cfg.resolution,
@@ -290,8 +313,16 @@ impl Service {
         };
 
         // Loading the snapshot is part of submission: unknown/corrupt ids
-        // fail fast, before admission charges anything.
-        let snap = inner.registry.get(&req.snapshot)?;
+        // fail fast, before admission charges anything. Corrupt and
+        // quarantined loads are incidents the flight recorder must keep —
+        // they never reach `serve_batch`, so they are recorded here.
+        let snap = match inner.registry.get(&req.snapshot) {
+            Ok(snap) => snap,
+            Err(e) => {
+                record_submit_failure(inner, req.trace, t0_us, submitted, &e);
+                return Err(e);
+            }
+        };
         if !snap.bounds.contains_closed(req.center) {
             return Err(ServiceError::InvalidRequest(format!(
                 "center {:?} outside snapshot bounds",
@@ -339,7 +370,9 @@ impl Service {
             // caller's thread (no queue slot, no admission charge) with
             // the response flagged.
             if cfg.stale_while_revalidate {
-                if let Some(resp) = render_stale(inner, &tile, &grid, &opts, Instant::now()) {
+                if let Some(resp) =
+                    render_stale(inner, &tile, &grid, &opts, Instant::now(), req.trace)
+                {
                     let (tx, rx) = mpsc::channel();
                     let _ = tx.send(Ok(resp));
                     return Ok(rx);
@@ -353,6 +386,10 @@ impl Service {
             grid,
             opts,
             cost_s,
+            trace: req.trace,
+            t0_us,
+            submitted,
+            admission_us: submitted.elapsed().as_micros() as u64,
             enqueued: Instant::now(),
             deadline,
             reply: tx,
@@ -418,33 +455,61 @@ impl Service {
         dtfe_telemetry::counter_add!("service.drains", 1);
     }
 
-    /// JSON document with the serving counters, cache state, and — when
-    /// the service owns a telemetry recorder — the full metrics snapshot.
-    pub fn metrics_json(&self) -> String {
+    /// The typed, versioned stats document: serving counters, cache
+    /// counters, and — when the service owns a telemetry recorder — a
+    /// metrics digest with cumulative *and* rotating-window quantiles.
+    pub fn stats_document(&self) -> StatsDocument {
         let inner = &*self.inner;
         let cache = &inner.cache;
-        let mut out = format!(
-            "{{\"stats\":{},\"cache\":{{\"resident_bytes\":{},\"budget_bytes\":{},\
-             \"entries\":{},\"evictions\":{},\"uncacheable\":{},\"singleflight_parks\":{},\
-             \"stale_entries\":{},\"quarantined\":{},\"build_panics\":{}}}",
-            inner.stats.to_json(),
-            cache.resident_bytes(),
-            cache.budget(),
-            cache.resident_entries(),
-            cache.stats.evictions.load(Ordering::Relaxed),
-            cache.stats.uncacheable.load(Ordering::Relaxed),
-            cache.stats.singleflight_parks.load(Ordering::Relaxed),
-            cache.stale_entries(),
-            cache.quarantined_entries(),
-            cache.stats.build_panics.load(Ordering::Relaxed),
-        );
-        if let Some((rec, _)) = &self._telemetry {
-            let snap = rec.snapshot();
-            out.push_str(",\"metrics\":");
-            out.push_str(&dtfe_telemetry::metrics_object(&snap.metrics));
+        let s = &inner.stats;
+        let get = ServiceStats::get;
+        StatsDocument {
+            version: crate::stats_doc::STATS_VERSION,
+            serving: ServingCounters {
+                admitted: get(&s.admitted),
+                shed: get(&s.shed),
+                rejected: get(&s.rejected),
+                completed: get(&s.completed),
+                deadline_dropped: get(&s.deadline_dropped),
+                failed: get(&s.failed),
+                hits: get(&s.hits),
+                misses: get(&s.misses),
+                coalesced: get(&s.coalesced),
+                stale_served: get(&s.stale_served),
+            },
+            cache: CacheCounters {
+                resident_bytes: cache.resident_bytes() as u64,
+                budget_bytes: cache.budget() as u64,
+                entries: cache.resident_entries() as u64,
+                evictions: cache.stats.evictions.load(Ordering::Relaxed),
+                uncacheable: cache.stats.uncacheable.load(Ordering::Relaxed),
+                singleflight_parks: cache.stats.singleflight_parks.load(Ordering::Relaxed),
+                stale_entries: cache.stale_entries() as u64,
+                quarantined: cache.quarantined_entries() as u64,
+                build_panics: cache.stats.build_panics.load(Ordering::Relaxed),
+            },
+            metrics: self
+                ._telemetry
+                .as_ref()
+                .map(|(rec, _)| MetricsDigest::of(&rec.snapshot().metrics)),
         }
-        out.push('}');
-        out
+    }
+
+    /// JSON rendering of [`Service::stats_document`] (what the wire
+    /// `Stats` request answers).
+    pub fn metrics_json(&self) -> String {
+        self.stats_document().to_json()
+    }
+
+    /// The flight recorder (recent interesting request traces).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// Chrome-trace JSON dump of the flight recorder (what the wire
+    /// `Dump` request answers).
+    pub fn dump_trace(&self) -> String {
+        self.inner.flight.chrome_trace()
     }
 }
 
@@ -509,6 +574,11 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
         return;
     }
 
+    // Queue stage ends here for every job in the batch: the worker has
+    // picked it up. What follows is build (shared) + per-job render, so
+    // the per-stage intervals are disjoint and sum to at most the wall.
+    let pickup = Instant::now();
+    let build_t0 = Instant::now();
     let fetched = inner.cache.get_or_build(tile, || {
         let snap = inner.registry.get(&tile.snapshot)?;
         Ok(TileData::build(
@@ -519,6 +589,8 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
             inner.cfg.builder_threads,
         ))
     });
+    let build_us = build_t0.elapsed().as_micros() as u64;
+    dtfe_telemetry::hist_record!("service.tile_resolve_us", build_us);
     let (data, cache_hit) = match fetched {
         Ok(ok) => ok,
         Err(e) => {
@@ -531,7 +603,7 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
             for job in &jobs {
                 if allow_stale {
                     if let Some(resp) =
-                        render_stale(inner, tile, &job.grid, &job.opts, job.enqueued)
+                        render_stale(inner, tile, &job.grid, &job.opts, job.enqueued, job.trace)
                     {
                         let _ = job.reply.send(Ok(resp));
                         finish_job(inner, job);
@@ -539,6 +611,17 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
                     }
                 }
                 stats.failed.fetch_add(1, Ordering::Relaxed);
+                let queue_us = pickup.duration_since(job.enqueued).as_micros() as u64;
+                record_flight(
+                    inner,
+                    job,
+                    &[
+                        ("admission", job.admission_us),
+                        ("queue", queue_us),
+                        ("build", build_us),
+                    ],
+                    Some(&e),
+                );
                 let _ = job.reply.send(Err(e.clone()));
                 finish_job(inner, job);
             }
@@ -557,7 +640,7 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
             finish_job(inner, job);
             continue;
         }
-        let queue_us = now.duration_since(job.enqueued).as_micros() as u64;
+        let queue_us = pickup.duration_since(job.enqueued).as_micros() as u64;
         let t0 = Instant::now();
         let sigma = match &data.field {
             Some(tf) => tf.render(&job.grid, &job.opts),
@@ -572,21 +655,159 @@ fn serve_batch(inner: &Inner, tile: &TileKey, mut jobs: Vec<Job>) {
         }
         stats.completed.fetch_add(1, Ordering::Relaxed);
         dtfe_telemetry::counter_add!("service.requests_completed", 1);
-        dtfe_telemetry::hist_record!("service.request_latency_us", queue_us + render_us);
+        dtfe_telemetry::hist_record!(
+            "service.request_latency_us",
+            job.submitted.elapsed().as_micros() as u64
+        );
         dtfe_telemetry::hist_record!("service.render_us", render_us);
+        record_flight(
+            inner,
+            job,
+            &[
+                ("admission", job.admission_us),
+                ("queue", queue_us),
+                ("build", build_us),
+                ("render", render_us),
+            ],
+            None,
+        );
         let _ = job.reply.send(Ok(RenderResponse {
             grid: sigma.spec,
             data: sigma.data,
             meta: ResponseMeta {
                 cache_hit,
                 batch_size,
+                admission_us: job.admission_us,
                 queue_us,
+                build_us,
                 render_us,
+                trace: job.trace,
                 degraded: false,
             },
         }));
         finish_job(inner, job);
     }
+}
+
+/// Record one finished request into the flight recorder, if it is
+/// interesting: carrying a sampled trace id, slower than the operator's
+/// threshold, or failed (quarantine refusals and caught build panics are
+/// always interesting). The span tree is synthesized from the stage
+/// durations: a depth-0 `request` span from the submission origin, one
+/// depth-1 span per non-empty stage laid back-to-back, and for failures a
+/// trailing `error` span carrying the message.
+fn record_flight(
+    inner: &Inner,
+    job: &Job,
+    stages: &[(&'static str, u64)],
+    error: Option<&ServiceError>,
+) {
+    let wall_us = job.submitted.elapsed().as_micros() as u64;
+    let reason = match error {
+        Some(ServiceError::Quarantined { .. }) => "quarantined",
+        Some(ServiceError::Internal(msg)) if msg.contains("panic") => "panic",
+        Some(_) => "failed",
+        None if job.trace.is_some_and(|t| t.sampled) => "sampled",
+        None if inner
+            .cfg
+            .slow_threshold
+            .is_some_and(|t| wall_us >= t.as_micros() as u64) =>
+        {
+            "slow"
+        }
+        None => return,
+    };
+    let stage_sum: u64 = stages.iter().map(|(_, d)| d).sum();
+    let mut spans = vec![SpanEvent {
+        name: "request".to_string(),
+        tid: 0,
+        depth: 0,
+        t0_us: job.t0_us,
+        dur_us: wall_us.max(stage_sum),
+        cpu_us: 0,
+        args: Vec::new(),
+    }];
+    let mut off = job.t0_us;
+    for (name, dur) in stages {
+        if *dur > 0 {
+            spans.push(SpanEvent {
+                name: (*name).to_string(),
+                tid: 0,
+                depth: 1,
+                t0_us: off,
+                dur_us: *dur,
+                cpu_us: 0,
+                args: Vec::new(),
+            });
+        }
+        off += dur;
+    }
+    if let Some(e) = error {
+        spans.push(SpanEvent {
+            name: "error".to_string(),
+            tid: 0,
+            depth: 1,
+            t0_us: off,
+            dur_us: 0,
+            cpu_us: 0,
+            args: vec![("message".to_string(), e.to_string())],
+        });
+    }
+    inner.flight.record(RequestTrace {
+        trace_id: job.trace.map(|t| t.hex()).unwrap_or_default(),
+        reason: reason.to_string(),
+        t0_us: job.t0_us,
+        spans,
+    });
+    dtfe_telemetry::counter_add!("service.flight_recorded", 1);
+}
+
+/// Flight-record a request that died at submission. Only incident-grade
+/// failures are kept (quarantine, corruption, internal errors): routine
+/// refusals — unknown ids, invalid requests, load shedding — would churn
+/// the bounded ring without telling the operator anything a counter
+/// doesn't.
+fn record_submit_failure(
+    inner: &Inner,
+    trace: Option<TraceContext>,
+    t0_us: u64,
+    submitted: Instant,
+    e: &ServiceError,
+) {
+    let reason = match e {
+        ServiceError::Quarantined { .. } => "quarantined",
+        ServiceError::Internal(msg) if msg.contains("panic") => "panic",
+        ServiceError::CorruptSnapshot(_) | ServiceError::Internal(_) => "failed",
+        _ => return,
+    };
+    let wall_us = submitted.elapsed().as_micros() as u64;
+    let spans = vec![
+        SpanEvent {
+            name: "request".to_string(),
+            tid: 0,
+            depth: 0,
+            t0_us,
+            dur_us: wall_us,
+            cpu_us: 0,
+            args: Vec::new(),
+        },
+        SpanEvent {
+            name: "error".to_string(),
+            tid: 0,
+            depth: 1,
+            t0_us: t0_us + wall_us,
+            dur_us: 0,
+            cpu_us: 0,
+            args: vec![("message".to_string(), e.to_string())],
+        },
+    ];
+    inner.flight.record(RequestTrace {
+        trace_id: trace.map(|t| t.hex()).unwrap_or_default(),
+        reason: reason.to_string(),
+        t0_us,
+        spans,
+    });
+    dtfe_telemetry::counter_add!("service.flight_recorded", 1);
 }
 
 /// Render a request from an evicted-but-retained stale tile, if one
@@ -599,6 +820,7 @@ fn render_stale(
     grid: &GridSpec2,
     opts: &MarchOptions,
     enqueued: Instant,
+    trace: Option<TraceContext>,
 ) -> Option<RenderResponse> {
     let data = inner.cache.get_stale(tile)?;
     let queue_us = enqueued.elapsed().as_micros() as u64;
@@ -620,8 +842,11 @@ fn render_stale(
         meta: ResponseMeta {
             cache_hit: true,
             batch_size: 1,
+            admission_us: 0,
             queue_us,
+            build_us: 0,
             render_us,
+            trace,
             degraded: true,
         },
     })

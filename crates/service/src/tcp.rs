@@ -112,7 +112,7 @@ impl TcpServer {
 /// result a worker will deliver. The writer resolves slots in request
 /// order, so pipelined responses are never reordered.
 enum Pipelined {
-    Ready(Response),
+    Ready(Box<Response>),
     Pending(mpsc::Receiver<Result<crate::api::RenderResponse, ServiceError>>),
 }
 
@@ -137,7 +137,7 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
     let writer_thread = std::thread::spawn(move || {
         while let Ok(slot) = rx.recv() {
             let response = match slot {
-                Pipelined::Ready(r) => r,
+                Pipelined::Ready(r) => *r,
                 Pipelined::Pending(reply) => match reply.recv() {
                     Ok(Ok(resp)) => Response::Field(resp),
                     Ok(Err(e)) => Response::Error(e),
@@ -175,18 +175,20 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
                 break;
             }
         };
+        let ready = |r: Response| Pipelined::Ready(Box::new(r));
         let slot = match Request::decode(&payload) {
-            Err(e) => Pipelined::Ready(Response::Error(ServiceError::InvalidRequest(format!(
+            Err(e) => ready(Response::Error(ServiceError::InvalidRequest(format!(
                 "bad frame: {e}"
             )))),
             Ok(Request::Render(req)) => match service.submit(&req) {
                 Ok(reply) => Pipelined::Pending(reply),
-                Err(e) => Pipelined::Ready(Response::Error(e)),
+                Err(e) => ready(Response::Error(e)),
             },
-            Ok(Request::Stats) => Pipelined::Ready(Response::Stats(service.metrics_json())),
-            Ok(Request::Health) => Pipelined::Ready(Response::Health(service.health())),
+            Ok(Request::Stats) => ready(Response::Stats(service.stats_document())),
+            Ok(Request::Health) => ready(Response::Health(service.health())),
+            Ok(Request::Dump) => ready(Response::Dump(service.dump_trace())),
             Ok(Request::Shutdown) => {
-                let _ = tx.send(Pipelined::Ready(Response::ShutdownAck));
+                let _ = tx.send(ready(Response::ShutdownAck));
                 drop(tx);
                 let _ = writer_thread.join();
                 stop.store(true, Ordering::SeqCst);
@@ -246,10 +248,21 @@ impl Client {
         }
     }
 
-    /// Fetch the server's metrics JSON.
-    pub fn stats(&mut self) -> Result<String, ServiceError> {
+    /// Fetch the server's typed stats document.
+    pub fn stats(&mut self) -> Result<crate::stats_doc::StatsDocument, ServiceError> {
         match self.call(&Request::Stats) {
-            Ok(Response::Stats(json)) => Ok(json),
+            Ok(Response::Stats(doc)) => Ok(doc),
+            Ok(other) => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+            Err(e) => Err(ServiceError::Internal(format!("wire: {e}"))),
+        }
+    }
+
+    /// Fetch the server's flight-recorder dump (Chrome-trace JSON).
+    pub fn dump(&mut self) -> Result<String, ServiceError> {
+        match self.call(&Request::Dump) {
+            Ok(Response::Dump(json)) => Ok(json),
             Ok(other) => Err(ServiceError::Internal(format!(
                 "unexpected response {other:?}"
             ))),

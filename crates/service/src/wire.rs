@@ -11,24 +11,31 @@
 //! decoding demands exact consumption (trailing bytes are an error,
 //! catching framing bugs early).
 //!
-//! The protocol is tiny — a handful of request kinds, six response
-//! kinds, no negotiation — and versioned per message rather than per
-//! connection. Render requests come in two generations (mirroring the
-//! snapshot format's v1/v2 precedent): the legacy v1 frame
-//! ([`REQ_RENDER`]) carries no estimator and decodes as classic DTFE,
-//! while the v2 frame ([`REQ_RENDER_V2`]) appends an estimator tag +
-//! parameter. Field responses likewise: the v3 frame ([`RESP_FIELD_V3`])
-//! appends the `degraded` stale-serving flag, while legacy [`RESP_FIELD`]
-//! frames decode with `degraded = false`. Writers always emit the newest
-//! generation; readers accept both, counting v1 request frames on the
-//! `service.wire_legacy_requests` telemetry counter so operators can
-//! watch old clients age out. `Health` answers readiness probes without
-//! the cost of a full `Stats` document. `Shutdown` is the
+//! The protocol is tiny — a handful of request kinds, a handful of
+//! response kinds, no negotiation — and versioned per message rather than
+//! per connection. Render requests come in three generations (mirroring
+//! the snapshot format's v1/v2 precedent): the legacy v1 frame
+//! ([`REQ_RENDER`]) carries no estimator and decodes as classic DTFE, the
+//! v2 frame ([`REQ_RENDER_V2`]) appends an estimator tag + parameter, and
+//! the v4 frame ([`REQ_RENDER_V4`]) appends a trace-context block (flags
+//! byte + 16-byte trace id) so retries and hedges of one logical request
+//! correlate server-side. Field responses likewise: the v3 frame
+//! ([`RESP_FIELD_V3`]) appends the `degraded` stale-serving flag, the v4
+//! frame ([`RESP_FIELD_V4`]) appends the per-stage timing breakdown
+//! (admission/build) plus the echoed trace context, and legacy
+//! [`RESP_FIELD`] frames decode with the defaults. Writers always emit
+//! the newest generation; readers accept all of them, counting v1/v2
+//! request frames on the `service.wire_legacy_requests` telemetry counter
+//! so operators can watch old clients age out. `Stats` answers the typed,
+//! versioned [`StatsDocument`]; `Dump` exports the server's flight
+//! recorder as Chrome-trace JSON; `Health` answers readiness probes
+//! without the cost of a full `Stats` document. `Shutdown` is the
 //! SIGTERM-equivalent — the server acks, drains, and exits its accept
 //! loop.
 
-use crate::api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta};
+use crate::api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta, TraceContext};
 use crate::error::ServiceError;
+use crate::stats_doc::StatsDocument;
 use dtfe_core::{EstimatorKind, GridSpec2};
 use dtfe_geometry::{Vec2, Vec3};
 use std::io::{Read as IoRead, Write as IoWrite};
@@ -41,10 +48,12 @@ pub const MAX_FRAME: usize = 64 << 20;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     Render(RenderRequest),
-    /// Ask for the server's metrics JSON document.
+    /// Ask for the server's typed stats document.
     Stats,
     /// Cheap readiness probe: answers a fixed-size [`HealthStatus`].
     Health,
+    /// Ask for the server's flight recorder as Chrome-trace JSON.
+    Dump,
     /// Graceful shutdown: the server acks, drains in-flight work, and
     /// stops accepting connections.
     Shutdown,
@@ -55,8 +64,11 @@ pub enum Request {
 pub enum Response {
     Field(RenderResponse),
     Error(ServiceError),
-    Stats(String),
+    /// The typed, versioned stats document (travels as JSON text).
+    Stats(StatsDocument),
     Health(HealthStatus),
+    /// Flight-recorder dump: Chrome-trace JSON, opaque to the protocol.
+    Dump(String),
     ShutdownAck,
 }
 
@@ -81,6 +93,8 @@ pub enum WireError {
     /// bytes were corrupted in flight. The payload is rejected whole — a
     /// corrupt field can never be silently accepted.
     ChecksumMismatch,
+    /// A structured text payload (the stats document) failed to parse.
+    Malformed(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -95,6 +109,7 @@ impl std::fmt::Display for WireError {
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
             WireError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
         }
     }
 }
@@ -232,6 +247,10 @@ const REQ_SHUTDOWN: u8 = 3;
 /// v2 render frame: v1 layout plus `u8` estimator tag + `u16` parameter.
 const REQ_RENDER_V2: u8 = 4;
 const REQ_HEALTH: u8 = 5;
+/// v4 render frame: v2 layout plus a trace block (`u8` flags + 16-byte
+/// trace id; flags `0` = untraced, `1` = traced, `3` = traced + sampled).
+const REQ_RENDER_V4: u8 = 6;
+const REQ_DUMP: u8 = 7;
 
 /// Legacy field frame: no `degraded` flag (decodes as `degraded=false`).
 const RESP_FIELD: u8 = 1;
@@ -241,13 +260,46 @@ const RESP_SHUTDOWN_ACK: u8 = 4;
 /// v3 field frame: v1 layout plus the `u8` `degraded` flag.
 const RESP_FIELD_V3: u8 = 5;
 const RESP_HEALTH: u8 = 6;
+/// v4 field frame: v3 layout plus `u64` admission/build stage timings and
+/// the echoed trace block, inserted before the data length.
+const RESP_FIELD_V4: u8 = 7;
+const RESP_DUMP: u8 = 8;
+
+/// Trace-block flag bits (v4 frames).
+const TRACE_PRESENT: u8 = 1;
+const TRACE_SAMPLED: u8 = 2;
+
+fn encode_trace(e: &mut Enc, trace: &Option<TraceContext>) {
+    match trace {
+        None => {
+            e.u8(0);
+            e.0.extend_from_slice(&[0u8; 16]);
+        }
+        Some(t) => {
+            e.u8(TRACE_PRESENT | if t.sampled { TRACE_SAMPLED } else { 0 });
+            e.0.extend_from_slice(&t.id);
+        }
+    }
+}
+
+fn decode_trace(d: &mut Dec) -> Result<Option<TraceContext>, WireError> {
+    let flags = d.u8()?;
+    if flags & !(TRACE_PRESENT | TRACE_SAMPLED) != 0 {
+        return Err(WireError::BadTag(flags));
+    }
+    let id: [u8; 16] = d.take(16)?.try_into().unwrap();
+    Ok((flags & TRACE_PRESENT != 0).then_some(TraceContext {
+        id,
+        sampled: flags & TRACE_SAMPLED != 0,
+    }))
+}
 
 impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc(Vec::new());
         match self {
             Request::Render(r) => {
-                e.u8(REQ_RENDER_V2);
+                e.u8(REQ_RENDER_V4);
                 e.str(&r.snapshot);
                 e.f64(r.center.x);
                 e.f64(r.center.y);
@@ -258,9 +310,11 @@ impl Request {
                 let (tag, param) = r.estimator.wire_code();
                 e.u8(tag);
                 e.u16(param);
+                encode_trace(&mut e, &r.trace);
             }
             Request::Stats => e.u8(REQ_STATS),
             Request::Health => e.u8(REQ_HEALTH),
+            Request::Dump => e.u8(REQ_DUMP),
             Request::Shutdown => e.u8(REQ_SHUTDOWN),
         }
         e.0
@@ -279,17 +333,28 @@ impl Request {
                     samples: d.u32()?,
                     deadline_ms: d.u64()?,
                     estimator: EstimatorKind::Dtfe,
+                    trace: None,
                 })
             }
-            REQ_RENDER_V2 => {
+            tag @ (REQ_RENDER_V2 | REQ_RENDER_V4) => {
+                if tag == REQ_RENDER_V2 {
+                    // Pre-trace clients; counted so operators can watch
+                    // them age out.
+                    dtfe_telemetry::counter_add!("service.wire_legacy_requests", 1);
+                }
                 let snapshot = d.str()?;
                 let center = Vec3::new(d.f64()?, d.f64()?, d.f64()?);
                 let resolution = d.u32()?;
                 let samples = d.u32()?;
                 let deadline_ms = d.u64()?;
-                let (tag, param) = (d.u8()?, d.u16()?);
+                let (etag, param) = (d.u8()?, d.u16()?);
                 let estimator =
-                    EstimatorKind::from_wire_code(tag, param).ok_or(WireError::BadTag(tag))?;
+                    EstimatorKind::from_wire_code(etag, param).ok_or(WireError::BadTag(etag))?;
+                let trace = if tag == REQ_RENDER_V4 {
+                    decode_trace(&mut d)?
+                } else {
+                    None
+                };
                 Request::Render(RenderRequest {
                     snapshot,
                     center,
@@ -297,10 +362,12 @@ impl Request {
                     samples,
                     deadline_ms,
                     estimator,
+                    trace,
                 })
             }
             REQ_STATS => Request::Stats,
             REQ_HEALTH => Request::Health,
+            REQ_DUMP => Request::Dump,
             REQ_SHUTDOWN => Request::Shutdown,
             t => return Err(WireError::BadTag(t)),
         };
@@ -372,7 +439,7 @@ impl Response {
         let mut e = Enc(Vec::new());
         match self {
             Response::Field(resp) => {
-                e.u8(RESP_FIELD_V3);
+                e.u8(RESP_FIELD_V4);
                 e.f64(resp.grid.origin.x);
                 e.f64(resp.grid.origin.y);
                 e.f64(resp.grid.cell.x);
@@ -384,6 +451,9 @@ impl Response {
                 e.u64(resp.meta.queue_us);
                 e.u64(resp.meta.render_us);
                 e.u8(resp.meta.degraded as u8);
+                e.u64(resp.meta.admission_us);
+                e.u64(resp.meta.build_us);
+                encode_trace(&mut e, &resp.meta.trace);
                 e.u64(resp.data.len() as u64);
                 for &v in &resp.data {
                     e.f64(v);
@@ -393,9 +463,16 @@ impl Response {
                 e.u8(RESP_ERROR);
                 encode_error(&mut e, err);
             }
-            Response::Stats(json) => {
+            Response::Stats(doc) => {
                 e.u8(RESP_STATS);
+                let json = doc.to_json();
                 // Stats documents can exceed u16; length-prefix with u32.
+                e.u32(json.len() as u32);
+                e.0.extend_from_slice(json.as_bytes());
+            }
+            Response::Dump(json) => {
+                e.u8(RESP_DUMP);
+                // Flight dumps can exceed u16; length-prefix with u32.
                 e.u32(json.len() as u32);
                 e.0.extend_from_slice(json.as_bytes());
             }
@@ -418,9 +495,10 @@ impl Response {
     pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
         let mut d = Dec { buf, at: 0 };
         let resp = match d.u8()? {
-            // Legacy v2 frame (no `degraded` flag) and current v3 frame
-            // share the layout up to the flag byte.
-            tag @ (RESP_FIELD | RESP_FIELD_V3) => {
+            // The field-frame generations share the layout up to the
+            // `degraded` flag; v4 inserts stage timings + trace before the
+            // data length. Older frames decode with the defaults.
+            tag @ (RESP_FIELD | RESP_FIELD_V3 | RESP_FIELD_V4) => {
                 let origin = Vec2::new(d.f64()?, d.f64()?);
                 let cell = Vec2::new(d.f64()?, d.f64()?);
                 let nx = d.u32()? as usize;
@@ -433,7 +511,7 @@ impl Response {
                 let batch_size = d.u32()?;
                 let queue_us = d.u64()?;
                 let render_us = d.u64()?;
-                let degraded = if tag == RESP_FIELD_V3 {
+                let degraded = if tag != RESP_FIELD {
                     match d.u8()? {
                         0 => false,
                         1 => true,
@@ -441,6 +519,11 @@ impl Response {
                     }
                 } else {
                     false
+                };
+                let (admission_us, build_us, trace) = if tag == RESP_FIELD_V4 {
+                    (d.u64()?, d.u64()?, decode_trace(&mut d)?)
+                } else {
+                    (0, 0, None)
                 };
                 let n = d.u64()? as usize;
                 // `n` is bounded by the frame cap; still cross-check against
@@ -463,8 +546,11 @@ impl Response {
                     meta: ResponseMeta {
                         cache_hit,
                         batch_size,
+                        admission_us,
                         queue_us,
+                        build_us,
                         render_us,
+                        trace,
                         degraded,
                     },
                 })
@@ -473,7 +559,13 @@ impl Response {
             RESP_STATS => {
                 let n = d.u32()? as usize;
                 let bytes = d.take(n)?;
-                Response::Stats(String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)?)
+                let json = String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)?;
+                Response::Stats(StatsDocument::parse(&json).map_err(WireError::Malformed)?)
+            }
+            RESP_DUMP => {
+                let n = d.u32()? as usize;
+                let bytes = d.take(n)?;
+                Response::Dump(String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)?)
             }
             RESP_HEALTH => {
                 let flag = |d: &mut Dec| -> Result<bool, WireError> {
@@ -514,21 +606,74 @@ mod tests {
             EstimatorKind::VelocityDivergence,
             EstimatorKind::Stochastic { realizations: 7 },
         ];
-        let mut reqs = vec![Request::Stats, Request::Shutdown];
+        let traces = [
+            None,
+            Some(TraceContext {
+                id: *b"0123456789abcdef",
+                sampled: false,
+            }),
+            Some(TraceContext::sampled([0xA5; 16])),
+        ];
+        let mut reqs = vec![Request::Stats, Request::Shutdown, Request::Dump];
         for est in estimators {
-            reqs.push(Request::Render(RenderRequest {
-                snapshot: "demo".into(),
-                center: Vec3::new(1.5, -2.25, 3.0),
-                resolution: 128,
-                samples: 4,
-                deadline_ms: 250,
-                estimator: est,
-            }));
+            for trace in traces {
+                reqs.push(Request::Render(RenderRequest {
+                    snapshot: "demo".into(),
+                    center: Vec3::new(1.5, -2.25, 3.0),
+                    resolution: 128,
+                    samples: 4,
+                    deadline_ms: 250,
+                    estimator: est,
+                    trace,
+                }));
+            }
         }
         for r in reqs {
             let bytes = r.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn legacy_v2_render_decodes_without_trace() {
+        // Hand-crafted v2 frame: the pre-trace layout.
+        let mut e = Enc(Vec::new());
+        e.u8(REQ_RENDER_V2);
+        e.str("old");
+        e.f64(0.5);
+        e.f64(1.5);
+        e.f64(2.5);
+        e.u32(64);
+        e.u32(2);
+        e.u64(100);
+        let (tag, param) = EstimatorKind::PsDtfe.wire_code();
+        e.u8(tag);
+        e.u16(param);
+        let req = Request::decode(&e.0).unwrap();
+        assert_eq!(
+            req,
+            Request::Render(RenderRequest {
+                snapshot: "old".into(),
+                center: Vec3::new(0.5, 1.5, 2.5),
+                resolution: 64,
+                samples: 2,
+                deadline_ms: 100,
+                estimator: EstimatorKind::PsDtfe,
+                trace: None,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_trace_flags_are_rejected() {
+        let mut bytes = Request::Render(RenderRequest::new("x", Vec3::ZERO)).encode();
+        // Trace flags byte sits 17 bytes from the end (flags + 16-byte id).
+        let at = bytes.len() - 17;
+        bytes[at] = 0x80;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::BadTag(0x80))
+        ));
     }
 
     #[test]
@@ -553,6 +698,7 @@ mod tests {
                 samples: 2,
                 deadline_ms: 100,
                 estimator: EstimatorKind::Dtfe,
+                trace: None,
             })
         );
     }
@@ -561,8 +707,9 @@ mod tests {
     fn bad_estimator_tag_is_rejected() {
         let req = Request::Render(RenderRequest::new("x", Vec3::ZERO));
         let mut bytes = req.encode();
-        // The estimator tag is the 3rd-from-last byte (tag u8 + param u16).
-        let at = bytes.len() - 3;
+        // The estimator tag precedes the u16 param and the 17-byte trace
+        // block, so it is the 20th-from-last byte of a v4 frame.
+        let at = bytes.len() - 20;
         bytes[at] = 0xEE;
         assert!(matches!(
             Request::decode(&bytes),
@@ -628,11 +775,8 @@ mod tests {
         assert_eq!(Request::decode(&bytes).unwrap(), Request::Health);
     }
 
-    #[test]
-    fn legacy_field_frame_decodes_with_degraded_false() {
-        // A v3 encode with the tag rewritten to the legacy RESP_FIELD and
-        // the `degraded` byte removed is exactly what an old server emits.
-        let resp = RenderResponse {
+    fn sample_field_response() -> RenderResponse {
+        RenderResponse {
             grid: GridSpec2 {
                 origin: Vec2::new(0.0, 0.0),
                 cell: Vec2::new(1.0, 1.0),
@@ -643,18 +787,52 @@ mod tests {
             meta: ResponseMeta {
                 cache_hit: true,
                 batch_size: 2,
+                admission_us: 3,
                 queue_us: 10,
+                build_us: 40,
                 render_us: 20,
-                degraded: true, // stripped below — legacy frames can't carry it
+                trace: Some(TraceContext::sampled([7; 16])),
+                degraded: true,
             },
-        };
+        }
+    }
+
+    #[test]
+    fn field_v4_frame_roundtrips_stage_timings_and_trace() {
+        let resp = Response::Field(sample_field_response());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn legacy_field_frames_decode_with_defaults() {
+        // Stripping the v4 additions (stage timings + trace block) off a
+        // fresh encode reconstructs exactly what older servers emit.
+        let resp = sample_field_response();
         let mut bytes = Response::Field(resp.clone()).encode();
-        bytes[0] = RESP_FIELD;
         // Layout: tag(1) + grid(4*8+2*4) + cache_hit(1) + batch(4) +
-        // queue(8) + render(8) = 62 bytes before the degraded flag.
+        // queue(8) + render(8) = 62 bytes before the degraded flag, then
+        // admission(8) + build(8) + trace flags(1) + id(16) = 33 v4 bytes.
         let degraded_at = 1 + 4 * 8 + 2 * 4 + 1 + 4 + 8 + 8;
-        assert_eq!(bytes[degraded_at], 1);
-        bytes.remove(degraded_at);
+        let v4_block = degraded_at + 1..degraded_at + 1 + 33;
+
+        // v3: degraded flag survives; stage timings and trace default.
+        bytes[0] = RESP_FIELD_V3;
+        bytes.drain(v4_block.clone());
+        match Response::decode(&bytes).unwrap() {
+            Response::Field(got) => {
+                assert_eq!(got.data, resp.data);
+                assert!(got.meta.degraded);
+                assert!(got.meta.cache_hit);
+                assert_eq!(got.meta.admission_us, 0);
+                assert_eq!(got.meta.build_us, 0);
+                assert_eq!(got.meta.trace, None);
+            }
+            other => panic!("expected field, got {other:?}"),
+        }
+
+        // v1: the degraded flag is gone too.
+        bytes[0] = RESP_FIELD;
+        assert_eq!(bytes.remove(degraded_at), 1);
         match Response::decode(&bytes).unwrap() {
             Response::Field(got) => {
                 assert_eq!(got.data, resp.data);
@@ -663,6 +841,35 @@ mod tests {
             }
             other => panic!("expected field, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn typed_stats_and_dump_roundtrip() {
+        let mut doc = StatsDocument {
+            version: crate::stats_doc::STATS_VERSION,
+            ..Default::default()
+        };
+        doc.serving.admitted = 7;
+        doc.serving.completed = 6;
+        doc.cache.entries = 2;
+        let resp = Response::Stats(doc);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+
+        let dump = Response::Dump("{\"traceEvents\":[]}".to_string());
+        assert_eq!(Response::decode(&dump.encode()).unwrap(), dump);
+    }
+
+    #[test]
+    fn malformed_stats_payload_is_a_typed_error() {
+        let mut e = Enc(Vec::new());
+        e.u8(RESP_STATS);
+        let json = b"{\"not\":\"a stats doc\"}";
+        e.u32(json.len() as u32);
+        e.0.extend_from_slice(json);
+        assert!(matches!(
+            Response::decode(&e.0),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

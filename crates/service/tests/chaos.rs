@@ -105,6 +105,7 @@ fn chaos_sweep_never_corrupts_and_server_drains_clean() {
             // Exercise the hedged path on some seeds.
             hedge_after: (seed % 2 == 1).then_some(Duration::from_millis(150)),
             seed,
+            sample_traces: false,
         };
         let mut client = ResilientClient::new(proxy.addr(), ccfg).unwrap();
         for i in 0..10 {

@@ -7,10 +7,27 @@ use dtfe_core::{EstimatorKind, GridSpec2};
 use dtfe_geometry::{Vec2, Vec3};
 use dtfe_service::{
     wire::{read_frame, write_frame},
-    RenderRequest, RenderResponse, Request, Response, ResponseMeta, ServiceError, WireError,
-    MAX_FRAME,
+    CacheCounters, RenderRequest, RenderResponse, Request, Response, ResponseMeta, ServiceError,
+    ServingCounters, StatsDocument, TraceContext, WireError, MAX_FRAME, STATS_VERSION,
 };
 use proptest::prelude::*;
+
+/// Trace contexts as they appear on the wire: absent, present-unsampled,
+/// present-sampled.
+fn trace_from(sel: u8, seed: u64) -> Option<TraceContext> {
+    match sel % 3 {
+        0 => None,
+        s => {
+            let mut id = [0u8; 16];
+            id[..8].copy_from_slice(&seed.to_le_bytes());
+            id[8..].copy_from_slice(&seed.wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes());
+            Some(TraceContext {
+                id,
+                sampled: s == 2,
+            })
+        }
+    }
+}
 
 /// Snapshot-id-shaped strings (the wire allows any UTF-8 ≤ u16::MAX; ids
 /// this shape keep the cases readable).
@@ -49,6 +66,8 @@ proptest! {
         deadline_ms in 0u64..1_000_000,
         est_sel in 0u8..4,
         realizations in 1u16..64,
+        trace_sel in 0u8..3,
+        trace_seed in 0u64..u64::MAX,
     ) {
         let estimator = match est_sel {
             0 => EstimatorKind::Dtfe,
@@ -63,6 +82,7 @@ proptest! {
             samples,
             deadline_ms,
             estimator,
+            trace: trace_from(trace_sel, trace_seed),
         });
         let bytes = req.encode();
         prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
@@ -91,6 +111,9 @@ proptest! {
         batch_size in 1u32..64,
         queue_us in 0u64..1_000_000,
         render_us in 0u64..1_000_000,
+        admission_us in 0u64..1_000_000,
+        build_us in 0u64..1_000_000,
+        trace_sel in 0u8..3,
         seed in 0u64..u64::MAX,
     ) {
         // Deterministic data values derived from the seed; bit-exactness
@@ -114,9 +137,12 @@ proptest! {
             meta: ResponseMeta {
                 cache_hit: cache_hit == 1,
                 batch_size,
+                admission_us,
                 queue_us,
+                build_us,
                 render_us,
                 degraded: degraded == 1,
+                trace: trace_from(trace_sel, seed),
             },
         });
         let bytes = resp.encode();
@@ -128,15 +154,46 @@ proptest! {
         msg_bytes in prop::collection::vec(0u8..255, 0..200),
         resident_tiles in 0u64..u64::MAX,
         queue_depth in 0u64..u64::MAX,
+        // Counters stay below 2^53 so the JSON (f64) representation is
+        // exact — the same invariant the server upholds.
+        c in prop::collection::vec(0u64..(1u64 << 53), 19),
         flags in 0u8..4,
     ) {
-        for req in [Request::Stats, Request::Health, Request::Shutdown] {
+        for req in [Request::Stats, Request::Health, Request::Shutdown, Request::Dump] {
             let bytes = req.encode();
             prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
         }
-        let resp = Response::Stats(id_from(msg_bytes));
+        let resp = Response::Stats(StatsDocument {
+            version: STATS_VERSION,
+            serving: ServingCounters {
+                admitted: c[0],
+                shed: c[1],
+                rejected: c[2],
+                completed: c[3],
+                deadline_dropped: c[4],
+                failed: c[5],
+                hits: c[6],
+                misses: c[7],
+                coalesced: c[8],
+                stale_served: c[9],
+            },
+            cache: CacheCounters {
+                resident_bytes: c[10],
+                budget_bytes: c[11],
+                entries: c[12],
+                evictions: c[13],
+                uncacheable: c[14],
+                singleflight_parks: c[15],
+                stale_entries: c[16],
+                quarantined: c[17],
+                build_panics: c[18],
+            },
+            metrics: None,
+        });
         let bytes = resp.encode();
         prop_assert_eq!(Response::decode(&bytes).unwrap(), resp.clone());
+        let dump = Response::Dump(id_from(msg_bytes));
+        prop_assert_eq!(Response::decode(&dump.encode()).unwrap(), dump);
         let health = Response::Health(dtfe_service::HealthStatus {
             ok: flags & 1 == 1,
             draining: flags & 2 == 2,
@@ -164,6 +221,7 @@ proptest! {
             samples: 2,
             deadline_ms: 99,
             estimator: EstimatorKind::Stochastic { realizations: 3 },
+            trace: trace_from(2, 0xDEADBEEF),
         });
         let bytes = req.encode();
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
@@ -257,12 +315,13 @@ proptest! {
             samples,
             deadline_ms,
             estimator: EstimatorKind::Dtfe,
+            trace: None,
         });
         prop_assert_eq!(Request::decode(&bytes).unwrap(), expected);
     }
 
     #[test]
-    fn unknown_tags_rejected(tag in 8u8..255) {
+    fn unknown_tags_rejected(tag in 9u8..255) {
         prop_assert!(matches!(Request::decode(&[tag]), Err(WireError::BadTag(_))));
         prop_assert!(matches!(Response::decode(&[tag]), Err(WireError::BadTag(_))));
     }

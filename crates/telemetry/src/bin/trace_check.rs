@@ -1,20 +1,30 @@
 //! CI checker for emitted telemetry artifacts.
 //!
-//! Usage: `trace_check <trace.json> [<metrics.json>]`
+//! Usage: `trace_check <trace.json> [<metrics.json>] [--stats <stats.json>]`
 //!
 //! Validates that the trace is well-formed Chrome-trace JSON (balanced,
-//! correctly nested B/E events with per-thread monotone timestamps) and,
-//! when given, that the metrics document has the `ranks`/`merged` layout
-//! with quantile-bearing histograms. Exits non-zero on any violation.
+//! correctly nested B/E events with per-thread monotone timestamps); when
+//! given, that the metrics document has the `ranks`/`merged` layout with
+//! quantile-bearing histograms; and, with `--stats`, that a serving-tier
+//! stats document is typed and versioned. Exits non-zero on any violation.
 
 use std::process::ExitCode;
 
-use dtfe_telemetry::check::{check_chrome_trace, check_metrics_json};
+use dtfe_telemetry::check::{check_chrome_trace, check_metrics_json, check_stats_json};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stats_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--stats") {
+        if pos + 1 >= args.len() {
+            eprintln!("trace_check: --stats requires a file argument");
+            return ExitCode::from(2);
+        }
+        stats_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     if args.is_empty() || args.len() > 2 {
-        eprintln!("usage: trace_check <trace.json> [<metrics.json>]");
+        eprintln!("usage: trace_check <trace.json> [<metrics.json>] [--stats <stats.json>]");
         return ExitCode::from(2);
     }
 
@@ -52,6 +62,26 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("trace_check: {metrics_path} INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(stats_path) = stats_path {
+        let text = match std::fs::read_to_string(&stats_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_check: cannot read {stats_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_stats_json(&text) {
+            Ok(stats) => println!(
+                "trace_check: {stats_path} OK (version {}, {} histograms, {} windows)",
+                stats.version, stats.histograms, stats.windows
+            ),
+            Err(e) => {
+                eprintln!("trace_check: {stats_path} INVALID: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -100,6 +100,17 @@ pub struct MetricsStats {
     pub merged_histograms: usize,
 }
 
+fn check_hist_digests(hists: &BTreeMap<String, Json>, what: &str) -> Result<(), String> {
+    for (name, h) in hists {
+        for key in ["count", "p50", "p90", "p99"] {
+            h.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or(format!("{what}: histogram '{name}' missing {key}"))?;
+        }
+    }
+    Ok(())
+}
+
 fn check_metrics_obj(v: &Json, what: &str) -> Result<(usize, usize, usize), String> {
     let counters = v
         .get("counters")
@@ -113,12 +124,18 @@ fn check_metrics_obj(v: &Json, what: &str) -> Result<(usize, usize, usize), Stri
         .get("histograms")
         .and_then(|c| c.as_obj())
         .ok_or(format!("{what}: missing histograms object"))?;
-    for (name, h) in hists {
-        for key in ["count", "p50", "p90", "p99"] {
-            h.get(key)
-                .and_then(|v| v.as_f64())
-                .ok_or(format!("{what}: histogram '{name}' missing {key}"))?;
-        }
+    check_hist_digests(hists, what)?;
+    // Window sections are optional, but when present they must carry
+    // quantile-bearing digests and a positive covered span.
+    if let Some(w) = v.get("windows") {
+        let w = w
+            .as_obj()
+            .ok_or(format!("{what}: windows is not an object"))?;
+        check_hist_digests(w, &format!("{what} (windows)"))?;
+        v.get("window_seconds")
+            .and_then(|s| s.as_f64())
+            .filter(|s| *s > 0.0)
+            .ok_or(format!("{what}: windows without positive window_seconds"))?;
     }
     Ok((counters.len(), gauges.len(), hists.len()))
 }
@@ -145,4 +162,72 @@ pub fn check_metrics_json(text: &str) -> Result<MetricsStats, String> {
         merged_gauges: g,
         merged_histograms: h,
     })
+}
+
+/// What a valid stats document contained, for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsDocStats {
+    pub version: u64,
+    pub histograms: usize,
+    pub windows: usize,
+}
+
+/// The serving counters every stats document must carry.
+pub const SERVING_COUNTER_KEYS: [&str; 10] = [
+    "admitted",
+    "shed",
+    "rejected",
+    "completed",
+    "deadline_dropped",
+    "failed",
+    "hits",
+    "misses",
+    "coalesced",
+    "stale_served",
+];
+
+/// Validate a serving-tier stats document (the typed, versioned JSON the
+/// wire `Stats` request answers): a `version`, the full set of serving
+/// counters, a cache section, and — when the server runs with telemetry —
+/// a metrics object whose histogram/window digests carry quantiles.
+pub fn check_stats_json(text: &str) -> Result<StatsDocStats, String> {
+    let doc = Json::parse(text).map_err(|e| format!("stats not valid JSON: {e}"))?;
+    let version = doc
+        .get("version")
+        .and_then(|v| v.as_f64())
+        .filter(|v| *v >= 1.0)
+        .ok_or("missing or non-positive version")? as u64;
+    let serving = doc
+        .get("serving")
+        .and_then(|v| v.as_obj())
+        .ok_or("missing serving object")?;
+    for key in SERVING_COUNTER_KEYS {
+        serving
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("serving: missing counter '{key}'"))?;
+    }
+    let cache = doc
+        .get("cache")
+        .and_then(|v| v.as_obj())
+        .ok_or("missing cache object")?;
+    for key in ["resident_bytes", "budget_bytes", "entries"] {
+        cache
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("cache: missing field '{key}'"))?;
+    }
+    let mut stats = StatsDocStats {
+        version,
+        ..Default::default()
+    };
+    if let Some(metrics) = doc.get("metrics") {
+        let (_, _, h) = check_metrics_obj(metrics, "metrics")?;
+        stats.histograms = h;
+        stats.windows = metrics
+            .get("windows")
+            .and_then(|w| w.as_obj())
+            .map_or(0, |w| w.len());
+    }
+    Ok(stats)
 }

@@ -191,7 +191,38 @@ fn metrics_obj(out: &mut String, label: Option<&str>, m: &MetricsSnapshot) {
         out.push(':');
         hist_json(out, h);
     }
-    out.push_str("}}");
+    out.push('}');
+    // Rotating-window sections appear only for recorders with windowing
+    // configured, so documents from window-free recorders are unchanged.
+    if m.window_seconds > 0.0 || !m.windows.is_empty() {
+        out.push_str(&format!(
+            ",\"window_seconds\":{},\"windows\":{{",
+            number(m.window_seconds)
+        ));
+        let mut first = true;
+        for (k, h) in &m.windows {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            escape_into(out, k);
+            out.push(':');
+            hist_json(out, h);
+        }
+        out.push_str("},\"window_gauges\":{");
+        let mut first = true;
+        for (k, v) in &m.window_gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            escape_into(out, k);
+            out.push(':');
+            out.push_str(&number(*v));
+        }
+        out.push('}');
+    }
+    out.push('}');
 }
 
 /// Render one metrics snapshot as a standalone JSON object

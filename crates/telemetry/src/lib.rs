@@ -38,18 +38,22 @@
 pub mod check;
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod stats;
+pub mod window;
 
 pub use export::{chrome_trace, merged_metrics, metrics_json, metrics_object, Summary};
+pub use flight::{FlightRecorder, RequestTrace};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use recorder::{
     is_enabled, GlobalInstallGuard, InstallGuard, Recorder, SpanEvent, SpanGuard, SpanTimes,
     TelemetrySnapshot,
 };
 pub use stats::{normalized_std, LoadSummary};
+pub use window::{GaugeWindow, WindowedGauge, WindowedHistogram};
 
 /// Open a span: `span!("name")` or `span!("name", key = value, ...)`.
 /// Returns a [`SpanGuard`] that records on drop; bind it (`let sp = ...`)

@@ -174,6 +174,14 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, f64>,
     pub histograms: BTreeMap<String, Histogram>,
+    /// Rotating-window views of the histograms: same names, but covering
+    /// only the last [`MetricsSnapshot::window_seconds`] of samples.
+    pub windows: BTreeMap<String, Histogram>,
+    /// Rotating-window gauge values (most recent set inside the window).
+    pub window_gauges: BTreeMap<String, f64>,
+    /// Time span the `windows`/`window_gauges` entries cover, in seconds
+    /// (`0` when the recorder has no windowing configured).
+    pub window_seconds: f64,
 }
 
 impl MetricsSnapshot {
@@ -193,6 +201,11 @@ impl MetricsSnapshot {
         self.histograms.get(name)
     }
 
+    /// Windowed histogram for `name`, if the recorder windows it.
+    pub fn window(&self, name: &str) -> Option<&Histogram> {
+        self.windows.get(name)
+    }
+
     pub fn merge_from(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -203,6 +216,13 @@ impl MetricsSnapshot {
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
+        for (k, h) in &other.windows {
+            self.windows.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, v) in &other.window_gauges {
+            *self.window_gauges.entry(k.clone()).or_insert(0.0) += v;
+        }
+        self.window_seconds = self.window_seconds.max(other.window_seconds);
     }
 }
 

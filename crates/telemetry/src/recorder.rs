@@ -28,6 +28,7 @@ use std::time::Instant;
 
 use crate::clock;
 use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::window::{WindowedGauge, WindowedHistogram};
 
 /// Maximum distinct metric names per kind. Interning past the cap silently
 /// drops the metric (returns an out-of-range id) rather than panicking.
@@ -146,19 +147,28 @@ impl SpanEvent {
 
 struct Shard {
     tid: u64,
+    /// Rotating-window shape `(buckets, width_us)` copied from the owning
+    /// recorder; `(0, _)` disables windowing on this shard.
+    window: (usize, u64),
     counters: Box<[AtomicU64]>,
     gauges: Mutex<Vec<Option<f64>>>,
     hists: Mutex<Vec<Option<Histogram>>>,
+    /// Rotating-window companions of `hists`/`gauges`, same dense ids.
+    whists: Mutex<Vec<Option<WindowedHistogram>>>,
+    wgauges: Mutex<Vec<Option<WindowedGauge>>>,
     spans: Mutex<Vec<SpanEvent>>,
 }
 
 impl Shard {
-    fn new(tid: u64) -> Self {
+    fn new(tid: u64, window: (usize, u64)) -> Self {
         Shard {
             tid,
+            window,
             counters: (0..COUNTER_CAP).map(|_| AtomicU64::new(0)).collect(),
             gauges: Mutex::new(vec![None; GAUGE_CAP]),
             hists: Mutex::new((0..HIST_CAP).map(|_| None).collect()),
+            whists: Mutex::new((0..HIST_CAP).map(|_| None).collect()),
+            wgauges: Mutex::new((0..GAUGE_CAP).map(|_| None).collect()),
             spans: Mutex::new(Vec::new()),
         }
     }
@@ -167,6 +177,9 @@ impl Shard {
 struct RecorderInner {
     id: u64,
     label: String,
+    /// Rotating-window shape `(buckets, width_us)` for windowed metrics;
+    /// `(0, _)` records cumulative metrics only.
+    window: (usize, u64),
     shards: Mutex<Vec<Arc<Shard>>>,
 }
 
@@ -209,11 +222,21 @@ impl TelemetrySnapshot {
 }
 
 impl Recorder {
+    /// Default recorder: cumulative metrics plus a 10 × 1 s rotating
+    /// window (so live quantiles work out of the box).
     pub fn new(label: &str) -> Recorder {
+        Recorder::with_windows(label, 10, std::time::Duration::from_secs(1))
+    }
+
+    /// A recorder whose histograms and gauges also feed a rotating window
+    /// of `buckets × width` (see [`crate::window`]). `buckets = 0`
+    /// disables windowing entirely.
+    pub fn with_windows(label: &str, buckets: usize, width: std::time::Duration) -> Recorder {
         Recorder {
             inner: Arc::new(RecorderInner {
                 id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
                 label: label.to_string(),
+                window: (buckets, (width.as_micros() as u64).max(1)),
                 shards: Mutex::new(Vec::new()),
             }),
         }
@@ -225,7 +248,7 @@ impl Recorder {
 
     fn shard_for_current_thread(&self) -> Arc<Shard> {
         let mut shards = self.inner.shards.lock().unwrap();
-        let shard = Arc::new(Shard::new(shards.len() as u64));
+        let shard = Arc::new(Shard::new(shards.len() as u64, self.inner.window));
         shards.push(shard.clone());
         shard
     }
@@ -270,6 +293,15 @@ impl Recorder {
             )
         };
         let mut metrics = MetricsSnapshot::default();
+        let (wbuckets, wwidth_us) = self.inner.window;
+        if wbuckets > 0 {
+            metrics.window_seconds = (wbuckets as u64 * wwidth_us) as f64 * 1e-6;
+        }
+        // One read timestamp for every shard, so the merged window is a
+        // consistent cut across threads.
+        let now_us = clock::now_us();
+        // Most recent set per windowed gauge across shards.
+        let mut wgauge_latest: std::collections::BTreeMap<String, (u64, f64)> = Default::default();
         let mut spans = Vec::new();
         let shards = self.inner.shards.lock().unwrap();
         for shard in shards.iter() {
@@ -297,7 +329,36 @@ impl Recorder {
                     }
                 }
             }
+            for (id, slot) in shard.whists.lock().unwrap().iter().enumerate() {
+                if let Some(wh) = slot {
+                    if let Some(name) = hist_names.get(id) {
+                        let merged = wh.merged_at(now_us);
+                        if !merged.is_empty() {
+                            metrics
+                                .windows
+                                .entry(name.clone())
+                                .or_default()
+                                .merge(&merged);
+                        }
+                    }
+                }
+            }
+            for (id, slot) in shard.wgauges.lock().unwrap().iter().enumerate() {
+                if let Some(wg) = slot {
+                    if let Some(name) = gauge_names.get(id) {
+                        if let Some(w) = wg.merged_at(now_us) {
+                            let e = wgauge_latest.entry(name.clone()).or_insert((0, w.last));
+                            if w.last_at_us >= e.0 {
+                                *e = (w.last_at_us, w.last);
+                            }
+                        }
+                    }
+                }
+            }
             spans.extend(shard.spans.lock().unwrap().iter().cloned());
+        }
+        for (name, (_, v)) in wgauge_latest {
+            metrics.window_gauges.insert(name, v);
         }
         spans.sort_by_key(|s| (s.t0_us, s.depth));
         TelemetrySnapshot {
@@ -420,7 +481,15 @@ pub fn record_gauge(id: usize, v: f64) {
     if id >= GAUGE_CAP {
         return;
     }
-    with_shard(|s| s.gauges.lock().unwrap()[id] = Some(v));
+    with_shard(|s| {
+        s.gauges.lock().unwrap()[id] = Some(v);
+        let (buckets, width_us) = s.window;
+        if buckets > 0 {
+            s.wgauges.lock().unwrap()[id]
+                .get_or_insert_with(|| WindowedGauge::new(buckets, width_us))
+                .set(v);
+        }
+    });
 }
 
 #[inline]
@@ -431,7 +500,13 @@ pub fn record_histogram(id: usize, v: u64) {
     with_shard(|s| {
         s.hists.lock().unwrap()[id]
             .get_or_insert_with(Histogram::new)
-            .record(v)
+            .record(v);
+        let (buckets, width_us) = s.window;
+        if buckets > 0 {
+            s.whists.lock().unwrap()[id]
+                .get_or_insert_with(|| WindowedHistogram::new(buckets, width_us))
+                .record(v);
+        }
     });
 }
 

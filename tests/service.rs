@@ -192,9 +192,11 @@ fn tcp_transport_round_trip_errors_and_shutdown() {
         .unwrap_err();
     assert!(matches!(err, ServiceError::InvalidRequest(_)), "{err:?}");
 
-    // Stats is a JSON document with the serving counters.
+    // Stats is a typed document whose counters reflect the work above,
+    // and whose JSON form passes the telemetry checker.
     let stats = client.stats().expect("stats");
-    assert!(stats.contains("\"hits\""), "{stats}");
+    assert!(stats.serving.hits + stats.serving.misses > 0, "{stats:?}");
+    dtfe_telemetry::check::check_stats_json(&stats.to_json()).expect("stats JSON validates");
 
     // Shutdown acks, the accept loop exits, and renders after drain are
     // refused.
