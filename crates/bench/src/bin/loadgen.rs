@@ -54,6 +54,7 @@
 //! cargo run --release -p dtfe-bench --bin loadgen -- --trace --slo p99=500,error_rate=0.01
 //! ```
 
+use dtfe_cluster::{ClusterClient, ClusterConfig, ClusterNode};
 use dtfe_core::EstimatorKind;
 use dtfe_framework::Decomposition;
 use dtfe_geometry::{Aabb3, Vec3};
@@ -67,7 +68,7 @@ use dtfe_telemetry::json::number;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -112,6 +113,16 @@ struct Args {
     stats_out: Option<PathBuf>,
     /// Run the telemetry-off vs telemetry-on A/B leg.
     ab_telemetry: bool,
+    /// Boot an N-shard in-process cluster and drive all traffic through
+    /// the ring-aware [`ClusterClient`] (0 = off).
+    cluster: usize,
+    /// Drive an already-running cluster: `addrs[i]` is shard `i`'s
+    /// listener (the CI job boots `dtfe-clusterd` and passes these).
+    cluster_addrs: Vec<String>,
+    /// Kill this shard at the warm phase's midpoint: in-process clusters
+    /// stop the shard's listener and gossip, external ones get a wire
+    /// `Shutdown`. The run then exercises rehash + failover under load.
+    kill_shard: Option<usize>,
 }
 
 /// `--slo p99=MS,error_rate=FRAC`; either key may be omitted.
@@ -161,7 +172,8 @@ fn usage() -> ! {
          [--rate R] [--zipf S] [--tiles N] [--box-len L] [--field-len L] [--resolution N] \
          [--particles N] [--senders N] [--seed N] [--estimators dtfe,psdtfe,...] [--shutdown] \
          [--chaos SEED] [--client naive|retry] [--out FILE] [--trace] \
-         [--slo p99=MS,error_rate=FRAC] [--dump-out FILE] [--stats-out FILE] [--ab-telemetry]"
+         [--slo p99=MS,error_rate=FRAC] [--dump-out FILE] [--stats-out FILE] [--ab-telemetry] \
+         [--cluster N] [--cluster-addrs A,B,C] [--kill-shard I]"
     );
     std::process::exit(2)
 }
@@ -191,6 +203,9 @@ fn parse_args() -> Args {
         dump_out: None,
         stats_out: None,
         ab_telemetry: false,
+        cluster: 0,
+        cluster_addrs: Vec::new(),
+        kill_shard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -233,6 +248,14 @@ fn parse_args() -> Args {
             "--dump-out" => args.dump_out = Some(PathBuf::from(val())),
             "--stats-out" => args.stats_out = Some(PathBuf::from(val())),
             "--ab-telemetry" => args.ab_telemetry = true,
+            "--cluster" => args.cluster = val().parse().unwrap_or_else(|_| usage()),
+            "--cluster-addrs" => {
+                args.cluster_addrs = val().split(',').map(|s| s.trim().to_string()).collect();
+                if args.cluster_addrs.is_empty() {
+                    usage();
+                }
+            }
+            "--kill-shard" => args.kill_shard = Some(val().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -289,12 +312,17 @@ enum Conn {
         addr: String,
     },
     Resilient(Box<ResilientClient>),
+    Cluster(Box<ClusterClient>),
 }
 
 impl Conn {
-    fn render(&mut self, req: &RenderRequest) -> Result<RenderResponse, String> {
+    /// Render; the second value is the serving shard (cluster mode only).
+    fn render(&mut self, req: &RenderRequest) -> Result<(RenderResponse, Option<usize>), String> {
         match self {
-            Conn::InProc(svc) => svc.render(req).map_err(|e| e.to_string()),
+            Conn::InProc(svc) => svc
+                .render(req)
+                .map(|r| (r, None))
+                .map_err(|e| e.to_string()),
             Conn::Tcp { client, addr } => {
                 if client.is_none() {
                     *client =
@@ -306,9 +334,16 @@ impl Conn {
                     // client's only move is to throw it away.
                     *client = None;
                 }
-                result.map_err(|e| e.to_string())
+                result.map(|r| (r, None)).map_err(|e| e.to_string())
             }
-            Conn::Resilient(client) => client.render(req).map_err(|e| e.to_string()),
+            Conn::Resilient(client) => client
+                .render(req)
+                .map(|r| (r, None))
+                .map_err(|e| e.to_string()),
+            Conn::Cluster(client) => client
+                .render(req)
+                .map(|(r, shard)| (r, Some(shard)))
+                .map_err(|e| e.to_string()),
         }
     }
 
@@ -340,10 +375,85 @@ fn chaos_rule() -> SocketFaultRule {
         .bitflip(0.05)
 }
 
+/// One in-process cluster shard and the handles needed to kill it.
+struct InprocShard {
+    node: Arc<ClusterNode>,
+    stop: Arc<AtomicBool>,
+    serve: Option<std::thread::JoinHandle<()>>,
+    gossip: Option<std::thread::JoinHandle<()>>,
+}
+
+impl InprocShard {
+    /// Stop accepting, drain, drop the listener; gossip goes silent so
+    /// the survivors declare this shard dead and rehash its arcs.
+    fn kill(&mut self) {
+        self.node.stop_gossip();
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.serve.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.gossip.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The cluster under test: in-process shards (with kill handles) or just
+/// the listener addresses of an external `dtfe-clusterd`.
+struct ClusterCtx {
+    addrs: Vec<std::net::SocketAddr>,
+    inproc: Vec<InprocShard>,
+}
+
+/// Boot an N-shard in-process cluster over the seeded snapshot directory:
+/// bind ephemeral listeners first, then install the membership and start
+/// gossip. Shard 0 owns the process-global telemetry recorder.
+fn boot_cluster(args: &Args) -> ClusterCtx {
+    let mut addrs = Vec::new();
+    let mut pending = Vec::new();
+    for i in 0..args.cluster {
+        let mut cfg = ServiceConfig::new(args.field_len, args.resolution);
+        cfg.tiles = args.tiles;
+        cfg.telemetry = i == 0;
+        cfg.read_timeout = Some(Duration::from_millis(500));
+        cfg.write_timeout = Some(Duration::from_millis(500));
+        let service = Arc::new(Service::start(&args.snapshots, cfg).expect("start shard service"));
+        let node = ClusterNode::new(
+            service,
+            ClusterConfig {
+                shard: i as u32,
+                ..ClusterConfig::default()
+            },
+        );
+        let handler: Arc<dyn dtfe_service::RequestHandler> = node.clone();
+        let server = TcpServer::bind_with(handler, ("127.0.0.1", 0)).expect("bind shard");
+        addrs.push(server.local_addr().expect("shard addr"));
+        pending.push((node, server));
+    }
+    let inproc = pending
+        .into_iter()
+        .map(|(node, server)| {
+            node.configure_peers(addrs.clone());
+            let gossip = node.start_gossip();
+            let stop = server.stop_handle();
+            let serve = std::thread::spawn(move || server.serve());
+            InprocShard {
+                node,
+                stop,
+                serve: Some(serve),
+                gossip: Some(gossip),
+            }
+        })
+        .collect();
+    ClusterCtx { addrs, inproc }
+}
+
 #[derive(Default)]
 struct Tally {
     /// `(was_hit, latency_us)` per completed request.
     done: Vec<(bool, u64)>,
+    /// `(serving_shard, latency_us)` per completed request (cluster mode).
+    per_shard: Vec<(usize, u64)>,
     /// `[admission, queue, build, render]` µs per completed request
     /// (server-reported, nonzero breakdowns only arrive on v4 traced
     /// responses but the fields default to 0 either way).
@@ -436,6 +546,24 @@ fn main() -> ExitCode {
         eprintln!("--chaos starts its own local server; it conflicts with --addr");
         return ExitCode::from(2);
     }
+    let cluster_on = args.cluster > 0 || !args.cluster_addrs.is_empty();
+    if cluster_on && (args.addr.is_some() || args.chaos.is_some()) {
+        eprintln!("--cluster/--cluster-addrs conflict with --addr and --chaos");
+        return ExitCode::from(2);
+    }
+    if args.cluster > 0 && !args.cluster_addrs.is_empty() {
+        eprintln!("--cluster boots its own shards; it conflicts with --cluster-addrs");
+        return ExitCode::from(2);
+    }
+    let nshards = if args.cluster > 0 {
+        args.cluster
+    } else {
+        args.cluster_addrs.len()
+    };
+    if args.kill_shard.is_some_and(|k| !cluster_on || k >= nshards) {
+        eprintln!("--kill-shard needs a cluster and a shard index inside it");
+        return ExitCode::from(2);
+    }
     let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(args.box_len));
     let decomp = Decomposition::new(bounds, args.tiles);
     let tiles = decomp.num_ranks();
@@ -463,9 +591,42 @@ fn main() -> ExitCode {
         );
     }
 
+    // Cluster mode: boot in-process shards (or adopt external listeners),
+    // plus a single-node *reference* service over the same snapshot — the
+    // bit-identity oracle every cluster response is checked against.
+    let mut cluster_ctx: Option<ClusterCtx> = if args.cluster > 0 {
+        Some(boot_cluster(&args))
+    } else if !args.cluster_addrs.is_empty() {
+        let addrs = args
+            .cluster_addrs
+            .iter()
+            .map(|a| {
+                use std::net::ToSocketAddrs;
+                a.to_socket_addrs()
+                    .ok()
+                    .and_then(|mut it| it.next())
+                    .unwrap_or_else(|| {
+                        eprintln!("bad cluster address {a}");
+                        std::process::exit(2)
+                    })
+            })
+            .collect();
+        Some(ClusterCtx {
+            addrs,
+            inproc: Vec::new(),
+        })
+    } else {
+        None
+    };
+    let cluster_reference: Option<Service> = cluster_on.then(|| {
+        let mut cfg = ServiceConfig::new(args.field_len, args.resolution);
+        cfg.tiles = args.tiles;
+        Service::start(&args.snapshots, cfg).expect("start reference service")
+    });
+
     // The service under test: remote, or started in-process over the
     // seeded demo snapshot.
-    let service: Option<Arc<Service>> = if args.addr.is_some() {
+    let service: Option<Arc<Service>> = if args.addr.is_some() || cluster_on {
         None
     } else {
         let mut cfg = ServiceConfig::new(args.field_len, args.resolution);
@@ -514,6 +675,12 @@ fn main() -> ExitCode {
         sample_traces: args.trace,
     };
     let connect = || -> Conn {
+        if let Some(ctx) = &cluster_ctx {
+            let mut client =
+                ClusterClient::new(&ctx.addrs, 128, 2, retry_cfg).expect("connect cluster client");
+            client.register_snapshot(args.snapshot_id.clone(), bounds, args.tiles);
+            return Conn::Cluster(Box::new(client));
+        }
         match (&wire_addr, &service) {
             (Some(addr), _) => match args.client {
                 ClientKind::Naive => Conn::Tcp {
@@ -530,12 +697,17 @@ fn main() -> ExitCode {
     };
 
     // Request centres: the tile centre, nudged inward so jitter never
-    // leaves the tile (tile popularity stays exactly zipf). Chaos mode
-    // drops the jitter entirely — each (tile, estimator) pair then maps
-    // to one exact request, so every response can be checked bit-for-bit
-    // against a reference map. The rng draws are consumed either way to
-    // keep schedules identical across modes at the same seed.
-    let chaos_jitter = if args.chaos.is_some() { 0.0 } else { 0.25 };
+    // leaves the tile (tile popularity stays exactly zipf). Chaos and
+    // cluster modes drop the jitter entirely — each (tile, estimator)
+    // pair then maps to one exact request, so every response can be
+    // checked bit-for-bit against a reference map. The rng draws are
+    // consumed either way to keep schedules identical across modes at the
+    // same seed.
+    let chaos_jitter = if args.chaos.is_some() || cluster_on {
+        0.0
+    } else {
+        0.25
+    };
     let center_of = |tile: usize, rng: &mut Xorshift| -> Vec3 {
         let bx = decomp.rank_box(tile);
         let c = bx.center();
@@ -550,29 +722,40 @@ fn main() -> ExitCode {
         )
     };
 
-    // Chaos reference map: every (tile, estimator) request rendered once
-    // in-process (no network in the loop). Any wire response that
-    // disagrees with its reference is a *silently accepted corruption* —
-    // the one outcome chaos mode exists to rule out.
-    let references: Arc<HashMap<String, Vec<u64>>> = Arc::new(if args.chaos.is_some() {
-        let svc = service.as_ref().unwrap();
-        let mut rng = Xorshift(args.seed | 1);
-        let mut map = HashMap::new();
-        for tile in 0..tiles {
-            for est in &args.estimators {
-                let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng))
-                    .estimator(*est);
-                let resp = svc.render(&req).expect("reference render");
-                map.insert(
-                    format!("{tile}:{}", est.label()),
-                    resp.data.iter().map(|v| v.to_bits()).collect(),
-                );
+    // Reference map: every (tile, estimator) request rendered once by a
+    // single-node in-process service (no network, no sharding). Any wire
+    // response that disagrees with its reference is a *silently accepted
+    // corruption* — the outcome chaos mode exists to rule out, and in
+    // cluster mode the proof that sharding, rebalances, and failover
+    // never change a single served byte.
+    let references: Arc<HashMap<String, Vec<u64>>> = Arc::new(
+        if let Some(svc) = cluster_reference
+            .as_ref()
+            .or_else(|| service.as_deref().filter(|_| args.chaos.is_some()))
+        {
+            let mut rng = Xorshift(args.seed | 1);
+            let mut map = HashMap::new();
+            for tile in 0..tiles {
+                for est in &args.estimators {
+                    let req = RenderRequest::new(&args.snapshot_id, center_of(tile, &mut rng))
+                        .estimator(*est);
+                    let resp = svc.render(&req).expect("reference render");
+                    map.insert(
+                        format!("{tile}:{}", est.label()),
+                        resp.data.iter().map(|v| v.to_bits()).collect(),
+                    );
+                }
             }
-        }
-        map
-    } else {
-        HashMap::new()
-    });
+            map
+        } else {
+            HashMap::new()
+        },
+    );
+    // The reference service's job is done; release its workers before the
+    // load starts.
+    if let Some(r) = &cluster_reference {
+        r.drain();
+    }
     let corrupt = Arc::new(AtomicU64::new(0));
     let degraded_served = Arc::new(AtomicU64::new(0));
     // True when the response matches its reference (or there is none).
@@ -596,6 +779,7 @@ fn main() -> ExitCode {
     let mut conn = connect();
     let mut cold_us = Vec::with_capacity(tiles);
     let mut cold_stages: Vec<[u64; 4]> = Vec::with_capacity(tiles);
+    let mut cold_per_shard: Vec<(usize, u64)> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -610,9 +794,13 @@ fn main() -> ExitCode {
         }
         let t0 = Instant::now();
         match conn.render(&req) {
-            Ok(resp) => {
-                cold_us.push(t0.elapsed().as_micros() as u64);
+            Ok((resp, shard)) => {
+                let us = t0.elapsed().as_micros() as u64;
+                cold_us.push(us);
                 cold_stages.push(stage_row(&resp));
+                if let Some(shard) = shard {
+                    cold_per_shard.push((shard, us));
+                }
                 est_counts[tile % args.estimators.len()].fetch_add(1, Ordering::Relaxed);
                 if resp.meta.cache_hit {
                     hits += 1;
@@ -704,9 +892,12 @@ fn main() -> ExitCode {
                     let us = t0.elapsed().as_micros() as u64;
                     let mut t = tally.lock().unwrap();
                     match result {
-                        Ok(resp) => {
+                        Ok((resp, shard)) => {
                             t.done.push((resp.meta.cache_hit, us));
                             t.stages.push(stage_row(&resp));
+                            if let Some(shard) = shard {
+                                t.per_shard.push((shard, us));
+                            }
                             est_counts[i % n_estimators].fetch_add(1, Ordering::Relaxed);
                             if resp.meta.degraded {
                                 degraded_served.fetch_add(1, Ordering::Relaxed);
@@ -741,7 +932,57 @@ fn main() -> ExitCode {
             })
         })
         .collect();
+    // Mid-run shard kill: fire at the warm schedule's midpoint, so half
+    // the load lands before the rehash and half rides the failover.
+    let killer: Option<std::thread::JoinHandle<()>> = args.kill_shard.map(|victim| {
+        let at = Duration::from_secs_f64(args.requests as f64 / 2.0 / args.rate.max(1e-9));
+        let inproc = cluster_ctx.as_mut().and_then(|ctx| {
+            ctx.inproc.get_mut(victim).map(|s| {
+                (
+                    s.node.clone(),
+                    s.stop.clone(),
+                    s.serve.take(),
+                    s.gossip.take(),
+                )
+            })
+        });
+        let ext_addr = cluster_ctx.as_ref().map(|ctx| ctx.addrs[victim]);
+        std::thread::spawn(move || {
+            let now = start.elapsed();
+            if now < at {
+                std::thread::sleep(at - now);
+            }
+            if let Some((node, stop, serve, gossip)) = inproc {
+                node.stop_gossip();
+                stop.store(true, Ordering::SeqCst);
+                if let Some(h) = serve {
+                    let _ = h.join();
+                }
+                if let Some(h) = gossip {
+                    let _ = h.join();
+                }
+                eprintln!(
+                    "# killed shard {victim} at {:.2}s",
+                    start.elapsed().as_secs_f64()
+                );
+            } else if let Some(addr) = ext_addr {
+                match Client::connect(addr)
+                    .map_err(|e| e.to_string())
+                    .and_then(|mut c| c.shutdown().map_err(|e| e.to_string()))
+                {
+                    Ok(()) => eprintln!(
+                        "# shard {victim} acked kill shutdown at {:.2}s",
+                        start.elapsed().as_secs_f64()
+                    ),
+                    Err(e) => eprintln!("# shard {victim} kill: {e}"),
+                }
+            }
+        })
+    });
     for h in senders {
+        let _ = h.join();
+    }
+    if let Some(h) = killer {
         let _ = h.join();
     }
     let warm_wall = start.elapsed().as_secs_f64();
@@ -794,15 +1035,70 @@ fn main() -> ExitCode {
         slot.fetch_add(v, Ordering::Relaxed);
     }
 
+    // Per-shard accounting (cluster mode): who served how much, at what
+    // tail, holding how many resident bytes — and whether it was the one
+    // we killed.
+    let shards_json = if let Some(ctx) = &cluster_ctx {
+        let mut per: Vec<Vec<u64>> = vec![Vec::new(); nshards];
+        for &(shard, us) in cold_per_shard.iter().chain(tally.per_shard.iter()) {
+            if shard < nshards {
+                per[shard].push(us);
+            }
+        }
+        let rows = (0..nshards)
+            .map(|i| {
+                let mut us = std::mem::take(&mut per[i]);
+                us.sort_unstable();
+                let killed = args.kill_shard == Some(i);
+                let resident = if let Some(s) = ctx.inproc.get(i) {
+                    Some(s.node.service().health().resident_bytes)
+                } else if !killed {
+                    Client::connect(ctx.addrs[i])
+                        .ok()
+                        .and_then(|mut c| c.health().ok())
+                        .map(|h| h.resident_bytes)
+                } else {
+                    None
+                };
+                format!(
+                    "{{\"shard\":{i},\"served\":{},\"p50_ms\":{},\"p99_ms\":{},\
+                     \"resident_bytes\":{},\"killed\":{killed}}}",
+                    us.len(),
+                    number(percentile_ms(&us, 0.50)),
+                    number(percentile_ms(&us, 0.99)),
+                    resident.map_or_else(|| "null".into(), |b| b.to_string()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{rows}]")
+    } else {
+        "null".to_string()
+    };
+
     // Observability artifacts, fetched before teardown. In chaos mode the
     // fetch goes directly to the server (not through the fault proxy):
     // the artifacts document the chaos run, they should not ride through
     // it.
+    // Artifacts (and the final stats document) come from shard 0 in
+    // cluster mode — the shard holding the process-global recorder
+    // in-process, or the first listener externally.
+    let artifact_svc: Option<Arc<Service>> = service.clone().or_else(|| {
+        cluster_ctx
+            .as_ref()
+            .and_then(|c| c.inproc.first().map(|s| s.node.service().clone()))
+    });
     if args.dump_out.is_some() || args.stats_out.is_some() {
         let direct_addr: Option<String> = chaos_ctx
             .as_ref()
             .map(|(_, server_addr, _)| server_addr.to_string())
-            .or_else(|| args.addr.clone());
+            .or_else(|| args.addr.clone())
+            .or_else(|| {
+                cluster_ctx
+                    .as_ref()
+                    .filter(|c| c.inproc.is_empty())
+                    .map(|c| c.addrs[0].to_string())
+            });
         let fetch = |what: &str, f: &dyn Fn() -> Option<String>, out: &Option<PathBuf>| {
             let Some(path) = out else { return };
             match f() {
@@ -818,7 +1114,7 @@ fn main() -> ExitCode {
         };
         fetch(
             "flight dump",
-            &|| match (&service, &direct_addr) {
+            &|| match (&artifact_svc, &direct_addr) {
                 (Some(svc), None) => Some(svc.dump_trace()),
                 (_, Some(addr)) => Client::connect(addr.as_str())
                     .ok()
@@ -829,7 +1125,7 @@ fn main() -> ExitCode {
         );
         fetch(
             "stats document",
-            &|| match (&service, &direct_addr) {
+            &|| match (&artifact_svc, &direct_addr) {
                 (Some(svc), None) => Some(svc.metrics_json()),
                 (_, Some(addr)) => Client::connect(addr.as_str())
                     .ok()
@@ -878,14 +1174,20 @@ fn main() -> ExitCode {
         "null".into()
     };
 
-    let stats_json = match (&service, &args.addr) {
-        (Some(svc), _) => svc.metrics_json(),
-        (None, Some(addr)) => Client::connect(addr)
+    let stats_json = if let Some(svc) = &artifact_svc {
+        svc.metrics_json()
+    } else if let Some(addr) = args
+        .addr
+        .clone()
+        .or_else(|| cluster_ctx.as_ref().map(|c| c.addrs[0].to_string()))
+    {
+        Client::connect(addr.as_str())
             .ok()
             .and_then(|mut c| c.stats().ok())
             .map(|doc| doc.to_json())
-            .unwrap_or_else(|| "null".into()),
-        (None, None) => unreachable!(),
+            .unwrap_or_else(|| "null".into())
+    } else {
+        unreachable!()
     };
 
     let est_json = args
@@ -960,9 +1262,12 @@ fn main() -> ExitCode {
          \"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
          \"cold_p50_ms\":{},\"warm_p50_ms\":{},\"mean_lag_ms\":{},\
          \"trace\":{},\"stages\":{stages_json},\"error_rate\":{},\"slo\":{slo_json},\
-         \"ab_telemetry\":{ab_json},\"server\":{stats_json}}}\n",
+         \"ab_telemetry\":{ab_json},\"cluster\":{},\"kill_shard\":{},\"shards\":{shards_json},\
+         \"server\":{stats_json}}}\n",
         if args.chaos.is_some() {
             "chaos"
+        } else if cluster_on {
+            "cluster"
         } else if args.addr.is_some() {
             "tcp"
         } else {
@@ -986,6 +1291,13 @@ fn main() -> ExitCode {
         number(mean_lag_ms),
         args.trace,
         number(error_rate),
+        if cluster_on {
+            nshards.to_string()
+        } else {
+            "null".into()
+        },
+        args.kill_shard
+            .map_or_else(|| "null".into(), |k| k.to_string()),
     );
     let path = args
         .out
@@ -1015,6 +1327,27 @@ fn main() -> ExitCode {
             retry_totals[1].load(Ordering::Relaxed),
         );
     }
+    if let Some(ctx) = &cluster_ctx {
+        let served: Vec<usize> = {
+            let mut v = vec![0usize; nshards];
+            for &(shard, _) in cold_per_shard.iter().chain(tally.per_shard.iter()) {
+                if shard < nshards {
+                    v[shard] += 1;
+                }
+            }
+            v
+        };
+        println!(
+            "cluster shards={} mode={} served={served:?} kill_shard={:?} | corrupt {n_corrupt}",
+            nshards,
+            if ctx.inproc.is_empty() {
+                "external"
+            } else {
+                "inproc"
+            },
+            args.kill_shard,
+        );
+    }
     if args.trace && !all_stages.is_empty() {
         let mean = |s: usize| {
             all_stages.iter().map(|r| r[s]).sum::<u64>() as f64 / 1e3 / all_stages.len() as f64
@@ -1041,11 +1374,34 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
     }
 
+    if let Some(mut ctx) = cluster_ctx {
+        if ctx.inproc.is_empty() && args.shutdown {
+            // External cluster: drain every still-running shard.
+            for (i, addr) in ctx.addrs.iter().enumerate() {
+                if args.kill_shard == Some(i) {
+                    continue;
+                }
+                match Client::connect(*addr)
+                    .map_err(|e| e.to_string())
+                    .and_then(|mut c| c.shutdown().map_err(|e| e.to_string()))
+                {
+                    Ok(()) => eprintln!("# shard {i} acked shutdown"),
+                    Err(e) => {
+                        eprintln!("error: shard {i} shutdown: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        for s in &mut ctx.inproc {
+            s.kill();
+        }
+    }
     if let Some(svc) = service {
         // In-process mode owns the service: drain before reporting success
         // so the run also smoke-tests shutdown.
         svc.drain();
-    } else if args.shutdown {
+    } else if args.shutdown && args.addr.is_some() {
         let addr = args.addr.as_deref().unwrap();
         match Client::connect(addr)
             .map_err(|e| e.to_string())
@@ -1059,12 +1415,13 @@ fn main() -> ExitCode {
         }
     }
     // A silently accepted corrupt payload or a failed clean drain fails
-    // the run in any mode. Request *errors* fail it only when no faults
-    // were being injected — under chaos, typed errors are the contract.
+    // the run in any mode. Request *errors* fail it only when nothing was
+    // being broken on purpose — under chaos or a mid-run shard kill,
+    // typed errors are the contract and `--slo error_rate` is the gate.
     if n_corrupt > 0 || !drain_ok {
         return ExitCode::FAILURE;
     }
-    if args.chaos.is_none() && (!errors.is_empty() || !accounted) {
+    if args.chaos.is_none() && args.kill_shard.is_none() && (!errors.is_empty() || !accounted) {
         return ExitCode::FAILURE;
     }
     if !slo_breaches.is_empty() || ab_breached {

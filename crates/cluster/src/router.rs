@@ -1,0 +1,119 @@
+//! Cost-aware shard scoring.
+//!
+//! Candidate shards for a tile are ranked with the same calibrated workload
+//! model the admission controller uses (`c·n·log₂n` build + `α·n^β` render,
+//! see `dtfe_framework::model`), augmented with live gauges gossiped in shard
+//! heartbeats. The build term is dropped for shards where the tile is already
+//! resident — that is what makes routing cache-affine — and queued work ahead
+//! of the request is charged at one render each.
+
+use dtfe_framework::model::WorkloadModel;
+
+/// Gauges a candidate shard advertises (via heartbeat) or knows about itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardGauges {
+    /// The tile this request needs is resident in the shard's cache.
+    pub resident: bool,
+    /// Requests queued ahead of this one.
+    pub queue_depth: u64,
+    /// Estimated backlog already accepted, in milliseconds.
+    pub backlog_ms: u64,
+    /// Shard is draining and must not take new work.
+    pub draining: bool,
+}
+
+/// Predicted seconds until `shard` could return a tile of `n` particles
+/// rendered at `samples` sample points. `f64::INFINITY` for draining shards.
+pub fn score_shard(model: &WorkloadModel, n: usize, samples: usize, g: &ShardGauges) -> f64 {
+    if g.draining {
+        return f64::INFINITY;
+    }
+    let n = n as f64;
+    let build = if g.resident {
+        0.0
+    } else {
+        model.tri.predict(n)
+    };
+    let render = model.interp.predict(samples as f64);
+    build + render + g.queue_depth as f64 * render + g.backlog_ms as f64 * 1e-3
+}
+
+/// Index into `gauges` of the cheapest shard; ties go to the earliest entry,
+/// so callers list the local shard first to prefer self on ties. `None` when
+/// every candidate is draining.
+pub fn cheapest(
+    model: &WorkloadModel,
+    n: usize,
+    samples: usize,
+    gauges: &[(usize, ShardGauges)],
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (shard, g) in gauges {
+        let s = score_shard(model, n, samples, g);
+        if s.is_finite() && best.is_none_or(|(_, b)| s < b) {
+            best = Some((*shard, s));
+        }
+    }
+    best.map(|(shard, _)| shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtfe_service::config::default_model;
+
+    #[test]
+    fn resident_shard_beats_cold_shard() {
+        let m = default_model();
+        let cold = ShardGauges::default();
+        let warm = ShardGauges {
+            resident: true,
+            ..Default::default()
+        };
+        assert!(
+            score_shard(&m, 100_000, 4096, &warm) < score_shard(&m, 100_000, 4096, &cold),
+            "dropping the build term must win for a six-figure tile"
+        );
+        assert_eq!(
+            cheapest(&m, 100_000, 4096, &[(0, cold), (1, warm)]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn deep_queue_overrides_residency() {
+        let m = default_model();
+        let swamped = ShardGauges {
+            resident: true,
+            queue_depth: 10_000,
+            ..Default::default()
+        };
+        let idle = ShardGauges::default();
+        assert_eq!(
+            cheapest(&m, 10_000, 4096, &[(0, swamped), (1, idle)]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn draining_shards_are_never_picked() {
+        let m = default_model();
+        let draining = ShardGauges {
+            resident: true,
+            draining: true,
+            ..Default::default()
+        };
+        assert_eq!(cheapest(&m, 1000, 64, &[(0, draining)]), None);
+        assert_eq!(
+            cheapest(&m, 1000, 64, &[(0, draining), (1, ShardGauges::default())]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn ties_prefer_first_listed() {
+        let m = default_model();
+        let g = ShardGauges::default();
+        assert_eq!(cheapest(&m, 1000, 64, &[(2, g), (0, g), (1, g)]), Some(2));
+    }
+}

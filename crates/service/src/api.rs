@@ -174,6 +174,48 @@ pub struct RenderResponse {
     pub meta: ResponseMeta,
 }
 
+/// Routing metadata attached to a v5 routed render request — how a
+/// cluster shard should treat a request for a tile it does not own.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// `true`: answer [`NotMine`](crate::ServiceError::NotMine) with the
+    /// owner's address instead of serving, so a ring-aware client can go
+    /// straight to the owner. `false`: serve anyway (proxy/failover mode —
+    /// any shard can build any tile bit-identically).
+    pub redirect: bool,
+    /// The sender's ring epoch (bumped per live-view change). A shard
+    /// seeing a stale epoch knows the client's ring view predates a
+    /// rebalance; currently informational, carried for observability.
+    pub epoch: u64,
+}
+
+/// One shard's gossip heartbeat: liveness plus the live load gauges the
+/// cost-aware router folds into its scoring, plus the shard's current set
+/// of hot ring keys (tiles above the heat threshold, eligible for
+/// replication). Piggybacked symmetrically: a gossip *request* carries the
+/// sender's heartbeat, the *response* carries the receiver's.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardHeartbeat {
+    /// Sender's shard index in the cluster's peer list.
+    pub shard: u32,
+    /// Monotonic per-sender sequence number (stale heartbeats are ignored).
+    pub seq: u64,
+    /// Sender's ring epoch (live-view generation).
+    pub epoch: u64,
+    /// Admitted-but-unserved requests on the sender.
+    pub queue_depth: u64,
+    /// Sender's priced backlog in milliseconds.
+    pub backlog_ms: u64,
+    /// Bytes held by the sender's resident tiles.
+    pub resident_bytes: u64,
+    /// Resident tile count on the sender.
+    pub resident_tiles: u64,
+    /// The sender is draining and should receive no new work.
+    pub draining: bool,
+    /// Ring-key hashes of the sender's hot tiles (bounded set).
+    pub hot: Vec<u64>,
+}
+
 /// Readiness/liveness snapshot answered by the wire `Health` request —
 /// what a load balancer or orchestrator probe needs to decide whether to
 /// route traffic here, without paying for a full `Stats` JSON document.

@@ -179,6 +179,24 @@ impl TileCache {
         self.state.lock().unwrap().bytes
     }
 
+    /// The slice of [`TileCache::resident_bytes`] attributable to ghost
+    /// padding. In a cluster this is the per-shard duplication cost of
+    /// replicated tiles: each shard holding a replica re-materialises the
+    /// same padding, so the padding bytes are counted *once per shard*
+    /// (inside each entry's size) rather than once per cluster — the
+    /// per-shard `Stats` document exposes them so an operator can see how
+    /// much of every shard's budget is replicated ghosts.
+    pub fn resident_ghost_bytes(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.map
+            .values()
+            .filter_map(|s| match s {
+                Slot::Ready { data, .. } => Some(data.ghost_bytes()),
+                Slot::Building => None,
+            })
+            .sum()
+    }
+
     /// Number of resident (`Ready`) entries.
     pub fn resident_entries(&self) -> usize {
         let st = self.state.lock().unwrap();

@@ -21,8 +21,17 @@
 //! — at most one hedge per logical request, so worst-case load
 //! amplification is 2×.
 //!
+//! The client can hold **several endpoints** (cluster replicas, via
+//! [`ResilientClient::with_endpoints`]): transport failures rotate to the
+//! next endpoint, a typed [`ServiceError::NotMine`] redirect switches to
+//! the owner the shard named (bounded follows, so two confused shards
+//! cannot ping-pong a request forever), and hedges go to a *different*
+//! endpoint than the primary — never the same address twice. With a
+//! single endpoint there is no distinct hedge target, so no hedge is
+//! launched (hedging one box doubles its load for no diversity).
+//!
 //! Telemetry: `client.retries`, `client.hedges`, `client.reconnects`,
-//! `client.giveups`.
+//! `client.giveups`, `client.redirects`.
 
 use crate::api::{HealthStatus, RenderRequest, RenderResponse, TraceContext};
 use crate::error::ServiceError;
@@ -89,6 +98,8 @@ pub struct ClientStats {
     pub reconnects: AtomicU64,
     /// Requests abandoned after exhausting the retry budget.
     pub giveups: AtomicU64,
+    /// `NotMine` redirects followed to the owning shard.
+    pub redirects: AtomicU64,
 }
 
 /// How one attempt failed, and what to do about it.
@@ -101,10 +112,18 @@ enum AttemptError {
     Fatal(ServiceError),
 }
 
+/// How many `NotMine` redirects one logical request may follow before the
+/// redirect itself is returned as the error — bounds the damage of two
+/// shards with disagreeing ring views bouncing a request between them.
+const MAX_REDIRECTS: u32 = 3;
+
 /// A blocking wire client that survives a hostile network. Not `Sync` —
 /// one instance per thread, like [`Client`](crate::Client).
 pub struct ResilientClient {
-    addr: SocketAddr,
+    /// Candidate endpoints; `current` indexes the one in use. A plain
+    /// [`ResilientClient::new`] client has exactly one.
+    endpoints: Vec<SocketAddr>,
+    current: usize,
     cfg: ClientConfig,
     conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
     rng: u64,
@@ -119,13 +138,65 @@ impl ResilientClient {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addr"))?;
+        ResilientClient::with_endpoints(&[addr], cfg)
+    }
+
+    /// Create a client over several replica endpoints. The first is the
+    /// initial primary; transport failures rotate through the rest, and
+    /// hedges race a *different* endpoint than the primary.
+    pub fn with_endpoints(
+        endpoints: &[SocketAddr],
+        cfg: ClientConfig,
+    ) -> std::io::Result<ResilientClient> {
+        if endpoints.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no endpoints",
+            ));
+        }
         Ok(ResilientClient {
-            addr,
+            endpoints: endpoints.to_vec(),
+            current: 0,
             cfg,
             conn: None,
             rng: cfg.seed.max(1),
             stats: Arc::new(ClientStats::default()),
         })
+    }
+
+    /// The endpoint the next attempt will use.
+    pub fn endpoint(&self) -> SocketAddr {
+        self.endpoints[self.current]
+    }
+
+    /// Drop the cached connection and move to the next endpoint (no-op
+    /// rotation with a single endpoint; the reconnect still happens).
+    fn rotate_endpoint(&mut self) {
+        self.conn = None;
+        if self.endpoints.len() > 1 {
+            self.current = (self.current + 1) % self.endpoints.len();
+        }
+    }
+
+    /// Point the client at `addr` (a `NotMine` redirect target), adding it
+    /// to the endpoint set if it is new.
+    fn switch_to(&mut self, addr: SocketAddr) {
+        self.conn = None;
+        match self.endpoints.iter().position(|a| *a == addr) {
+            Some(i) => self.current = i,
+            None => {
+                self.endpoints.push(addr);
+                self.current = self.endpoints.len() - 1;
+            }
+        }
+    }
+
+    /// The hedge target: the first endpoint that is **not** the current
+    /// primary. `None` with a single endpoint — hedging the same address
+    /// twice buys no diversity, only double load.
+    fn hedge_target(&self) -> Option<SocketAddr> {
+        let primary = self.endpoint();
+        self.endpoints.iter().copied().find(|a| *a != primary)
     }
 
     /// Render with the full retry/hedge discipline. Requests without a
@@ -141,6 +212,31 @@ impl ResilientClient {
             });
         }
         match self.call(&Request::Render(req))? {
+            Response::Field(resp) => Ok(resp),
+            Response::Error(e) => Err(e),
+            other => Err(ServiceError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Render via a v5 routed frame: like [`ResilientClient::render`] but
+    /// carrying cluster routing metadata. With `route.redirect` set, a
+    /// non-owning shard answers `NotMine` and the client follows the named
+    /// owner (bounded) instead of the shard proxying server-side.
+    pub fn render_routed(
+        &mut self,
+        req: &RenderRequest,
+        route: crate::api::RouteInfo,
+    ) -> Result<RenderResponse, ServiceError> {
+        let mut req = req.clone();
+        if req.trace.is_none() {
+            req.trace = Some(TraceContext {
+                id: self.mint_trace_id(),
+                sampled: self.cfg.sample_traces,
+            });
+        }
+        match self.call(&Request::RenderRouted(req, route))? {
             Response::Field(resp) => Ok(resp),
             Response::Error(e) => Err(e),
             other => Err(ServiceError::Internal(format!(
@@ -209,6 +305,7 @@ impl ResilientClient {
     /// hedged attempt per call.
     fn call(&mut self, req: &Request) -> Result<Response, ServiceError> {
         let mut last: Option<ServiceError> = None;
+        let mut redirects = 0u32;
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
@@ -221,6 +318,20 @@ impl ResilientClient {
             };
             match outcome {
                 Ok(resp) => return Ok(resp),
+                Err(AttemptError::Fatal(ServiceError::NotMine { owner })) => {
+                    // Ring redirect: retry against the owner the shard
+                    // named. Bounded follows — shards with disagreeing
+                    // ring views must not ping-pong a request forever.
+                    let parsed = owner.parse::<SocketAddr>();
+                    if redirects >= MAX_REDIRECTS || parsed.is_err() {
+                        return Err(ServiceError::NotMine { owner });
+                    }
+                    redirects += 1;
+                    self.stats.redirects.fetch_add(1, Ordering::Relaxed);
+                    dtfe_telemetry::counter_add!("client.redirects", 1);
+                    self.switch_to(parsed.unwrap());
+                    last = Some(ServiceError::NotMine { owner });
+                }
                 Err(AttemptError::Fatal(e)) => return Err(e),
                 Err(AttemptError::RetryAfter(hint, e)) => {
                     let wait = self.jitter(hint.min(self.cfg.backoff_max));
@@ -228,7 +339,9 @@ impl ResilientClient {
                     last = Some(e);
                 }
                 Err(AttemptError::Transport(msg)) => {
-                    self.conn = None;
+                    // The endpoint (or the path to it) is sick: move to
+                    // the next replica before retrying.
+                    self.rotate_endpoint();
                     let backoff = self
                         .cfg
                         .backoff_base
@@ -260,9 +373,13 @@ impl ResilientClient {
     /// One attempt raced against a hedged second attempt. Both attempts
     /// use fresh connections (a hedge against a sick *connection* must
     /// not share it); whichever answers first wins, the loser's thread
-    /// dies with its socket when it finishes.
+    /// dies with its socket when it finishes. The hedge goes to a
+    /// **different** endpoint than the primary; with a single endpoint no
+    /// hedge is launched (same-address hedging is the regression the
+    /// dedupe test pins down) and the primary simply runs to completion.
     fn attempt_hedged(&mut self, req: &Request) -> Result<Response, AttemptError> {
         let hedge_after = self.cfg.hedge_after.expect("caller checked");
+        let hedge_target = self.hedge_target();
         let (tx, rx) = mpsc::channel();
         let spawn_attempt = |tx: mpsc::Sender<Result<Response, AttemptError>>,
                              addr: SocketAddr,
@@ -278,7 +395,7 @@ impl ResilientClient {
         let started = Instant::now();
         let _primary = spawn_attempt(
             tx.clone(),
-            self.addr,
+            self.endpoint(),
             self.cfg,
             req.clone(),
             self.stats.clone(),
@@ -286,8 +403,9 @@ impl ResilientClient {
         let mut hedged = false;
         loop {
             let elapsed = started.elapsed();
-            let wait = if hedged {
-                // Both attempts in flight: block until one reports.
+            let wait = if hedged || hedge_target.is_none() {
+                // Both attempts in flight — or no distinct endpoint to
+                // hedge to: block until an attempt reports.
                 None
             } else {
                 Some(hedge_after.saturating_sub(elapsed))
@@ -304,7 +422,7 @@ impl ResilientClient {
                     dtfe_telemetry::counter_add!("client.hedges", 1);
                     let _ = spawn_attempt(
                         tx.clone(),
-                        self.addr,
+                        hedge_target.expect("timeout only set with a target"),
                         self.cfg,
                         req.clone(),
                         self.stats.clone(),
@@ -318,7 +436,7 @@ impl ResilientClient {
     }
 
     fn connect(&mut self) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), AttemptError> {
-        connect_raw(self.addr, &self.cfg, &self.stats)
+        connect_raw(self.endpoint(), &self.cfg, &self.stats)
     }
 
     /// Deterministic jitter in `[0.5, 1.5)` of the base wait — breaks up
@@ -424,6 +542,128 @@ mod tests {
             assert_eq!(ja, b.jitter(base), "same seed, same schedule");
             assert!(ja >= base / 2 && ja < base * 3 / 2, "jitter {ja:?}");
         }
+    }
+
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicU64;
+
+    /// A listener that accepts connections, counts them, and never
+    /// responds — every client attempt against it ends in a read timeout.
+    fn silent_listener() -> (SocketAddr, Arc<AtomicU64>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let count = Arc::new(AtomicU64::new(0));
+        let counter = count.clone();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                counter.fetch_add(1, Ordering::SeqCst);
+                held.push(stream); // keep sockets open, never reply
+            }
+        });
+        (addr, count)
+    }
+
+    fn hedging_cfg() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Some(Duration::from_millis(100)),
+            write_timeout: Some(Duration::from_millis(100)),
+            max_retries: 0,
+            backoff_base: Duration::from_millis(1),
+            hedge_after: Some(Duration::from_millis(5)),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_endpoint_never_hedges_to_itself() {
+        // Regression: with one endpoint the hedge used to race a second
+        // connection to the *same* address — double load, zero diversity.
+        let (addr, count) = silent_listener();
+        let mut c = ResilientClient::new(addr, hedging_cfg()).unwrap();
+        let req = RenderRequest::new("s", dtfe_geometry::Vec3::ZERO);
+        assert!(c.render(&req).is_err(), "silent server must time out");
+        assert_eq!(c.stats.hedges.load(Ordering::Relaxed), 0, "no hedge");
+        assert_eq!(count.load(Ordering::SeqCst), 1, "one connection only");
+    }
+
+    #[test]
+    fn hedge_goes_to_a_distinct_endpoint() {
+        let (a, count_a) = silent_listener();
+        let (b, count_b) = silent_listener();
+        let mut c = ResilientClient::with_endpoints(&[a, b], hedging_cfg()).unwrap();
+        let req = RenderRequest::new("s", dtfe_geometry::Vec3::ZERO);
+        assert!(c.render(&req).is_err(), "both servers are silent");
+        assert_eq!(c.stats.hedges.load(Ordering::Relaxed), 1);
+        assert_eq!(count_a.load(Ordering::SeqCst), 1, "primary to a");
+        assert_eq!(count_b.load(Ordering::SeqCst), 1, "hedge to b");
+    }
+
+    /// A one-shot wire server answering every request on its first
+    /// connection with a fixed response.
+    fn scripted_server(resp: Response) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                let mut r = BufReader::new(stream.try_clone().unwrap());
+                let mut w = BufWriter::new(stream);
+                while read_frame(&mut r).is_ok() {
+                    if write_frame(&mut w, &resp.encode()).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn redirect_on_not_mine_follows_owner() {
+        use dtfe_core::GridSpec2;
+        use dtfe_geometry::Vec2;
+        let field = Response::Field(RenderResponse {
+            grid: GridSpec2 {
+                origin: Vec2::new(0.0, 0.0),
+                cell: Vec2::new(1.0, 1.0),
+                nx: 1,
+                ny: 1,
+            },
+            data: vec![42.0],
+            meta: Default::default(),
+        });
+        let owner = scripted_server(field);
+        let wrong = scripted_server(Response::Error(ServiceError::NotMine {
+            owner: owner.to_string(),
+        }));
+        let cfg = ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Some(Duration::from_millis(500)),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        let mut c = ResilientClient::new(wrong, cfg).unwrap();
+        let req = RenderRequest::new("s", dtfe_geometry::Vec3::ZERO);
+        let resp = c.render(&req).expect("redirect should reach the owner");
+        assert_eq!(resp.data, vec![42.0]);
+        assert_eq!(c.stats.redirects.load(Ordering::Relaxed), 1);
+        assert_eq!(c.endpoint(), owner, "client now points at the owner");
+    }
+
+    #[test]
+    fn unparseable_redirect_owner_is_returned_not_followed() {
+        let wrong = scripted_server(Response::Error(ServiceError::NotMine {
+            owner: "not-an-addr".into(),
+        }));
+        let mut c = ResilientClient::new(wrong, ClientConfig::default()).unwrap();
+        let req = RenderRequest::new("s", dtfe_geometry::Vec3::ZERO);
+        match c.render(&req) {
+            Err(ServiceError::NotMine { owner }) => assert_eq!(owner, "not-an-addr"),
+            other => panic!("expected NotMine, got {other:?}"),
+        }
+        assert_eq!(c.stats.redirects.load(Ordering::Relaxed), 0);
     }
 
     #[test]

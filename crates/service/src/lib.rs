@@ -69,7 +69,10 @@ pub mod tiles;
 pub mod wire;
 
 pub use admission::Admission;
-pub use api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta, Stage, TraceContext};
+pub use api::{
+    HealthStatus, RenderRequest, RenderResponse, ResponseMeta, RouteInfo, ShardHeartbeat, Stage,
+    TraceContext,
+};
 pub use cache::{QuarantinePolicy, TileCache};
 pub use chaos::{
     ChaosProxy, ChaosStats, Direction, FaultyStream, SocketFaultPlan, SocketFaultRule,
@@ -83,6 +86,6 @@ pub use server::{Service, ServiceStats};
 pub use stats_doc::{
     CacheCounters, HistDigest, MetricsDigest, ServingCounters, StatsDocument, STATS_VERSION,
 };
-pub use tcp::{Client, TcpServer};
+pub use tcp::{Client, Handled, RequestHandler, TcpServer};
 pub use tiles::{TileData, TileField, TileKey};
 pub use wire::{Request, Response, WireError, MAX_FRAME};

@@ -413,6 +413,49 @@ impl Service {
         Ok(rx)
     }
 
+    /// The cache key a request resolves to — the same normalisation and
+    /// tile lookup `submit` performs, without admitting anything. The
+    /// cluster router hashes this key onto its ring to decide which shard
+    /// owns the request; keeping the mapping here (not re-derived in the
+    /// cluster crate) guarantees router and server can never disagree
+    /// about which tile a request lands on.
+    pub fn tile_key(&self, req: &RenderRequest) -> Result<TileKey, ServiceError> {
+        let inner = &*self.inner;
+        if !req.center.is_finite() {
+            return Err(ServiceError::InvalidRequest(
+                "field center must be finite".into(),
+            ));
+        }
+        let estimator = match req.estimator {
+            EstimatorKind::Stochastic { realizations: 0 } => EstimatorKind::Stochastic {
+                realizations: EstimatorKind::DEFAULT_REALIZATIONS,
+            },
+            k => k,
+        };
+        let snap = inner.registry.get(&req.snapshot)?;
+        if !snap.bounds.contains_closed(req.center) {
+            return Err(ServiceError::InvalidRequest(format!(
+                "center {:?} outside snapshot bounds",
+                req.center
+            )));
+        }
+        Ok(TileKey::new(
+            req.snapshot.clone(),
+            snap.decomp.rank_of(req.center),
+            estimator,
+        ))
+    }
+
+    /// Ghost-padded particle count of a tile — the `n` the cluster router
+    /// feeds the cost model when scoring candidate shards for `key`.
+    pub fn tile_particles(&self, key: &TileKey) -> Result<usize, ServiceError> {
+        let snap = self.inner.registry.get(&key.snapshot)?;
+        snap.tile_counts
+            .get(key.tile)
+            .copied()
+            .ok_or_else(|| ServiceError::InvalidRequest(format!("tile {} out of range", key.tile)))
+    }
+
     /// Readiness snapshot for probes: answers from counters and brief
     /// lock holds, never from the render path.
     pub fn health(&self) -> HealthStatus {
@@ -479,6 +522,7 @@ impl Service {
             },
             cache: CacheCounters {
                 resident_bytes: cache.resident_bytes() as u64,
+                ghost_bytes: cache.resident_ghost_bytes() as u64,
                 budget_bytes: cache.budget() as u64,
                 entries: cache.resident_entries() as u64,
                 evictions: cache.stats.evictions.load(Ordering::Relaxed),

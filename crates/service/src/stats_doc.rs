@@ -59,6 +59,10 @@ impl ServingCounters {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     pub resident_bytes: u64,
+    /// The slice of `resident_bytes` that is ghost padding — duplicated
+    /// per shard when a tile is replicated across a cluster, so per-shard
+    /// documents expose it explicitly.
+    pub ghost_bytes: u64,
     pub budget_bytes: u64,
     pub entries: u64,
     pub evictions: u64,
@@ -70,9 +74,10 @@ pub struct CacheCounters {
 }
 
 impl CacheCounters {
-    fn fields(&self) -> [(&'static str, u64); 9] {
+    fn fields(&self) -> [(&'static str, u64); 10] {
         [
             ("resident_bytes", self.resident_bytes),
+            ("ghost_bytes", self.ghost_bytes),
             ("budget_bytes", self.budget_bytes),
             ("entries", self.entries),
             ("evictions", self.evictions),
@@ -256,6 +261,12 @@ impl StatsDocument {
         let cache = doc.get("cache").ok_or("missing cache object")?;
         let cache = CacheCounters {
             resident_bytes: get_u64(cache, "cache", "resident_bytes")?,
+            // Absent in pre-cluster documents; default 0 keeps old
+            // artifacts parseable.
+            ghost_bytes: cache
+                .get("ghost_bytes")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0) as u64,
             budget_bytes: get_u64(cache, "cache", "budget_bytes")?,
             entries: get_u64(cache, "cache", "entries")?,
             evictions: get_u64(cache, "cache", "evictions")?,

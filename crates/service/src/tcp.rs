@@ -29,9 +29,64 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-/// A running TCP front-end over a [`Service`].
+/// One slot in the per-connection response pipeline: either a response
+/// already known when the request was read, or a pending render whose
+/// result a worker will deliver. The writer resolves slots in request
+/// order, so pipelined responses are never reordered.
+pub enum Handled {
+    Ready(Box<Response>),
+    Pending(mpsc::Receiver<Result<crate::api::RenderResponse, ServiceError>>),
+}
+
+impl Handled {
+    /// Wrap an immediately-known response.
+    pub fn ready(r: Response) -> Handled {
+        Handled::Ready(Box::new(r))
+    }
+}
+
+/// What the TCP transport serves: anything that can turn a decoded
+/// [`Request`] into a [`Handled`] slot. The plain [`Service`] is the
+/// single-node handler; the cluster tier wraps a `Service` with ring
+/// ownership checks and peer forwarding while reusing this transport
+/// unchanged. `Shutdown` never reaches the handler — the transport acks
+/// it and stops the accept loop itself.
+pub trait RequestHandler: Send + Sync {
+    /// The underlying service (the transport reads its connection limits
+    /// and timeouts, and drains it on shutdown).
+    fn service(&self) -> &Service;
+    /// Answer one request. Called from connection reader threads.
+    fn handle(&self, req: Request) -> Handled;
+}
+
+impl RequestHandler for Service {
+    fn service(&self) -> &Service {
+        self
+    }
+
+    fn handle(&self, req: Request) -> Handled {
+        match req {
+            // A single-node server owns every tile: routed renders are
+            // plain renders and redirect flags have nothing to redirect.
+            Request::Render(r) | Request::RenderRouted(r, _) => match self.submit(&r) {
+                Ok(reply) => Handled::Pending(reply),
+                Err(e) => Handled::ready(Response::Error(e)),
+            },
+            Request::Gossip(_) => Handled::ready(Response::Error(ServiceError::InvalidRequest(
+                "gossip frame sent to a non-cluster server".into(),
+            ))),
+            Request::Stats => Handled::ready(Response::Stats(self.stats_document())),
+            Request::Health => Handled::ready(Response::Health(self.health())),
+            Request::Dump => Handled::ready(Response::Dump(self.dump_trace())),
+            // Unreachable: the transport intercepts Shutdown.
+            Request::Shutdown => Handled::ready(Response::ShutdownAck),
+        }
+    }
+}
+
+/// A running TCP front-end over a [`RequestHandler`].
 pub struct TcpServer {
-    service: Arc<Service>,
+    handler: Arc<dyn RequestHandler>,
     listener: TcpListener,
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
@@ -40,10 +95,19 @@ pub struct TcpServer {
 impl TcpServer {
     /// Bind (port 0 picks an ephemeral port) without accepting yet.
     pub fn bind(service: Arc<Service>, addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
+        TcpServer::bind_with(service, addr)
+    }
+
+    /// Bind with an arbitrary request handler (the cluster node wraps a
+    /// `Service` this way).
+    pub fn bind_with(
+        handler: Arc<dyn RequestHandler>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(TcpServer {
-            service,
+            handler,
             listener,
             stop: Arc::new(AtomicBool::new(false)),
             active: Arc::new(AtomicUsize::new(0)),
@@ -65,7 +129,7 @@ impl TcpServer {
     /// the stop handle is set, then drain the service and return.
     pub fn serve(&self) {
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        let max_conns = self.service.config().max_connections;
+        let max_conns = self.handler.service().config().max_connections;
         while !self.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -82,11 +146,11 @@ impl TcpServer {
                         continue;
                     }
                     self.active.fetch_add(1, Ordering::SeqCst);
-                    let service = self.service.clone();
+                    let handler = self.handler.clone();
                     let stop = self.stop.clone();
                     let active = self.active.clone();
                     conns.push(std::thread::spawn(move || {
-                        handle_connection(stream, &service, &stop);
+                        handle_connection(stream, &*handler, &stop);
                         active.fetch_sub(1, Ordering::SeqCst);
                     }));
                     conns.retain(|h| !h.is_finished());
@@ -102,22 +166,13 @@ impl TcpServer {
         for h in conns {
             let _ = h.join();
         }
-        self.service.drain();
+        self.handler.service().drain();
         dtfe_telemetry::counter_add!("service.tcp_server_stopped", 1);
     }
 }
 
-/// One slot in the per-connection response pipeline: either a response
-/// already known when the request was read, or a pending render whose
-/// result a worker will deliver. The writer resolves slots in request
-/// order, so pipelined responses are never reordered.
-enum Pipelined {
-    Ready(Box<Response>),
-    Pending(mpsc::Receiver<Result<crate::api::RenderResponse, ServiceError>>),
-}
-
-fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
-    let cfg = service.config();
+fn handle_connection(stream: TcpStream, handler: &dyn RequestHandler, stop: &AtomicBool) {
+    let cfg = handler.service().config();
     let _ = stream.set_nodelay(true);
     // Slow-loris defense: a peer that goes silent mid-frame (or stops
     // draining responses) hits these timeouts and is disconnected.
@@ -133,12 +188,12 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
     // Bounded pipeline: the reader blocks once `max_inflight_per_conn`
     // responses are outstanding, so one connection cannot queue unbounded
     // work.
-    let (tx, rx) = mpsc::sync_channel::<Pipelined>(cfg.max_inflight_per_conn);
+    let (tx, rx) = mpsc::sync_channel::<Handled>(cfg.max_inflight_per_conn);
     let writer_thread = std::thread::spawn(move || {
         while let Ok(slot) = rx.recv() {
             let response = match slot {
-                Pipelined::Ready(r) => *r,
-                Pipelined::Pending(reply) => match reply.recv() {
+                Handled::Ready(r) => *r,
+                Handled::Pending(reply) => match reply.recv() {
                     Ok(Ok(resp)) => Response::Field(resp),
                     Ok(Err(e)) => Response::Error(e),
                     Err(_) => {
@@ -151,7 +206,7 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
                 // Keep draining pending receivers so in-flight jobs are
                 // accounted, but stop writing to the dead socket.
                 for slot in rx.iter() {
-                    if let Pipelined::Pending(reply) = slot {
+                    if let Handled::Pending(reply) = slot {
                         let _ = reply.recv();
                     }
                 }
@@ -175,25 +230,18 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
                 break;
             }
         };
-        let ready = |r: Response| Pipelined::Ready(Box::new(r));
         let slot = match Request::decode(&payload) {
-            Err(e) => ready(Response::Error(ServiceError::InvalidRequest(format!(
+            Err(e) => Handled::ready(Response::Error(ServiceError::InvalidRequest(format!(
                 "bad frame: {e}"
             )))),
-            Ok(Request::Render(req)) => match service.submit(&req) {
-                Ok(reply) => Pipelined::Pending(reply),
-                Err(e) => ready(Response::Error(e)),
-            },
-            Ok(Request::Stats) => ready(Response::Stats(service.stats_document())),
-            Ok(Request::Health) => ready(Response::Health(service.health())),
-            Ok(Request::Dump) => ready(Response::Dump(service.dump_trace())),
             Ok(Request::Shutdown) => {
-                let _ = tx.send(ready(Response::ShutdownAck));
+                let _ = tx.send(Handled::ready(Response::ShutdownAck));
                 drop(tx);
                 let _ = writer_thread.join();
                 stop.store(true, Ordering::SeqCst);
                 return;
             }
+            Ok(req) => handler.handle(req),
         };
         if tx.send(slot).is_err() {
             break; // writer died (socket gone)

@@ -88,6 +88,13 @@ pub struct TileData {
     pub field: Option<TileField>,
     /// Ghost-padded particle count the tile was built from (prices renders).
     pub n_particles: usize,
+    /// How many of `n_particles` are **ghosts** — particles outside the
+    /// tile's own decomposition cell, pulled in by the padding margin.
+    /// Ghosts are the part of a tile that is *duplicated* when the tile is
+    /// replicated across shards (each replica re-materialises the same
+    /// padding), so the byte estimate must charge them explicitly or a
+    /// cluster's aggregate budget under-counts real memory.
+    pub ghost_particles: usize,
     /// Estimated resident bytes, charged against the cache budget.
     pub bytes: usize,
 }
@@ -185,9 +192,18 @@ impl TileData {
             }
         };
         drop(span);
+        // Interior = particles inside the un-inflated cell; the rest of
+        // the padded set are ghosts shared with neighbouring tiles.
+        let cell = snap.decomp.rank_box(tile);
+        let interior = snap
+            .particles
+            .iter()
+            .filter(|&&p| cell.contains_closed(p))
+            .count();
         let mut td = TileData {
             field,
             n_particles: local.len(),
+            ghost_particles: local.len().saturating_sub(interior),
             bytes: 0,
         };
         td.bytes = td.estimate_bytes();
@@ -200,8 +216,15 @@ impl TileData {
         TileData {
             field: None,
             n_particles,
+            ghost_particles: 0,
             bytes,
         }
+    }
+
+    /// The slice of [`TileData::bytes`] attributable to ghost padding —
+    /// the bytes a replica on another shard would duplicate.
+    pub fn ghost_bytes(&self) -> usize {
+        self.ghost_particles * GHOST_PARTICLE_BYTES
     }
 
     fn estimate_bytes(&self) -> usize {
@@ -219,16 +242,24 @@ impl TileData {
             let tets = (del.num_tets() + del.num_ghosts()) * (280 + per_slot_extra);
             64 + verts + tets
         }
-        match &self.field {
+        let base = match &self.field {
             None => 64,
             Some(TileField::Dtfe(f, _)) => mesh_bytes(f.delaunay(), 0),
             Some(TileField::PsDtfe(f, _)) => mesh_bytes(f.delaunay(), 112),
             Some(TileField::Stochastic(f, _)) => {
                 mesh_bytes(f.delaunay(), 0) + f.delaunay().num_vertices() * 16
             }
-        }
+        };
+        // Ghost padding is charged explicitly: those particles' positions
+        // are re-materialised by every shard holding a replica of this
+        // tile, so they are real per-shard memory the budget must see even
+        // though they logically "belong" to a neighbouring cell.
+        base + self.ghost_bytes()
     }
 }
+
+/// Bytes one ghost particle's duplicated position costs a shard.
+const GHOST_PARTICLE_BYTES: usize = 24;
 
 /// Convenience alias used throughout the server.
 pub type SharedTile = Arc<TileData>;
@@ -296,6 +327,30 @@ mod tests {
         assert!(tile.field.is_none());
         assert_eq!(tile.n_particles, 20);
         assert!(tile.bytes > 0);
+    }
+
+    #[test]
+    fn ghost_padding_is_counted_and_charged() {
+        // Two tiles with a fat ghost margin: each tile's padded set pulls
+        // particles from the other's cell, and those ghosts must be both
+        // counted and charged in the byte estimate.
+        let pts = cloud(500, 99, 4.0);
+        let bounds = Aabb3::new(Vec3::ZERO, Vec3::splat(4.0));
+        let ghost = 1.0;
+        let snap = snap_from(pts.clone(), bounds, 2, ghost);
+        for tile in 0..snap.decomp.num_ranks() {
+            let built = TileData::build(&snap, tile, EstimatorKind::Dtfe, ghost, 1);
+            let cell = snap.decomp.rank_box(tile);
+            let interior = pts.iter().filter(|&&p| cell.contains_closed(p)).count();
+            let padded = snap.tile_particles(tile, ghost).len();
+            assert_eq!(built.n_particles, padded);
+            assert_eq!(built.ghost_particles, padded - interior);
+            assert!(built.ghost_particles > 0, "margin 1.0 must pull ghosts");
+            // The estimate includes the explicit ghost charge on top of
+            // the mesh estimate (which itself covers all padded vertices).
+            assert!(built.bytes > built.ghost_bytes());
+            assert_eq!(built.ghost_bytes(), built.ghost_particles * 24);
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@
 //! SIGTERM-equivalent — the server acks, drains, and exits its accept
 //! loop.
 
-use crate::api::{HealthStatus, RenderRequest, RenderResponse, ResponseMeta, TraceContext};
+use crate::api::{
+    HealthStatus, RenderRequest, RenderResponse, ResponseMeta, RouteInfo, ShardHeartbeat,
+    TraceContext,
+};
 use crate::error::ServiceError;
 use crate::stats_doc::StatsDocument;
 use dtfe_core::{EstimatorKind, GridSpec2};
@@ -48,6 +51,14 @@ pub const MAX_FRAME: usize = 64 << 20;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     Render(RenderRequest),
+    /// v5 routed render: the v4 payload plus cluster routing metadata
+    /// (redirect-on-`NotMine` flag and the sender's ring epoch). A
+    /// single-node server treats it exactly like [`Request::Render`] — it
+    /// owns every tile.
+    RenderRouted(RenderRequest, RouteInfo),
+    /// Cluster shard gossip: the sender's heartbeat; the receiver answers
+    /// [`Response::Gossip`] with its own.
+    Gossip(ShardHeartbeat),
     /// Ask for the server's typed stats document.
     Stats,
     /// Cheap readiness probe: answers a fixed-size [`HealthStatus`].
@@ -69,6 +80,8 @@ pub enum Response {
     Health(HealthStatus),
     /// Flight-recorder dump: Chrome-trace JSON, opaque to the protocol.
     Dump(String),
+    /// The receiver's heartbeat, answering a gossip exchange.
+    Gossip(ShardHeartbeat),
     ShutdownAck,
 }
 
@@ -251,6 +264,11 @@ const REQ_HEALTH: u8 = 5;
 /// trace id; flags `0` = untraced, `1` = traced, `3` = traced + sampled).
 const REQ_RENDER_V4: u8 = 6;
 const REQ_DUMP: u8 = 7;
+/// v5 routed render frame: v4 layout plus a routing block (`u8` flags +
+/// `u64` ring epoch) — the cluster tier's redirect/proxy request.
+const REQ_RENDER_V5: u8 = 8;
+/// Shard gossip frame carrying a [`ShardHeartbeat`].
+const REQ_GOSSIP: u8 = 9;
 
 /// Legacy field frame: no `degraded` flag (decodes as `degraded=false`).
 const RESP_FIELD: u8 = 1;
@@ -264,6 +282,8 @@ const RESP_HEALTH: u8 = 6;
 /// the echoed trace block, inserted before the data length.
 const RESP_FIELD_V4: u8 = 7;
 const RESP_DUMP: u8 = 8;
+/// Gossip answer carrying the receiver's [`ShardHeartbeat`].
+const RESP_GOSSIP: u8 = 9;
 
 /// Trace-block flag bits (v4 frames).
 const TRACE_PRESENT: u8 = 1;
@@ -294,23 +314,88 @@ fn decode_trace(d: &mut Dec) -> Result<Option<TraceContext>, WireError> {
     }))
 }
 
+/// Routing-block flag bits (v5 frames). `ROUTE_REDIRECT` asks the shard
+/// to answer `NotMine` (with the owner address) instead of proxying.
+const ROUTE_REDIRECT: u8 = 1;
+
+fn encode_render_body(e: &mut Enc, r: &RenderRequest) {
+    e.str(&r.snapshot);
+    e.f64(r.center.x);
+    e.f64(r.center.y);
+    e.f64(r.center.z);
+    e.u32(r.resolution);
+    e.u32(r.samples);
+    e.u64(r.deadline_ms);
+    let (tag, param) = r.estimator.wire_code();
+    e.u8(tag);
+    e.u16(param);
+    encode_trace(e, &r.trace);
+}
+
+fn encode_heartbeat(e: &mut Enc, hb: &ShardHeartbeat) {
+    e.u32(hb.shard);
+    e.u64(hb.seq);
+    e.u64(hb.epoch);
+    e.u64(hb.queue_depth);
+    e.u64(hb.backlog_ms);
+    e.u64(hb.resident_bytes);
+    e.u64(hb.resident_tiles);
+    e.u8(hb.draining as u8);
+    debug_assert!(hb.hot.len() <= u16::MAX as usize);
+    e.u16(hb.hot.len() as u16);
+    for &k in &hb.hot {
+        e.u64(k);
+    }
+}
+
+fn decode_heartbeat(d: &mut Dec) -> Result<ShardHeartbeat, WireError> {
+    let shard = d.u32()?;
+    let seq = d.u64()?;
+    let epoch = d.u64()?;
+    let queue_depth = d.u64()?;
+    let backlog_ms = d.u64()?;
+    let resident_bytes = d.u64()?;
+    let resident_tiles = d.u64()?;
+    let draining = match d.u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(WireError::BadTag(t)),
+    };
+    let n = d.u16()? as usize;
+    let mut hot = Vec::with_capacity(n);
+    for _ in 0..n {
+        hot.push(d.u64()?);
+    }
+    Ok(ShardHeartbeat {
+        shard,
+        seq,
+        epoch,
+        queue_depth,
+        backlog_ms,
+        resident_bytes,
+        resident_tiles,
+        draining,
+        hot,
+    })
+}
+
 impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc(Vec::new());
         match self {
             Request::Render(r) => {
                 e.u8(REQ_RENDER_V4);
-                e.str(&r.snapshot);
-                e.f64(r.center.x);
-                e.f64(r.center.y);
-                e.f64(r.center.z);
-                e.u32(r.resolution);
-                e.u32(r.samples);
-                e.u64(r.deadline_ms);
-                let (tag, param) = r.estimator.wire_code();
-                e.u8(tag);
-                e.u16(param);
-                encode_trace(&mut e, &r.trace);
+                encode_render_body(&mut e, r);
+            }
+            Request::RenderRouted(r, route) => {
+                e.u8(REQ_RENDER_V5);
+                encode_render_body(&mut e, r);
+                e.u8(if route.redirect { ROUTE_REDIRECT } else { 0 });
+                e.u64(route.epoch);
+            }
+            Request::Gossip(hb) => {
+                e.u8(REQ_GOSSIP);
+                encode_heartbeat(&mut e, hb);
             }
             Request::Stats => e.u8(REQ_STATS),
             Request::Health => e.u8(REQ_HEALTH),
@@ -336,7 +421,7 @@ impl Request {
                     trace: None,
                 })
             }
-            tag @ (REQ_RENDER_V2 | REQ_RENDER_V4) => {
+            tag @ (REQ_RENDER_V2 | REQ_RENDER_V4 | REQ_RENDER_V5) => {
                 if tag == REQ_RENDER_V2 {
                     // Pre-trace clients; counted so operators can watch
                     // them age out.
@@ -350,12 +435,12 @@ impl Request {
                 let (etag, param) = (d.u8()?, d.u16()?);
                 let estimator =
                     EstimatorKind::from_wire_code(etag, param).ok_or(WireError::BadTag(etag))?;
-                let trace = if tag == REQ_RENDER_V4 {
+                let trace = if tag != REQ_RENDER_V2 {
                     decode_trace(&mut d)?
                 } else {
                     None
                 };
-                Request::Render(RenderRequest {
+                let req = RenderRequest {
                     snapshot,
                     center,
                     resolution,
@@ -363,8 +448,22 @@ impl Request {
                     deadline_ms,
                     estimator,
                     trace,
-                })
+                };
+                if tag == REQ_RENDER_V5 {
+                    let flags = d.u8()?;
+                    if flags & !ROUTE_REDIRECT != 0 {
+                        return Err(WireError::BadTag(flags));
+                    }
+                    let route = RouteInfo {
+                        redirect: flags & ROUTE_REDIRECT != 0,
+                        epoch: d.u64()?,
+                    };
+                    Request::RenderRouted(req, route)
+                } else {
+                    Request::Render(req)
+                }
             }
+            REQ_GOSSIP => Request::Gossip(decode_heartbeat(&mut d)?),
             REQ_STATS => Request::Stats,
             REQ_HEALTH => Request::Health,
             REQ_DUMP => Request::Dump,
@@ -384,6 +483,9 @@ const ERR_CORRUPT_SNAPSHOT: u8 = 5;
 const ERR_SHUTTING_DOWN: u8 = 6;
 const ERR_INTERNAL: u8 = 7;
 const ERR_QUARANTINED: u8 = 8;
+/// Cluster redirect: this shard does not own the tile; payload is the
+/// owner's `host:port`.
+const ERR_NOT_MINE: u8 = 9;
 
 fn encode_error(e: &mut Enc, err: &ServiceError) {
     match err {
@@ -413,6 +515,10 @@ fn encode_error(e: &mut Enc, err: &ServiceError) {
             e.u8(ERR_QUARANTINED);
             e.u64(*retry_after_ms);
         }
+        ServiceError::NotMine { owner } => {
+            e.u8(ERR_NOT_MINE);
+            e.str(owner);
+        }
     }
 }
 
@@ -430,6 +536,7 @@ fn decode_error(d: &mut Dec) -> Result<ServiceError, WireError> {
         ERR_QUARANTINED => ServiceError::Quarantined {
             retry_after_ms: d.u64()?,
         },
+        ERR_NOT_MINE => ServiceError::NotMine { owner: d.str()? },
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -486,6 +593,10 @@ impl Response {
                 e.u64(h.quarantined_tiles);
                 e.u64(h.queue_depth);
                 e.u64(h.backlog_ms);
+            }
+            Response::Gossip(hb) => {
+                e.u8(RESP_GOSSIP);
+                encode_heartbeat(&mut e, hb);
             }
             Response::ShutdownAck => e.u8(RESP_SHUTDOWN_ACK),
         }
@@ -586,6 +697,7 @@ impl Response {
                     backlog_ms: d.u64()?,
                 })
             }
+            RESP_GOSSIP => Response::Gossip(decode_heartbeat(&mut d)?),
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             t => return Err(WireError::BadTag(t)),
         };
@@ -632,6 +744,64 @@ mod tests {
             let bytes = r.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn routed_v5_render_roundtrips() {
+        let base = RenderRequest::new("demo", Vec3::new(1.0, 2.0, 3.0))
+            .estimator(EstimatorKind::PsDtfe)
+            .traced(TraceContext::sampled([0x3C; 16]));
+        for route in [
+            RouteInfo {
+                redirect: true,
+                epoch: 7,
+            },
+            RouteInfo {
+                redirect: false,
+                epoch: 0,
+            },
+        ] {
+            let req = Request::RenderRouted(base.clone(), route);
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        // Unknown route-flag bits are rejected, not silently ignored.
+        let mut bytes = Request::RenderRouted(base, RouteInfo::default()).encode();
+        let at = bytes.len() - 9; // flags byte precedes the u64 epoch
+        bytes[at] = 0x40;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::BadTag(0x40))
+        ));
+    }
+
+    #[test]
+    fn gossip_frames_roundtrip() {
+        let hb = ShardHeartbeat {
+            shard: 2,
+            seq: 41,
+            epoch: 3,
+            queue_depth: 9,
+            backlog_ms: 125,
+            resident_bytes: 1 << 27,
+            resident_tiles: 6,
+            draining: true,
+            hot: vec![0xDEAD_BEEF, 1, u64::MAX],
+        };
+        let req = Request::Gossip(hb.clone());
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let resp = Response::Gossip(hb);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // Empty hot set too (the common steady-state frame).
+        let quiet = Request::Gossip(ShardHeartbeat::default());
+        assert_eq!(Request::decode(&quiet.encode()).unwrap(), quiet);
+    }
+
+    #[test]
+    fn not_mine_error_roundtrips() {
+        let resp = Response::Error(ServiceError::NotMine {
+            owner: "127.0.0.1:7071".into(),
+        });
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]

@@ -156,7 +156,7 @@ proptest! {
         queue_depth in 0u64..u64::MAX,
         // Counters stay below 2^53 so the JSON (f64) representation is
         // exact — the same invariant the server upholds.
-        c in prop::collection::vec(0u64..(1u64 << 53), 19),
+        c in prop::collection::vec(0u64..(1u64 << 53), 20),
         flags in 0u8..4,
     ) {
         for req in [Request::Stats, Request::Health, Request::Shutdown, Request::Dump] {
@@ -187,6 +187,7 @@ proptest! {
                 stale_entries: c[16],
                 quarantined: c[17],
                 build_panics: c[18],
+                ghost_bytes: c[19],
             },
             metrics: None,
         });
