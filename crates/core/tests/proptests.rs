@@ -1,11 +1,14 @@
 //! Property-based tests of the DTFE estimator and the marching kernel.
 
 use dtfe_core::density::{DtfeField, Mass};
+use dtfe_core::estimator::FieldEstimator;
 use dtfe_core::grid::GridSpec2;
 use dtfe_core::marching::{
     march_cell, surface_density_reference, surface_density_with_index, surface_density_with_stats,
     HullIndex, MarchOptions, MarchStats,
 };
+use dtfe_core::psdtfe::PsDtfeField;
+use dtfe_core::stochastic::{StochasticField, StochasticOptions};
 use dtfe_geometry::{Vec2, Vec3};
 use proptest::prelude::*;
 
@@ -114,17 +117,36 @@ proptest! {
         prop_assert_eq!(sr.perturbations, ss.perturbations);
         prop_assert_eq!(sr.failures, ss.failures);
         prop_assert!(ss.edge_evals <= sr.edge_evals);
-        let par_opts = opts.parallel(true).tile(tile);
+        // Packet marching at every width is bit-identical to the scalar
+        // coherent kernel (and hence to the reference).
+        for packet in [1usize, 4, 8] {
+            let popts = opts.clone().packet(packet);
+            let (pk, sk) = surface_density_with_index(&field, &index, &grid, &popts);
+            prop_assert_eq!(&serial.data, &pk.data, "serial packet {}", packet);
+            prop_assert_eq!(ss.crossings, sk.crossings);
+            prop_assert_eq!(ss.perturbations, sk.perturbations);
+            prop_assert_eq!(ss.failures, sk.failures);
+        }
         for threads in [1usize, 2, 8] {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads)
                 .build()
                 .unwrap();
-            let (par, sp) =
-                pool.install(|| surface_density_with_index(&field, &index, &grid, &par_opts));
-            prop_assert_eq!(&serial.data, &par.data, "threads {} tile {}", threads, tile);
-            prop_assert_eq!(ss.crossings, sp.crossings);
-            prop_assert_eq!(ss.perturbations, sp.perturbations);
+            for packet in [0usize, 1, 4, 8] {
+                let par_opts = opts.clone().parallel(true).tile(tile).packet(packet);
+                let (par, sp) =
+                    pool.install(|| surface_density_with_index(&field, &index, &grid, &par_opts));
+                prop_assert_eq!(
+                    &serial.data,
+                    &par.data,
+                    "threads {} tile {} packet {}",
+                    threads,
+                    tile,
+                    packet
+                );
+                prop_assert_eq!(ss.crossings, sp.crossings);
+                prop_assert_eq!(ss.perturbations, sp.perturbations);
+            }
         }
     }
 
@@ -151,18 +173,103 @@ proptest! {
         let (reference, sr) = surface_density_reference(&field, &index, &grid, &opts);
         prop_assert_eq!(&reference.data, &serial.data);
         prop_assert_eq!(sr.perturbations, ss.perturbations);
-        let par_opts = MarchOptions::new().parallel(true).tile(tile);
+        // Degenerate lanes must eject packets back to the scalar path and
+        // still land on the same bits.
+        for packet in [1usize, 4, 8] {
+            let popts = MarchOptions::new().parallel(false).packet(packet);
+            let (pk, sk) = surface_density_with_index(&field, &index, &grid, &popts);
+            prop_assert_eq!(&serial.data, &pk.data, "serial packet {}", packet);
+            prop_assert_eq!(ss.perturbations, sk.perturbations);
+            prop_assert_eq!(ss.crossings, sk.crossings);
+            if ss.perturbations > 0 {
+                prop_assert!(sk.packet_scalar_fallbacks > 0, "packet {}", packet);
+            }
+        }
         for threads in [2usize, 8] {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads)
                 .build()
                 .unwrap();
-            let (par, sp) =
-                pool.install(|| surface_density_with_index(&field, &index, &grid, &par_opts));
-            prop_assert_eq!(&serial.data, &par.data, "threads {} tile {}", threads, tile);
-            prop_assert_eq!(ss.perturbations, sp.perturbations);
-            prop_assert_eq!(ss.crossings, sp.crossings);
+            for packet in [0usize, 1, 4, 8] {
+                let par_opts = MarchOptions::new().parallel(true).tile(tile).packet(packet);
+                let (par, sp) =
+                    pool.install(|| surface_density_with_index(&field, &index, &grid, &par_opts));
+                prop_assert_eq!(
+                    &serial.data,
+                    &par.data,
+                    "threads {} tile {} packet {}",
+                    threads,
+                    tile,
+                    packet
+                );
+                prop_assert_eq!(ss.perturbations, sp.perturbations);
+                prop_assert_eq!(ss.crossings, sp.crossings);
+            }
         }
+    }
+
+    #[test]
+    fn packet_bit_identical_across_estimator_backends(
+        pts in cloud_strategy(24, 80),
+        tile in 1usize..12,
+    ) {
+        // The packet kernel is generic over `FieldEstimator`: every backend
+        // named by `EstimatorKind` (DTFE, PS-DTFE, its velocity divergence,
+        // and the stochastic reconstruction) must render bit-identically to
+        // the reference kernel at every packet width and thread count.
+        fn check<E: FieldEstimator + ?Sized>(field: &E, grid: &GridSpec2, tile: usize, label: &str) {
+            let index = HullIndex::build(field);
+            let opts = MarchOptions::new().parallel(false);
+            let (reference, sr) = surface_density_reference(field, &index, grid, &opts);
+            for packet in [1usize, 4, 8] {
+                let popts = opts.clone().packet(packet);
+                let (pk, sk) = surface_density_with_index(field, &index, grid, &popts);
+                prop_assert_eq!(&reference.data, &pk.data, "{} serial packet {}", label, packet);
+                prop_assert_eq!(sr.crossings, sk.crossings);
+                prop_assert_eq!(sr.perturbations, sk.perturbations);
+                for threads in [1usize, 2, 8] {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .unwrap();
+                    let par_opts = opts.clone().parallel(true).tile(tile).packet(packet);
+                    let (par, sp) =
+                        pool.install(|| surface_density_with_index(field, &index, grid, &par_opts));
+                    prop_assert_eq!(
+                        &reference.data,
+                        &par.data,
+                        "{} threads {} tile {} packet {}",
+                        label,
+                        threads,
+                        tile,
+                        packet
+                    );
+                    prop_assert_eq!(sr.crossings, sp.crossings);
+                    prop_assert_eq!(sr.perturbations, sp.perturbations);
+                }
+            }
+        }
+
+        let Ok(dtfe) = DtfeField::build(&pts, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        // Synthesized smooth velocity field (rotation + z shear).
+        let vels: Vec<Vec3> = pts
+            .iter()
+            .map(|p| Vec3::new(p.y - 4.0, 4.0 - p.x, 0.25 * (p.z - 4.0)))
+            .collect();
+        let Ok(ps) = PsDtfeField::build(&pts, &vels, Mass::Uniform(1.0)) else {
+            return Ok(());
+        };
+        let sto_opts = StochasticOptions { realizations: 2, sigma: 0.05, seed: 7 };
+        let Ok(sto) = StochasticField::build(&pts, Mass::Uniform(1.0), sto_opts) else {
+            return Ok(());
+        };
+        let grid = GridSpec2::covering(Vec2::new(-0.5, -0.5), Vec2::new(8.5, 8.5), 13, 11);
+        check(&dtfe, &grid, tile, "dtfe");
+        check(&ps, &grid, tile, "psdtfe");
+        check(&ps.divergence(), &grid, tile, "veldiv");
+        check(&sto, &grid, tile, "stochastic");
     }
 
     #[test]

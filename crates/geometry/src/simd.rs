@@ -1,0 +1,381 @@
+//! Std-only SIMD lane types for the ray-packet marching kernel.
+//!
+//! The packet kernel classifies 4–8 coherent vertical lines of sight
+//! against one tetrahedron at a time (DESIGN.md §4k). Its hot arithmetic —
+//! the Plücker side product of every packet ray against each tetrahedron
+//! edge — is data-parallel across rays, so the lane type here is a
+//! structure-of-arrays `[f64; N]` wrapper whose element-wise loops compile
+//! to vector instructions on stable Rust (LLVM auto-vectorizes fixed-trip
+//! loops over `[f64; N]`; the baseline x86-64 target gives 2 lanes per op,
+//! `-C target-feature=+avx2` gives 4).
+//!
+//! # Bit-identity
+//!
+//! Every operation is a plain IEEE-754 `f64` multiply or add per lane — no
+//! FMA contraction (Rust never contracts `a * b + c`, and the AVX2
+//! specialization below uses separate `_mm256_mul_pd`/`_mm256_add_pd`
+//! intrinsics, never `_mm256_fmadd_pd`). A lane therefore computes exactly
+//! the scalar kernel's operation sequence, so packet results are
+//! bit-for-bit the scalar results regardless of lane width or instruction
+//! set. The `avx2_matches_portable` test asserts this on the intrinsics
+//! path.
+//!
+//! # The `simd-intrinsics` feature
+//!
+//! With `--features simd-intrinsics` on an `x86_64` host,
+//! [`vertical_tet_sides`] dispatches to an explicit AVX2 version
+//! (`#[target_feature(enable = "avx2")]`, guarded at runtime by
+//! `is_x86_feature_detected!`) that processes 4 lanes per 256-bit op
+//! without needing a custom `RUSTFLAGS` target. The portable fallback is
+//! always compiled and always correct.
+
+use crate::plucker::TET_EDGES;
+use crate::vec::Vec3;
+
+/// A packet of `N` `f64` lanes (structure-of-arrays). `N` is 4 or 8 in the
+/// marching kernel; any `N ≥ 1` works for the portable ops.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(align(64))]
+pub struct F64xN<const N: usize>(pub [f64; N]);
+
+impl<const N: usize> F64xN<N> {
+    /// All lanes set to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        F64xN([v; N])
+    }
+
+    /// All lanes zero.
+    pub const ZERO: F64xN<N> = F64xN([0.0; N]);
+
+    /// Lane-wise `self * b + c` as a *separate* multiply then add — the
+    /// shape LLVM vectorizes but is forbidden from fusing into an FMA, so
+    /// each lane rounds exactly like the scalar `a * b + c` expression.
+    #[inline]
+    pub fn mul_add_exact(self, b: Self, c: Self) -> Self {
+        let mut out = [0.0; N];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l] * b.0[l] + c.0[l];
+        }
+        F64xN(out)
+    }
+}
+
+/// Lane-wise `a * b` (exact IEEE multiply per lane).
+impl<const N: usize> std::ops::Mul for F64xN<N> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, b: Self) -> Self {
+        let mut out = [0.0; N];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l] * b.0[l];
+        }
+        F64xN(out)
+    }
+}
+
+/// Lane-wise `a + b` (exact IEEE add per lane).
+impl<const N: usize> std::ops::Add for F64xN<N> {
+    type Output = Self;
+    #[inline]
+    fn add(self, b: Self) -> Self {
+        let mut out = [0.0; N];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l] + b.0[l];
+        }
+        F64xN(out)
+    }
+}
+
+/// Lane-wise `a - b`.
+impl<const N: usize> std::ops::Sub for F64xN<N> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, b: Self) -> Self {
+        let mut out = [0.0; N];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l] - b.0[l];
+        }
+        F64xN(out)
+    }
+}
+
+/// The Plücker moments of a packet of vertical lines of sight, stored
+/// structure-of-arrays: lane `l` is the moment `v = l̂ × x` of ray `l`
+/// exactly as [`crate::plucker::Plucker::from_ray`] computes it (for a
+/// vertical ray through `(x, y)` that is `(-y, x, 0)`, with the zero formed
+/// by the same `0·y − 0·x` subtraction).
+#[derive(Clone, Copy, Debug)]
+pub struct PacketMoments<const N: usize> {
+    pub x: F64xN<N>,
+    pub y: F64xN<N>,
+    pub z: F64xN<N>,
+}
+
+impl<const N: usize> PacketMoments<N> {
+    /// All lanes from one moment (a fresh packet before lanes are set).
+    #[inline]
+    pub fn splat(v: Vec3) -> Self {
+        PacketMoments {
+            x: F64xN::splat(v.x),
+            y: F64xN::splat(v.y),
+            z: F64xN::splat(v.z),
+        }
+    }
+
+    /// Overwrite lane `l` with the moment `v`.
+    #[inline]
+    pub fn set_lane(&mut self, l: usize, v: Vec3) {
+        self.x.0[l] = v.x;
+        self.y.0[l] = v.y;
+        self.z.0[l] = v.z;
+    }
+}
+
+/// Side products of a packet against the six canonical tetrahedron edges:
+/// `s[e].0[l]` is ray `l` against edge `e` of [`TET_EDGES`], bit-identical
+/// to the scalar kernel's vertical side product for that lane.
+pub type PacketSides<const N: usize> = [F64xN<N>; 6];
+
+/// Compute the vertical-ray side product of every lane against the directed
+/// edge `p0 → p1`: per lane exactly
+/// `(lx·p0.y − ly·p0.x) + ((lx·vx + ly·vy) + lz·vz)` — the scalar
+/// `side_vertical` expression, so each lane's bits match the scalar kernel.
+#[inline]
+pub fn vertical_edge_sides<const N: usize>(rv: &PacketMoments<N>, p0: Vec3, p1: Vec3) -> F64xN<N> {
+    let lx = p1.x - p0.x;
+    let ly = p1.y - p0.y;
+    let lz = p1.z - p0.z;
+    let c = lx * p0.y - ly * p0.x;
+    let mut out = [0.0; N];
+    for (l, o) in out.iter_mut().enumerate() {
+        *o = c + ((lx * rv.x.0[l] + ly * rv.y.0[l]) + lz * rv.z.0[l]);
+    }
+    F64xN(out)
+}
+
+/// All six canonical edge side products of a packet against one
+/// tetrahedron (vertex order already normalized, as the marching kernel's
+/// `CachedTet` stores it). Dispatches to the AVX2 specialization when the
+/// `simd-intrinsics` feature is enabled and the CPU supports it; the
+/// portable path and the intrinsics path produce identical bits.
+#[inline]
+pub fn vertical_tet_sides<const N: usize>(
+    rv: &PacketMoments<N>,
+    verts: &[Vec3; 4],
+    out: &mut PacketSides<N>,
+) {
+    vertical_tet_sides_masked(rv, verts, 0b11_1111, out);
+}
+
+/// [`vertical_tet_sides`] restricted to the edges named by `todo` (bit `e`
+/// set = evaluate edge `e` of [`TET_EDGES`]); the other rows of `out` are
+/// left untouched. The packet marching kernel clears the bits of edges
+/// whose side products carry over from the face the packet just exited
+/// through ([`crate::plucker::seed_edge_map`]), the same reuse the scalar
+/// seeded kernel performs.
+#[inline]
+pub fn vertical_tet_sides_masked<const N: usize>(
+    rv: &PacketMoments<N>,
+    verts: &[Vec3; 4],
+    todo: u8,
+    out: &mut PacketSides<N>,
+) {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    if N.is_multiple_of(4) && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 requirement was just checked at runtime.
+        unsafe { avx2::vertical_tet_sides_avx2(rv, verts, todo, out) };
+        return;
+    }
+    for (e, &(i, j)) in TET_EDGES.iter().enumerate() {
+        if todo & (1 << e) != 0 {
+            out[e] = vertical_edge_sides(rv, verts[i], verts[j]);
+        }
+    }
+}
+
+#[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+mod avx2 {
+    use super::{PacketMoments, PacketSides};
+    use crate::plucker::TET_EDGES;
+    use crate::vec::Vec3;
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+    };
+
+    /// AVX2 [`super::vertical_tet_sides_masked`]: 4 lanes per 256-bit op,
+    /// plain mul/add intrinsics only (no FMA), so every lane rounds exactly
+    /// like the portable expression. Requires `N % 4 == 0`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn vertical_tet_sides_avx2<const N: usize>(
+        rv: &PacketMoments<N>,
+        verts: &[Vec3; 4],
+        todo: u8,
+        out: &mut PacketSides<N>,
+    ) {
+        debug_assert_eq!(N % 4, 0);
+        for (e, &(i, j)) in TET_EDGES.iter().enumerate() {
+            if todo & (1 << e) == 0 {
+                continue;
+            }
+            let (p0, p1) = (verts[i], verts[j]);
+            let lx = p1.x - p0.x;
+            let ly = p1.y - p0.y;
+            let lz = p1.z - p0.z;
+            let c = _mm256_set1_pd(lx * p0.y - ly * p0.x);
+            let lxv = _mm256_set1_pd(lx);
+            let lyv = _mm256_set1_pd(ly);
+            let lzv = _mm256_set1_pd(lz);
+            let mut l = 0;
+            while l < N {
+                let vx = _mm256_loadu_pd(rv.x.0.as_ptr().add(l));
+                let vy = _mm256_loadu_pd(rv.y.0.as_ptr().add(l));
+                let vz = _mm256_loadu_pd(rv.z.0.as_ptr().add(l));
+                // c + ((lx·vx + ly·vy) + lz·vz), associated exactly like
+                // the scalar side_vertical expression.
+                let t = _mm256_add_pd(_mm256_mul_pd(lxv, vx), _mm256_mul_pd(lyv, vy));
+                let t = _mm256_add_pd(t, _mm256_mul_pd(lzv, vz));
+                let s = _mm256_add_pd(c, t);
+                _mm256_storeu_pd(out[e].0.as_mut_ptr().add(l), s);
+                l += 4;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plucker::{Plucker, Ray};
+
+    fn rand_unit(s: &mut u64) -> f64 {
+        *s ^= *s >> 12;
+        *s ^= *s << 25;
+        *s ^= *s >> 27;
+        (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The scalar oracle: the exact expression `side_vertical` evaluates.
+    fn scalar_side(rv: Vec3, p0: Vec3, p1: Vec3) -> f64 {
+        let lx = p1.x - p0.x;
+        let ly = p1.y - p0.y;
+        let lz = p1.z - p0.z;
+        (lx * p0.y - ly * p0.x) + (lx * rv.x + ly * rv.y + lz * rv.z)
+    }
+
+    fn packet_case<const N: usize>(seed: u64) {
+        let mut st = seed;
+        for _ in 0..200 {
+            let mut verts = [Vec3::ZERO; 4];
+            for p in &mut verts {
+                *p = Vec3::new(
+                    rand_unit(&mut st) * 4.0 - 2.0,
+                    rand_unit(&mut st) * 4.0 - 2.0,
+                    rand_unit(&mut st) * 4.0 - 2.0,
+                );
+            }
+            let mut rv = PacketMoments::<N>::splat(Vec3::ZERO);
+            let mut moments = [Vec3::ZERO; N];
+            for (l, m) in moments.iter_mut().enumerate() {
+                let ray = Ray::vertical(rand_unit(&mut st) * 4.0 - 2.0, rand_unit(&mut st) * 4.0);
+                *m = Plucker::from_ray(&ray).v;
+                rv.set_lane(l, *m);
+            }
+            let mut sides = [F64xN::<N>::ZERO; 6];
+            vertical_tet_sides(&rv, &verts, &mut sides);
+            for (e, &(i, j)) in TET_EDGES.iter().enumerate() {
+                for (l, &m) in moments.iter().enumerate() {
+                    let want = scalar_side(m, verts[i], verts[j]);
+                    assert_eq!(
+                        sides[e].0[l].to_bits(),
+                        want.to_bits(),
+                        "edge {e} lane {l}: {} vs {want}",
+                        sides[e].0[l]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packet_sides_bit_identical_to_scalar() {
+        packet_case::<1>(0xA1);
+        packet_case::<4>(0xB2);
+        packet_case::<8>(0xC3);
+    }
+
+    #[test]
+    fn lane_ops_are_elementwise() {
+        let a = F64xN::<4>([1.0, 2.0, 3.0, 4.0]);
+        let b = F64xN::<4>([0.5, 0.25, -1.0, 2.0]);
+        assert_eq!((a * b).0, [0.5, 0.5, -3.0, 8.0]);
+        assert_eq!((a + b).0, [1.5, 2.25, 2.0, 6.0]);
+        assert_eq!((a - b).0, [0.5, 1.75, 4.0, 2.0]);
+        let c = F64xN::<4>::splat(1.0);
+        assert_eq!(a.mul_add_exact(b, c).0, [1.5, 1.5, -2.0, 9.0]);
+    }
+
+    #[test]
+    fn masked_eval_writes_only_named_rows() {
+        let mut st = 0xDEADu64;
+        let mut verts = [Vec3::ZERO; 4];
+        for p in &mut verts {
+            *p = Vec3::new(rand_unit(&mut st), rand_unit(&mut st), rand_unit(&mut st));
+        }
+        let mut rv = PacketMoments::<4>::splat(Vec3::ZERO);
+        for l in 0..4 {
+            let ray = Ray::vertical(rand_unit(&mut st), rand_unit(&mut st));
+            rv.set_lane(l, Plucker::from_ray(&ray).v);
+        }
+        let mut full = [F64xN::<4>::ZERO; 6];
+        vertical_tet_sides(&rv, &verts, &mut full);
+        for todo in 0u8..64 {
+            let sentinel = F64xN::<4>::splat(-7.25);
+            let mut out = [sentinel; 6];
+            vertical_tet_sides_masked(&rv, &verts, todo, &mut out);
+            for e in 0..6 {
+                if todo & (1 << e) != 0 {
+                    assert_eq!(out[e], full[e], "todo {todo:#08b} edge {e}");
+                } else {
+                    assert_eq!(out[e], sentinel, "todo {todo:#08b} edge {e}");
+                }
+            }
+        }
+    }
+
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_matches_portable() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        let mut st = 0xFACEu64;
+        for _ in 0..500 {
+            let mut verts = [Vec3::ZERO; 4];
+            for p in &mut verts {
+                *p = Vec3::new(rand_unit(&mut st), rand_unit(&mut st), rand_unit(&mut st));
+            }
+            let mut rv = PacketMoments::<8>::splat(Vec3::ZERO);
+            for l in 0..8 {
+                let ray = Ray::vertical(rand_unit(&mut st), rand_unit(&mut st));
+                rv.set_lane(l, Plucker::from_ray(&ray).v);
+            }
+            let mut fast = [F64xN::<8>::ZERO; 6];
+            // SAFETY: avx2 support checked above.
+            unsafe { avx2::vertical_tet_sides_avx2(&rv, &verts, 0b11_1111, &mut fast) };
+            let mut portable = [F64xN::<8>::ZERO; 6];
+            for (e, &(i, j)) in TET_EDGES.iter().enumerate() {
+                portable[e] = vertical_edge_sides(&rv, verts[i], verts[j]);
+            }
+            for e in 0..6 {
+                for l in 0..8 {
+                    assert_eq!(fast[e].0[l].to_bits(), portable[e].0[l].to_bits());
+                }
+            }
+        }
+    }
+}
